@@ -1,0 +1,49 @@
+# SensorSafe build/test entry points.
+
+GO ?= go
+
+.PHONY: all build vet test test-short cover bench harness fuzz examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -cover ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every experiment table (EXPERIMENTS.md).
+harness:
+	$(GO) run ./cmd/benchharness
+
+harness-quick:
+	$(GO) run ./cmd/benchharness -quick
+
+# Short fuzz campaigns on the three untrusted-input parsers.
+fuzz:
+	$(GO) test -fuzz=FuzzRuleJSON -fuzztime=30s ./internal/rules/
+	$(GO) test -fuzz=FuzzUnmarshalBinary -fuzztime=30s ./internal/wavesegment/
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/query/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/behavioralstudy
+	$(GO) run ./examples/healthcoach
+	$(GO) run ./examples/ruleaware
+	$(GO) run ./examples/audittrail
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

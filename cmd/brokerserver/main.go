@@ -1,0 +1,46 @@
+// Command brokerserver runs the SensorSafe broker: the directory of data
+// contributors and their remote data stores, the replicated privacy-rule
+// search index, and the consumer credential vault. Sensor data never flows
+// through it.
+//
+// Usage:
+//
+//	brokerserver -listen :8080
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"sensorsafe/internal/broker"
+	"sensorsafe/internal/httpapi"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "address to listen on")
+	dir := flag.String("dir", "", "state directory (empty = in-memory)")
+	useTLS := flag.Bool("tls", false, "serve HTTPS with a self-signed certificate")
+	flag.Parse()
+
+	svc, err := broker.NewPersistent(*dir)
+	if err != nil {
+		log.Fatalf("brokerserver: %v", err)
+	}
+	log.Printf("broker listening on %s (tls=%v)", *listen, *useTLS)
+	handler := httpapi.NewBrokerHandler(svc)
+	if *useTLS {
+		tlsCfg, err := httpapi.SelfSignedTLS([]string{"localhost", "127.0.0.1"}, 0)
+		if err != nil {
+			log.Fatalf("brokerserver: %v", err)
+		}
+		server := &http.Server{Addr: *listen, Handler: handler, TLSConfig: tlsCfg}
+		if err := server.ListenAndServeTLS("", ""); err != nil {
+			log.Fatalf("brokerserver: %v", err)
+		}
+		return
+	}
+	if err := http.ListenAndServe(*listen, handler); err != nil {
+		log.Fatalf("brokerserver: %v", err)
+	}
+}

@@ -1,0 +1,164 @@
+// Command consumercli is a data consumer's command-line tool: it registers
+// on the broker, searches for data contributors whose privacy rules share
+// enough data, connects to their stores (the broker vaults the per-store
+// API keys), and downloads data directly from the stores using the query
+// mini-language.
+//
+// Usage:
+//
+//	consumercli -broker http://localhost:8080 -name bob \
+//	    search -sensors ECG,Respiration -label work
+//	consumercli -broker http://localhost:8080 -name bob -key <key> \
+//	    query -contributor alice -q "channels(ECG) limit(10)"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"sensorsafe/internal/abstraction"
+	"sensorsafe/internal/auth"
+	"sensorsafe/internal/broker"
+	"sensorsafe/internal/httpapi"
+	"sensorsafe/internal/timeutil"
+)
+
+func main() {
+	brokerURL := flag.String("broker", "http://localhost:8080", "broker base URL")
+	name := flag.String("name", "bob", "consumer name")
+	key := flag.String("key", "", "existing broker API key (skips registration)")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: consumercli [flags] <directory|search|query> [subflags]")
+		os.Exit(2)
+	}
+	bc := &httpapi.BrokerClient{BaseURL: *brokerURL}
+
+	apiKey := auth.APIKey(*key)
+	if apiKey == "" {
+		u, err := bc.RegisterConsumer(*name)
+		if err != nil {
+			log.Fatalf("consumercli: register: %v", err)
+		}
+		apiKey = u.Key
+		fmt.Printf("registered %s\nAPI key: %s\n", u.Name, apiKey)
+	}
+
+	switch flag.Arg(0) {
+	case "directory":
+		dir, err := bc.Directory(apiKey)
+		if err != nil {
+			log.Fatalf("consumercli: %v", err)
+		}
+		for _, e := range dir {
+			fmt.Printf("%-20s %-30s %d rules\n", e.Name, e.StoreAddr, e.RuleCount)
+		}
+
+	case "search":
+		fs := flag.NewFlagSet("search", flag.ExitOnError)
+		sensors := fs.String("sensors", "", "comma-separated sensors that must be shared raw")
+		label := fs.String("label", "", "contributor-defined location label (e.g. work)")
+		days := fs.String("days", "", "comma-separated weekdays (e.g. Mon,Tue)")
+		hours := fs.String("hours", "", "window as from,to (e.g. 9:00am,6:00pm)")
+		contexts := fs.String("while", "", "comma-separated active contexts (e.g. Drive)")
+		_ = fs.Parse(flag.Args()[1:])
+
+		q := &broker.SearchQuery{LocationLabel: *label}
+		if *sensors != "" {
+			q.Sensors = strings.Split(*sensors, ",")
+		}
+		if *contexts != "" {
+			q.ActiveContexts = strings.Split(*contexts, ",")
+		}
+		if *days != "" || *hours != "" {
+			var dayList, hourList []string
+			if *days != "" {
+				dayList = strings.Split(*days, ",")
+			}
+			if *hours != "" {
+				hourList = strings.Split(*hours, ",")
+			}
+			rep, err := timeutil.ParseRepeated(dayList, hourList)
+			if err != nil {
+				log.Fatalf("consumercli: %v", err)
+			}
+			q.RepeatTime = rep
+		}
+		names, err := bc.Search(apiKey, q)
+		if err != nil {
+			log.Fatalf("consumercli: %v", err)
+		}
+		if len(names) == 0 {
+			fmt.Println("no contributors share enough data for this query")
+			return
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+
+	case "query":
+		fs := flag.NewFlagSet("query", flag.ExitOnError)
+		contributor := fs.String("contributor", "", "contributor to query")
+		qtext := fs.String("q", "", "query in the mini-language (empty = everything)")
+		summary := fs.Bool("summary", false, "print aggregate statistics instead of spans")
+		_ = fs.Parse(flag.Args()[1:])
+		if *contributor == "" {
+			log.Fatal("consumercli: -contributor is required")
+		}
+		cred, err := bc.Connect(apiKey, *contributor)
+		if err != nil {
+			log.Fatalf("consumercli: connect: %v", err)
+		}
+		sc := &httpapi.StoreClient{BaseURL: cred.StoreAddr}
+		rels, err := sc.QueryText(cred.Key, *qtext)
+		if err != nil {
+			log.Fatalf("consumercli: query: %v", err)
+		}
+		if *summary {
+			sum := abstraction.Summarize(rels)
+			fmt.Printf("%d releases, %d raw samples, %s .. %s\n",
+				sum.Releases, sum.RawSamples,
+				sum.Earliest.Format("2006-01-02 15:04:05"), sum.Latest.Format("15:04:05"))
+			for ch, st := range sum.Channels {
+				fmt.Printf("  %-14s %7d samples  min %.3f  max %.3f  mean %.3f\n",
+					ch, st.Samples, st.Min, st.Max, st.Mean)
+			}
+			for _, ctx := range sum.TopContexts() {
+				fmt.Printf("  context %-12s %v\n", ctx, sum.Contexts[ctx])
+			}
+			return
+		}
+		fmt.Printf("%d releases from %s\n", len(rels), *contributor)
+		for i, rel := range rels {
+			loc := "location withheld"
+			if rel.Location.Point != nil {
+				loc = rel.Location.Point.String()
+			} else if rel.Location.Text != "" {
+				loc = rel.Location.Text
+			}
+			var span string
+			if rel.Start.IsZero() {
+				span = "time withheld"
+			} else {
+				span = fmt.Sprintf("%s .. %s (%s)", rel.Start.Format("15:04:05"), rel.End.Format("15:04:05"), rel.TimeGranularity)
+			}
+			chans := "no raw channels"
+			if rel.Segment != nil {
+				chans = fmt.Sprintf("%v, %d samples", rel.Segment.Channels, rel.Segment.NumSamples())
+			}
+			var ctxs []string
+			for _, c := range rel.Contexts {
+				ctxs = append(ctxs, c.Context)
+			}
+			fmt.Printf("[%3d] %s | %s | %s | contexts %v\n", i, span, loc, chans, ctxs)
+		}
+
+	default:
+		fmt.Fprintf(os.Stderr, "consumercli: unknown command %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,72 @@
+// Command storeserver runs one SensorSafe remote data store: the
+// per-contributor (or institutional) server that ingests sensor uploads,
+// enforces privacy rules on every consumer query, and synchronizes rule
+// replicas to the broker.
+//
+// Usage:
+//
+//	storeserver -listen :8081 -name http://localhost:8081 \
+//	    -dir ./data/store1 -broker http://localhost:8080
+//
+// With -broker set, contributor registrations and rule changes propagate to
+// the broker over its HTTP API, exactly as in a multi-host deployment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"sensorsafe/internal/datastore"
+	"sensorsafe/internal/httpapi"
+)
+
+func main() {
+	listen := flag.String("listen", ":8081", "address to listen on")
+	name := flag.String("name", "", "public address of this store (defaults to http://localhost<listen>)")
+	dir := flag.String("dir", "", "storage directory (empty = in-memory)")
+	brokerURL := flag.String("broker", "", "broker base URL for rule sync and contributor registration")
+	maxSamples := flag.Int("max-segment-samples", 0, "wave-segment size cap (0 = default)")
+	useTLS := flag.Bool("tls", false, "serve HTTPS with a self-signed certificate")
+	flag.Parse()
+
+	if *name == "" {
+		*name = "http://localhost" + *listen
+	}
+
+	opts := datastore.Options{
+		Name:              *name,
+		Dir:               *dir,
+		MaxSegmentSamples: *maxSamples,
+	}
+	if *brokerURL != "" {
+		bc := &httpapi.BrokerClient{BaseURL: *brokerURL}
+		opts.Sync = bc
+		opts.Directory = bc
+	}
+	svc, err := datastore.New(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "storeserver: %v\n", err)
+		os.Exit(1)
+	}
+	defer svc.Close()
+
+	log.Printf("remote data store %s listening on %s (dir=%q broker=%q tls=%v)", *name, *listen, *dir, *brokerURL, *useTLS)
+	handler := httpapi.NewStoreHandler(svc)
+	if *useTLS {
+		tlsCfg, err := httpapi.SelfSignedTLS([]string{"localhost", "127.0.0.1"}, 0)
+		if err != nil {
+			log.Fatalf("storeserver: %v", err)
+		}
+		server := &http.Server{Addr: *listen, Handler: handler, TLSConfig: tlsCfg}
+		if err := server.ListenAndServeTLS("", ""); err != nil {
+			log.Fatalf("storeserver: %v", err)
+		}
+		return
+	}
+	if err := http.ListenAndServe(*listen, handler); err != nil {
+		log.Fatalf("storeserver: %v", err)
+	}
+}

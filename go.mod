@@ -1,0 +1,3 @@
+module sensorsafe
+
+go 1.22

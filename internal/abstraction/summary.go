@@ -1,0 +1,104 @@
+package abstraction
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary aggregates a batch of releases into the per-channel statistics
+// and per-context durations a consumer application typically wants first —
+// the kind of overview the paper's broker web UI shows before a bulk
+// download.
+type Summary struct {
+	// Releases is the number of release spans summarized.
+	Releases int `json:"releases"`
+	// RawSamples counts samples across all released segments.
+	RawSamples int `json:"rawSamples"`
+	// Span is the union extent [Earliest, Latest) of dated releases.
+	Earliest time.Time `json:"earliest,omitempty"`
+	Latest   time.Time `json:"latest,omitempty"`
+	// Channels maps channel name → value statistics.
+	Channels map[string]ChannelStats `json:"channels,omitempty"`
+	// Contexts maps context label → total released span duration.
+	Contexts map[string]time.Duration `json:"contexts,omitempty"`
+	// Contributors counts release spans per data owner.
+	Contributors map[string]int `json:"contributors,omitempty"`
+}
+
+// ChannelStats are running statistics for one released channel.
+type ChannelStats struct {
+	Samples int     `json:"samples"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Mean    float64 `json:"mean"`
+}
+
+// Summarize folds releases into a Summary.
+func Summarize(rels []*Release) *Summary {
+	s := &Summary{
+		Channels:     make(map[string]ChannelStats),
+		Contexts:     make(map[string]time.Duration),
+		Contributors: make(map[string]int),
+	}
+	sums := make(map[string]float64)
+	for _, rel := range rels {
+		s.Releases++
+		s.Contributors[rel.Contributor]++
+		if !rel.Start.IsZero() {
+			if s.Earliest.IsZero() || rel.Start.Before(s.Earliest) {
+				s.Earliest = rel.Start
+			}
+			if rel.End.After(s.Latest) {
+				s.Latest = rel.End
+			}
+		}
+		for _, c := range rel.Contexts {
+			s.Contexts[c.Context] += c.End.Sub(c.Start)
+		}
+		if rel.Segment == nil {
+			continue
+		}
+		s.RawSamples += rel.Segment.NumSamples()
+		for col, ch := range rel.Segment.Channels {
+			st, seen := s.Channels[ch]
+			if !seen {
+				st = ChannelStats{Min: math.Inf(1), Max: math.Inf(-1)}
+			}
+			for _, row := range rel.Segment.Values {
+				v := row[col]
+				st.Samples++
+				sums[ch] += v
+				if v < st.Min {
+					st.Min = v
+				}
+				if v > st.Max {
+					st.Max = v
+				}
+			}
+			s.Channels[ch] = st
+		}
+	}
+	for ch, st := range s.Channels {
+		if st.Samples > 0 {
+			st.Mean = sums[ch] / float64(st.Samples)
+			s.Channels[ch] = st
+		}
+	}
+	return s
+}
+
+// TopContexts returns the context labels by total duration, longest first.
+func (s *Summary) TopContexts() []string {
+	out := make([]string, 0, len(s.Contexts))
+	for ctx := range s.Contexts {
+		out = append(out, ctx)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if s.Contexts[out[i]] == s.Contexts[out[j]] {
+			return out[i] < out[j]
+		}
+		return s.Contexts[out[i]] > s.Contexts[out[j]]
+	})
+	return out
+}

@@ -1,0 +1,375 @@
+// Package broker implements the SensorSafe broker (paper §5.2): the
+// dedicated server that makes a fleet of distributed remote data stores
+// manageable. It keeps the directory of contributors and their store
+// addresses, replicates every contributor's privacy rules (pushed by the
+// stores on change) so consumers can search for contributors whose rules
+// share enough data for a study, automates consumer registration on stores
+// and vaults the resulting API keys, and manages consumer studies/groups.
+// Sensor data never flows through the broker — consumers download directly
+// from the stores (§4: "The broker is not a performance bottleneck").
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sensorsafe/internal/auth"
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/rules"
+)
+
+// StoreConn is the broker's handle to one remote data store, used to
+// automate consumer registration (§5.4). In-process deployments adapt
+// *datastore.Service; networked ones use the HTTP client.
+type StoreConn interface {
+	// Addr returns the store's address (shown in the directory).
+	Addr() string
+	// ProvisionConsumer registers a consumer on the store and returns the
+	// store-local API key.
+	ProvisionConsumer(name string) (auth.APIKey, error)
+}
+
+// Errors returned by the broker.
+var (
+	ErrUnknownContributor = errors.New("broker: unknown contributor")
+	ErrUnknownStore       = errors.New("broker: unknown store")
+	ErrUnknownList        = errors.New("broker: unknown list")
+	ErrUnknownStudy       = errors.New("broker: unknown study")
+)
+
+// ContributorInfo is one directory entry.
+type ContributorInfo struct {
+	Name      string `json:"name"`
+	StoreAddr string `json:"storeAddr"`
+	RuleCount int    `json:"ruleCount"`
+}
+
+// Credential pairs a store address with the consumer's API key for it.
+type Credential struct {
+	StoreAddr string      `json:"storeAddr"`
+	Key       auth.APIKey `json:"key"`
+}
+
+type contributorEntry struct {
+	name      string
+	storeAddr string
+	rules     []*rules.Rule
+	gazetteer *geo.Gazetteer
+	engine    *rules.Engine
+}
+
+type consumerEntry struct {
+	lists  map[string][]string
+	keys   map[string]auth.APIKey // store addr → key
+	groups []string               // studies joined
+}
+
+// Service is a broker instance. Safe for concurrent use.
+type Service struct {
+	users *auth.Registry
+	web   *auth.Passwords
+	dir   string // persistence directory ("" = in-memory)
+
+	mu           sync.RWMutex
+	contributors map[string]*contributorEntry
+	consumers    map[string]*consumerEntry
+	stores       map[string]StoreConn
+	studies      map[string]map[string]bool // study → consumer set
+	dial         func(addr string) StoreConn
+}
+
+// New returns an empty broker.
+func New() *Service {
+	return &Service{
+		users:        auth.NewRegistry(),
+		web:          auth.NewPasswords(0),
+		contributors: make(map[string]*contributorEntry),
+		consumers:    make(map[string]*consumerEntry),
+		stores:       make(map[string]StoreConn),
+		studies:      make(map[string]map[string]bool),
+	}
+}
+
+// Users exposes the broker's account registry for server wiring.
+func (s *Service) Users() *auth.Registry { return s.users }
+
+// Web exposes the password/session store for the web UI layer.
+func (s *Service) Web() *auth.Passwords { return s.web }
+
+func norm(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+// RegisterStore attaches a remote data store connection.
+func (s *Service) RegisterStore(conn StoreConn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stores[conn.Addr()] = conn
+}
+
+// SetStoreDialer installs a fallback that connects to stores by address
+// when no connection was registered explicitly. The HTTP layer uses this
+// to dial stores by their URL, so a broker restart (or a store it has
+// never spoken to) does not break consumer provisioning.
+func (s *Service) SetStoreDialer(dial func(addr string) StoreConn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dial = dial
+}
+
+// RegisterContributor records a contributor and the store holding their
+// data. Stores call this when a contributor first registers (paper §4:
+// "they are automatically registered on the broker, too").
+func (s *Service) RegisterContributor(name, storeAddr string) error {
+	if norm(name) == "" {
+		return fmt.Errorf("broker: empty contributor name")
+	}
+	s.mu.Lock()
+	if e, ok := s.contributors[norm(name)]; ok {
+		e.storeAddr = storeAddr
+	} else {
+		s.contributors[norm(name)] = &contributorEntry{
+			name:      name,
+			storeAddr: storeAddr,
+			gazetteer: geo.NewGazetteer(),
+		}
+	}
+	s.mu.Unlock()
+	return s.saveState()
+}
+
+// SyncRules receives a contributor's rule replica; it implements
+// datastore.SyncTarget. Unknown contributors are registered implicitly
+// (with an empty store address until RegisterContributor supplies one).
+func (s *Service) SyncRules(contributor string, ruleSetJSON []byte, places []geo.Region) error {
+	rs, err := rules.UnmarshalRuleSet(ruleSetJSON)
+	if err != nil {
+		return fmt.Errorf("broker: bad rule replica for %s: %w", contributor, err)
+	}
+	gaz := geo.NewGazetteer()
+	for _, rg := range places {
+		if err := gaz.Define(rg.Label, rg); err != nil {
+			return fmt.Errorf("broker: bad place replica for %s: %w", contributor, err)
+		}
+	}
+	engine, err := rules.NewEngine(rs, gaz)
+	if err != nil {
+		return fmt.Errorf("broker: rule replica for %s does not compile: %w", contributor, err)
+	}
+	s.mu.Lock()
+	e, ok := s.contributors[norm(contributor)]
+	if !ok {
+		e = &contributorEntry{name: contributor}
+		s.contributors[norm(contributor)] = e
+	}
+	e.rules = rs
+	e.gazetteer = gaz
+	e.engine = engine
+	s.mu.Unlock()
+	return s.saveState()
+}
+
+// RegisterConsumer creates a consumer account on the broker.
+func (s *Service) RegisterConsumer(name string) (auth.User, error) {
+	u, err := s.users.Register(name, auth.RoleConsumer)
+	if err != nil {
+		return auth.User{}, err
+	}
+	s.mu.Lock()
+	s.consumers[norm(name)] = &consumerEntry{
+		lists: make(map[string][]string),
+		keys:  make(map[string]auth.APIKey),
+	}
+	s.mu.Unlock()
+	return u, s.saveState()
+}
+
+func (s *Service) authConsumer(key auth.APIKey) (auth.User, *consumerEntry, error) {
+	u, err := s.users.Authenticate(key)
+	if err != nil {
+		return auth.User{}, nil, err
+	}
+	s.mu.RLock()
+	e := s.consumers[norm(u.Name)]
+	s.mu.RUnlock()
+	if e == nil {
+		return auth.User{}, nil, fmt.Errorf("broker: consumer state missing for %s", u.Name)
+	}
+	return u, e, nil
+}
+
+// Directory lists registered contributors.
+func (s *Service) Directory(key auth.APIKey) ([]ContributorInfo, error) {
+	if _, _, err := s.authConsumer(key); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]ContributorInfo, 0, len(s.contributors))
+	for _, e := range s.contributors {
+		out = append(out, ContributorInfo{Name: e.name, StoreAddr: e.storeAddr, RuleCount: len(e.rules)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Connect provisions (or returns the vaulted) API key for the consumer on
+// the contributor's store, automating the per-store registration the paper
+// describes in §5.4.
+func (s *Service) Connect(key auth.APIKey, contributor string) (Credential, error) {
+	u, e, err := s.authConsumer(key)
+	if err != nil {
+		return Credential{}, err
+	}
+	s.mu.RLock()
+	ce, ok := s.contributors[norm(contributor)]
+	var conn StoreConn
+	var addr string
+	if ok {
+		addr = ce.storeAddr
+		conn = s.stores[addr]
+	}
+	if ok {
+		if k, vaulted := e.keys[addr]; vaulted {
+			s.mu.RUnlock()
+			return Credential{StoreAddr: addr, Key: k}, nil
+		}
+	}
+	s.mu.RUnlock()
+	if !ok {
+		return Credential{}, fmt.Errorf("%w: %s", ErrUnknownContributor, contributor)
+	}
+	if conn == nil && addr != "" {
+		s.mu.Lock()
+		if s.dial != nil {
+			if c := s.dial(addr); c != nil {
+				s.stores[addr] = c
+				conn = c
+			}
+		}
+		s.mu.Unlock()
+	}
+	if conn == nil {
+		return Credential{}, fmt.Errorf("%w: %s", ErrUnknownStore, addr)
+	}
+	storeKey, err := conn.ProvisionConsumer(u.Name)
+	if err != nil {
+		return Credential{}, fmt.Errorf("broker: provisioning %s on %s: %w", u.Name, addr, err)
+	}
+	s.mu.Lock()
+	e.keys[addr] = storeKey
+	s.mu.Unlock()
+	if err := s.saveState(); err != nil {
+		return Credential{}, err
+	}
+	return Credential{StoreAddr: addr, Key: storeKey}, nil
+}
+
+// Credentials returns every vaulted store credential for the consumer,
+// sorted by address (the list consumer applications fetch at §5.4).
+func (s *Service) Credentials(key auth.APIKey) ([]Credential, error) {
+	_, e, err := s.authConsumer(key)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Credential, 0, len(e.keys))
+	for addr, k := range e.keys {
+		out = append(out, Credential{StoreAddr: addr, Key: k})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StoreAddr < out[j].StoreAddr })
+	return out, nil
+}
+
+// SaveList stores a named contributor list in the consumer's account.
+func (s *Service) SaveList(key auth.APIKey, listName string, members []string) error {
+	_, e, err := s.authConsumer(key)
+	if err != nil {
+		return err
+	}
+	if norm(listName) == "" {
+		return fmt.Errorf("broker: empty list name")
+	}
+	s.mu.Lock()
+	e.lists[norm(listName)] = append([]string(nil), members...)
+	s.mu.Unlock()
+	return s.saveState()
+}
+
+// List retrieves a saved contributor list.
+func (s *Service) List(key auth.APIKey, listName string) ([]string, error) {
+	_, e, err := s.authConsumer(key)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := e.lists[norm(listName)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownList, listName)
+	}
+	return append([]string(nil), l...), nil
+}
+
+// CreateStudy declares a study/group name.
+func (s *Service) CreateStudy(name string) error {
+	if norm(name) == "" {
+		return fmt.Errorf("broker: empty study name")
+	}
+	s.mu.Lock()
+	if _, dup := s.studies[norm(name)]; !dup {
+		s.studies[norm(name)] = make(map[string]bool)
+	}
+	s.mu.Unlock()
+	return s.saveState()
+}
+
+// JoinStudy adds the consumer to a study; study membership feeds
+// group-scoped rule evaluation during contributor search.
+func (s *Service) JoinStudy(key auth.APIKey, study string) error {
+	u, e, err := s.authConsumer(key)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	set, ok := s.studies[norm(study)]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownStudy, study)
+	}
+	if !set[norm(u.Name)] {
+		set[norm(u.Name)] = true
+		e.groups = append(e.groups, study)
+	}
+	s.mu.Unlock()
+	return s.saveState()
+}
+
+// StudyMembers lists a study's consumers, sorted.
+func (s *Service) StudyMembers(study string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set, ok := s.studies[norm(study)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownStudy, study)
+	}
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ContributorCount reports directory size.
+func (s *Service) ContributorCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.contributors)
+}
+
+// now is a test seam for search probe timing.
+var now = time.Now

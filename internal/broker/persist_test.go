@@ -1,0 +1,138 @@
+package broker
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBrokerStateSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewPersistent(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RegisterContributor("alice", "store-alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SyncRules("alice", []byte(`[{"Action":"Allow"}]`), workPlaces(t)); err != nil {
+		t.Fatal(err)
+	}
+	bob, err := b.RegisterConsumer("Bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.RegisterStore(&fakeStore{addr: "store-alice"})
+	cred, err := b.Connect(bob.Key, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SaveList(bob.Key, "cohort", []string{"alice"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateStudy("Study"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.JoinStudy(bob.Key, "Study"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart.
+	b2, err := NewPersistent(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bob's broker key still works; the directory, his vaulted store key,
+	// list, and study membership all survived.
+	dirEntries, err := b2.Directory(bob.Key)
+	if err != nil {
+		t.Fatalf("Bob's key should survive: %v", err)
+	}
+	if len(dirEntries) != 1 || dirEntries[0].Name != "alice" ||
+		dirEntries[0].StoreAddr != "store-alice" || dirEntries[0].RuleCount != 1 {
+		t.Errorf("directory = %+v", dirEntries)
+	}
+	creds, err := b2.Credentials(bob.Key)
+	if err != nil || len(creds) != 1 || creds[0].Key != cred.Key {
+		t.Errorf("credentials = %v, %v", creds, err)
+	}
+	list, err := b2.List(bob.Key, "cohort")
+	if err != nil || len(list) != 1 || list[0] != "alice" {
+		t.Errorf("list = %v, %v", list, err)
+	}
+	members, err := b2.StudyMembers("Study")
+	if err != nil || len(members) != 1 || members[0] != "bob" {
+		t.Errorf("study = %v, %v", members, err)
+	}
+	// The rule replica recompiled: searches work immediately.
+	got, err := b2.Search(bob.Key, &SearchQuery{Sensors: []string{"ECG"}, Reference: ref})
+	if err != nil || len(got) != 1 || got[0] != "alice" {
+		t.Errorf("search after restart = %v, %v", got, err)
+	}
+	// Study membership feeds searches after restart too.
+	// New registrations still work.
+	if _, err := b2.RegisterConsumer("Carol"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBrokerGroupMembershipSurvives(t *testing.T) {
+	dir := t.TempDir()
+	b, _ := NewPersistent(dir)
+	if err := b.SyncRules("alice", []byte(`[{"Group":["Study"],"Action":"Allow"}]`), nil); err != nil {
+		t.Fatal(err)
+	}
+	bob, _ := b.RegisterConsumer("bob")
+	_ = b.CreateStudy("Study")
+	if err := b.JoinStudy(bob.Key, "Study"); err != nil {
+		t.Fatal(err)
+	}
+
+	b2, err := NewPersistent(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b2.Search(bob.Key, &SearchQuery{Sensors: []string{"ECG"}, Reference: ref})
+	if err != nil || len(got) != 1 {
+		t.Errorf("group search after restart = %v, %v", got, err)
+	}
+}
+
+func TestNewPersistentEmptyDirIsMemory(t *testing.T) {
+	b, err := NewPersistent("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.RegisterConsumer("bob"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBrokerCorruptState(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, stateFileName), []byte("{oops"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPersistent(dir); err == nil {
+		t.Error("corrupt broker state should abort startup")
+	}
+}
+
+func TestBrokerStateFilePermissions(t *testing.T) {
+	dir := t.TempDir()
+	b, _ := NewPersistent(dir)
+	u, err := b.RegisterConsumer("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Key == "" {
+		t.Fatal("no key issued")
+	}
+	info, err := os.Stat(filepath.Join(dir, stateFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o600 {
+		t.Errorf("state file mode = %o, want 600 (contains API keys)", perm)
+	}
+}

@@ -1,0 +1,692 @@
+// Package datastore implements a SensorSafe remote data store (paper §5.1
+// and Fig. 2): the per-contributor (or institutional, multi-contributor)
+// server that ingests sensor uploads through the wave-segment optimizer,
+// stores them in the embedded segment store, holds each contributor's
+// privacy rules and labeled places, and answers consumer queries through
+// the query/privacy processing module — every byte released passes the
+// rule engine and the abstraction transform.
+package datastore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"sensorsafe/internal/abstraction"
+	"sensorsafe/internal/audit"
+	"sensorsafe/internal/auth"
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/query"
+	"sensorsafe/internal/recommend"
+	"sensorsafe/internal/rules"
+	"sensorsafe/internal/storage"
+	"sensorsafe/internal/timeutil"
+	"sensorsafe/internal/wavesegment"
+)
+
+// Errors returned by the service.
+var (
+	ErrNotContributor = errors.New("datastore: key does not belong to a contributor")
+	ErrNotConsumer    = errors.New("datastore: key does not belong to a consumer")
+	ErrWrongOwner     = errors.New("datastore: segment contributor does not match key owner")
+	ErrUnknownUser    = errors.New("datastore: unknown user")
+)
+
+// SyncTarget receives privacy-rule replicas whenever a contributor's rules
+// or labeled places change; the broker implements this (paper §5.2:
+// "remote data stores automatically communicate with the broker to
+// synchronize the privacy rules").
+type SyncTarget interface {
+	SyncRules(contributor string, ruleSet []byte, places []geo.Region) error
+}
+
+// Directory is the broker-side contributor directory; stores push new
+// contributor registrations to it (paper §4: "When the data contributors
+// are first registered on their data store, they are automatically
+// registered on the broker, too").
+type Directory interface {
+	RegisterContributor(name, storeAddr string) error
+}
+
+// Options configures a store service.
+type Options struct {
+	// Dir is the storage directory ("" = in-memory).
+	Dir string
+	// MaxSegmentSamples caps merged wave segments
+	// (wavesegment.DefaultMaxSamples if zero).
+	MaxSegmentSamples int
+	// Geocoder used for location abstraction (GridGeocoder if nil).
+	Geocoder geo.Geocoder
+	// Sync, when set, receives rule replicas on every change.
+	Sync SyncTarget
+	// Directory, when set, receives contributor registrations.
+	Directory Directory
+	// Name identifies this store instance (e.g. its address).
+	Name string
+}
+
+// contributorState is the per-contributor slice of an (institutional)
+// store: rules, labeled places, and the compiled engine.
+type contributorState struct {
+	rules     []*rules.Rule
+	gazetteer *geo.Gazetteer
+	engine    *rules.Engine
+	// groups maps consumer name → group/study names, as assigned by this
+	// contributor (used by group-scoped rules).
+	groups map[string][]string
+}
+
+// Service is one remote data store.
+type Service struct {
+	opts  Options
+	store *storage.Store
+	users *auth.Registry
+	web   *auth.Passwords
+	trail *audit.Trail
+
+	mu           sync.RWMutex
+	contributors map[string]*contributorState
+}
+
+// New opens a remote data store service.
+func New(opts Options) (*Service, error) {
+	if opts.Geocoder == nil {
+		opts.Geocoder = geo.GridGeocoder{}
+	}
+	if opts.MaxSegmentSamples <= 0 {
+		opts.MaxSegmentSamples = wavesegment.DefaultMaxSamples
+	}
+	st, err := storage.Open(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	svc := &Service{
+		opts:         opts,
+		store:        st,
+		users:        auth.NewRegistry(),
+		web:          auth.NewPasswords(0),
+		trail:        audit.NewTrail(0),
+		contributors: make(map[string]*contributorState),
+	}
+	if err := svc.loadState(); err != nil {
+		st.Close()
+		return nil, err
+	}
+	return svc, nil
+}
+
+// Close releases the underlying storage.
+func (s *Service) Close() error { return s.store.Close() }
+
+// Name returns the store's configured name.
+func (s *Service) Name() string { return s.opts.Name }
+
+// Users exposes the registry for server wiring (web login bootstrap).
+func (s *Service) Users() *auth.Registry { return s.users }
+
+// Web exposes the password/session store for the web UI layer.
+func (s *Service) Web() *auth.Passwords { return s.web }
+
+// Storage exposes the underlying segment store (read-mostly; used by
+// maintenance tooling and benchmarks).
+func (s *Service) Storage() *storage.Store { return s.store }
+
+// RegisterContributor creates a contributor account with a fresh API key
+// and an empty (deny-everything) rule set.
+func (s *Service) RegisterContributor(name string) (auth.User, error) {
+	u, err := s.users.Register(name, auth.RoleContributor)
+	if err != nil {
+		return auth.User{}, err
+	}
+	s.mu.Lock()
+	s.contributors[normName(name)] = &contributorState{
+		gazetteer: geo.NewGazetteer(),
+		groups:    make(map[string][]string),
+	}
+	s.mu.Unlock()
+	if err := s.saveState(); err != nil {
+		return u, err
+	}
+	if s.opts.Directory != nil {
+		if err := s.opts.Directory.RegisterContributor(u.Name, s.opts.Name); err != nil {
+			return u, fmt.Errorf("datastore: broker registration for %s: %w", name, err)
+		}
+	}
+	return u, nil
+}
+
+// ProvisionConsumer registers a consumer and returns only the API key; it
+// satisfies the broker's StoreConn for in-process wiring.
+func (s *Service) ProvisionConsumer(name string) (auth.APIKey, error) {
+	u, err := s.RegisterConsumer(name)
+	if err != nil {
+		return "", err
+	}
+	return u.Key, nil
+}
+
+// Addr returns the store's name/address for broker directories.
+func (s *Service) Addr() string { return s.opts.Name }
+
+// RegisterConsumer creates a consumer account with a fresh API key. The
+// broker calls this on behalf of consumers (paper §5.4: "the registration
+// process is automatically handled by the broker").
+func (s *Service) RegisterConsumer(name string) (auth.User, error) {
+	u, err := s.users.Register(name, auth.RoleConsumer)
+	if err != nil {
+		return auth.User{}, err
+	}
+	return u, s.saveState()
+}
+
+// RotateKey invalidates the presented API key and issues a fresh one for
+// the same account — the recovery path when a key leaks (the paper's
+// future-work security analysis; keys act as username and password, §5.4).
+func (s *Service) RotateKey(key auth.APIKey) (auth.APIKey, error) {
+	u, err := s.users.Authenticate(key)
+	if err != nil {
+		return "", err
+	}
+	newKey, err := s.users.Rotate(u.Name)
+	if err != nil {
+		return "", err
+	}
+	return newKey, s.saveState()
+}
+
+// authenticate resolves a key and checks the expected role.
+func (s *Service) authenticate(key auth.APIKey, role auth.Role) (auth.User, error) {
+	u, err := s.users.Authenticate(key)
+	if err != nil {
+		return auth.User{}, err
+	}
+	if u.Role != role {
+		if role == auth.RoleContributor {
+			return auth.User{}, ErrNotContributor
+		}
+		return auth.User{}, ErrNotConsumer
+	}
+	return u, nil
+}
+
+func normName(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+func (s *Service) state(contributor string) (*contributorState, error) {
+	st, ok := s.contributors[normName(contributor)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownUser, contributor)
+	}
+	return st, nil
+}
+
+// Upload ingests a batch of wave segments for the contributor owning the
+// key. Packets run through the wave-segment optimizer (merging
+// timestamp-consecutive packets, §5.1) and, when possible, the first merged
+// segment is coalesced with the contributor's most recent stored segment so
+// steady streaming still produces few large records. Returns the number of
+// records written.
+func (s *Service) Upload(key auth.APIKey, segs []*wavesegment.Segment) (int, error) {
+	u, err := s.authenticate(key, auth.RoleContributor)
+	if err != nil {
+		return 0, err
+	}
+	for _, seg := range segs {
+		if seg == nil {
+			return 0, fmt.Errorf("datastore: nil segment in upload")
+		}
+		if seg.Contributor == "" {
+			seg.Contributor = u.Name
+		}
+		if !strings.EqualFold(seg.Contributor, u.Name) {
+			return 0, fmt.Errorf("%w: %q uploads as %q", ErrWrongOwner, u.Name, seg.Contributor)
+		}
+		if err := seg.Validate(); err != nil {
+			return 0, err
+		}
+	}
+	// Multi-device uploads interleave streams with different channel sets
+	// (chest band vs phone); the optimizer merges only within one stream,
+	// so group by channel signature first, preserving arrival order per
+	// group.
+	written := 0
+	for _, group := range groupByStream(segs) {
+		merged, err := wavesegment.OptimizeAll(group, s.opts.MaxSegmentSamples)
+		if err != nil {
+			return written, err
+		}
+		if len(merged) == 0 {
+			continue
+		}
+		merged = s.coalesceTail(u.Name, merged)
+		for _, seg := range merged {
+			if _, err := s.store.Put(seg); err != nil {
+				return written, err
+			}
+			written++
+		}
+	}
+	return written, nil
+}
+
+// groupByStream partitions an upload batch by channel signature, keeping
+// per-group arrival order and overall first-seen group order.
+func groupByStream(segs []*wavesegment.Segment) [][]*wavesegment.Segment {
+	index := make(map[string]int)
+	var groups [][]*wavesegment.Segment
+	for _, seg := range segs {
+		key := strings.Join(seg.Channels, "\x00")
+		i, ok := index[key]
+		if !ok {
+			i = len(groups)
+			index[key] = i
+			groups = append(groups, nil)
+		}
+		groups[i] = append(groups[i], seg)
+	}
+	return groups
+}
+
+// coalesceTail merges the first new segment into the contributor's latest
+// stored record when they are timestamp-consecutive and under the size cap.
+func (s *Service) coalesceTail(contributor string, merged []*wavesegment.Segment) []*wavesegment.Segment {
+	first := merged[0]
+	sameStream := func(seg *wavesegment.Segment) bool {
+		if len(seg.Channels) != len(first.Channels) {
+			return false
+		}
+		for i := range seg.Channels {
+			if seg.Channels[i] != first.Channels[i] {
+				return false
+			}
+		}
+		return true
+	}
+	last, ok := s.store.LatestBeforeFunc(contributor, first.StartTime().Add(first.Interval), sameStream)
+	if !ok || !wavesegment.CanMerge(last.Segment, first) {
+		return merged
+	}
+	if last.Segment.NumSamples()+first.NumSamples() > s.opts.MaxSegmentSamples {
+		return merged
+	}
+	joined, err := wavesegment.Merge(last.Segment, first)
+	if err != nil {
+		return merged
+	}
+	if err := s.store.Delete(last.ID); err != nil {
+		return merged
+	}
+	return append([]*wavesegment.Segment{joined}, merged[1:]...)
+}
+
+// SetRules replaces the contributor's privacy rules from Fig. 4 JSON and
+// pushes the replica to the sync target.
+func (s *Service) SetRules(key auth.APIKey, ruleSetJSON []byte) error {
+	u, err := s.authenticate(key, auth.RoleContributor)
+	if err != nil {
+		return err
+	}
+	rs, err := rules.UnmarshalRuleSet(ruleSetJSON)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	st, err := s.state(u.Name)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	engine, err := rules.NewEngine(rs, st.gazetteer)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	st.rules = rs
+	st.engine = engine
+	s.mu.Unlock()
+	if err := s.saveState(); err != nil {
+		return err
+	}
+	return s.pushSync(u.Name)
+}
+
+// Rules returns the contributor's current rule set as Fig. 4 JSON.
+func (s *Service) Rules(key auth.APIKey) ([]byte, error) {
+	u, err := s.authenticate(key, auth.RoleContributor)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, err := s.state(u.Name)
+	if err != nil {
+		return nil, err
+	}
+	return rules.MarshalRuleSet(st.rules)
+}
+
+// DefinePlace registers (or replaces) a labeled region in the
+// contributor's gazetteer and recompiles the rule engine.
+func (s *Service) DefinePlace(key auth.APIKey, label string, region geo.Region) error {
+	u, err := s.authenticate(key, auth.RoleContributor)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	st, err := s.state(u.Name)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if err := st.gazetteer.Define(label, region); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	engine, err := rules.NewEngine(st.rules, st.gazetteer)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	st.engine = engine
+	s.mu.Unlock()
+	if err := s.saveState(); err != nil {
+		return err
+	}
+	return s.pushSync(u.Name)
+}
+
+// Places lists the contributor's labeled regions.
+func (s *Service) Places(key auth.APIKey) ([]geo.Region, error) {
+	u, err := s.authenticate(key, auth.RoleContributor)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, err := s.state(u.Name)
+	if err != nil {
+		return nil, err
+	}
+	return placesOf(st), nil
+}
+
+func placesOf(st *contributorState) []geo.Region {
+	labels := st.gazetteer.Labels()
+	sort.Strings(labels)
+	out := make([]geo.Region, 0, len(labels))
+	for _, l := range labels {
+		if rg, ok := st.gazetteer.Lookup(l); ok {
+			out = append(out, rg)
+		}
+	}
+	return out
+}
+
+// AssignConsumerGroups records the groups/studies a consumer belongs to for
+// this contributor's group-scoped rules.
+func (s *Service) AssignConsumerGroups(key auth.APIKey, consumer string, groups []string) error {
+	u, err := s.authenticate(key, auth.RoleContributor)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	st, err := s.state(u.Name)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	st.groups[normName(consumer)] = append([]string(nil), groups...)
+	s.mu.Unlock()
+	return s.saveState()
+}
+
+// pushSync replicates the contributor's rules and places to the sync
+// target, if configured.
+func (s *Service) pushSync(contributor string) error {
+	if s.opts.Sync == nil {
+		return nil
+	}
+	s.mu.RLock()
+	st, err := s.state(contributor)
+	if err != nil {
+		s.mu.RUnlock()
+		return err
+	}
+	data, err := rules.MarshalRuleSet(st.rules)
+	places := placesOf(st)
+	s.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	return s.opts.Sync.SyncRules(contributor, data, places)
+}
+
+// ResyncAll pushes every contributor's replica (used when a broker
+// reconnects).
+func (s *Service) ResyncAll() error {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.contributors))
+	for name := range s.contributors {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	for _, n := range names {
+		if err := s.pushSync(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query answers a consumer's data request: scan matching records, enforce
+// each contributor's privacy rules span by span, then apply the query's
+// channel projection and context filter to the *released* data (filtering
+// on released rather than raw annotations so the filter cannot leak
+// withheld contexts).
+func (s *Service) Query(key auth.APIKey, q *query.Query) ([]*abstraction.Release, error) {
+	u, err := s.authenticate(key, auth.RoleConsumer)
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	results, err := s.store.ScanRefs(q.Storage())
+	if err != nil {
+		return nil, err
+	}
+
+	var out []*abstraction.Release
+	for _, res := range results {
+		seg := res.Segment
+		// Clip to the requested window: the scan matches any overlapping
+		// record, but only samples inside [From, To) may be released.
+		if !q.From.IsZero() || !q.To.IsZero() {
+			if seg = seg.Slice(q.From, q.To); seg == nil {
+				continue
+			}
+		}
+		s.mu.RLock()
+		st, err := s.state(seg.Contributor)
+		var engine *rules.Engine
+		var groups []string
+		if err == nil {
+			engine = st.engine
+			groups = st.groups[normName(u.Name)]
+		}
+		s.mu.RUnlock()
+		if err != nil || engine == nil {
+			continue // contributor without rules: default deny
+		}
+		rels, err := abstraction.Enforce(engine, u.Name, groups, seg, s.opts.Geocoder)
+		if err != nil {
+			return nil, err
+		}
+		delivered := 0
+		for _, rel := range rels {
+			if rel = postFilter(rel, q); rel != nil {
+				out = append(out, rel)
+				delivered++
+				s.trail.Record(auditEvent(u.Name, q, rel, seg))
+			}
+		}
+		if delivered == 0 {
+			s.trail.Record(audit.Event{
+				Contributor: seg.Contributor, Consumer: u.Name, Query: q.String(),
+				SpanStart: seg.StartTime(), SpanEnd: seg.EndTime(),
+				Outcome: audit.OutcomeWithheld,
+			})
+		}
+	}
+	return out, nil
+}
+
+// auditEvent classifies one delivered release for the owner's audit trail:
+// raw when every dimension flowed at full fidelity — all stored channels
+// the consumer asked for, exact coordinates, exact timestamps — and
+// abstracted when enforcement held anything back.
+func auditEvent(consumer string, q *query.Query, rel *abstraction.Release, seg *wavesegment.Segment) audit.Event {
+	e := audit.Event{
+		Contributor: seg.Contributor, Consumer: consumer, Query: q.String(),
+		SpanStart: rel.Start, SpanEnd: rel.End,
+		Outcome: audit.OutcomeAbstracted,
+	}
+	if rel.Segment != nil {
+		e.Channels = append([]string(nil), rel.Segment.Channels...)
+	}
+	for _, c := range rel.Contexts {
+		e.Contexts = append(e.Contexts, c.Context)
+	}
+	// Channels the consumer could at most have received: the stored ones,
+	// narrowed by their own channel filter (a voluntary projection, not an
+	// enforcement effect).
+	expected := seg.Channels
+	if len(q.Channels) > 0 {
+		if p := seg.Project(rules.ExpandSensorNames(q.Channels)); p != nil {
+			expected = p.Channels
+		}
+	}
+	if rel.Segment != nil &&
+		len(rel.Segment.Channels) == len(expected) &&
+		rel.Location.Granularity == geo.LocCoordinates &&
+		rel.TimeGranularity == timeutil.GranMillisecond {
+		e.Outcome = audit.OutcomeRaw
+	}
+	return e
+}
+
+// Audit returns the contributor's access trail, newest first.
+func (s *Service) Audit(key auth.APIKey, f audit.Filter) ([]audit.Event, error) {
+	u, err := s.authenticate(key, auth.RoleContributor)
+	if err != nil {
+		return nil, err
+	}
+	f.Contributor = u.Name
+	return s.trail.Events(f), nil
+}
+
+// AuditSummary aggregates the contributor's trail per consumer.
+func (s *Service) AuditSummary(key auth.APIKey) ([]audit.ConsumerSummary, error) {
+	u, err := s.authenticate(key, auth.RoleContributor)
+	if err != nil {
+		return nil, err
+	}
+	return s.trail.Summarize(u.Name), nil
+}
+
+// postFilter applies the query's channel projection and context filter to a
+// release. Returns nil when nothing relevant remains.
+func postFilter(rel *abstraction.Release, q *query.Query) *abstraction.Release {
+	if len(q.Channels) > 0 && rel.Segment != nil {
+		rel.Segment = rel.Segment.Project(rules.ExpandSensorNames(q.Channels))
+	}
+	if len(q.Contexts) > 0 {
+		match := false
+		for _, want := range q.Contexts {
+			for _, have := range rel.Contexts {
+				if strings.EqualFold(want, have.Context) {
+					match = true
+					break
+				}
+			}
+		}
+		if !match {
+			return nil
+		}
+	}
+	if rel.Empty() {
+		return nil
+	}
+	return rel
+}
+
+// QueryOwn lets a contributor review their own raw data (the paper's
+// web-UI "view their own data" path); no enforcement applies.
+func (s *Service) QueryOwn(key auth.APIKey, q *query.Query) ([]*wavesegment.Segment, error) {
+	u, err := s.authenticate(key, auth.RoleContributor)
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	sq := q.Storage()
+	sq.Contributor = u.Name // owners see only their own data
+	results, err := s.store.Scan(sq)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*wavesegment.Segment, len(results))
+	for i, r := range results {
+		out[i] = r.Segment
+	}
+	return out, nil
+}
+
+// RulesFor returns the compiled rule engine for a contributor; the phone
+// simulator uses this for privacy-rule-aware collection (§5.3), and tests
+// probe it directly. Returns nil when the contributor has no rules yet.
+func (s *Service) RulesFor(key auth.APIKey) (*rules.Engine, error) {
+	u, err := s.authenticate(key, auth.RoleContributor)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, err := s.state(u.Name)
+	if err != nil {
+		return nil, err
+	}
+	return st.engine, nil
+}
+
+// SegmentCount reports the number of stored records (benchmark support).
+func (s *Service) SegmentCount() int { return s.store.Count() }
+
+// Recommend mines the contributor's stored data for privacy-rule
+// suggestions (the §6 review step, automated): sensitive contexts that
+// concentrate in identifiable situations or labeled places.
+func (s *Service) Recommend(key auth.APIKey, opts recommend.Options) ([]recommend.Suggestion, error) {
+	u, err := s.authenticate(key, auth.RoleContributor)
+	if err != nil {
+		return nil, err
+	}
+	results, err := s.store.ScanRefs(storage.Query{Contributor: u.Name})
+	if err != nil {
+		return nil, err
+	}
+	segs := make([]*wavesegment.Segment, len(results))
+	for i, r := range results {
+		segs[i] = r.Segment
+	}
+	if opts.Gazetteer == nil {
+		s.mu.RLock()
+		if st, err := s.state(u.Name); err == nil {
+			opts.Gazetteer = st.gazetteer
+		}
+		s.mu.RUnlock()
+	}
+	return recommend.Analyze(segs, opts), nil
+}

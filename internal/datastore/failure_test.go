@@ -1,0 +1,104 @@
+package datastore
+
+import (
+	"errors"
+	"testing"
+
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/query"
+)
+
+// failingSync simulates a broker that is down or rejecting replicas.
+type failingSync struct{ calls int }
+
+func (f *failingSync) SyncRules(string, []byte, []geo.Region) error {
+	f.calls++
+	return errors.New("broker unreachable")
+}
+
+func TestSyncFailureDoesNotCorruptStore(t *testing.T) {
+	sync := &failingSync{}
+	s := newService(t, Options{Sync: sync})
+	alice, bob := setupAliceBob(t, s)
+
+	// SetRules surfaces the sync failure...
+	err := s.SetRules(alice.Key, []byte(`[{"Consumer":["Bob"],"Action":"Allow"}]`))
+	if err == nil {
+		t.Fatal("sync failure should surface")
+	}
+	if sync.calls == 0 {
+		t.Fatal("sync was never attempted")
+	}
+	// ...but the rules were installed locally and enforcement works: the
+	// store is authoritative, the broker replica is best-effort.
+	if _, err := s.Upload(alice.Key, stream("alice", t0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	rels, err := s.Query(bob.Key, &query.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rels) != 1 {
+		t.Fatalf("local enforcement should work despite sync failure: %d releases", len(rels))
+	}
+	// Recovery: ResyncAll retries the replica push when the broker returns.
+	if err := s.ResyncAll(); err == nil {
+		t.Error("resync against a failing broker should error")
+	}
+}
+
+// failingDirectory simulates a broker rejecting contributor registration.
+type failingDirectory struct{}
+
+func (failingDirectory) RegisterContributor(string, string) error {
+	return errors.New("broker unreachable")
+}
+
+func TestDirectoryFailureStillCreatesAccount(t *testing.T) {
+	s := newService(t, Options{Directory: failingDirectory{}})
+	u, err := s.RegisterContributor("alice")
+	if err == nil {
+		t.Fatal("directory failure should surface")
+	}
+	// The local account exists (with its key) so the contributor is not
+	// locked out; re-announcement can happen later.
+	if u.Key == "" {
+		t.Fatal("local account should still be issued")
+	}
+	if _, err := s.Upload(u.Key, stream("alice", t0, 1)); err != nil {
+		t.Fatalf("local account should work: %v", err)
+	}
+}
+
+func TestQueryWindowClipping(t *testing.T) {
+	// Regression for the episodic-window bug: releases must never contain
+	// samples outside the query window, even when a stored record spans it.
+	s := newService(t, Options{MaxSegmentSamples: 1 << 20})
+	alice, bob := setupAliceBob(t, s)
+	if err := s.SetRules(alice.Key, []byte(`[{"Action":"Allow"}]`)); err != nil {
+		t.Fatal(err)
+	}
+	// One 10-minute record.
+	if _, err := s.Upload(alice.Key, stream("alice", t0, 94)); err != nil {
+		t.Fatal(err)
+	}
+	from, to := t0.Add(60*1e9), t0.Add(120*1e9) // [t0+1m, t0+2m)
+	rels, err := s.Query(bob.Key, &query.Query{From: from, To: to})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, rel := range rels {
+		if rel.Segment == nil {
+			continue
+		}
+		total += rel.Segment.NumSamples()
+		if rel.Segment.StartTime().Before(from) || rel.Segment.EndTime().After(to) {
+			t.Errorf("release %v..%v escapes window %v..%v",
+				rel.Segment.StartTime(), rel.Segment.EndTime(), from, to)
+		}
+	}
+	if total != 600 { // one minute at 10 Hz
+		t.Errorf("released %d samples, want 600", total)
+	}
+}

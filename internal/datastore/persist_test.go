@@ -1,0 +1,140 @@
+package datastore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/query"
+	"sensorsafe/internal/rules"
+)
+
+func TestFullStateSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := s.RegisterContributor("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := s.RegisterConsumer("Bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rect, _ := geo.NewRect(geo.Point{Lat: 34.05, Lon: -118.46}, geo.Point{Lat: 34.08, Lon: -118.43})
+	if err := s.DefinePlace(alice.Key, "UCLA", geo.Region{Rect: rect}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetRules(alice.Key, []byte(`[{"Group":["Study"],"LocationLabel":["UCLA"],"Action":"Allow"}]`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AssignConsumerGroups(alice.Key, "Bob", []string{"Study"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Upload(alice.Key, stream("alice", t0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: keys, rules, places, and group assignments all survive.
+	s2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	// Old API keys still authenticate.
+	rels, err := s2.Query(bob.Key, &query.Query{})
+	if err != nil {
+		t.Fatalf("Bob's key should survive: %v", err)
+	}
+	if len(rels) != 1 {
+		t.Errorf("releases after reopen = %d, want 1 (rules+places+groups restored)", len(rels))
+	}
+	// Rules round trip.
+	data, err := s2.Rules(alice.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := rules.UnmarshalRuleSet(data)
+	if err != nil || len(rs) != 1 || len(rs[0].Groups) != 1 {
+		t.Errorf("restored rules = %v, %v", rs, err)
+	}
+	// Places round trip.
+	places, err := s2.Places(alice.Key)
+	if err != nil || len(places) != 1 || places[0].Label != "UCLA" {
+		t.Errorf("restored places = %v, %v", places, err)
+	}
+	// New registrations continue to work (no key collisions).
+	if _, err := s2.RegisterConsumer("Carol"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInMemoryStoreSkipsPersistence(t *testing.T) {
+	s := newService(t, Options{})
+	if _, err := s.RegisterContributor("alice"); err != nil {
+		t.Fatal(err)
+	}
+	// No state file anywhere; nothing to assert beyond "no error".
+}
+
+func TestCorruptStateFileRejected(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, stateFileName), []byte("{not json"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Options{Dir: dir}); err == nil {
+		t.Error("corrupt state file should abort startup loudly, not be ignored")
+	}
+}
+
+func TestStateFilePermissions(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.RegisterContributor("alice"); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(filepath.Join(dir, stateFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o600 {
+		t.Errorf("state file mode = %o, want 600 (contains API keys)", perm)
+	}
+}
+
+func TestRestoredRulesStillSync(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, _ := s.RegisterContributor("alice")
+	if err := s.SetRules(alice.Key, []byte(`[{"Action":"Allow"}]`)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	sync := &recordingSync{}
+	s2, err := New(Options{Dir: dir, Sync: sync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.ResyncAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sync.calls) != 1 || sync.calls[0] != "alice" {
+		t.Errorf("resync after restore = %v", sync.calls)
+	}
+}

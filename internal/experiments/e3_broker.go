@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"sensorsafe/internal/auth"
+	"sensorsafe/internal/datastore"
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/httpapi"
+	"sensorsafe/internal/query"
+	"sensorsafe/internal/wavesegment"
+)
+
+// E3Config parameterizes the broker-bottleneck experiment.
+type E3Config struct {
+	// Stores is how many remote data stores serve data.
+	Stores int
+	// MinutesPerStore is how much 10 Hz 3-channel data each store holds.
+	MinutesPerStore float64
+	// Rounds is how many full sweeps the consumer performs.
+	Rounds int
+}
+
+// DefaultE3 downloads from 20 stores (the §6 study size).
+func DefaultE3() E3Config {
+	return E3Config{Stores: 20, MinutesPerStore: 10, Rounds: 3}
+}
+
+// e3Deployment is the measured topology: N real HTTP store servers and a
+// strawman relay that proxies whole downloads through one broker-side
+// process — the centralized alternative the paper's direct store→consumer
+// design avoids.
+type e3Deployment struct {
+	stores []*httptest.Server
+	keys   []auth.APIKey
+	relay  *httptest.Server
+}
+
+func e3Setup(cfg E3Config) (*e3Deployment, error) {
+	d := &e3Deployment{}
+	start := time.Date(2011, 2, 16, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < cfg.Stores; i++ {
+		svc, err := datastore.New(datastore.Options{Name: fmt.Sprintf("store-%d", i)})
+		if err != nil {
+			return nil, err
+		}
+		contributor, err := svc.RegisterContributor(fmt.Sprintf("c%d", i))
+		if err != nil {
+			return nil, err
+		}
+		if err := svc.SetRules(contributor.Key, []byte(`[{"Action":"Allow"}]`)); err != nil {
+			return nil, err
+		}
+		seg := &wavesegment.Segment{
+			Contributor: contributor.Name, Start: start, Interval: 100 * time.Millisecond,
+			Location: geo.Point{Lat: 34.07, Lon: -118.45},
+			Channels: []string{wavesegment.ChannelECG, wavesegment.ChannelRespiration, wavesegment.ChannelSkinTemp},
+		}
+		n := int(cfg.MinutesPerStore * 60 * 10)
+		for s := 0; s < n; s++ {
+			seg.Values = append(seg.Values, []float64{float64(s), float64(s) / 2, 36.5})
+		}
+		if _, err := svc.Upload(contributor.Key, []*wavesegment.Segment{seg}); err != nil {
+			return nil, err
+		}
+		consumer, err := svc.RegisterConsumer("bob")
+		if err != nil {
+			return nil, err
+		}
+		d.stores = append(d.stores, httptest.NewServer(httpapi.NewStoreHandler(svc)))
+		d.keys = append(d.keys, consumer.Key)
+	}
+
+	// The relay forwards {store, key} requests by downloading from the
+	// store itself and re-serializing — every byte crosses the broker.
+	d.relay = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Store int         `json:"store"`
+			Key   auth.APIKey `json:"key"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		sc := &httpapi.StoreClient{BaseURL: d.stores[req.Store].URL}
+		rels, err := sc.Query(req.Key, &query.Query{})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(rels)
+	}))
+	return d, nil
+}
+
+func (d *e3Deployment) close() {
+	for _, s := range d.stores {
+		s.Close()
+	}
+	if d.relay != nil {
+		d.relay.Close()
+	}
+}
+
+// RunE3 compares direct store→consumer downloads against relaying every
+// byte through a broker-side proxy.
+func RunE3(cfg E3Config) (*Table, error) {
+	d, err := e3Setup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer d.close()
+
+	// Both paths count actual HTTP payload bytes received by the consumer.
+	client := &http.Client{Timeout: time.Minute}
+	direct := func() (int, error) {
+		bytes := 0
+		for i, srv := range d.stores {
+			body, _ := json.Marshal(map[string]any{"key": d.keys[i], "query": &query.Query{}})
+			resp, err := client.Post(srv.URL+"/api/query", "application/json", jsonReader(body))
+			if err != nil {
+				return 0, err
+			}
+			n, err := drain(resp)
+			if err != nil {
+				return 0, err
+			}
+			bytes += n
+		}
+		return bytes, nil
+	}
+	proxied := func() (int, error) {
+		bytes := 0
+		for i := range d.stores {
+			body, _ := json.Marshal(map[string]any{"store": i, "key": d.keys[i]})
+			resp, err := client.Post(d.relay.URL, "application/json", jsonReader(body))
+			if err != nil {
+				return 0, err
+			}
+			n, err := drain(resp)
+			if err != nil {
+				return 0, err
+			}
+			bytes += n
+		}
+		return bytes, nil
+	}
+
+	measure := func(f func() (int, error)) (time.Duration, int, error) {
+		begin := time.Now()
+		total := 0
+		for r := 0; r < cfg.Rounds; r++ {
+			n, err := f()
+			if err != nil {
+				return 0, 0, err
+			}
+			total += n
+		}
+		return time.Since(begin) / time.Duration(cfg.Rounds), total / cfg.Rounds, nil
+	}
+
+	directLat, directBytes, err := measure(direct)
+	if err != nil {
+		return nil, err
+	}
+	proxiedLat, proxiedBytes, err := measure(proxied)
+	if err != nil {
+		return nil, err
+	}
+
+	mbps := func(bytes int, lat time.Duration) float64 {
+		return float64(bytes) / (1 << 20) / lat.Seconds()
+	}
+	t := &Table{
+		ID: "E3",
+		Caption: fmt.Sprintf("broker data-path: direct vs proxied (%d stores x %.0f min @10Hz, mean of %d rounds)",
+			cfg.Stores, cfg.MinutesPerStore, cfg.Rounds),
+		Headers: []string{"path", "sweep latency", "payload/sweep", "throughput"},
+		Notes: []string{
+			"paper §4: \"The broker is not a performance bottleneck because sensor data are directly transferred\"",
+			"the proxied strawman re-serializes every byte at the broker; direct should win and the gap grows with payload",
+		},
+	}
+	t.AddRow("direct store->consumer", directLat.Round(time.Millisecond).String(),
+		fmt.Sprintf("%.1f MiB", float64(directBytes)/(1<<20)), fmt.Sprintf("%.1f MiB/s", mbps(directBytes, directLat)))
+	t.AddRow("proxied via broker", proxiedLat.Round(time.Millisecond).String(),
+		fmt.Sprintf("%.1f MiB", float64(proxiedBytes)/(1<<20)), fmt.Sprintf("%.1f MiB/s", mbps(proxiedBytes, proxiedLat)))
+	return t, nil
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"sensorsafe/internal/abstraction"
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/rules"
+	"sensorsafe/internal/timeutil"
+	"sensorsafe/internal/wavesegment"
+)
+
+// E4Config parameterizes the rule-evaluation overhead experiment.
+type E4Config struct {
+	// RuleCounts sweeps the size of the contributor's rule set.
+	RuleCounts []int
+	// Evaluations per configuration (per measurement).
+	Evaluations int
+	// WithEnforcement also times full segment enforcement (query path).
+	SegmentSeconds int
+}
+
+// DefaultE4 sweeps 1..1000 rules.
+func DefaultE4() E4Config {
+	return E4Config{RuleCounts: []int{1, 10, 100, 1000}, Evaluations: 2000, SegmentSeconds: 60}
+}
+
+// e4Rules builds a realistic mixed rule set of the given size: consumer
+// allows, location/time-scoped abstractions, and context denies.
+func e4Rules(n int) []*rules.Rule {
+	gaz := geo.NewGazetteer()
+	rect, _ := geo.NewRect(geo.Point{Lat: 34.05, Lon: -118.46}, geo.Point{Lat: 34.08, Lon: -118.43})
+	_ = gaz.Define("work", geo.Region{Rect: rect})
+
+	rep, _ := timeutil.ParseRepeated([]string{"Mon", "Tue", "Wed", "Thu", "Fri"}, []string{"9:00am", "6:00pm"})
+	out := make([]*rules.Rule, 0, n)
+	for i := 0; i < n; i++ {
+		var r *rules.Rule
+		switch i % 4 {
+		case 0:
+			r = &rules.Rule{ID: fmt.Sprintf("allow-%d", i),
+				Consumers: []string{fmt.Sprintf("consumer-%d", i)}, Action: rules.Allow()}
+		case 1:
+			r = &rules.Rule{ID: fmt.Sprintf("abs-%d", i),
+				Consumers:   []string{fmt.Sprintf("consumer-%d", i)},
+				RepeatTimes: []timeutil.Repeated{rep},
+				Action: rules.Abstract(rules.AbstractionSpec{
+					Contexts: map[rules.Category]rules.Level{rules.CategoryStress: rules.LevelBinary},
+				})}
+		case 2:
+			r = &rules.Rule{ID: fmt.Sprintf("deny-%d", i),
+				Consumers: []string{fmt.Sprintf("consumer-%d", i)},
+				Contexts:  []string{rules.CtxDrive}, Action: rules.Deny()}
+		default:
+			r = &rules.Rule{ID: fmt.Sprintf("loc-%d", i),
+				Consumers:      []string{fmt.Sprintf("consumer-%d", i)},
+				LocationLabels: []string{"work"},
+				Sensors:        rules.ExpandSensorNames([]string{"Accelerometer"}),
+				Action:         rules.Allow()}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// E4Engine builds the engine for a rule count (exported for benchmarks).
+func E4Engine(n int) (*rules.Engine, error) {
+	gaz := geo.NewGazetteer()
+	rect, _ := geo.NewRect(geo.Point{Lat: 34.05, Lon: -118.46}, geo.Point{Lat: 34.08, Lon: -118.43})
+	if err := gaz.Define("work", geo.Region{Rect: rect}); err != nil {
+		return nil, err
+	}
+	return rules.NewEngine(e4Rules(n), gaz)
+}
+
+// E4Request is the probe request benchmarks reuse.
+func E4Request() *rules.Request {
+	return &rules.Request{
+		Consumer:       "consumer-0",
+		At:             time.Date(2011, 2, 16, 10, 0, 0, 0, time.UTC),
+		Location:       geo.Point{Lat: 34.0689, Lon: -118.4452},
+		ActiveContexts: []string{rules.CtxWalk, rules.CtxConversation},
+	}
+}
+
+// E4Segment builds the enforcement-path segment (exported for benchmarks).
+func E4Segment(seconds int) *wavesegment.Segment {
+	start := time.Date(2011, 2, 16, 10, 0, 0, 0, time.UTC)
+	seg := &wavesegment.Segment{
+		Contributor: "alice", Start: start, Interval: 100 * time.Millisecond,
+		Location: geo.Point{Lat: 34.0689, Lon: -118.4452},
+		Channels: []string{wavesegment.ChannelECG, wavesegment.ChannelRespiration, wavesegment.ChannelAccelX},
+	}
+	for i := 0; i < seconds*10; i++ {
+		seg.Values = append(seg.Values, []float64{float64(i), float64(i) / 2, 0.01})
+	}
+	_ = seg.Annotate(rules.CtxWalk, start, start.Add(time.Duration(seconds/2)*time.Second))
+	_ = seg.Annotate(rules.CtxConversation, start.Add(time.Duration(seconds/4)*time.Second),
+		start.Add(time.Duration(3*seconds/4)*time.Second))
+	return seg
+}
+
+// RunE4 measures Decide latency and full enforcement latency vs rule count.
+func RunE4(cfg E4Config) (*Table, error) {
+	t := &Table{
+		ID:      "E4",
+		Caption: fmt.Sprintf("rule-evaluation overhead (%d evaluations/point, %ds segment)", cfg.Evaluations, cfg.SegmentSeconds),
+		Headers: []string{"rules", "decide", "enforce segment", "releases"},
+		Notes: []string{
+			"decide = one access-control decision; enforce = full query path over one segment",
+			"expected shape: linear in rule count with a small constant — fine-grained control stays cheap",
+		},
+	}
+	gc := geo.GridGeocoder{}
+	for _, n := range cfg.RuleCounts {
+		engine, err := E4Engine(n)
+		if err != nil {
+			return nil, err
+		}
+		req := E4Request()
+
+		begin := time.Now()
+		for i := 0; i < cfg.Evaluations; i++ {
+			_ = engine.Decide(req)
+		}
+		decide := time.Since(begin) / time.Duration(cfg.Evaluations)
+
+		seg := E4Segment(cfg.SegmentSeconds)
+		rounds := 20
+		begin = time.Now()
+		var rels []*abstraction.Release
+		for i := 0; i < rounds; i++ {
+			rels, err = abstraction.Enforce(engine, "consumer-0", nil, seg, gc)
+			if err != nil {
+				return nil, err
+			}
+		}
+		enforce := time.Since(begin) / time.Duration(rounds)
+
+		t.AddRow(fmt.Sprintf("%d", n), decide.Round(time.Nanosecond).String(),
+			enforce.Round(time.Microsecond).String(), fmt.Sprintf("%d", len(rels)))
+	}
+	return t, nil
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"sensorsafe/internal/auth"
+	"sensorsafe/internal/broker"
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/rules"
+	"sensorsafe/internal/timeutil"
+)
+
+// E5Config parameterizes the contributor-search experiment.
+type E5Config struct {
+	// ContributorCounts sweeps directory size.
+	ContributorCounts []int
+	// RulesPerContributor sweeps rule-set size.
+	RulesPerContributor []int
+	// Searches per configuration.
+	Searches int
+}
+
+// DefaultE5 sweeps up to 1000 contributors.
+func DefaultE5() E5Config {
+	return E5Config{
+		ContributorCounts:   []int{10, 100, 1000},
+		RulesPerContributor: []int{5, 20},
+		Searches:            20,
+	}
+}
+
+// E5Broker builds a broker with n contributors of k rules each; every
+// third contributor shares ECG+Respiration at "work" (the paper's search
+// example), the rest restrict stress there. Exported for benchmarks.
+func E5Broker(n, k int) (*broker.Service, auth.APIKey, error) {
+	b := broker.New()
+	rect, _ := geo.NewRect(geo.Point{Lat: 34.05, Lon: -118.46}, geo.Point{Lat: 34.08, Lon: -118.43})
+	places := []geo.Region{{Label: "work", Rect: rect}}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("p%05d", i)
+		if err := b.RegisterContributor(name, "store-"+name); err != nil {
+			return nil, "", err
+		}
+		rs := e4Rules(k - 1)
+		if i%3 == 0 {
+			rs = append(rs, &rules.Rule{ID: "share-all", Action: rules.Allow()})
+		} else {
+			rs = append(rs,
+				&rules.Rule{ID: "share-all", Action: rules.Allow()},
+				&rules.Rule{ID: "hide-stress-at-work",
+					LocationLabels: []string{"work"},
+					Action: rules.Abstract(rules.AbstractionSpec{
+						Contexts: map[rules.Category]rules.Level{rules.CategoryStress: rules.LevelNotShared},
+					})})
+		}
+		data, err := rules.MarshalRuleSet(rs)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := b.SyncRules(name, data, places); err != nil {
+			return nil, "", err
+		}
+	}
+	bob, err := b.RegisterConsumer("bob")
+	if err != nil {
+		return nil, "", err
+	}
+	return b, bob.Key, nil
+}
+
+// E5Query is the paper's §5.2 example search: who shares ECG+Respiration
+// raw at "work" on weekday business hours? Exported for benchmarks.
+func E5Query() *broker.SearchQuery {
+	rep, _ := timeutil.ParseRepeated([]string{"Mon", "Tue", "Wed", "Thu", "Fri"}, []string{"9:00am", "6:00pm"})
+	return &broker.SearchQuery{
+		Sensors:       []string{"ECG", "Respiration"},
+		LocationLabel: "work",
+		RepeatTime:    rep,
+		Reference:     time.Date(2011, 2, 16, 8, 0, 0, 0, time.UTC),
+	}
+}
+
+// RunE5 measures search latency across directory and rule-set sizes.
+func RunE5(cfg E5Config) (*Table, error) {
+	t := &Table{
+		ID:      "E5",
+		Caption: fmt.Sprintf("broker contributor search (mean of %d searches)", cfg.Searches),
+		Headers: []string{"contributors", "rules each", "matches", "search latency", "per contributor"},
+		Notes: []string{
+			"paper §5.2: the broker searches locally replicated rules; latency should grow linearly with directory size",
+		},
+	}
+	q := E5Query()
+	for _, n := range cfg.ContributorCounts {
+		for _, k := range cfg.RulesPerContributor {
+			b, key, err := E5Broker(n, k)
+			if err != nil {
+				return nil, err
+			}
+			var matches []string
+			begin := time.Now()
+			for i := 0; i < cfg.Searches; i++ {
+				matches, err = b.Search(key, q)
+				if err != nil {
+					return nil, err
+				}
+			}
+			lat := time.Since(begin) / time.Duration(cfg.Searches)
+			per := time.Duration(0)
+			if n > 0 {
+				per = lat / time.Duration(n)
+			}
+			t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", k),
+				fmt.Sprintf("%d", len(matches)),
+				lat.Round(time.Microsecond).String(), per.Round(time.Nanosecond).String())
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"sensorsafe/internal/core"
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/phone"
+	"sensorsafe/internal/query"
+	"sensorsafe/internal/rules"
+	"sensorsafe/internal/sensors"
+)
+
+// E6Config parameterizes the rule-aware collection experiment.
+type E6Config struct {
+	// PhaseMinutes is the duration of each scenario phase.
+	PhaseMinutes float64
+}
+
+// DefaultE6 runs 2-minute phases.
+func DefaultE6() E6Config { return E6Config{PhaseMinutes: 2} }
+
+// e6Policies are the privacy postures swept by the experiment, from
+// share-everything to share-nothing.
+var e6Policies = []struct {
+	name  string
+	rules string
+}{
+	{"share everything", `[{"Action":"Allow"}]`},
+	{"deny while driving", `[
+	  {"Action":"Allow"},
+	  {"Context":["Drive"],"Action":"Deny"}
+	]`},
+	{"deny driving + home", `[
+	  {"Action":"Allow"},
+	  {"Context":["Drive"],"Action":"Deny"},
+	  {"LocationLabel":["home"],"Action":"Deny"}
+	]`},
+	{"office hours only", `[
+	  {"RepeatTime":{"Day":["Mon","Tue","Wed","Thu","Fri"],"HourMin":["9:00am","6:00pm"]},"Action":"Allow"}
+	]`},
+	{"share nothing", `[{"Action":"Deny"}]`},
+}
+
+// RunE6 measures phone-side collection savings per privacy posture, and
+// verifies that consumers receive identical raw samples either way (the
+// §5.3 safety property).
+func RunE6(cfg E6Config) (*Table, error) {
+	home := geo.Point{Lat: 34.0250, Lon: -118.4950}
+	homeRect, _ := geo.NewRect(
+		geo.Point{Lat: home.Lat - 0.0002, Lon: home.Lon - 0.0002},
+		geo.Point{Lat: home.Lat + 0.0002, Lon: home.Lon + 0.0002})
+	phase := time.Duration(cfg.PhaseMinutes * float64(time.Minute))
+	// Wednesday 8:55: home (still), drive, office (stressed), drive back —
+	// the office phase straddles 9:00 so the office-hours policy shows a
+	// partial, not total, saving.
+	day := &sensors.Scenario{
+		Start: time.Date(2011, 2, 16, 8, 55, 0, 0, time.UTC), Origin: home, Seed: 21,
+		Phases: []sensors.Phase{
+			{Duration: phase, Activity: rules.CtxStill},
+			{Duration: phase, Activity: rules.CtxDrive, Heading: 80},
+			{Duration: 2 * phase, Activity: rules.CtxStill, Stressed: true},
+			{Duration: phase, Activity: rules.CtxDrive, Heading: 260},
+		},
+	}
+
+	t := &Table{
+		ID:      "E6",
+		Caption: fmt.Sprintf("privacy-rule-aware collection (%.0f min scripted day)", day.Duration().Minutes()),
+		Headers: []string{"policy", "uploaded", "skipped", "discarded", "bytes saved", "energy saved", "released same?"},
+		Notes: []string{
+			"paper §5.3: data no rule would share is never collected (skipped) or discarded after context inference",
+			"\"released same?\" verifies consumers see identical raw samples with and without rule-aware collection",
+		},
+	}
+
+	run := func(ruleJSON string, ruleAware bool) (rep *phone.Report, releasedSamples int, err error) {
+		net := core.NewNetwork()
+		defer net.Close()
+		if _, err = net.AddStore("s", ""); err != nil {
+			return
+		}
+		alice, err2 := net.NewContributor("s", "alice")
+		if err2 != nil {
+			err = err2
+			return
+		}
+		if err = alice.DefinePlace("home", geo.Region{Rect: homeRect}); err != nil {
+			return
+		}
+		if err = alice.SetRules(ruleJSON); err != nil {
+			return
+		}
+		rep, err = alice.RecordDay(day, ruleAware)
+		if err != nil {
+			return
+		}
+		bob, err2 := net.NewConsumer("bob")
+		if err2 != nil {
+			err = err2
+			return
+		}
+		rels, err2 := bob.Query("alice", &query.Query{})
+		if err2 != nil {
+			err = err2
+			return
+		}
+		for _, rel := range rels {
+			if rel.Segment != nil {
+				releasedSamples += rel.Segment.NumSamples()
+			}
+		}
+		return rep, releasedSamples, nil
+	}
+
+	model := phone.DefaultEnergyModel()
+	for _, p := range e6Policies {
+		naive, naiveReleased, err := run(p.rules, false)
+		if err != nil {
+			return nil, err
+		}
+		aware, awareReleased, err := run(p.rules, true)
+		if err != nil {
+			return nil, err
+		}
+		saved := "0%"
+		if naive.BytesUploaded > 0 {
+			saved = fmt.Sprintf("%.0f%%", 100*(1-float64(aware.BytesUploaded)/float64(naive.BytesUploaded)))
+		}
+		energySaved := "0%"
+		if en := model.Estimate(naive).TotalMJ; en > 0 {
+			energySaved = fmt.Sprintf("%.0f%%", 100*(1-model.Estimate(aware).TotalMJ/en))
+		}
+		same := "YES"
+		if naiveReleased != awareReleased {
+			same = fmt.Sprintf("NO (%d vs %d)", naiveReleased, awareReleased)
+		}
+		t.AddRow(p.name,
+			fmt.Sprintf("%d/%d", aware.PacketsUploaded, naive.PacketsUploaded),
+			fmt.Sprintf("%d", aware.PacketsSkipped),
+			fmt.Sprintf("%d", aware.PacketsDiscarded),
+			saved, energySaved, same)
+	}
+	return t, nil
+}

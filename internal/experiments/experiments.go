@@ -1,0 +1,69 @@
+// Package experiments implements the reproduction harness: one function
+// per experiment in DESIGN.md §4. The paper (an architecture description)
+// reports no measured numbers, so each experiment operationalizes one of
+// its claims — wave-segment optimization cuts record counts and query
+// latency (E2), the broker is not a data-path bottleneck (E3), rule
+// evaluation stays cheap as rule sets grow (E4), contributor search over
+// replicated rules scales (E5), and privacy-rule-aware collection shrinks
+// uploads without changing what consumers can see (E6). Each function
+// returns a Table that cmd/benchharness prints and EXPERIMENTS.md records.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output: a caption, column headers, and rows.
+type Table struct {
+	ID      string
+	Caption string
+	Headers []string
+	Rows    [][]string
+	// Notes follow the table (assumptions, expected shape).
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table in aligned plain text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Caption)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

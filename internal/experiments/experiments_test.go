@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// assertAllPass fails on any FAIL verdict cell.
+func assertAllPass(t *testing.T, table *Table) {
+	t.Helper()
+	for _, row := range table.Rows {
+		for _, cell := range row {
+			if strings.HasPrefix(cell, "FAIL") {
+				t.Errorf("%s %v: %s", table.ID, row[:len(row)-1], cell)
+			}
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		ID: "EX", Caption: "demo",
+		Headers: []string{"a", "bee"},
+		Notes:   []string{"a note"},
+	}
+	tb.AddRow("1", "2")
+	tb.AddRow("longer", "x")
+	out := tb.String()
+	for _, want := range []string{"== EX: demo ==", "a       bee", "longer  x", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTable1FeatureMatrix is the E1 entry point named in DESIGN.md.
+func TestTable1FeatureMatrix(t *testing.T) { TestRunE1AllPass(t) }
+
+func TestRunE1AllPass(t *testing.T) {
+	table, err := RunE1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) < 45 {
+		t.Errorf("Table 1 matrix has %d rows; expected full coverage (>=45)", len(table.Rows))
+	}
+	assertAllPass(t, table)
+}
+
+func TestRunE2Shape(t *testing.T) {
+	cfg := E2Config{Hours: 0.1, SampleHz: 10, PacketSizes: []int{16, 64}, MaxSegmentSamples: 8192, QueryWindows: 5}
+	table, err := RunE2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	// The optimized store must have strictly fewer records for every
+	// packet size, with the ratio growing as packets shrink.
+	for _, row := range table.Rows {
+		raw, opt := row[1], row[2]
+		if raw == opt {
+			t.Errorf("packet %s: no compaction (%s records)", row[0], raw)
+		}
+	}
+}
+
+func TestRunE3DirectWins(t *testing.T) {
+	table, err := RunE3(E3Config{Stores: 3, MinutesPerStore: 1, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %v", table.Rows)
+	}
+	if table.Rows[0][0] != "direct store->consumer" {
+		t.Errorf("first row should be direct: %v", table.Rows[0])
+	}
+}
+
+func TestRunE4Shape(t *testing.T) {
+	table, err := RunE4(E4Config{RuleCounts: []int{1, 50}, Evaluations: 50, SegmentSeconds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+}
+
+func TestRunE5Shape(t *testing.T) {
+	table, err := RunE5(E5Config{ContributorCounts: []int{9}, RulesPerContributor: []int{5}, Searches: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 1 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	// Every third of 9 contributors shares fully at work: expect 3 matches.
+	if table.Rows[0][2] != "3" {
+		t.Errorf("matches = %s, want 3", table.Rows[0][2])
+	}
+}
+
+func TestRunE6SafetyProperty(t *testing.T) {
+	table, err := RunE6(E6Config{PhaseMinutes: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != len(e6Policies) {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		if !strings.HasPrefix(row[6], "YES") {
+			t.Errorf("policy %q: rule-aware collection changed consumer-visible data: %s", row[0], row[6])
+		}
+	}
+	// The restrictive policies must actually save something.
+	for _, row := range table.Rows {
+		if row[0] == "share nothing" && row[4] != "100%" {
+			t.Errorf("share-nothing policy saved %s, want 100%%", row[4])
+		}
+		if row[0] == "share everything" && row[4] != "0%" {
+			t.Errorf("share-everything policy saved %s, want 0%%", row[4])
+		}
+	}
+}
+
+func TestE4Helpers(t *testing.T) {
+	e, err := E4Engine(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Rules()) != 10 {
+		t.Errorf("rules = %d", len(e.Rules()))
+	}
+	seg := E4Segment(10)
+	if err := seg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if seg.NumSamples() != 100 {
+		t.Errorf("samples = %d", seg.NumSamples())
+	}
+}
+
+func TestE5Helpers(t *testing.T) {
+	b, key, err := E5Broker(6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Search(key, E5Query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 { // contributors 0 and 3
+		t.Errorf("matches = %v", got)
+	}
+}

@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+)
+
+// jsonReader wraps a body for http.Post.
+func jsonReader(b []byte) io.Reader { return bytes.NewReader(b) }
+
+// drain reads and discards a response body, returning its size.
+func drain(resp *http.Response) (int, error) {
+	defer resp.Body.Close()
+	n, err := io.Copy(io.Discard, resp.Body)
+	return int(n), err
+}

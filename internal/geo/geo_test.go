@@ -1,0 +1,395 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	ucla     = Point{Lat: 34.0689, Lon: -118.4452}
+	downtown = Point{Lat: 34.0407, Lon: -118.2468}
+	paris    = Point{Lat: 48.8566, Lon: 2.3522}
+)
+
+func TestPointValid(t *testing.T) {
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{ucla, true},
+		{Point{Lat: 91, Lon: 0}, false},
+		{Point{Lat: -91, Lon: 0}, false},
+		{Point{Lat: 0, Lon: 181}, false},
+		{Point{Lat: 0, Lon: -181}, false},
+		{Point{Lat: 90, Lon: 180}, true},
+		{Point{}, true},
+	}
+	for _, tc := range cases {
+		if got := tc.p.Valid(); got != tc.want {
+			t.Errorf("%v.Valid() = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestDistance(t *testing.T) {
+	if d := Distance(ucla, ucla); d != 0 {
+		t.Errorf("distance to self = %f", d)
+	}
+	// UCLA to downtown LA is roughly 18-19 km.
+	d := Distance(ucla, downtown)
+	if d < 17000 || d > 20000 {
+		t.Errorf("UCLA->downtown = %.0f m, expected ~18.5 km", d)
+	}
+	// Symmetry.
+	if d2 := Distance(downtown, ucla); math.Abs(d-d2) > 1e-6 {
+		t.Errorf("asymmetric distance: %f vs %f", d, d2)
+	}
+	// LA to Paris is roughly 9085 km.
+	d = Distance(ucla, paris)
+	if d < 8.9e6 || d > 9.3e6 {
+		t.Errorf("LA->Paris = %.0f m, expected ~9085 km", d)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	f := func(a1, o1, a2, o2, a3, o3 float64) bool {
+		clampLat := func(v float64) float64 { return math.Mod(math.Abs(v), 180) - 90 }
+		clampLon := func(v float64) float64 { return math.Mod(math.Abs(v), 360) - 180 }
+		a := Point{Lat: clampLat(a1), Lon: clampLon(o1)}
+		b := Point{Lat: clampLat(a2), Lon: clampLon(o2)}
+		c := Point{Lat: clampLat(a3), Lon: clampLon(o3)}
+		return Distance(a, c) <= Distance(a, b)+Distance(b, c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r, err := NewRect(Point{Lat: 34, Lon: -119}, Point{Lat: 35, Lon: -118})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contains(ucla) {
+		t.Error("rect should contain UCLA")
+	}
+	if r.Contains(paris) {
+		t.Error("rect should not contain Paris")
+	}
+	// Corner order should not matter.
+	r2, err := NewRect(Point{Lat: 35, Lon: -118}, Point{Lat: 34, Lon: -119})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != r2 {
+		t.Errorf("NewRect not order independent: %v vs %v", r, r2)
+	}
+	if _, err := NewRect(Point{Lat: 95, Lon: 0}, Point{}); err == nil {
+		t.Error("expected error for invalid corner")
+	}
+}
+
+func TestRectIntersectsAndExpand(t *testing.T) {
+	a, _ := NewRect(Point{Lat: 0, Lon: 0}, Point{Lat: 10, Lon: 10})
+	b, _ := NewRect(Point{Lat: 5, Lon: 5}, Point{Lat: 15, Lon: 15})
+	c, _ := NewRect(Point{Lat: 20, Lon: 20}, Point{Lat: 30, Lon: 30})
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("a and b should intersect")
+	}
+	if a.Intersects(c) {
+		t.Error("a and c should not intersect")
+	}
+	if !a.Expand(15).Intersects(c) {
+		t.Error("expanded a should reach c")
+	}
+	e := a.Expand(200)
+	if e.MinLat != -90 || e.MaxLat != 90 || e.MinLon != -180 || e.MaxLon != 180 {
+		t.Errorf("expand should clamp to globe: %v", e)
+	}
+	if got := a.Center(); got != (Point{Lat: 5, Lon: 5}) {
+		t.Errorf("Center = %v", got)
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	// A triangle around UCLA.
+	tri := Polygon{
+		{Lat: 34.0, Lon: -118.5},
+		{Lat: 34.1, Lon: -118.4},
+		{Lat: 34.0, Lon: -118.3},
+	}
+	if !tri.Valid() {
+		t.Fatal("triangle should be valid")
+	}
+	inside := Point{Lat: 34.03, Lon: -118.4}
+	if !tri.Contains(inside) {
+		t.Error("point should be inside triangle")
+	}
+	if tri.Contains(paris) {
+		t.Error("Paris should be outside triangle")
+	}
+	if (Polygon{{Lat: 1, Lon: 1}}).Contains(inside) {
+		t.Error("degenerate polygon contains nothing")
+	}
+	if (Polygon{{Lat: 1, Lon: 1}, {Lat: 2, Lon: 2}}).Valid() {
+		t.Error("two-point polygon should be invalid")
+	}
+	b := tri.Bounds()
+	if b.MinLat != 34.0 || b.MaxLat != 34.1 || b.MinLon != -118.5 || b.MaxLon != -118.3 {
+		t.Errorf("Bounds = %v", b)
+	}
+	if !(Polygon{}).Bounds().IsZero() {
+		t.Error("empty polygon bounds should be zero")
+	}
+}
+
+func TestPolygonContainsConcave(t *testing.T) {
+	// A "U" shape; the notch must be outside.
+	u := Polygon{
+		{Lat: 0, Lon: 0}, {Lat: 10, Lon: 0}, {Lat: 10, Lon: 2},
+		{Lat: 2, Lon: 2}, {Lat: 2, Lon: 8}, {Lat: 10, Lon: 8},
+		{Lat: 10, Lon: 10}, {Lat: 0, Lon: 10},
+	}
+	if !u.Contains(Point{Lat: 1, Lon: 5}) {
+		t.Error("base of the U should be inside")
+	}
+	if u.Contains(Point{Lat: 8, Lon: 5}) {
+		t.Error("notch of the U should be outside")
+	}
+	if !u.Contains(Point{Lat: 8, Lon: 1}) {
+		t.Error("left arm should be inside")
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	rect, _ := NewRect(Point{Lat: 34, Lon: -119}, Point{Lat: 35, Lon: -118})
+	rg := Region{Label: "UCLA", Rect: rect}
+	if !rg.Contains(ucla) || rg.Contains(paris) {
+		t.Error("rect region misbehaves")
+	}
+	if !rg.HasGeometry() {
+		t.Error("rect region has geometry")
+	}
+	empty := Region{Label: "nowhere"}
+	if empty.Contains(ucla) || empty.HasGeometry() {
+		t.Error("empty region should contain nothing")
+	}
+	poly := Region{Polygon: Polygon{{Lat: 34, Lon: -119}, {Lat: 35, Lon: -118.5}, {Lat: 34, Lon: -118}}}
+	if !poly.Contains(Point{Lat: 34.3, Lon: -118.5}) {
+		t.Error("polygon region should contain interior point")
+	}
+	if poly.Bounds().IsZero() {
+		t.Error("polygon region bounds should be non-zero")
+	}
+}
+
+func TestGazetteer(t *testing.T) {
+	g := NewGazetteer()
+	rect, _ := NewRect(Point{Lat: 34.05, Lon: -118.46}, Point{Lat: 34.08, Lon: -118.43})
+	if err := g.Define("UCLA", Region{Rect: rect}); err != nil {
+		t.Fatal(err)
+	}
+	home, _ := NewRect(Point{Lat: 34.02, Lon: -118.50}, Point{Lat: 34.03, Lon: -118.49})
+	if err := g.Define("Home", Region{Rect: home}); err != nil {
+		t.Fatal(err)
+	}
+
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if _, ok := g.Lookup("ucla"); !ok {
+		t.Error("lookup should be case-insensitive")
+	}
+	if _, ok := g.Lookup("work"); ok {
+		t.Error("undefined label should miss")
+	}
+	labels := g.LabelsAt(ucla)
+	if len(labels) != 1 || labels[0] != "UCLA" {
+		t.Errorf("LabelsAt(ucla) = %v", labels)
+	}
+	if got := g.LabelsAt(paris); len(got) != 0 {
+		t.Errorf("LabelsAt(paris) = %v", got)
+	}
+	if len(g.Labels()) != 2 {
+		t.Errorf("Labels = %v", g.Labels())
+	}
+
+	if err := g.Define("", Region{Rect: rect}); err == nil {
+		t.Error("empty label should be rejected")
+	}
+	if err := g.Define("x", Region{}); err == nil {
+		t.Error("region without geometry should be rejected")
+	}
+	if !g.Remove("UCLA") {
+		t.Error("Remove should report existing label")
+	}
+	if g.Remove("UCLA") {
+		t.Error("second Remove should report missing label")
+	}
+}
+
+func TestGridGeocoderDeterministic(t *testing.T) {
+	gc := GridGeocoder{}
+	a1, err := gc.ReverseGeocode(ucla)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := gc.ReverseGeocode(ucla)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Errorf("geocoder not deterministic: %v vs %v", a1, a2)
+	}
+	for _, s := range []string{a1.Street, a1.Zipcode, a1.City, a1.State, a1.Country} {
+		if s == "" {
+			t.Errorf("empty address component in %+v", a1)
+		}
+	}
+	if _, err := gc.ReverseGeocode(Point{Lat: 99}); err == nil {
+		t.Error("invalid point should error")
+	}
+}
+
+func TestGridGeocoderNesting(t *testing.T) {
+	// Two points in the same street cell share every coarser component; two
+	// points in different countries share none of the coarse ones.
+	gc := GridGeocoder{}
+	near := Point{Lat: ucla.Lat + 0.001, Lon: ucla.Lon + 0.001}
+	a, _ := gc.ReverseGeocode(ucla)
+	b, _ := gc.ReverseGeocode(near)
+	if a.City != b.City || a.State != b.State || a.Country != b.Country {
+		t.Errorf("nearby points should share coarse components: %+v vs %+v", a, b)
+	}
+	c, _ := gc.ReverseGeocode(paris)
+	if a.Country == c.Country {
+		t.Errorf("LA and Paris should differ in country: %v", a.Country)
+	}
+}
+
+func TestGridGeocoderNestingProperty(t *testing.T) {
+	// Same zip ⇒ same city ⇒ same state ⇒ same country (strict hierarchy).
+	gc := GridGeocoder{}
+	f := func(lat1, lon1, dLat, dLon float64) bool {
+		clamp := func(v, lim float64) float64 { return math.Mod(math.Abs(v), 2*lim) - lim }
+		p := Point{Lat: clamp(lat1, 89), Lon: clamp(lon1, 179)}
+		q := Point{
+			Lat: p.Lat + math.Mod(math.Abs(dLat), 0.01),
+			Lon: p.Lon + math.Mod(math.Abs(dLon), 0.01),
+		}
+		if !q.Valid() {
+			return true
+		}
+		a, err1 := gc.ReverseGeocode(p)
+		b, err2 := gc.ReverseGeocode(q)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if a.Zipcode == b.Zipcode && a.Street == b.Street {
+			// Street names are derived from finer cells than zips; same
+			// street cell implies same zip cell only when cells align, so
+			// just assert the documented chain from zip upward.
+			_ = a
+		}
+		zipSame := sameCell(p, q, zipCellDeg)
+		citySame := sameCell(p, q, cityCellDeg)
+		stateSame := sameCell(p, q, stateCellDeg)
+		countrySame := sameCell(p, q, countryCellDeg)
+		if zipSame && !citySame {
+			return false
+		}
+		if citySame && !stateSame {
+			return false
+		}
+		if stateSame && !countrySame {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sameCell(p, q Point, deg float64) bool {
+	pi, pj := cellIndex(p, deg)
+	qi, qj := cellIndex(q, deg)
+	return pi == qi && pj == qj
+}
+
+func TestParseLocationGranularity(t *testing.T) {
+	for in, want := range map[string]LocationGranularity{
+		"Coordinates": LocCoordinates, "StreetAddress": LocStreetAddress,
+		"street address": LocStreetAddress, "Zipcode": LocZipcode, "zip": LocZipcode,
+		"City": LocCity, "State": LocState, "Country": LocCountry,
+		"NotShared": LocNotShared, "not share": LocNotShared,
+	} {
+		got, err := ParseLocationGranularity(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLocationGranularity(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLocationGranularity("galaxy"); err == nil {
+		t.Error("expected error for unknown level")
+	}
+	if !LocCountry.CoarserThan(LocCity) {
+		t.Error("Country should be coarser than City")
+	}
+	if CoarsestLocation(LocZipcode, LocState) != LocState {
+		t.Error("CoarsestLocation should pick State")
+	}
+}
+
+func TestAbstract(t *testing.T) {
+	gc := GridGeocoder{}
+	coords, err := Abstract(gc, ucla, LocCoordinates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coords.Point == nil || *coords.Point != ucla || !coords.Shared() {
+		t.Errorf("coordinate abstraction = %+v", coords)
+	}
+
+	addr, _ := gc.ReverseGeocode(ucla)
+	for _, tc := range []struct {
+		g    LocationGranularity
+		want string
+	}{
+		{LocZipcode, addr.Zipcode},
+		{LocCity, addr.City},
+		{LocState, addr.State},
+		{LocCountry, addr.Country},
+	} {
+		got, err := Abstract(gc, ucla, tc.g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Text != tc.want || got.Point != nil {
+			t.Errorf("Abstract(%v) = %+v, want text %q", tc.g, got, tc.want)
+		}
+	}
+
+	street, err := Abstract(gc, ucla, LocStreetAddress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if street.Text == "" {
+		t.Error("street abstraction should include text")
+	}
+
+	hidden, err := Abstract(gc, ucla, LocNotShared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hidden.Shared() || hidden.Point != nil || hidden.Text != "" {
+		t.Errorf("NotShared abstraction should reveal nothing: %+v", hidden)
+	}
+
+	if _, err := Abstract(gc, ucla, LocationGranularity(42)); err == nil {
+		t.Error("invalid granularity should error")
+	}
+	if _, err := Abstract(gc, Point{Lat: 99}, LocCity); err == nil {
+		t.Error("invalid point should error")
+	}
+}

@@ -1,0 +1,194 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Address is a reverse-geocoded postal address at decreasing precision, the
+// vocabulary of the Table 1(b) location-abstraction ladder.
+type Address struct {
+	Street  string `json:"street,omitempty"`
+	Zipcode string `json:"zipcode,omitempty"`
+	City    string `json:"city,omitempty"`
+	State   string `json:"state,omitempty"`
+	Country string `json:"country,omitempty"`
+}
+
+// Geocoder turns coordinates into addresses. The paper relies on Google Maps
+// for this; the synthetic implementation below preserves the property the
+// access-control layer needs — a deterministic many-to-one mapping at each
+// abstraction level, with levels strictly nested.
+type Geocoder interface {
+	ReverseGeocode(p Point) (Address, error)
+}
+
+// GridGeocoder is a deterministic synthetic geography. The globe is divided
+// into nested grid cells: countries (20°), states (4°), cities (0.5°),
+// zipcodes (0.1°), and street blocks (0.02°). Cell names are derived from
+// cell indices, so two nearby points share coarse components and the
+// hierarchy is strictly nested — exactly the structure reverse geocoding
+// gives real addresses.
+type GridGeocoder struct{}
+
+// Cell sizes in degrees for each level of the synthetic geography.
+const (
+	countryCellDeg = 20.0
+	stateCellDeg   = 4.0
+	cityCellDeg    = 0.5
+	zipCellDeg     = 0.1
+	streetCellDeg  = 0.02
+)
+
+// ReverseGeocode maps a point to its synthetic address. It never fails for
+// valid points.
+func (GridGeocoder) ReverseGeocode(p Point) (Address, error) {
+	if !p.Valid() {
+		return Address{}, fmt.Errorf("geo: cannot geocode invalid point %v", p)
+	}
+	ci, cj := cellIndex(p, countryCellDeg)
+	si, sj := cellIndex(p, stateCellDeg)
+	cyi, cyj := cellIndex(p, cityCellDeg)
+	zi, zj := cellIndex(p, zipCellDeg)
+	sti, stj := cellIndex(p, streetCellDeg)
+	return Address{
+		Country: fmt.Sprintf("Country-%s", cellName(ci, cj)),
+		State:   fmt.Sprintf("State-%s", cellName(si, sj)),
+		City:    fmt.Sprintf("City-%s", cellName(cyi, cyj)),
+		Zipcode: fmt.Sprintf("%05d", zipNumber(zi, zj)),
+		Street:  fmt.Sprintf("%d %s Street", 100+((sti*7+stj*13)%9900+9900)%9900, streetName(sti, stj)),
+	}, nil
+}
+
+func cellIndex(p Point, deg float64) (int, int) {
+	return int(math.Floor((p.Lat + 90) / deg)), int(math.Floor((p.Lon + 180) / deg))
+}
+
+func cellName(i, j int) string {
+	// Compact, stable, human-readable cell identifier.
+	return fmt.Sprintf("%c%c%d", 'A'+absMod(i, 26), 'A'+absMod(j, 26), absMod(i*31+j, 100))
+}
+
+func zipNumber(i, j int) int { return absMod(i*1009+j*9176, 100000) }
+
+var streetNames = [...]string{
+	"Oak", "Maple", "Cedar", "Pine", "Elm", "Walnut", "Willow", "Birch",
+	"Juniper", "Sycamore", "Magnolia", "Chestnut", "Laurel", "Aspen", "Cypress", "Alder",
+}
+
+func streetName(i, j int) string { return streetNames[absMod(i*5+j*3, len(streetNames))] }
+
+func absMod(v, m int) int {
+	r := v % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// LocationGranularity is the Table 1(b) location-abstraction level.
+type LocationGranularity int
+
+// Location abstraction levels ordered from most precise to least.
+const (
+	LocCoordinates LocationGranularity = iota
+	LocStreetAddress
+	LocZipcode
+	LocCity
+	LocState
+	LocCountry
+	LocNotShared
+)
+
+var locGranNames = map[LocationGranularity]string{
+	LocCoordinates:   "Coordinates",
+	LocStreetAddress: "StreetAddress",
+	LocZipcode:       "Zipcode",
+	LocCity:          "City",
+	LocState:         "State",
+	LocCountry:       "Country",
+	LocNotShared:     "NotShared",
+}
+
+// ParseLocationGranularity parses a Table 1(b) location option name.
+func ParseLocationGranularity(s string) (LocationGranularity, error) {
+	key := normalizeLabel(s)
+	for g, name := range locGranNames {
+		if normalizeLabel(name) == key {
+			return g, nil
+		}
+	}
+	switch key {
+	case "street address", "street":
+		return LocStreetAddress, nil
+	case "zip", "zip code":
+		return LocZipcode, nil
+	case "not share", "not_shared", "notshare", "none":
+		return LocNotShared, nil
+	}
+	return 0, fmt.Errorf("geo: unknown location granularity %q", s)
+}
+
+func (g LocationGranularity) String() string {
+	if n, ok := locGranNames[g]; ok {
+		return n
+	}
+	return fmt.Sprintf("LocationGranularity(%d)", int(g))
+}
+
+// Valid reports whether g is a defined level.
+func (g LocationGranularity) Valid() bool { return g >= LocCoordinates && g <= LocNotShared }
+
+// CoarserThan reports whether g reveals strictly less than o.
+func (g LocationGranularity) CoarserThan(o LocationGranularity) bool { return g > o }
+
+// CoarsestLocation returns the less precise of two levels.
+func CoarsestLocation(a, b LocationGranularity) LocationGranularity {
+	if a.CoarserThan(b) {
+		return a
+	}
+	return b
+}
+
+// AbstractedLocation is a location value after abstraction: either exact
+// coordinates, a textual address component, or withheld entirely.
+type AbstractedLocation struct {
+	Granularity LocationGranularity `json:"granularity"`
+	Point       *Point              `json:"point,omitempty"` // only at LocCoordinates
+	Text        string              `json:"text,omitempty"`  // street/zip/city/state/country value
+}
+
+// Shared reports whether any location information remains.
+func (a AbstractedLocation) Shared() bool { return a.Granularity != LocNotShared }
+
+// Abstract reduces a point to the requested granularity using the geocoder.
+func Abstract(gc Geocoder, p Point, g LocationGranularity) (AbstractedLocation, error) {
+	if !g.Valid() {
+		return AbstractedLocation{}, fmt.Errorf("geo: invalid granularity %d", int(g))
+	}
+	if g == LocCoordinates {
+		pp := p
+		return AbstractedLocation{Granularity: g, Point: &pp}, nil
+	}
+	if g == LocNotShared {
+		return AbstractedLocation{Granularity: LocNotShared}, nil
+	}
+	addr, err := gc.ReverseGeocode(p)
+	if err != nil {
+		return AbstractedLocation{}, err
+	}
+	var text string
+	switch g {
+	case LocStreetAddress:
+		text = fmt.Sprintf("%s, %s %s, %s, %s", addr.Street, addr.City, addr.Zipcode, addr.State, addr.Country)
+	case LocZipcode:
+		text = addr.Zipcode
+	case LocCity:
+		text = addr.City
+	case LocState:
+		text = addr.State
+	case LocCountry:
+		text = addr.Country
+	}
+	return AbstractedLocation{Granularity: g, Text: text}, nil
+}

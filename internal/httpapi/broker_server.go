@@ -1,0 +1,291 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"sensorsafe/internal/auth"
+	"sensorsafe/internal/broker"
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/rules"
+	"sensorsafe/internal/timeutil"
+)
+
+// Broker wire types.
+
+type brokerRegisterContribReq struct {
+	Name      string `json:"name"`
+	StoreAddr string `json:"storeAddr"`
+}
+
+type brokerSyncReq struct {
+	Contributor string          `json:"contributor"`
+	Rules       json.RawMessage `json:"rules"`
+	Places      []geo.Region    `json:"places"`
+}
+
+type keyReq struct {
+	Key auth.APIKey `json:"key"`
+}
+
+type directoryResp struct {
+	Contributors []broker.ContributorInfo `json:"contributors"`
+}
+
+type connectReq struct {
+	Key         auth.APIKey `json:"key"`
+	Contributor string      `json:"contributor"`
+}
+
+type credentialsResp struct {
+	Credentials []broker.Credential `json:"credentials"`
+}
+
+type listSaveReq struct {
+	Key     auth.APIKey `json:"key"`
+	Name    string      `json:"name"`
+	Members []string    `json:"members"`
+}
+
+type listGetReq struct {
+	Key  auth.APIKey `json:"key"`
+	Name string      `json:"name"`
+}
+
+type listGetResp struct {
+	Members []string `json:"members"`
+}
+
+type studyReq struct {
+	Key   auth.APIKey `json:"key"`
+	Study string      `json:"study"`
+}
+
+type studyMembersResp struct {
+	Members []string `json:"members"`
+}
+
+// searchWire is the JSON form of broker.SearchQuery (Repeated and Range
+// need explicit wire shapes).
+type searchWire struct {
+	Key            auth.APIKey       `json:"key"`
+	Sensors        []string          `json:"sensors,omitempty"`
+	Contexts       map[string]string `json:"contexts,omitempty"` // category → level name
+	LocationLabel  string            `json:"locationLabel,omitempty"`
+	Region         *geo.Rect         `json:"region,omitempty"`
+	RepeatDay      []string          `json:"repeatDay,omitempty"`
+	RepeatHourMin  []string          `json:"repeatHourMin,omitempty"`
+	TimeStart      string            `json:"timeStart,omitempty"`
+	TimeEnd        string            `json:"timeEnd,omitempty"`
+	ActiveContexts []string          `json:"activeContexts,omitempty"`
+	Reference      string            `json:"reference,omitempty"`
+}
+
+type searchResp struct {
+	Contributors []string `json:"contributors"`
+}
+
+func (w *searchWire) toQuery() (*broker.SearchQuery, error) {
+	q := &broker.SearchQuery{
+		Sensors:        w.Sensors,
+		LocationLabel:  w.LocationLabel,
+		ActiveContexts: w.ActiveContexts,
+	}
+	if w.Region != nil {
+		q.Region = *w.Region
+	}
+	if len(w.Contexts) > 0 {
+		q.Contexts = make(map[rules.Category]rules.Level, len(w.Contexts))
+		for catName, lvlName := range w.Contexts {
+			var cat rules.Category
+			for _, c := range rules.Categories() {
+				if string(c) == catName {
+					cat = c
+				}
+			}
+			if cat == "" {
+				return nil, fmt.Errorf("httpapi: unknown context category %q", catName)
+			}
+			lvl, err := rules.ParseLevel(cat, lvlName)
+			if err != nil {
+				return nil, err
+			}
+			q.Contexts[cat] = lvl
+		}
+	}
+	if len(w.RepeatDay) > 0 || len(w.RepeatHourMin) > 0 {
+		rep, err := timeutil.ParseRepeated(w.RepeatDay, w.RepeatHourMin)
+		if err != nil {
+			return nil, err
+		}
+		q.RepeatTime = rep
+	}
+	var start, end time.Time
+	var err error
+	if w.TimeStart != "" {
+		if start, err = time.Parse(time.RFC3339, w.TimeStart); err != nil {
+			return nil, fmt.Errorf("httpapi: bad timeStart: %w", err)
+		}
+	}
+	if w.TimeEnd != "" {
+		if end, err = time.Parse(time.RFC3339, w.TimeEnd); err != nil {
+			return nil, fmt.Errorf("httpapi: bad timeEnd: %w", err)
+		}
+	}
+	if !start.IsZero() || !end.IsZero() {
+		rng, err := timeutil.NewRange(start, end)
+		if err != nil {
+			return nil, err
+		}
+		q.TimeRange = rng
+	}
+	if w.Reference != "" {
+		if q.Reference, err = time.Parse(time.RFC3339, w.Reference); err != nil {
+			return nil, fmt.Errorf("httpapi: bad reference: %w", err)
+		}
+	}
+	return q, nil
+}
+
+// NewBrokerHandler builds the HTTP API for the broker. Stores whose
+// directory address is an http(s) URL are dialed on demand, so consumer
+// provisioning works without explicit store registration (and across
+// broker restarts).
+func NewBrokerHandler(svc *broker.Service) http.Handler {
+	svc.SetStoreDialer(func(addr string) broker.StoreConn {
+		if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
+			return &StoreClient{BaseURL: addr}
+		}
+		return nil
+	})
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/api/consumers/register", post(func(r *registerReq) (registerResp, error) {
+		u, err := svc.RegisterConsumer(r.Name)
+		if err != nil {
+			return registerResp{}, err
+		}
+		return registerResp{Name: u.Name, Role: u.Role.String(), Key: u.Key}, nil
+	}))
+
+	mux.HandleFunc("/api/contributors/register", post(func(r *brokerRegisterContribReq) (okResp, error) {
+		if err := svc.RegisterContributor(r.Name, r.StoreAddr); err != nil {
+			return okResp{}, err
+		}
+		return okResp{OK: true}, nil
+	}))
+
+	mux.HandleFunc("/api/sync", post(func(r *brokerSyncReq) (okResp, error) {
+		if err := svc.SyncRules(r.Contributor, r.Rules, r.Places); err != nil {
+			return okResp{}, err
+		}
+		return okResp{OK: true}, nil
+	}))
+
+	mux.HandleFunc("/api/directory", post(func(r *keyReq) (directoryResp, error) {
+		dir, err := svc.Directory(r.Key)
+		if err != nil {
+			return directoryResp{}, err
+		}
+		return directoryResp{Contributors: dir}, nil
+	}))
+
+	mux.HandleFunc("/api/connect", post(func(r *connectReq) (broker.Credential, error) {
+		return svc.Connect(r.Key, r.Contributor)
+	}))
+
+	mux.HandleFunc("/api/credentials", post(func(r *keyReq) (credentialsResp, error) {
+		creds, err := svc.Credentials(r.Key)
+		if err != nil {
+			return credentialsResp{}, err
+		}
+		return credentialsResp{Credentials: creds}, nil
+	}))
+
+	mux.HandleFunc("/api/search", post(func(r *searchWire) (searchResp, error) {
+		q, err := r.toQuery()
+		if err != nil {
+			return searchResp{}, err
+		}
+		names, err := svc.Search(r.Key, q)
+		if err != nil {
+			return searchResp{}, err
+		}
+		return searchResp{Contributors: names}, nil
+	}))
+
+	mux.HandleFunc("/api/lists/save", post(func(r *listSaveReq) (okResp, error) {
+		if err := svc.SaveList(r.Key, r.Name, r.Members); err != nil {
+			return okResp{}, err
+		}
+		return okResp{OK: true}, nil
+	}))
+
+	mux.HandleFunc("/api/lists/get", post(func(r *listGetReq) (listGetResp, error) {
+		members, err := svc.List(r.Key, r.Name)
+		if err != nil {
+			return listGetResp{}, err
+		}
+		return listGetResp{Members: members}, nil
+	}))
+
+	mux.HandleFunc("/api/studies/create", post(func(r *studyReq) (okResp, error) {
+		if err := svc.CreateStudy(r.Study); err != nil {
+			return okResp{}, err
+		}
+		return okResp{OK: true}, nil
+	}))
+
+	mux.HandleFunc("/api/studies/join", post(func(r *studyReq) (okResp, error) {
+		if err := svc.JoinStudy(r.Key, r.Study); err != nil {
+			return okResp{}, err
+		}
+		return okResp{OK: true}, nil
+	}))
+
+	mux.HandleFunc("/api/studies/members", post(func(r *studyReq) (studyMembersResp, error) {
+		members, err := svc.StudyMembers(r.Study)
+		if err != nil {
+			return studyMembersResp{}, err
+		}
+		return studyMembersResp{Members: members}, nil
+	}))
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]int{"contributors": svc.ContributorCount(), "consumers": svc.Users().Len()})
+	})
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, brokerAdminHTML, svc.ContributorCount(), svc.Users().Len())
+	})
+
+	return mux
+}
+
+const brokerAdminHTML = `<!DOCTYPE html>
+<html><head><title>SensorSafe Broker</title></head>
+<body>
+<h1>SensorSafe Broker</h1>
+<p>Contributors: %d &middot; Consumers: %d</p>
+<h2>API</h2>
+<ul>
+<li>POST /api/consumers/register {name}</li>
+<li>POST /api/contributors/register {name, storeAddr}</li>
+<li>POST /api/sync {contributor, rules, places}</li>
+<li>POST /api/directory {key}</li>
+<li>POST /api/connect {key, contributor}</li>
+<li>POST /api/credentials {key}</li>
+<li>POST /api/search {key, sensors, contexts, locationLabel, repeatDay, repeatHourMin, ...}</li>
+<li>POST /api/lists/save | /api/lists/get</li>
+<li>POST /api/studies/create | join | members</li>
+</ul>
+</body></html>
+`

@@ -1,0 +1,395 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"sensorsafe/internal/abstraction"
+	"sensorsafe/internal/audit"
+	"sensorsafe/internal/auth"
+	"sensorsafe/internal/broker"
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/query"
+	"sensorsafe/internal/recommend"
+	"sensorsafe/internal/rules"
+	"sensorsafe/internal/wavesegment"
+)
+
+// doJSON posts a JSON body and decodes the JSON response, mapping error
+// envelopes to Go errors.
+func doJSON(hc *http.Client, baseURL, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("httpapi: encode request: %w", err)
+	}
+	url := strings.TrimRight(baseURL, "/") + path
+	httpResp, err := hc.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("httpapi: POST %s: %w", url, err)
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(httpResp.Body, maxBodyBytes))
+	if err != nil {
+		return fmt.Errorf("httpapi: read response: %w", err)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		var eb errorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			return fmt.Errorf("httpapi: %s: %s (HTTP %d)", path, eb.Error, httpResp.StatusCode)
+		}
+		return fmt.Errorf("httpapi: %s: HTTP %d", path, httpResp.StatusCode)
+	}
+	if resp == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, resp); err != nil {
+		return fmt.Errorf("httpapi: decode response: %w", err)
+	}
+	return nil
+}
+
+func defaultClient() *http.Client {
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// StoreClient is a typed client for a remote data store's API. It
+// satisfies phone.Store (Upload, RulesFor) and broker.StoreConn (Addr,
+// ProvisionConsumer).
+type StoreClient struct {
+	// BaseURL is the store's address, e.g. "http://store1.example:8080".
+	BaseURL string
+	// HTTP is the underlying client (30 s timeout default when nil).
+	HTTP *http.Client
+}
+
+func (c *StoreClient) hc() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return defaultClient()
+}
+
+// Addr returns the store's base URL.
+func (c *StoreClient) Addr() string { return c.BaseURL }
+
+// Register creates an account on the store.
+func (c *StoreClient) Register(name, role string) (auth.User, error) {
+	var resp registerResp
+	if err := doJSON(c.hc(), c.BaseURL, "/api/register", &registerReq{Name: name, Role: role}, &resp); err != nil {
+		return auth.User{}, err
+	}
+	r := auth.RoleConsumer
+	if resp.Role == auth.RoleContributor.String() {
+		r = auth.RoleContributor
+	}
+	return auth.User{Name: resp.Name, Role: r, Key: resp.Key}, nil
+}
+
+// ProvisionConsumer registers a consumer and returns the key (broker use).
+func (c *StoreClient) ProvisionConsumer(name string) (auth.APIKey, error) {
+	u, err := c.Register(name, "consumer")
+	if err != nil {
+		return "", err
+	}
+	return u.Key, nil
+}
+
+// Upload sends wave segments (Fig. 5 JSON on the wire).
+func (c *StoreClient) Upload(key auth.APIKey, segs []*wavesegment.Segment) (int, error) {
+	var resp uploadResp
+	if err := doJSON(c.hc(), c.BaseURL, "/api/upload", &uploadReq{Key: key, Segments: segs}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Records, nil
+}
+
+// Query runs an enforced consumer query.
+func (c *StoreClient) Query(key auth.APIKey, q *query.Query) ([]*abstraction.Release, error) {
+	var resp queryResp
+	if err := doJSON(c.hc(), c.BaseURL, "/api/query", &queryReq{Key: key, Query: q}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Releases, nil
+}
+
+// QueryText runs an enforced consumer query written in the mini-language.
+func (c *StoreClient) QueryText(key auth.APIKey, text string) ([]*abstraction.Release, error) {
+	var resp queryResp
+	if err := doJSON(c.hc(), c.BaseURL, "/api/query", &queryReq{Key: key, Text: text}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Releases, nil
+}
+
+// QueryOwn retrieves the owner's raw data.
+func (c *StoreClient) QueryOwn(key auth.APIKey, q *query.Query) ([]*wavesegment.Segment, error) {
+	var resp queryOwnResp
+	if err := doJSON(c.hc(), c.BaseURL, "/api/queryown", &queryReq{Key: key, Query: q}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Segments, nil
+}
+
+// SetRules replaces the owner's privacy rules (Fig. 4 JSON).
+func (c *StoreClient) SetRules(key auth.APIKey, ruleSetJSON []byte) error {
+	return doJSON(c.hc(), c.BaseURL, "/api/rules/set", &rulesSetReq{Key: key, Rules: ruleSetJSON}, &okResp{})
+}
+
+// Rules fetches the owner's privacy rules.
+func (c *StoreClient) Rules(key auth.APIKey) ([]byte, error) {
+	var resp rulesGetResp
+	if err := doJSON(c.hc(), c.BaseURL, "/api/rules/get", &rulesGetReq{Key: key}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Rules, nil
+}
+
+// DefinePlace registers a labeled region.
+func (c *StoreClient) DefinePlace(key auth.APIKey, label string, region geo.Region) error {
+	return doJSON(c.hc(), c.BaseURL, "/api/places/define",
+		&placeDefineReq{Key: key, Label: label, Region: region}, &okResp{})
+}
+
+// Places lists the owner's labeled regions.
+func (c *StoreClient) Places(key auth.APIKey) ([]geo.Region, error) {
+	var resp placesListResp
+	if err := doJSON(c.hc(), c.BaseURL, "/api/places/list", &rulesGetReq{Key: key}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Places, nil
+}
+
+// AssignConsumerGroups records a consumer's groups for the owner's
+// group-scoped rules.
+func (c *StoreClient) AssignConsumerGroups(key auth.APIKey, consumer string, groups []string) error {
+	return doJSON(c.hc(), c.BaseURL, "/api/groups/assign",
+		&groupsAssignReq{Key: key, Consumer: consumer, Groups: groups}, &okResp{})
+}
+
+// Audit fetches the owner's access trail, newest first.
+func (c *StoreClient) Audit(key auth.APIKey, consumer string, since time.Time, limit int) ([]audit.Event, error) {
+	req := &auditEventsReq{Key: key, Consumer: consumer, Limit: limit}
+	if !since.IsZero() {
+		req.Since = since.Format(time.RFC3339)
+	}
+	var resp auditEventsResp
+	if err := doJSON(c.hc(), c.BaseURL, "/api/audit/events", req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Events, nil
+}
+
+// AuditSummary fetches the owner's per-consumer access aggregates.
+func (c *StoreClient) AuditSummary(key auth.APIKey) ([]audit.ConsumerSummary, error) {
+	var resp auditSummaryResp
+	if err := doJSON(c.hc(), c.BaseURL, "/api/audit/summary", &rulesGetReq{Key: key}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Consumers, nil
+}
+
+// RotateKey invalidates the presented key and returns a fresh one.
+func (c *StoreClient) RotateKey(key auth.APIKey) (auth.APIKey, error) {
+	var resp registerResp
+	if err := doJSON(c.hc(), c.BaseURL, "/api/rotate", &rulesGetReq{Key: key}, &resp); err != nil {
+		return "", err
+	}
+	return resp.Key, nil
+}
+
+// Recommend fetches privacy-rule suggestions mined from the owner's data.
+func (c *StoreClient) Recommend(key auth.APIKey, minOverlap float64, minDuration time.Duration) ([]recommend.Suggestion, error) {
+	req := &recommendReq{Key: key, MinOverlap: minOverlap}
+	if minDuration > 0 {
+		req.MinDuration = minDuration.String()
+	}
+	var resp recommendResp
+	if err := doJSON(c.hc(), c.BaseURL, "/api/recommend", req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Suggestions, nil
+}
+
+// SetPassword sets the web-UI password, authenticating with the API key.
+func (c *StoreClient) SetPassword(key auth.APIKey, password string) error {
+	return doJSON(c.hc(), c.BaseURL, "/api/password", &passwordReq{Key: key, Password: password}, &okResp{})
+}
+
+// Login exchanges a username/password for a web session token.
+func (c *StoreClient) Login(name, password string) (string, error) {
+	var resp loginResp
+	if err := doJSON(c.hc(), c.BaseURL, "/api/login", &loginReq{Name: name, Password: password}, &resp); err != nil {
+		return "", err
+	}
+	return resp.Token, nil
+}
+
+// RulesFor downloads and compiles the owner's rule set — the phone's
+// §5.3 path. Returns nil when the owner has no rules yet.
+func (c *StoreClient) RulesFor(key auth.APIKey) (*rules.Engine, error) {
+	data, err := c.Rules(key)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := rules.UnmarshalRuleSet(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(rs) == 0 {
+		return nil, nil
+	}
+	places, err := c.Places(key)
+	if err != nil {
+		return nil, err
+	}
+	gaz := geo.NewGazetteer()
+	for _, rg := range places {
+		if err := gaz.Define(rg.Label, rg); err != nil {
+			return nil, err
+		}
+	}
+	return rules.NewEngine(rs, gaz)
+}
+
+// BrokerClient is a typed client for the broker's API. It satisfies
+// datastore.SyncTarget and datastore.Directory so a networked store can
+// push replicas and registrations.
+type BrokerClient struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+func (c *BrokerClient) hc() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return defaultClient()
+}
+
+// RegisterConsumer creates a consumer account.
+func (c *BrokerClient) RegisterConsumer(name string) (auth.User, error) {
+	var resp registerResp
+	if err := doJSON(c.hc(), c.BaseURL, "/api/consumers/register", &registerReq{Name: name}, &resp); err != nil {
+		return auth.User{}, err
+	}
+	return auth.User{Name: resp.Name, Role: auth.RoleConsumer, Key: resp.Key}, nil
+}
+
+// RegisterContributor records a contributor → store mapping.
+func (c *BrokerClient) RegisterContributor(name, storeAddr string) error {
+	return doJSON(c.hc(), c.BaseURL, "/api/contributors/register",
+		&brokerRegisterContribReq{Name: name, StoreAddr: storeAddr}, &okResp{})
+}
+
+// SyncRules pushes a contributor's rule replica (datastore.SyncTarget).
+func (c *BrokerClient) SyncRules(contributor string, ruleSetJSON []byte, places []geo.Region) error {
+	return doJSON(c.hc(), c.BaseURL, "/api/sync",
+		&brokerSyncReq{Contributor: contributor, Rules: ruleSetJSON, Places: places}, &okResp{})
+}
+
+// Directory lists contributors.
+func (c *BrokerClient) Directory(key auth.APIKey) ([]broker.ContributorInfo, error) {
+	var resp directoryResp
+	if err := doJSON(c.hc(), c.BaseURL, "/api/directory", &keyReq{Key: key}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Contributors, nil
+}
+
+// Connect provisions (or fetches) the consumer's credential for a
+// contributor's store.
+func (c *BrokerClient) Connect(key auth.APIKey, contributor string) (broker.Credential, error) {
+	var resp broker.Credential
+	if err := doJSON(c.hc(), c.BaseURL, "/api/connect", &connectReq{Key: key, Contributor: contributor}, &resp); err != nil {
+		return broker.Credential{}, err
+	}
+	return resp, nil
+}
+
+// Credentials fetches every vaulted credential.
+func (c *BrokerClient) Credentials(key auth.APIKey) ([]broker.Credential, error) {
+	var resp credentialsResp
+	if err := doJSON(c.hc(), c.BaseURL, "/api/credentials", &keyReq{Key: key}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Credentials, nil
+}
+
+// Search runs a contributor search.
+func (c *BrokerClient) Search(key auth.APIKey, q *broker.SearchQuery) ([]string, error) {
+	wire := &searchWire{
+		Key:            key,
+		Sensors:        q.Sensors,
+		LocationLabel:  q.LocationLabel,
+		ActiveContexts: q.ActiveContexts,
+	}
+	if !q.Region.IsZero() {
+		r := q.Region
+		wire.Region = &r
+	}
+	if len(q.Contexts) > 0 {
+		wire.Contexts = make(map[string]string, len(q.Contexts))
+		for cat, lvl := range q.Contexts {
+			wire.Contexts[string(cat)] = lvl.String()
+		}
+	}
+	if !q.RepeatTime.IsZero() {
+		wire.RepeatDay = q.RepeatTime.DayNames()
+		from, to := q.RepeatTime.Window()
+		if from != to {
+			wire.RepeatHourMin = []string{from.String(), to.String()}
+		}
+	}
+	if !q.TimeRange.Start.IsZero() {
+		wire.TimeStart = q.TimeRange.Start.Format(time.RFC3339)
+	}
+	if !q.TimeRange.End.IsZero() {
+		wire.TimeEnd = q.TimeRange.End.Format(time.RFC3339)
+	}
+	if !q.Reference.IsZero() {
+		wire.Reference = q.Reference.Format(time.RFC3339)
+	}
+	var resp searchResp
+	if err := doJSON(c.hc(), c.BaseURL, "/api/search", wire, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Contributors, nil
+}
+
+// SaveList stores a named contributor list.
+func (c *BrokerClient) SaveList(key auth.APIKey, name string, members []string) error {
+	return doJSON(c.hc(), c.BaseURL, "/api/lists/save", &listSaveReq{Key: key, Name: name, Members: members}, &okResp{})
+}
+
+// List fetches a saved contributor list.
+func (c *BrokerClient) List(key auth.APIKey, name string) ([]string, error) {
+	var resp listGetResp
+	if err := doJSON(c.hc(), c.BaseURL, "/api/lists/get", &listGetReq{Key: key, Name: name}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Members, nil
+}
+
+// CreateStudy declares a study.
+func (c *BrokerClient) CreateStudy(name string) error {
+	return doJSON(c.hc(), c.BaseURL, "/api/studies/create", &studyReq{Study: name}, &okResp{})
+}
+
+// JoinStudy adds the consumer to a study.
+func (c *BrokerClient) JoinStudy(key auth.APIKey, study string) error {
+	return doJSON(c.hc(), c.BaseURL, "/api/studies/join", &studyReq{Key: key, Study: study}, &okResp{})
+}
+
+// StudyMembers lists a study's members.
+func (c *BrokerClient) StudyMembers(study string) ([]string, error) {
+	var resp studyMembersResp
+	if err := doJSON(c.hc(), c.BaseURL, "/api/studies/members", &studyReq{Study: study}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Members, nil
+}

@@ -1,0 +1,99 @@
+// Package httpapi exposes the remote data store and the broker over
+// HTTP(S) JSON APIs and provides the matching typed clients. Following the
+// paper (§5.4), API keys travel in the body of POST requests — never in
+// URLs — so that TLS protects them and they stay out of server logs; the
+// servers also expose a minimal HTML status page standing in for the
+// paper's web user interface (Fig. 3), whose output is the same rule JSON
+// the API accepts.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"sensorsafe/internal/auth"
+	"sensorsafe/internal/broker"
+	"sensorsafe/internal/datastore"
+)
+
+// maxBodyBytes bounds request bodies (64 MiB covers large upload batches).
+const maxBodyBytes = 64 << 20
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeJSON encodes a 200 response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late for a status change; the connection will show the
+		// truncated body.
+		return
+	}
+}
+
+// writeError maps service errors to HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, auth.ErrBadKey),
+		errors.Is(err, auth.ErrBadLogin),
+		errors.Is(err, auth.ErrSessionExpired):
+		status = http.StatusUnauthorized
+	case errors.Is(err, datastore.ErrNotContributor),
+		errors.Is(err, datastore.ErrNotConsumer):
+		status = http.StatusForbidden
+	case errors.Is(err, auth.ErrUnknownUser),
+		errors.Is(err, datastore.ErrUnknownUser),
+		errors.Is(err, broker.ErrUnknownContributor),
+		errors.Is(err, broker.ErrUnknownStore),
+		errors.Is(err, broker.ErrUnknownList),
+		errors.Is(err, broker.ErrUnknownStudy):
+		status = http.StatusNotFound
+	case errors.Is(err, auth.ErrDuplicateUser):
+		status = http.StatusConflict
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}
+
+// post wraps a JSON-in/JSON-out handler: decodes the request body into req
+// and writes whatever handle returns.
+func post[Req any, Resp any](handle func(*Req) (Resp, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, fmt.Errorf("httpapi: method %s not allowed", r.Method))
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+		if err != nil {
+			writeError(w, fmt.Errorf("httpapi: reading body: %w", err))
+			return
+		}
+		var req Req
+		if len(body) > 0 {
+			if err := json.Unmarshal(body, &req); err != nil {
+				writeError(w, fmt.Errorf("httpapi: bad request JSON: %w", err))
+				return
+			}
+		}
+		resp, err := handle(&req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, resp)
+	}
+}
+
+// okResp is the empty success envelope.
+type okResp struct {
+	OK bool `json:"ok"`
+}

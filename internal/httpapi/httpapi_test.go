@@ -1,0 +1,351 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sensorsafe/internal/broker"
+	"sensorsafe/internal/datastore"
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/phone"
+	"sensorsafe/internal/query"
+	"sensorsafe/internal/rules"
+	"sensorsafe/internal/sensors"
+	"sensorsafe/internal/timeutil"
+	"sensorsafe/internal/wavesegment"
+)
+
+// Compile-time wiring assertions: the HTTP clients must satisfy the
+// interfaces the in-process services do.
+var (
+	_ phone.Store          = (*StoreClient)(nil)
+	_ broker.StoreConn     = (*StoreClient)(nil)
+	_ datastore.SyncTarget = (*BrokerClient)(nil)
+	_ datastore.Directory  = (*BrokerClient)(nil)
+)
+
+var (
+	t0   = time.Date(2011, 2, 16, 8, 0, 0, 0, time.UTC)
+	home = geo.Point{Lat: 34.0250, Lon: -118.4950}
+)
+
+// testDeployment spins up a broker server and one store server wired to it
+// over real HTTP.
+type testDeployment struct {
+	brokerSvc    *broker.Service
+	brokerClient *BrokerClient
+	storeSvc     *datastore.Service
+	storeClient  *StoreClient
+}
+
+func deploy(t *testing.T) *testDeployment {
+	t.Helper()
+	bsvc := broker.New()
+	brokerServer := httptest.NewServer(NewBrokerHandler(bsvc))
+	t.Cleanup(brokerServer.Close)
+	bc := &BrokerClient{BaseURL: brokerServer.URL}
+
+	// The store reaches the broker through the HTTP client (sync +
+	// directory), like a real multi-host deployment.
+	var storeURL string
+	svc, err := datastore.New(datastore.Options{Sync: bc, Directory: &lazyDirectory{bc: bc, addr: &storeURL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	storeServer := httptest.NewServer(NewStoreHandler(svc))
+	t.Cleanup(storeServer.Close)
+	storeURL = storeServer.URL
+
+	sc := &StoreClient{BaseURL: storeServer.URL}
+	bsvc.RegisterStore(sc)
+	return &testDeployment{brokerSvc: bsvc, brokerClient: bc, storeSvc: svc, storeClient: sc}
+}
+
+// lazyDirectory defers the store address until the test server is up.
+type lazyDirectory struct {
+	bc   *BrokerClient
+	addr *string
+}
+
+func (d *lazyDirectory) RegisterContributor(name, _ string) error {
+	return d.bc.RegisterContributor(name, *d.addr)
+}
+
+func TestEndToEndOverHTTP(t *testing.T) {
+	d := deploy(t)
+
+	// Alice registers on her store; the store registers her on the broker.
+	alice, err := d.storeClient.Register("alice", "contributor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alice.Key == "" {
+		t.Fatal("no key")
+	}
+
+	// Alice labels her campus and sets Fig. 4-style rules.
+	rect, _ := geo.NewRect(geo.Point{Lat: 34.02, Lon: -118.50}, geo.Point{Lat: 34.03, Lon: -118.49})
+	if err := d.storeClient.DefinePlace(alice.Key, "home", geo.Region{Rect: rect}); err != nil {
+		t.Fatal(err)
+	}
+	ruleJSON := `[
+	  {"Consumer": ["Bob"], "Action": "Allow"},
+	  {"Consumer": ["Bob"], "Context": ["Drive"],
+	   "Action": {"Abstraction": {"Stress": "NotShared"}}}
+	]`
+	if err := d.storeClient.SetRules(alice.Key, []byte(ruleJSON)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Her phone runs a scripted morning over the HTTP client.
+	p := &phone.Phone{Contributor: "alice", Key: alice.Key, Store: d.storeClient}
+	rep, err := p.Run(&sensors.Scenario{
+		Start: t0, Origin: home, Seed: 5,
+		Phases: []sensors.Phase{
+			{Duration: 2 * time.Minute, Activity: rules.CtxStill, Stressed: true},
+			{Duration: 2 * time.Minute, Activity: rules.CtxDrive, Stressed: true, Heading: 80},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PacketsUploaded == 0 || rep.RecordsWritten == 0 {
+		t.Fatalf("phone report = %+v", rep)
+	}
+
+	// Bob registers on the broker, finds Alice, connects, and queries her
+	// store directly.
+	bob, err := d.brokerClient.RegisterConsumer("Bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := d.brokerClient.Directory(bob.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dir) != 1 || dir[0].Name != "alice" || dir[0].RuleCount != 2 {
+		t.Fatalf("directory = %+v", dir)
+	}
+	cred, err := d.brokerClient.Connect(bob.Key, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cred.StoreAddr != d.storeClient.BaseURL {
+		t.Errorf("credential addr = %q", cred.StoreAddr)
+	}
+
+	rels, err := d.storeClient.Query(cred.Key, &query.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rels) == 0 {
+		t.Fatal("Bob should receive releases")
+	}
+	// While driving, stress must be withheld and ECG/Respiration blocked.
+	var sawDrive, sawStill bool
+	for _, rel := range rels {
+		for _, c := range rel.Contexts {
+			if c.Context == rules.CtxDrive {
+				sawDrive = true
+				if rel.Segment != nil && (rel.Segment.HasChannel(wavesegment.ChannelECG) ||
+					rel.Segment.HasChannel(wavesegment.ChannelRespiration)) {
+					t.Error("stress-bearing channels leaked while driving")
+				}
+			}
+			if c.Context == rules.CtxStressed {
+				sawStill = true
+			}
+		}
+	}
+	if !sawDrive {
+		t.Error("no driving releases seen")
+	}
+	if !sawStill {
+		t.Error("stress label should flow outside driving")
+	}
+
+	// Credentials are vaulted.
+	creds, err := d.brokerClient.Credentials(bob.Key)
+	if err != nil || len(creds) != 1 || creds[0].Key != cred.Key {
+		t.Errorf("credentials = %v, %v", creds, err)
+	}
+}
+
+func TestBrokerSearchOverHTTP(t *testing.T) {
+	d := deploy(t)
+	alice, err := d.storeClient.Register("alice", "contributor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rect, _ := geo.NewRect(geo.Point{Lat: 34.05, Lon: -118.46}, geo.Point{Lat: 34.08, Lon: -118.43})
+	if err := d.storeClient.DefinePlace(alice.Key, "work", geo.Region{Rect: rect}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.storeClient.SetRules(alice.Key, []byte(`[{"Action":"Allow"}]`)); err != nil {
+		t.Fatal(err)
+	}
+
+	bob, err := d.brokerClient.RegisterConsumer("Bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _ := timeutil.ParseRepeated([]string{"Mon", "Tue", "Wed", "Thu", "Fri"}, []string{"9:00am", "6:00pm"})
+	got, err := d.brokerClient.Search(bob.Key, &broker.SearchQuery{
+		Sensors:       []string{"ECG", "Respiration"},
+		LocationLabel: "work",
+		RepeatTime:    rep,
+		Reference:     t0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "alice" {
+		t.Fatalf("search = %v", got)
+	}
+
+	// Lists and studies over the wire.
+	if err := d.brokerClient.SaveList(bob.Key, "myStudy", got); err != nil {
+		t.Fatal(err)
+	}
+	members, err := d.brokerClient.List(bob.Key, "myStudy")
+	if err != nil || len(members) != 1 {
+		t.Fatalf("list = %v, %v", members, err)
+	}
+	if err := d.brokerClient.CreateStudy("S"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.brokerClient.JoinStudy(bob.Key, "S"); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := d.brokerClient.StudyMembers("S")
+	if err != nil || len(ms) != 1 || ms[0] != "bob" {
+		t.Fatalf("study members = %v, %v", ms, err)
+	}
+}
+
+func TestQueryTextOverHTTP(t *testing.T) {
+	d := deploy(t)
+	alice, _ := d.storeClient.Register("alice", "contributor")
+	if err := d.storeClient.SetRules(alice.Key, []byte(`[{"Action":"Allow"}]`)); err != nil {
+		t.Fatal(err)
+	}
+	seg := &wavesegment.Segment{
+		Contributor: "alice", Start: t0, Interval: 100 * time.Millisecond,
+		Location: home, Channels: []string{wavesegment.ChannelECG},
+		Values: [][]float64{{1}, {2}, {3}},
+	}
+	if _, err := d.storeClient.Upload(alice.Key, []*wavesegment.Segment{seg}); err != nil {
+		t.Fatal(err)
+	}
+	bob, _ := d.storeClient.Register("bob", "consumer")
+	rels, err := d.storeClient.QueryText(bob.Key, "channels(ECG) limit(10)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rels) != 1 || rels[0].Segment.NumSamples() != 3 {
+		t.Fatalf("releases = %+v", rels)
+	}
+	if _, err := d.storeClient.QueryText(bob.Key, "bogus(("); err == nil {
+		t.Error("bad query text should error")
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	d := deploy(t)
+	// Unauthorized.
+	if _, err := d.storeClient.Query("bogus", &query.Query{}); err == nil || !strings.Contains(err.Error(), "401") {
+		t.Errorf("bad key error = %v", err)
+	}
+	// Conflict on duplicate registration.
+	if _, err := d.storeClient.Register("dup", "consumer"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.storeClient.Register("dup", "consumer"); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Errorf("duplicate error = %v", err)
+	}
+	// Unknown role.
+	if _, err := d.storeClient.Register("x", "wizard"); err == nil {
+		t.Error("unknown role should error")
+	}
+	// Not found.
+	bob, _ := d.brokerClient.RegisterConsumer("bob")
+	if _, err := d.brokerClient.Connect(bob.Key, "nobody"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown contributor error = %v", err)
+	}
+	// Forbidden: consumer uploading.
+	bobStore, _ := d.storeClient.Register("bobstore", "consumer")
+	seg := &wavesegment.Segment{
+		Contributor: "bobstore", Start: t0, Interval: time.Second,
+		Channels: []string{"ECG"}, Values: [][]float64{{1}},
+	}
+	if _, err := d.storeClient.Upload(bobStore.Key, []*wavesegment.Segment{seg}); err == nil || !strings.Contains(err.Error(), "403") {
+		t.Errorf("forbidden error = %v", err)
+	}
+}
+
+func TestMethodNotAllowedAndPages(t *testing.T) {
+	d := deploy(t)
+	resp, err := http.Get(d.storeClient.BaseURL + "/api/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("GET on POST endpoint should not succeed")
+	}
+	for _, url := range []string{d.storeClient.BaseURL, d.brokerClient.BaseURL} {
+		resp, err := http.Get(url + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("admin page %s: HTTP %d", url, resp.StatusCode)
+		}
+		resp, err = http.Get(url + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("healthz %s: HTTP %d", url, resp.StatusCode)
+		}
+		resp, err = http.Get(url + "/nonexistent")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("bogus path %s: HTTP %d", url, resp.StatusCode)
+		}
+	}
+}
+
+func TestRuleAwarePhoneOverHTTP(t *testing.T) {
+	d := deploy(t)
+	alice, _ := d.storeClient.Register("alice", "contributor")
+	if err := d.storeClient.SetRules(alice.Key, []byte(`[
+	  {"Action":"Allow"},
+	  {"Context":["Drive"],"Action":"Deny"}
+	]`)); err != nil {
+		t.Fatal(err)
+	}
+	p := &phone.Phone{Contributor: "alice", Key: alice.Key, Store: d.storeClient, RuleAware: true}
+	rep, err := p.Run(&sensors.Scenario{
+		Start: t0, Origin: home, Seed: 5,
+		Phases: []sensors.Phase{
+			{Duration: 2 * time.Minute, Activity: rules.CtxStill},
+			{Duration: 2 * time.Minute, Activity: rules.CtxDrive, Heading: 90},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PacketsDiscarded == 0 || rep.PacketsUploaded == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}

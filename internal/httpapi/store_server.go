@@ -1,0 +1,338 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"sensorsafe/internal/abstraction"
+	"sensorsafe/internal/audit"
+	"sensorsafe/internal/auth"
+	"sensorsafe/internal/datastore"
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/query"
+	"sensorsafe/internal/recommend"
+	"sensorsafe/internal/wavesegment"
+)
+
+// Wire types shared by the store server and client.
+
+type registerReq struct {
+	Name string `json:"name"`
+	Role string `json:"role"` // "contributor" or "consumer"
+}
+
+type registerResp struct {
+	Name string      `json:"name"`
+	Role string      `json:"role"`
+	Key  auth.APIKey `json:"key"`
+}
+
+type uploadReq struct {
+	Key      auth.APIKey            `json:"key"`
+	Segments []*wavesegment.Segment `json:"segments"`
+}
+
+type uploadResp struct {
+	Records int `json:"records"`
+}
+
+type queryReq struct {
+	Key auth.APIKey `json:"key"`
+	// Query is the structured form; Text is the mini-language alternative
+	// (used by CLIs). Text wins when both are present.
+	Query *query.Query `json:"query,omitempty"`
+	Text  string       `json:"text,omitempty"`
+}
+
+type queryResp struct {
+	Releases []*abstraction.Release `json:"releases"`
+}
+
+type queryOwnResp struct {
+	Segments []*wavesegment.Segment `json:"segments"`
+}
+
+type rulesSetReq struct {
+	Key   auth.APIKey     `json:"key"`
+	Rules json.RawMessage `json:"rules"`
+}
+
+type rulesGetReq struct {
+	Key auth.APIKey `json:"key"`
+}
+
+type rulesGetResp struct {
+	Rules json.RawMessage `json:"rules"`
+}
+
+type placeDefineReq struct {
+	Key    auth.APIKey `json:"key"`
+	Label  string      `json:"label"`
+	Region geo.Region  `json:"region"`
+}
+
+type placesListResp struct {
+	Places []geo.Region `json:"places"`
+}
+
+type groupsAssignReq struct {
+	Key      auth.APIKey `json:"key"`
+	Consumer string      `json:"consumer"`
+	Groups   []string    `json:"groups"`
+}
+
+type statusResp struct {
+	Name     string `json:"name"`
+	Segments int    `json:"segments"`
+	Users    int    `json:"users"`
+}
+
+type auditEventsReq struct {
+	Key      auth.APIKey `json:"key"`
+	Consumer string      `json:"consumer,omitempty"`
+	Since    string      `json:"since,omitempty"` // RFC3339
+	Limit    int         `json:"limit,omitempty"`
+}
+
+type auditEventsResp struct {
+	Events []audit.Event `json:"events"`
+}
+
+type auditSummaryResp struct {
+	Consumers []audit.ConsumerSummary `json:"consumers"`
+}
+
+type recommendReq struct {
+	Key         auth.APIKey `json:"key"`
+	MinOverlap  float64     `json:"minOverlap,omitempty"`
+	MinDuration string      `json:"minDuration,omitempty"` // Go duration, e.g. "2m"
+}
+
+type recommendResp struct {
+	Suggestions []recommend.Suggestion `json:"suggestions"`
+}
+
+type passwordReq struct {
+	Key      auth.APIKey `json:"key"`
+	Password string      `json:"password"`
+}
+
+type loginReq struct {
+	Name     string `json:"name"`
+	Password string `json:"password"`
+}
+
+type loginResp struct {
+	Token string `json:"token"`
+}
+
+func (q *queryReq) resolve() (*query.Query, error) {
+	if q.Text != "" {
+		return query.Parse(q.Text)
+	}
+	if q.Query != nil {
+		return q.Query, nil
+	}
+	return &query.Query{}, nil
+}
+
+// NewStoreHandler builds the HTTP API for one remote data store.
+func NewStoreHandler(svc *datastore.Service) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/api/register", post(func(r *registerReq) (registerResp, error) {
+		var u auth.User
+		var err error
+		switch r.Role {
+		case "contributor":
+			u, err = svc.RegisterContributor(r.Name)
+		case "consumer", "":
+			u, err = svc.RegisterConsumer(r.Name)
+		default:
+			return registerResp{}, fmt.Errorf("httpapi: unknown role %q", r.Role)
+		}
+		if err != nil {
+			return registerResp{}, err
+		}
+		return registerResp{Name: u.Name, Role: u.Role.String(), Key: u.Key}, nil
+	}))
+
+	mux.HandleFunc("/api/upload", post(func(r *uploadReq) (uploadResp, error) {
+		n, err := svc.Upload(r.Key, r.Segments)
+		if err != nil {
+			return uploadResp{}, err
+		}
+		return uploadResp{Records: n}, nil
+	}))
+
+	mux.HandleFunc("/api/query", post(func(r *queryReq) (queryResp, error) {
+		q, err := r.resolve()
+		if err != nil {
+			return queryResp{}, err
+		}
+		rels, err := svc.Query(r.Key, q)
+		if err != nil {
+			return queryResp{}, err
+		}
+		return queryResp{Releases: rels}, nil
+	}))
+
+	mux.HandleFunc("/api/queryown", post(func(r *queryReq) (queryOwnResp, error) {
+		q, err := r.resolve()
+		if err != nil {
+			return queryOwnResp{}, err
+		}
+		segs, err := svc.QueryOwn(r.Key, q)
+		if err != nil {
+			return queryOwnResp{}, err
+		}
+		return queryOwnResp{Segments: segs}, nil
+	}))
+
+	mux.HandleFunc("/api/rules/set", post(func(r *rulesSetReq) (okResp, error) {
+		if err := svc.SetRules(r.Key, r.Rules); err != nil {
+			return okResp{}, err
+		}
+		return okResp{OK: true}, nil
+	}))
+
+	mux.HandleFunc("/api/rules/get", post(func(r *rulesGetReq) (rulesGetResp, error) {
+		data, err := svc.Rules(r.Key)
+		if err != nil {
+			return rulesGetResp{}, err
+		}
+		return rulesGetResp{Rules: data}, nil
+	}))
+
+	mux.HandleFunc("/api/places/define", post(func(r *placeDefineReq) (okResp, error) {
+		if err := svc.DefinePlace(r.Key, r.Label, r.Region); err != nil {
+			return okResp{}, err
+		}
+		return okResp{OK: true}, nil
+	}))
+
+	mux.HandleFunc("/api/places/list", post(func(r *rulesGetReq) (placesListResp, error) {
+		ps, err := svc.Places(r.Key)
+		if err != nil {
+			return placesListResp{}, err
+		}
+		return placesListResp{Places: ps}, nil
+	}))
+
+	mux.HandleFunc("/api/groups/assign", post(func(r *groupsAssignReq) (okResp, error) {
+		if err := svc.AssignConsumerGroups(r.Key, r.Consumer, r.Groups); err != nil {
+			return okResp{}, err
+		}
+		return okResp{OK: true}, nil
+	}))
+
+	mux.HandleFunc("/api/audit/events", post(func(r *auditEventsReq) (auditEventsResp, error) {
+		f := audit.Filter{Consumer: r.Consumer, Limit: r.Limit}
+		if r.Since != "" {
+			since, err := time.Parse(time.RFC3339, r.Since)
+			if err != nil {
+				return auditEventsResp{}, fmt.Errorf("httpapi: bad since: %w", err)
+			}
+			f.Since = since
+		}
+		events, err := svc.Audit(r.Key, f)
+		if err != nil {
+			return auditEventsResp{}, err
+		}
+		return auditEventsResp{Events: events}, nil
+	}))
+
+	mux.HandleFunc("/api/audit/summary", post(func(r *rulesGetReq) (auditSummaryResp, error) {
+		sums, err := svc.AuditSummary(r.Key)
+		if err != nil {
+			return auditSummaryResp{}, err
+		}
+		return auditSummaryResp{Consumers: sums}, nil
+	}))
+
+	mux.HandleFunc("/api/rotate", post(func(r *rulesGetReq) (registerResp, error) {
+		newKey, err := svc.RotateKey(r.Key)
+		if err != nil {
+			return registerResp{}, err
+		}
+		return registerResp{Key: newKey}, nil
+	}))
+
+	mux.HandleFunc("/api/recommend", post(func(r *recommendReq) (recommendResp, error) {
+		opts := recommend.Options{MinOverlap: r.MinOverlap}
+		if r.MinDuration != "" {
+			d, err := time.ParseDuration(r.MinDuration)
+			if err != nil {
+				return recommendResp{}, fmt.Errorf("httpapi: bad minDuration: %w", err)
+			}
+			opts.MinDuration = d
+		}
+		sugs, err := svc.Recommend(r.Key, opts)
+		if err != nil {
+			return recommendResp{}, err
+		}
+		return recommendResp{Suggestions: sugs}, nil
+	}))
+
+	// Web-UI login (paper §5.4: "Accesses to web user interfaces are
+	// authenticated by a login system using a username and a password").
+	// A user proves API-key possession to set their password, then logs in
+	// for a session token.
+	mux.HandleFunc("/api/password", post(func(r *passwordReq) (okResp, error) {
+		u, err := svc.Users().Authenticate(r.Key)
+		if err != nil {
+			return okResp{}, err
+		}
+		if err := svc.Web().SetPassword(u.Name, r.Password); err != nil {
+			return okResp{}, err
+		}
+		return okResp{OK: true}, nil
+	}))
+
+	mux.HandleFunc("/api/login", post(func(r *loginReq) (loginResp, error) {
+		token, err := svc.Web().Login(r.Name, r.Password)
+		if err != nil {
+			return loginResp{}, err
+		}
+		return loginResp{Token: token}, nil
+	}))
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, statusResp{Name: svc.Name(), Segments: svc.SegmentCount(), Users: svc.Users().Len()})
+	})
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, storeAdminHTML, svc.Name(), svc.SegmentCount(), svc.Users().Len())
+	})
+
+	return mux
+}
+
+// storeAdminHTML is the minimal web UI of the store (the paper's Fig. 3 UI
+// produces exactly the rule JSON the /api/rules endpoints accept).
+const storeAdminHTML = `<!DOCTYPE html>
+<html><head><title>SensorSafe Remote Data Store</title></head>
+<body>
+<h1>SensorSafe Remote Data Store: %s</h1>
+<p>Stored wave segments: %d &middot; Registered users: %d</p>
+<h2>API</h2>
+<ul>
+<li>POST /api/register {name, role}</li>
+<li>POST /api/upload {key, segments}</li>
+<li>POST /api/query {key, query|text}</li>
+<li>POST /api/queryown {key, query|text}</li>
+<li>POST /api/rules/set {key, rules} &mdash; Fig. 4 JSON</li>
+<li>POST /api/rules/get {key}</li>
+<li>POST /api/places/define {key, label, region}</li>
+<li>POST /api/places/list {key}</li>
+<li>POST /api/groups/assign {key, consumer, groups}</li>
+</ul>
+</body></html>
+`

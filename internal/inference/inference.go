@@ -1,0 +1,330 @@
+// Package inference derives behavioural context labels from raw sensor
+// signals: transportation mode from accelerometer + GPS (after Reddy et al.,
+// cited as [33] in the paper), stress from ECG + respiration (after Plarre
+// et al. [31]), smoking from respiration, and conversation from microphone
+// energy. The paper treats these inferences as black boxes whose *outputs*
+// drive access control; this implementation uses deterministic feature
+// thresholds calibrated against the synthetic generators in package
+// sensors, which is sufficient to exercise every access-control path.
+package inference
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/rules"
+	"sensorsafe/internal/wavesegment"
+)
+
+// Thresholds calibrated against package sensors' generators.
+const (
+	// stressHeartRateBPM separates calm (~65 bpm) from stressed (~95 bpm).
+	stressHeartRateBPM = 80
+	// stressRespirationRPM separates calm (~14) from stressed (~20).
+	stressRespirationRPM = 17
+	// smokingRespirationRPM: deep slow puffs run ~8 cycles/min.
+	smokingRespirationRPM = 11
+	// smokingDepth: puff amplitude ~2.5 vs normal ~1.0.
+	smokingDepth = 1.8
+	// conversationEnergy: mean |mic| during speech ~0.3 vs ambient ~0.02.
+	conversationEnergy = 0.12
+	// ecgPeakLevel: R-peak excursion (~1.2) vs baseline noise (~0.05).
+	ecgPeakLevel = 0.8
+	// respCrossingHysteresis avoids noise-induced double counting.
+	respCrossingHysteresis = 0.2
+)
+
+// Speed boundaries (m/s) between transportation modes.
+const (
+	speedStillMax = 0.3
+	speedWalkMax  = 2.2
+	speedRunMax   = 5.0
+	speedBikeMax  = 9.0
+)
+
+// DefaultWindow is the inference window size.
+const DefaultWindow = 10 * time.Second
+
+// Features summarizes one analysis window.
+type Features struct {
+	Start time.Time
+	End   time.Time
+	// SpeedMPS is the straight-line GPS speed across the window.
+	SpeedMPS float64
+	// AccelVariance is the variance of the accel magnitude (gravity removed).
+	AccelVariance float64
+	// HeartRateBPM is the ECG R-peak rate.
+	HeartRateBPM float64
+	// RespirationRPM is the respiration cycle rate.
+	RespirationRPM float64
+	// RespirationDepth is the mean peak amplitude of the respiration wave.
+	RespirationDepth float64
+	// MicEnergy is the mean absolute microphone level.
+	MicEnergy float64
+	// Has* flag which sensors contributed.
+	HasGPS, HasAccel, HasECG, HasResp, HasMic bool
+}
+
+// TransportMode classifies the window's transportation mode, or "" when the
+// window lacks motion sensors.
+func (f *Features) TransportMode() string {
+	if !f.HasGPS && !f.HasAccel {
+		return ""
+	}
+	if f.HasGPS {
+		switch {
+		case f.SpeedMPS < speedStillMax:
+			// Idling vehicles vibrate; a stationary phone does not.
+			if f.HasAccel && f.AccelVariance > 0.002 {
+				return rules.CtxDrive
+			}
+			return rules.CtxStill
+		case f.SpeedMPS < speedWalkMax:
+			return rules.CtxWalk
+		case f.SpeedMPS < speedRunMax:
+			return rules.CtxRun
+		case f.SpeedMPS < speedBikeMax:
+			return rules.CtxBike
+		default:
+			return rules.CtxDrive
+		}
+	}
+	// Accel-only fallback: amplitude separates still/walk/run coarsely.
+	switch {
+	case f.AccelVariance < 0.0005:
+		return rules.CtxStill
+	case f.AccelVariance < 0.1:
+		return rules.CtxWalk
+	default:
+		return rules.CtxRun
+	}
+}
+
+// Stressed classifies the window's stress state; ok is false without
+// cardio-respiratory channels.
+func (f *Features) Stressed() (stressed, ok bool) {
+	if !f.HasECG || !f.HasResp {
+		return false, false
+	}
+	return f.HeartRateBPM > stressHeartRateBPM && f.RespirationRPM > stressRespirationRPM, true
+}
+
+// SmokingDetected classifies the window's smoking state from respiration.
+func (f *Features) SmokingDetected() (smoking, ok bool) {
+	if !f.HasResp {
+		return false, false
+	}
+	return f.RespirationDepth > smokingDepth && f.RespirationRPM < smokingRespirationRPM, true
+}
+
+// InConversation classifies the window from microphone energy.
+func (f *Features) InConversation() (conv, ok bool) {
+	if !f.HasMic {
+		return false, false
+	}
+	return f.MicEnergy > conversationEnergy, true
+}
+
+// ExtractFeatures computes window features from one wave segment's samples
+// in [from, to).
+func ExtractFeatures(seg *wavesegment.Segment, from, to time.Time) Features {
+	f := Features{Start: from, End: to}
+	win := seg.Slice(from, to)
+	if win == nil {
+		return f
+	}
+	n := win.NumSamples()
+	dur := win.Duration().Seconds()
+	if n == 0 || dur <= 0 {
+		return f
+	}
+
+	if lat, ok := win.Column(wavesegment.ChannelLatitude); ok {
+		if lon, ok2 := win.Column(wavesegment.ChannelLongitude); ok2 && n >= 2 {
+			f.HasGPS = true
+			a := geo.Point{Lat: lat[0], Lon: lon[0]}
+			b := geo.Point{Lat: lat[n-1], Lon: lon[n-1]}
+			f.SpeedMPS = geo.Distance(a, b) / dur
+		}
+	}
+
+	ax, okx := win.Column(wavesegment.ChannelAccelX)
+	ay, oky := win.Column(wavesegment.ChannelAccelY)
+	az, okz := win.Column(wavesegment.ChannelAccelZ)
+	if okx && oky && okz {
+		f.HasAccel = true
+		mags := make([]float64, n)
+		var mean float64
+		for i := 0; i < n; i++ {
+			m := math.Sqrt(ax[i]*ax[i]+ay[i]*ay[i]+az[i]*az[i]) - 1.0
+			mags[i] = m
+			mean += m
+		}
+		mean /= float64(n)
+		var v float64
+		for _, m := range mags {
+			v += (m - mean) * (m - mean)
+		}
+		f.AccelVariance = v / float64(n)
+	}
+
+	if ecg, ok := win.Column(wavesegment.ChannelECG); ok {
+		f.HasECG = true
+		peaks := 0
+		above := false
+		for _, v := range ecg {
+			if v > ecgPeakLevel {
+				if !above {
+					peaks++
+					above = true
+				}
+			} else {
+				above = false
+			}
+		}
+		f.HeartRateBPM = float64(peaks) / dur * 60
+	}
+
+	if resp, ok := win.Column(wavesegment.ChannelRespiration); ok {
+		f.HasResp = true
+		crossings := 0
+		state := 0 // -1 below, +1 above
+		var peak float64
+		for _, v := range resp {
+			if a := math.Abs(v); a > peak {
+				peak = a
+			}
+			switch {
+			case v > respCrossingHysteresis && state <= 0:
+				if state == -1 {
+					crossings++
+				}
+				state = 1
+			case v < -respCrossingHysteresis && state >= 0:
+				state = -1
+			}
+		}
+		f.RespirationRPM = float64(crossings) / dur * 60
+		f.RespirationDepth = peak
+	}
+
+	if mic, ok := win.Column(wavesegment.ChannelMicrophone); ok {
+		f.HasMic = true
+		var sum float64
+		for _, v := range mic {
+			sum += math.Abs(v)
+		}
+		f.MicEnergy = sum / float64(n)
+	}
+	return f
+}
+
+// Annotator runs windowed inference over wave segments and merges
+// consecutive equal labels into annotation spans.
+type Annotator struct {
+	// Window is the analysis window (DefaultWindow when zero).
+	Window time.Duration
+}
+
+// Annotate infers context annotations from a batch of segments. Segments
+// are analyzed independently (chest band and phone packets may interleave);
+// the resulting spans are merged per context label.
+func (a *Annotator) Annotate(segs []*wavesegment.Segment) []wavesegment.Annotation {
+	win := a.Window
+	if win <= 0 {
+		win = DefaultWindow
+	}
+	var spans []wavesegment.Annotation
+	for _, seg := range segs {
+		spans = append(spans, a.annotateOne(seg, win)...)
+	}
+	return MergeAnnotations(spans)
+}
+
+func (a *Annotator) annotateOne(seg *wavesegment.Segment, win time.Duration) []wavesegment.Annotation {
+	var out []wavesegment.Annotation
+	start, end := seg.StartTime(), seg.EndTime()
+	for from := start; from.Before(end); from = from.Add(win) {
+		to := from.Add(win)
+		if to.After(end) {
+			to = end
+		}
+		f := ExtractFeatures(seg, from, to)
+		emit := func(ctx string) {
+			out = append(out, wavesegment.Annotation{Context: ctx, Start: from, End: to})
+		}
+		if mode := f.TransportMode(); mode != "" {
+			emit(mode)
+		}
+		if stressed, ok := f.Stressed(); ok {
+			if stressed {
+				emit(rules.CtxStressed)
+			} else {
+				emit(rules.CtxNotStressed)
+			}
+		}
+		if smoking, ok := f.SmokingDetected(); ok && smoking {
+			emit(rules.CtxSmoking)
+		}
+		if conv, ok := f.InConversation(); ok && conv {
+			emit(rules.CtxConversation)
+		}
+	}
+	return out
+}
+
+// MergeAnnotations coalesces annotations with the same context label whose
+// spans touch or overlap, returning spans sorted by start time.
+func MergeAnnotations(spans []wavesegment.Annotation) []wavesegment.Annotation {
+	byCtx := make(map[string][]wavesegment.Annotation)
+	for _, s := range spans {
+		byCtx[s.Context] = append(byCtx[s.Context], s)
+	}
+	var out []wavesegment.Annotation
+	for _, group := range byCtx {
+		sort.Slice(group, func(i, j int) bool { return group[i].Start.Before(group[j].Start) })
+		cur := group[0]
+		for _, s := range group[1:] {
+			if !s.Start.After(cur.End) { // touching or overlapping
+				if s.End.After(cur.End) {
+					cur.End = s.End
+				}
+				continue
+			}
+			out = append(out, cur)
+			cur = s
+		}
+		out = append(out, cur)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start.Equal(out[j].Start) {
+			return out[i].Context < out[j].Context
+		}
+		return out[i].Start.Before(out[j].Start)
+	})
+	return out
+}
+
+// ApplyAnnotations attaches the inferred spans overlapping each segment to
+// that segment (clipped to the segment's extent), the way the paper's phone
+// annotates sensor data with context before upload.
+func ApplyAnnotations(segs []*wavesegment.Segment, spans []wavesegment.Annotation) {
+	for _, seg := range segs {
+		ss, se := seg.StartTime(), seg.EndTime()
+		for _, a := range spans {
+			if !a.Overlaps(ss, se) {
+				continue
+			}
+			from, to := a.Start, a.End
+			if from.Before(ss) {
+				from = ss
+			}
+			if to.After(se) {
+				to = se
+			}
+			_ = seg.Annotate(a.Context, from, to)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package inference
+
+import (
+	"testing"
+	"time"
+
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/rules"
+	"sensorsafe/internal/sensors"
+	"sensorsafe/internal/wavesegment"
+)
+
+var (
+	t0     = time.Date(2011, 2, 16, 8, 0, 0, 0, time.UTC)
+	origin = geo.Point{Lat: 34.0250, Lon: -118.4950}
+)
+
+// record synthesizes one merged phone segment and one merged chest segment
+// for the given phases.
+func record(t *testing.T, phases ...sensors.Phase) (phone, chest *wavesegment.Segment) {
+	t.Helper()
+	rec, err := sensors.Generate("alice", &sensors.Scenario{
+		Start: t0, Origin: origin, Seed: 7, Phases: phases,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phones, err := wavesegment.OptimizeAll(rec.Phone, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chests, err := wavesegment.OptimizeAll(rec.ChestBand, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phones) != 1 || len(chests) != 1 {
+		// Moving scenarios change per-packet location; merge stops there.
+		// Concatenate manually for feature extraction via the first packet
+		// run — tests only use single-activity phases where this holds, or
+		// accept several segments.
+		t.Logf("phones=%d chests=%d (location splits)", len(phones), len(chests))
+	}
+	return phones[0], chests[0]
+}
+
+// fractionLabeled returns the fraction of [from,to) covered by spans with
+// the given context among the annotations.
+func fractionLabeled(spans []wavesegment.Annotation, ctx string, from, to time.Time) float64 {
+	var covered time.Duration
+	for _, a := range spans {
+		if a.Context != ctx || !a.Overlaps(from, to) {
+			continue
+		}
+		s, e := a.Start, a.End
+		if s.Before(from) {
+			s = from
+		}
+		if e.After(to) {
+			e = to
+		}
+		covered += e.Sub(s)
+	}
+	return float64(covered) / float64(to.Sub(from))
+}
+
+func TestTransportModeDetection(t *testing.T) {
+	cases := []struct {
+		activity string
+	}{
+		{rules.CtxStill}, {rules.CtxWalk}, {rules.CtxRun}, {rules.CtxBike}, {rules.CtxDrive},
+	}
+	for _, tc := range cases {
+		t.Run(tc.activity, func(t *testing.T) {
+			rec, err := sensors.Generate("alice", &sensors.Scenario{
+				Start: t0, Origin: origin, Seed: 7,
+				Phases: []sensors.Phase{{Duration: 2 * time.Minute, Activity: tc.activity, Heading: 45}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := &Annotator{}
+			spans := a.Annotate(rec.Phone)
+			frac := fractionLabeled(spans, tc.activity, t0, t0.Add(2*time.Minute))
+			if frac < 0.85 {
+				t.Errorf("%s detected over %.0f%% of the phase, want ≥85%%\nspans: %v", tc.activity, frac*100, spans)
+			}
+		})
+	}
+}
+
+func TestStressDetection(t *testing.T) {
+	_, chest := record(t,
+		sensors.Phase{Duration: 2 * time.Minute, Activity: rules.CtxStill},
+		sensors.Phase{Duration: 2 * time.Minute, Activity: rules.CtxStill, Stressed: true},
+	)
+	a := &Annotator{}
+	spans := a.Annotate([]*wavesegment.Segment{chest})
+
+	calmFrom, calmTo := t0, t0.Add(2*time.Minute)
+	stressFrom, stressTo := t0.Add(2*time.Minute), t0.Add(4*time.Minute)
+
+	if f := fractionLabeled(spans, rules.CtxStressed, stressFrom, stressTo); f < 0.85 {
+		t.Errorf("stressed phase detected %.0f%%, want ≥85%%", f*100)
+	}
+	if f := fractionLabeled(spans, rules.CtxStressed, calmFrom, calmTo); f > 0.15 {
+		t.Errorf("calm phase false-positive %.0f%%", f*100)
+	}
+	if f := fractionLabeled(spans, rules.CtxNotStressed, calmFrom, calmTo); f < 0.85 {
+		t.Errorf("calm phase labeled NotStressed only %.0f%%", f*100)
+	}
+}
+
+func TestSmokingDetection(t *testing.T) {
+	_, chest := record(t,
+		sensors.Phase{Duration: 2 * time.Minute, Activity: rules.CtxStill},
+		sensors.Phase{Duration: 2 * time.Minute, Activity: rules.CtxStill, Smoking: true},
+	)
+	a := &Annotator{}
+	spans := a.Annotate([]*wavesegment.Segment{chest})
+	if f := fractionLabeled(spans, rules.CtxSmoking, t0.Add(2*time.Minute), t0.Add(4*time.Minute)); f < 0.8 {
+		t.Errorf("smoking detected %.0f%%, want ≥80%%", f*100)
+	}
+	if f := fractionLabeled(spans, rules.CtxSmoking, t0, t0.Add(2*time.Minute)); f > 0.15 {
+		t.Errorf("smoking false-positive %.0f%% in normal phase", f*100)
+	}
+}
+
+func TestConversationDetection(t *testing.T) {
+	rec, err := sensors.Generate("alice", &sensors.Scenario{
+		Start: t0, Origin: origin, Seed: 7,
+		Phases: []sensors.Phase{
+			{Duration: 2 * time.Minute, Activity: rules.CtxStill},
+			{Duration: 2 * time.Minute, Activity: rules.CtxStill, Conversation: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &Annotator{}
+	spans := a.Annotate(rec.Phone)
+	if f := fractionLabeled(spans, rules.CtxConversation, t0.Add(2*time.Minute), t0.Add(4*time.Minute)); f < 0.85 {
+		t.Errorf("conversation detected %.0f%%, want ≥85%%", f*100)
+	}
+	if f := fractionLabeled(spans, rules.CtxConversation, t0, t0.Add(2*time.Minute)); f > 0.15 {
+		t.Errorf("conversation false-positive %.0f%% in quiet phase", f*100)
+	}
+}
+
+func TestDayInTheLifeRecall(t *testing.T) {
+	// End-to-end: the full §6 storyline; every scripted context must be
+	// recovered over most of its true span.
+	sc := sensors.DayInTheLife(t0, origin, 0.25)
+	rec, err := sensors.Generate("alice", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &Annotator{}
+	spans := a.Annotate(append(append([]*wavesegment.Segment{}, rec.Phone...), rec.ChestBand...))
+
+	for _, truth := range rec.Truth {
+		if truth.Context == rules.CtxNotStressed {
+			continue // complement label; checked via CtxStressed absence
+		}
+		f := fractionLabeled(spans, truth.Context, truth.Start, truth.End)
+		if f < 0.6 {
+			t.Errorf("context %s recovered %.0f%% of [%v, %v), want ≥60%%",
+				truth.Context, f*100, truth.Start, truth.End)
+		}
+	}
+}
+
+func TestExtractFeaturesMissingChannels(t *testing.T) {
+	seg := &wavesegment.Segment{
+		Contributor: "a", Start: t0, Interval: 100 * time.Millisecond,
+		Channels: []string{wavesegment.ChannelSkinTemp},
+		Values:   [][]float64{{36.5}, {36.6}, {36.4}},
+	}
+	f := ExtractFeatures(seg, t0, t0.Add(time.Second))
+	if f.HasGPS || f.HasAccel || f.HasECG || f.HasResp || f.HasMic {
+		t.Errorf("no inference channels expected: %+v", f)
+	}
+	if f.TransportMode() != "" {
+		t.Error("TransportMode should be empty without motion sensors")
+	}
+	if _, ok := f.Stressed(); ok {
+		t.Error("Stressed should not classify without ECG")
+	}
+	if _, ok := f.SmokingDetected(); ok {
+		t.Error("SmokingDetected should not classify without respiration")
+	}
+	if _, ok := f.InConversation(); ok {
+		t.Error("InConversation should not classify without microphone")
+	}
+}
+
+func TestExtractFeaturesEmptyWindow(t *testing.T) {
+	seg := &wavesegment.Segment{
+		Contributor: "a", Start: t0, Interval: 100 * time.Millisecond,
+		Channels: []string{wavesegment.ChannelECG},
+		Values:   [][]float64{{0}},
+	}
+	f := ExtractFeatures(seg, t0.Add(time.Hour), t0.Add(2*time.Hour))
+	if f.HasECG {
+		t.Error("window outside segment should have no features")
+	}
+}
+
+func TestMergeAnnotations(t *testing.T) {
+	mk := func(ctx string, fromSec, toSec int) wavesegment.Annotation {
+		return wavesegment.Annotation{
+			Context: ctx,
+			Start:   t0.Add(time.Duration(fromSec) * time.Second),
+			End:     t0.Add(time.Duration(toSec) * time.Second),
+		}
+	}
+	got := MergeAnnotations([]wavesegment.Annotation{
+		mk("Walk", 10, 20),
+		mk("Walk", 20, 30), // touching: merge
+		mk("Walk", 40, 50), // gap: separate
+		mk("Drive", 15, 25),
+		mk("Drive", 18, 28), // overlapping: merge
+	})
+	if len(got) != 3 {
+		t.Fatalf("merged spans = %v", got)
+	}
+	if got[0].Context != "Walk" || got[0].End.Sub(got[0].Start) != 20*time.Second {
+		t.Errorf("first span = %+v", got[0])
+	}
+	if got[1].Context != "Drive" || got[1].End.Sub(got[1].Start) != 13*time.Second {
+		t.Errorf("drive span = %+v", got[1])
+	}
+	// Sorted by start.
+	for i := 1; i < len(got); i++ {
+		if got[i].Start.Before(got[i-1].Start) {
+			t.Error("spans not sorted")
+		}
+	}
+	if MergeAnnotations(nil) != nil {
+		t.Error("empty input should stay empty")
+	}
+}
+
+func TestApplyAnnotations(t *testing.T) {
+	seg := &wavesegment.Segment{
+		Contributor: "a", Start: t0.Add(10 * time.Second), Interval: 100 * time.Millisecond,
+		Channels: []string{wavesegment.ChannelECG},
+	}
+	for i := 0; i < 100; i++ { // 10 s
+		seg.Values = append(seg.Values, []float64{0})
+	}
+	spans := []wavesegment.Annotation{
+		{Context: "Walk", Start: t0, End: t0.Add(15 * time.Second)},                        // overlaps start
+		{Context: "Drive", Start: t0.Add(30 * time.Second), End: t0.Add(60 * time.Second)}, // no overlap
+	}
+	ApplyAnnotations([]*wavesegment.Segment{seg}, spans)
+	if len(seg.Annotations) != 1 {
+		t.Fatalf("annotations = %v", seg.Annotations)
+	}
+	a := seg.Annotations[0]
+	if a.Context != "Walk" || !a.Start.Equal(seg.StartTime()) || !a.End.Equal(t0.Add(15*time.Second)) {
+		t.Errorf("clipped annotation = %+v", a)
+	}
+}
+
+func TestAnnotatorWindowOption(t *testing.T) {
+	rec, err := sensors.Generate("alice", &sensors.Scenario{
+		Start: t0, Origin: origin, Seed: 7,
+		Phases: []sensors.Phase{{Duration: time.Minute, Activity: rules.CtxStill}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := &Annotator{Window: 2 * time.Second}
+	long := &Annotator{Window: 30 * time.Second}
+	s1 := short.Annotate(rec.Phone)
+	s2 := long.Annotate(rec.Phone)
+	if len(s1) == 0 || len(s2) == 0 {
+		t.Fatal("both window sizes should produce annotations")
+	}
+}

@@ -1,0 +1,37 @@
+package query
+
+import "testing"
+
+// FuzzParse hardens the text mini-language parser (CLI and API input):
+// never panic; anything accepted must validate, render with String, and
+// re-parse to an equivalent query.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"contributor(alice)",
+		"channels(ECG,Respiration) limit(10)",
+		"time(2011-02-01T00:00:00Z,2011-03-01T00:00:00Z)",
+		"region(34,-119,35,-118) and context(Drive)",
+		"limit(-1)", "bogus((", "time(,)", "channels()",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if verr := q.Validate(); verr != nil {
+			t.Fatalf("accepted query fails validation: %v (input %q)", verr, s)
+		}
+		back, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("rendered query does not re-parse: %v (%q -> %q)", err, s, q.String())
+		}
+		if back.Contributor != q.Contributor || back.Limit != q.Limit ||
+			len(back.Channels) != len(q.Channels) || len(back.Contexts) != len(q.Contexts) ||
+			!back.From.Equal(q.From) || !back.To.Equal(q.To) || back.Region != q.Region {
+			t.Fatalf("round trip changed query: %+v vs %+v", q, back)
+		}
+	})
+}

@@ -1,0 +1,169 @@
+package query
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/rules"
+)
+
+func TestParseFullQuery(t *testing.T) {
+	q, err := Parse("contributor(alice) and channels(ECG, Respiration) " +
+		"time(2011-02-01T00:00:00Z, 2011-03-01T00:00:00Z) " +
+		"region(34,-119,35,-118) context(Drive) limit(100)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Contributor != "alice" {
+		t.Errorf("contributor = %q", q.Contributor)
+	}
+	if len(q.Channels) != 2 || q.Channels[0] != "ECG" || q.Channels[1] != "Respiration" {
+		t.Errorf("channels = %v", q.Channels)
+	}
+	if q.From.IsZero() || q.To.IsZero() || !q.To.After(q.From) {
+		t.Errorf("time = %v..%v", q.From, q.To)
+	}
+	if q.Region.MinLat != 34 || q.Region.MaxLon != -118 {
+		t.Errorf("region = %+v", q.Region)
+	}
+	if len(q.Contexts) != 1 || q.Contexts[0] != rules.CtxDrive {
+		t.Errorf("contexts = %v", q.Contexts)
+	}
+	if q.Limit != 100 {
+		t.Errorf("limit = %d", q.Limit)
+	}
+}
+
+func TestParseEmptyIsMatchAll(t *testing.T) {
+	q, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Contributor != "" || len(q.Channels) != 0 || q.Limit != 0 {
+		t.Errorf("empty parse = %+v", q)
+	}
+}
+
+func TestParseOpenTimeBounds(t *testing.T) {
+	q, err := Parse("time(2011-02-01T00:00:00Z,)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.From.IsZero() || !q.To.IsZero() {
+		t.Errorf("bounds = %v..%v", q.From, q.To)
+	}
+	q, err = Parse("time(,2011-02-01T00:00:00Z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.From.IsZero() || q.To.IsZero() {
+		t.Errorf("bounds = %v..%v", q.From, q.To)
+	}
+}
+
+func TestParseContextNormalization(t *testing.T) {
+	q, err := Parse("context(driving, in conversation)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Contexts) != 2 || q.Contexts[0] != rules.CtxDrive || q.Contexts[1] != rules.CtxConversation {
+		t.Errorf("contexts = %v", q.Contexts)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"bogus",
+		"unknownterm(x)",
+		"channels()",
+		"contributor()",
+		"contributor(a,b)",
+		"time(2011-02-01T00:00:00Z)",
+		"time(bogus,)",
+		"time(,bogus)",
+		"time(2011-03-01T00:00:00Z,2011-02-01T00:00:00Z)",
+		"region(1,2,3)",
+		"region(a,b,c,d)",
+		"region(95,0,96,1)",
+		"context(levitating)",
+		"limit(x)",
+		"limit(-1)",
+		"limit(1,2)",
+		"channels(ECG",
+	}
+	for _, in := range cases {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("expected error for %q", in)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	orig, err := Parse("contributor(alice) channels(ECG) " +
+		"time(2011-02-01T00:00:00Z,2011-03-01T00:00:00Z) " +
+		"region(34,-119,35,-118) context(Drive) limit(5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(orig.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", orig.String(), err)
+	}
+	if back.Contributor != orig.Contributor || back.Limit != orig.Limit ||
+		!back.From.Equal(orig.From) || !back.To.Equal(orig.To) ||
+		back.Region != orig.Region ||
+		len(back.Channels) != len(orig.Channels) || len(back.Contexts) != len(orig.Contexts) {
+		t.Errorf("round trip: %+v vs %+v", back, orig)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Query{From: time.Now(), To: time.Now().Add(time.Hour), Limit: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Query{
+		{From: time.Now().Add(time.Hour), To: time.Now()},
+		{Limit: -1},
+		{Region: geo.Rect{MinLat: 10, MaxLat: 5, MinLon: 0, MaxLon: 1}},
+		{Contexts: []string{"levitating"}},
+	}
+	for i, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestStorageLowering(t *testing.T) {
+	q := &Query{
+		Contributor: "alice",
+		Channels:    []string{"Accelerometer"},
+		Limit:       7,
+	}
+	sq := q.Storage()
+	if sq.Contributor != "alice" || sq.Limit != 7 {
+		t.Errorf("storage query = %+v", sq)
+	}
+	// Umbrella sensor names expand for the storage scan.
+	if len(sq.Channels) != 3 || sq.Channels[0] != "AccelX" {
+		t.Errorf("channels = %v", sq.Channels)
+	}
+}
+
+func TestJSONShape(t *testing.T) {
+	q := &Query{Contributor: "alice", Channels: []string{"ECG"}, Limit: 3}
+	data, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Query
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Contributor != "alice" || back.Limit != 3 || len(back.Channels) != 1 {
+		t.Errorf("JSON round trip = %+v", back)
+	}
+}

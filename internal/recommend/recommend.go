@@ -1,0 +1,263 @@
+// Package recommend proposes privacy rules from a contributor's own data.
+// The paper's §6 storyline has Alice review her day, notice she is
+// "frequently stressed while driving", feel uncomfortable, and only then
+// write the restriction rule; the Personal Data Vault the paper extends
+// (§2) shipped a privacy-rule recommender for exactly this step. This
+// package automates the observation: it mines the contributor's context
+// annotations for sensitive states (stress, smoking, conversation) that
+// co-occur with identifiable situations (driving, a labeled place, a
+// recurring time of day) and emits ready-to-install Fig. 4 rule JSON the
+// owner can accept or ignore.
+package recommend
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/rules"
+	"sensorsafe/internal/wavesegment"
+)
+
+// Suggestion is one proposed privacy rule.
+type Suggestion struct {
+	// Rule is the proposed rule, ready to append to the owner's rule set.
+	Rule *rules.Rule `json:"-"`
+	// RuleJSON is the Fig. 4 JSON form of Rule.
+	RuleJSON string `json:"rule"`
+	// Reason explains the observation behind the proposal.
+	Reason string `json:"reason"`
+	// Sensitive is the context category the rule would protect.
+	Sensitive rules.Category `json:"sensitive"`
+	// Overlap is the fraction of the sensitive state spent in the
+	// co-occurring situation (0..1).
+	Overlap float64 `json:"overlap"`
+	// Duration is the total co-occurring time observed.
+	Duration time.Duration `json:"duration"`
+}
+
+// Options tunes the miner.
+type Options struct {
+	// MinOverlap is the minimum co-occurrence fraction to report (default
+	// 0.3): at least this share of the sensitive state happened in the
+	// situation.
+	MinOverlap float64
+	// MinDuration is the minimum absolute co-occurring time (default 1
+	// minute) so one-off blips don't trigger suggestions.
+	MinDuration time.Duration
+	// Gazetteer resolves labeled places for location-based suggestions.
+	Gazetteer *geo.Gazetteer
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinOverlap <= 0 {
+		o.MinOverlap = 0.3
+	}
+	if o.MinDuration <= 0 {
+		o.MinDuration = time.Minute
+	}
+	return o
+}
+
+// sensitiveStates are the context labels worth protecting, per the user
+// study the paper cites (§1: conversation, commuting, and stress raise the
+// most concern) plus smoking.
+var sensitiveStates = []struct {
+	label string
+	cat   rules.Category
+}{
+	{rules.CtxStressed, rules.CategoryStress},
+	{rules.CtxSmoking, rules.CategorySmoking},
+	{rules.CtxConversation, rules.CategoryConversation},
+}
+
+// situations are the co-occurring activity contexts a rule can condition
+// on.
+var situations = []string{rules.CtxDrive, rules.CtxWalk, rules.CtxBike, rules.CtxRun}
+
+// Analyze mines the segments' annotations and locations for rule
+// suggestions, sorted by overlap (strongest first).
+func Analyze(segs []*wavesegment.Segment, opts Options) []Suggestion {
+	opts = opts.withDefaults()
+	var out []Suggestion
+	out = append(out, contextSuggestions(segs, opts)...)
+	out = append(out, placeSuggestions(segs, opts)...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Overlap == out[j].Overlap {
+			return out[i].Duration > out[j].Duration
+		}
+		return out[i].Overlap > out[j].Overlap
+	})
+	return out
+}
+
+// contextSuggestions finds sensitive states co-occurring with activities:
+// "stressed while driving" → hide stress while driving.
+func contextSuggestions(segs []*wavesegment.Segment, opts Options) []Suggestion {
+	var out []Suggestion
+	for _, sens := range sensitiveStates {
+		sensTotal := totalDuration(segs, sens.label)
+		if sensTotal == 0 {
+			continue
+		}
+		for _, situation := range situations {
+			co := overlapDuration(segs, sens.label, situation)
+			frac := float64(co) / float64(sensTotal)
+			if co < opts.MinDuration || frac < opts.MinOverlap {
+				continue
+			}
+			rule := &rules.Rule{
+				ID:          fmt.Sprintf("suggest-hide-%s-while-%s", sens.cat, situation),
+				Description: fmt.Sprintf("hide %s while %s (suggested)", sens.cat, situation),
+				Contexts:    []string{situation},
+				Action: rules.Abstract(rules.AbstractionSpec{
+					Contexts: map[rules.Category]rules.Level{sens.cat: rules.LevelNotShared},
+				}),
+			}
+			data, err := rules.MarshalRule(rule)
+			if err != nil {
+				continue
+			}
+			out = append(out, Suggestion{
+				Rule:     rule,
+				RuleJSON: string(data),
+				Reason: fmt.Sprintf("%.0f%% of your %s time (%s) occurred while %s",
+					frac*100, sens.cat, co.Round(time.Second), situationPhrase(situation)),
+				Sensitive: sens.cat,
+				Overlap:   frac,
+				Duration:  co,
+			})
+		}
+	}
+	return out
+}
+
+// placeSuggestions finds sensitive states concentrated at labeled places:
+// "you smoke mostly at home" → hide smoking at home.
+func placeSuggestions(segs []*wavesegment.Segment, opts Options) []Suggestion {
+	if opts.Gazetteer == nil || opts.Gazetteer.Len() == 0 {
+		return nil
+	}
+	var out []Suggestion
+	for _, sens := range sensitiveStates {
+		sensTotal := totalDuration(segs, sens.label)
+		if sensTotal == 0 {
+			continue
+		}
+		for _, label := range opts.Gazetteer.Labels() {
+			rg, ok := opts.Gazetteer.Lookup(label)
+			if !ok {
+				continue
+			}
+			var co time.Duration
+			for _, seg := range segs {
+				if !rg.Contains(seg.Location) {
+					continue
+				}
+				for _, a := range seg.Annotations {
+					if a.Context == sens.label {
+						co += clipToSegment(a, seg)
+					}
+				}
+			}
+			frac := float64(co) / float64(sensTotal)
+			if co < opts.MinDuration || frac < opts.MinOverlap {
+				continue
+			}
+			rule := &rules.Rule{
+				ID:             fmt.Sprintf("suggest-hide-%s-at-%s", sens.cat, label),
+				Description:    fmt.Sprintf("hide %s at %s (suggested)", sens.cat, label),
+				LocationLabels: []string{rg.Label},
+				Action: rules.Abstract(rules.AbstractionSpec{
+					Contexts: map[rules.Category]rules.Level{sens.cat: rules.LevelNotShared},
+				}),
+			}
+			data, err := rules.MarshalRule(rule)
+			if err != nil {
+				continue
+			}
+			out = append(out, Suggestion{
+				Rule:     rule,
+				RuleJSON: string(data),
+				Reason: fmt.Sprintf("%.0f%% of your %s time (%s) occurred at %q",
+					frac*100, sens.cat, co.Round(time.Second), rg.Label),
+				Sensitive: sens.cat,
+				Overlap:   frac,
+				Duration:  co,
+			})
+		}
+	}
+	return out
+}
+
+func situationPhrase(ctx string) string {
+	switch ctx {
+	case rules.CtxDrive:
+		return "driving"
+	case rules.CtxWalk:
+		return "walking"
+	case rules.CtxBike:
+		return "biking"
+	case rules.CtxRun:
+		return "running"
+	default:
+		return ctx
+	}
+}
+
+// totalDuration sums the label's annotated time across segments.
+func totalDuration(segs []*wavesegment.Segment, label string) time.Duration {
+	var total time.Duration
+	for _, seg := range segs {
+		for _, a := range seg.Annotations {
+			if a.Context == label {
+				total += clipToSegment(a, seg)
+			}
+		}
+	}
+	return total
+}
+
+// overlapDuration sums the time where both labels are annotated
+// simultaneously within each segment.
+func overlapDuration(segs []*wavesegment.Segment, a, b string) time.Duration {
+	var total time.Duration
+	for _, seg := range segs {
+		for _, sa := range seg.Annotations {
+			if sa.Context != a {
+				continue
+			}
+			for _, sb := range seg.Annotations {
+				if sb.Context != b {
+					continue
+				}
+				lo, hi := sa.Start, sa.End
+				if sb.Start.After(lo) {
+					lo = sb.Start
+				}
+				if sb.End.Before(hi) {
+					hi = sb.End
+				}
+				if hi.After(lo) {
+					total += hi.Sub(lo)
+				}
+			}
+		}
+	}
+	return total
+}
+
+func clipToSegment(a wavesegment.Annotation, seg *wavesegment.Segment) time.Duration {
+	lo, hi := a.Start, a.End
+	if ss := seg.StartTime(); ss.After(lo) {
+		lo = ss
+	}
+	if se := seg.EndTime(); se.Before(hi) {
+		hi = se
+	}
+	if hi.After(lo) {
+		return hi.Sub(lo)
+	}
+	return 0
+}

@@ -1,0 +1,191 @@
+package recommend
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/inference"
+	"sensorsafe/internal/rules"
+	"sensorsafe/internal/sensors"
+	"sensorsafe/internal/wavesegment"
+)
+
+var (
+	t0   = time.Date(2011, 2, 16, 8, 0, 0, 0, time.UTC)
+	home = geo.Point{Lat: 34.0250, Lon: -118.4950}
+)
+
+// annotatedSegment builds a segment spanning minutes of data with the
+// given annotations (label, fromMin, toMin).
+func annotatedSegment(loc geo.Point, minutes int, anns ...[3]any) *wavesegment.Segment {
+	seg := &wavesegment.Segment{
+		Contributor: "alice", Start: t0, Interval: time.Second,
+		Location: loc, Channels: []string{wavesegment.ChannelECG},
+	}
+	for i := 0; i < minutes*60; i++ {
+		seg.Values = append(seg.Values, []float64{0})
+	}
+	for _, a := range anns {
+		label := a[0].(string)
+		from := t0.Add(time.Duration(a[1].(int)) * time.Minute)
+		to := t0.Add(time.Duration(a[2].(int)) * time.Minute)
+		_ = seg.Annotate(label, from, to)
+	}
+	return seg
+}
+
+func TestSuggestsHidingStressWhileDriving(t *testing.T) {
+	// 10 minutes stressed, 8 of them while driving.
+	seg := annotatedSegment(home, 30,
+		[3]any{rules.CtxStressed, 0, 10},
+		[3]any{rules.CtxDrive, 2, 10},
+		[3]any{rules.CtxStill, 10, 30},
+	)
+	got := Analyze([]*wavesegment.Segment{seg}, Options{})
+	if len(got) == 0 {
+		t.Fatal("expected a suggestion")
+	}
+	s := got[0]
+	if s.Sensitive != rules.CategoryStress {
+		t.Errorf("sensitive = %s", s.Sensitive)
+	}
+	if s.Overlap < 0.75 || s.Overlap > 0.85 {
+		t.Errorf("overlap = %.2f, want ~0.8", s.Overlap)
+	}
+	if s.Duration != 8*time.Minute {
+		t.Errorf("duration = %v", s.Duration)
+	}
+	if !strings.Contains(s.Reason, "driving") {
+		t.Errorf("reason = %q", s.Reason)
+	}
+	// The suggested rule must parse and do the right thing.
+	rs, err := rules.UnmarshalRuleSet([]byte("[" + s.RuleJSON + "]"))
+	if err != nil {
+		t.Fatalf("suggested rule does not parse: %v\n%s", err, s.RuleJSON)
+	}
+	e, err := rules.NewEngine(append(rs, &rules.Rule{Action: rules.Allow()}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := e.Decide(&rules.Request{Consumer: "bob", At: t0, Location: home, ActiveContexts: []string{rules.CtxDrive}})
+	if d.ContextLevel(rules.CategoryStress) != rules.LevelNotShared {
+		t.Error("installed suggestion should hide stress while driving")
+	}
+	if d.ChannelShared(wavesegment.ChannelECG) {
+		t.Error("closure should block ECG while driving")
+	}
+}
+
+func TestNoSuggestionBelowThresholds(t *testing.T) {
+	// Only 20 s of stressed driving out of 10 min stressed: below both
+	// default thresholds.
+	seg := annotatedSegment(home, 30,
+		[3]any{rules.CtxStressed, 0, 10},
+		[3]any{rules.CtxDrive, 0, 0}, // replaced below
+	)
+	seg.Annotations = seg.Annotations[:1]
+	_ = seg.Annotate(rules.CtxDrive, t0, t0.Add(20*time.Second))
+	got := Analyze([]*wavesegment.Segment{seg}, Options{})
+	if len(got) != 0 {
+		t.Errorf("expected no suggestions, got %+v", got)
+	}
+}
+
+func TestThresholdOptions(t *testing.T) {
+	seg := annotatedSegment(home, 30,
+		[3]any{rules.CtxStressed, 0, 10},
+		[3]any{rules.CtxDrive, 8, 10}, // 2 min, 20% overlap
+	)
+	if got := Analyze([]*wavesegment.Segment{seg}, Options{}); len(got) != 0 {
+		t.Errorf("default thresholds should reject 20%% overlap: %+v", got)
+	}
+	got := Analyze([]*wavesegment.Segment{seg}, Options{MinOverlap: 0.1, MinDuration: time.Minute})
+	if len(got) != 1 {
+		t.Errorf("lowered thresholds should accept: %+v", got)
+	}
+}
+
+func TestPlaceSuggestion(t *testing.T) {
+	gaz := geo.NewGazetteer()
+	rect, _ := geo.NewRect(
+		geo.Point{Lat: home.Lat - 0.001, Lon: home.Lon - 0.001},
+		geo.Point{Lat: home.Lat + 0.001, Lon: home.Lon + 0.001})
+	if err := gaz.Define("home", geo.Region{Rect: rect}); err != nil {
+		t.Fatal(err)
+	}
+	// All smoking happens at home.
+	seg := annotatedSegment(home, 30, [3]any{rules.CtxSmoking, 0, 5})
+	away := annotatedSegment(geo.Point{Lat: 35, Lon: -117}, 30) // no smoking away
+	got := Analyze([]*wavesegment.Segment{seg, away}, Options{Gazetteer: gaz})
+	if len(got) != 1 {
+		t.Fatalf("suggestions = %+v", got)
+	}
+	s := got[0]
+	if s.Sensitive != rules.CategorySmoking || s.Overlap != 1.0 {
+		t.Errorf("suggestion = %+v", s)
+	}
+	if len(s.Rule.LocationLabels) != 1 || s.Rule.LocationLabels[0] != "home" {
+		t.Errorf("rule labels = %v", s.Rule.LocationLabels)
+	}
+	if !strings.Contains(s.Reason, `"home"`) {
+		t.Errorf("reason = %q", s.Reason)
+	}
+}
+
+func TestSuggestionsSortedByOverlap(t *testing.T) {
+	seg := annotatedSegment(home, 60,
+		[3]any{rules.CtxStressed, 0, 10},
+		[3]any{rules.CtxDrive, 0, 9},          // 90% of stress while driving
+		[3]any{rules.CtxConversation, 20, 30}, // conversation...
+		[3]any{rules.CtxWalk, 24, 30},         // ...60% while walking
+	)
+	got := Analyze([]*wavesegment.Segment{seg}, Options{})
+	if len(got) != 2 {
+		t.Fatalf("suggestions = %+v", got)
+	}
+	if got[0].Overlap < got[1].Overlap {
+		t.Error("suggestions not sorted by overlap")
+	}
+	if got[0].Sensitive != rules.CategoryStress || got[1].Sensitive != rules.CategoryConversation {
+		t.Errorf("order = %s, %s", got[0].Sensitive, got[1].Sensitive)
+	}
+}
+
+func TestEndToEndWithInference(t *testing.T) {
+	// Full §6 loop: generate Alice's day, infer contexts, and check the
+	// recommender reproduces her own conclusion — hide stress while
+	// driving.
+	rec, err := sensors.Generate("alice", &sensors.Scenario{
+		Start: t0, Origin: home, Seed: 11,
+		Phases: []sensors.Phase{
+			{Duration: 2 * time.Minute, Activity: rules.CtxStill},
+			{Duration: 4 * time.Minute, Activity: rules.CtxDrive, Stressed: true, Heading: 80},
+			{Duration: 2 * time.Minute, Activity: rules.CtxStill},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := rec.AllSegments()
+	ann := &inference.Annotator{}
+	inference.ApplyAnnotations(all, ann.Annotate(all))
+
+	got := Analyze(all, Options{})
+	found := false
+	for _, s := range got {
+		if s.Sensitive == rules.CategoryStress && len(s.Rule.Contexts) == 1 && s.Rule.Contexts[0] == rules.CtxDrive {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a hide-stress-while-driving suggestion, got %+v", got)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if got := Analyze(nil, Options{}); got != nil {
+		t.Errorf("nil input should yield nothing: %v", got)
+	}
+}

@@ -1,0 +1,115 @@
+package rules
+
+import (
+	"time"
+
+	"sensorsafe/internal/geo"
+)
+
+// This file supports privacy-rule-aware data collection (paper §5.3): the
+// phone downloads the owner's rules and skips collecting data that no rule
+// would ever share. Sharing is per-consumer, so the phone probes the rule
+// set against every consumer identity the rules mention (named consumers,
+// group members, and the anonymous "any consumer" case) and collects only
+// if somebody could receive something.
+
+// probeIdentities enumerates the consumer identities that could possibly be
+// granted data by this rule set: each named consumer, one member of each
+// named group, and an unnamed consumer (for rules without consumer
+// conditions).
+func (e *Engine) probeIdentities() []Request {
+	seenC := make(map[string]bool)
+	seenG := make(map[string]bool)
+	out := []Request{{Consumer: "~anyone"}}
+	for _, r := range e.rules {
+		if r.Action.Kind == ActionDeny {
+			continue // denies grant nothing; their scope is applied in Decide
+		}
+		for _, c := range r.Consumers {
+			if !seenC[c] {
+				seenC[c] = true
+				out = append(out, Request{Consumer: c})
+			}
+		}
+		for _, g := range r.Groups {
+			if !seenG[g] {
+				seenG[g] = true
+				out = append(out, Request{Consumer: "~member", ConsumerGroups: []string{g}})
+			}
+		}
+	}
+	return out
+}
+
+// SharedWithAnyone reports whether any consumer identity would receive any
+// information for data recorded at the given instant, location, and active
+// contexts.
+func (e *Engine) SharedWithAnyone(at time.Time, loc geo.Point, activeContexts []string) bool {
+	for _, id := range e.probeIdentities() {
+		req := id
+		req.At = at
+		req.Location = loc
+		req.ActiveContexts = activeContexts
+		if e.Decide(&req).SharesAnything() {
+			return true
+		}
+	}
+	return false
+}
+
+// HasContextConditionedGrant reports whether some allow/abstract rule with
+// a context condition matches the instant and location — meaning the phone
+// must collect temporarily and infer context before it can decide whether
+// the data is shareable (§5.3's third condition).
+func (e *Engine) HasContextConditionedGrant(at time.Time, loc geo.Point) bool {
+	for _, r := range e.rules {
+		if r.Action.Kind == ActionDeny || len(r.Contexts) == 0 {
+			continue
+		}
+		if e.locationMatches(r, loc) && timeMatches(r, at) {
+			return true
+		}
+	}
+	return false
+}
+
+// CollectionHint is the phone's pre-collection decision for one instant.
+type CollectionHint int
+
+// Collection hints, from cheapest to most involved.
+const (
+	// CollectSkip: no rule could share data here and now — leave sensors
+	// off entirely.
+	CollectSkip CollectionHint = iota
+	// CollectNeedsContext: sharing depends on a context condition —
+	// collect temporarily, infer context, then keep or discard.
+	CollectNeedsContext
+	// CollectShare: data recorded here and now is shareable regardless of
+	// context (though context-conditioned denies may still trim it).
+	CollectShare
+)
+
+func (h CollectionHint) String() string {
+	switch h {
+	case CollectSkip:
+		return "Skip"
+	case CollectNeedsContext:
+		return "NeedsContext"
+	case CollectShare:
+		return "Share"
+	default:
+		return "CollectionHint(?)"
+	}
+}
+
+// CollectionDecision computes the pre-collection hint for one instant and
+// location.
+func (e *Engine) CollectionDecision(at time.Time, loc geo.Point) CollectionHint {
+	if e.SharedWithAnyone(at, loc, nil) {
+		return CollectShare
+	}
+	if e.HasContextConditionedGrant(at, loc) {
+		return CollectNeedsContext
+	}
+	return CollectSkip
+}

@@ -1,0 +1,330 @@
+// Package rules implements SensorSafe's context-aware fine-grained access
+// control (paper §5.1, Table 1): privacy rules with conditions on data
+// consumer, location, time, sensor channel, and inferred context, and
+// actions Allow / Deny / Abstraction. It also encodes the sensor↔context
+// dependency graph the paper's rule-processing module uses: raw data from a
+// sensor may be shared only when every context inferable from that sensor is
+// itself shared at raw level, so abstracting one context (e.g. smoking)
+// suppresses the raw sensors it could be inferred from (respiration) even if
+// another context (stress) would have allowed them.
+//
+// # Decision semantics
+//
+// The paper does not pin down how several matching rules combine; this
+// implementation uses the privacy-safe reading that also reproduces both of
+// the paper's worked examples (Fig. 4 and §6):
+//
+//   - Default deny: with no matching rule, nothing is shared.
+//   - Allow grants raw access to the channels the rule governs (its Sensor
+//     condition, or all channels when absent) and to the contexts inferable
+//     from them.
+//   - Abstraction is primarily a restriction: its location/time entries
+//     clamp the granularity other rules release, and each category entry
+//     clamps that category while granting it at the named level (so a
+//     standalone "share Activity as Move/NotMove" rule releases the binary
+//     labels and nothing else). Abstraction never grants raw channels.
+//   - Deny revokes the governed channels; a category is revoked too when the
+//     rule's scope covers every sensor the category can be inferred from.
+//   - Across matching rules, grants union, clamps combine most-restrictively,
+//     and denies override.
+//   - Finally the dependency closure runs: a channel's raw data flows only
+//     if every category inferable from it is at raw level, and GPS channels
+//     flow only at Coordinates location granularity.
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sensorsafe/internal/wavesegment"
+)
+
+// Category is a class of inferable context with its own abstraction ladder
+// (Table 1(b)): Activity, Stress, Smoking, Conversation.
+type Category string
+
+// The context categories of Table 1(b).
+const (
+	CategoryActivity     Category = "Activity"
+	CategoryStress       Category = "Stress"
+	CategorySmoking      Category = "Smoking"
+	CategoryConversation Category = "Conversation"
+)
+
+// Categories lists all context categories in stable order.
+func Categories() []Category {
+	return []Category{CategoryActivity, CategoryStress, CategorySmoking, CategoryConversation}
+}
+
+// Context labels produced by the inference layer and usable as rule
+// conditions (Table 1(a)).
+const (
+	CtxStill          = "Still"
+	CtxWalk           = "Walk"
+	CtxRun            = "Run"
+	CtxBike           = "Bike"
+	CtxDrive          = "Drive"
+	CtxMoving         = "Moving"
+	CtxNotMoving      = "NotMoving"
+	CtxStressed       = "Stressed"
+	CtxNotStressed    = "NotStressed"
+	CtxSmoking        = "Smoking"
+	CtxNotSmoking     = "NotSmoking"
+	CtxConversation   = "Conversation"
+	CtxNoConversation = "NoConversation"
+)
+
+// labelCategory maps every context label to its category.
+var labelCategory = map[string]Category{
+	CtxStill: CategoryActivity, CtxWalk: CategoryActivity, CtxRun: CategoryActivity,
+	CtxBike: CategoryActivity, CtxDrive: CategoryActivity,
+	CtxMoving: CategoryActivity, CtxNotMoving: CategoryActivity,
+	CtxStressed: CategoryStress, CtxNotStressed: CategoryStress,
+	CtxSmoking: CategorySmoking, CtxNotSmoking: CategorySmoking,
+	CtxConversation: CategoryConversation, CtxNoConversation: CategoryConversation,
+}
+
+// LabelCategory returns the category of a context label.
+func LabelCategory(label string) (Category, bool) {
+	c, ok := labelCategory[normalizeContextLabel(label)]
+	return c, ok
+}
+
+// KnownContextLabels returns every recognized context label, sorted.
+func KnownContextLabels() []string {
+	out := make([]string, 0, len(labelCategory))
+	for l := range labelCategory {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func normalizeContextLabel(s string) string {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "still":
+		return CtxStill
+	case "walk", "walking":
+		return CtxWalk
+	case "run", "running":
+		return CtxRun
+	case "bike", "biking":
+		return CtxBike
+	case "drive", "driving":
+		return CtxDrive
+	case "moving", "move":
+		return CtxMoving
+	case "notmoving", "not moving", "not move":
+		return CtxNotMoving
+	case "stressed", "stress":
+		return CtxStressed
+	case "notstressed", "not stressed":
+		return CtxNotStressed
+	case "smoking", "smoke":
+		return CtxSmoking
+	case "notsmoking", "not smoking":
+		return CtxNotSmoking
+	case "conversation", "in conversation":
+		return CtxConversation
+	case "noconversation", "no conversation", "not conversation":
+		return CtxNoConversation
+	default:
+		return strings.TrimSpace(s)
+	}
+}
+
+// ParseContextLabel canonicalizes a context label, rejecting unknown ones.
+func ParseContextLabel(s string) (string, error) {
+	l := normalizeContextLabel(s)
+	if _, ok := labelCategory[l]; !ok {
+		return "", fmt.Errorf("rules: unknown context label %q", s)
+	}
+	return l, nil
+}
+
+// Level is a position on a category's abstraction ladder, from raw sensor
+// data down to not shared. Not every category uses LevelModes: it exists
+// only on the Activity ladder (Still/Walk/Run/Bike/Drive).
+type Level int
+
+// Context abstraction levels, most precise first.
+const (
+	// LevelRaw shares the underlying raw sensor data.
+	LevelRaw Level = iota
+	// LevelModes shares the five-way activity mode (Activity only).
+	LevelModes
+	// LevelBinary shares a yes/no label (Moving/NotMoving, Stressed/..., etc.).
+	LevelBinary
+	// LevelNotShared withholds the category entirely.
+	LevelNotShared
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelRaw:
+		return "Raw"
+	case LevelModes:
+		return "Modes"
+	case LevelBinary:
+		return "Binary"
+	case LevelNotShared:
+		return "NotShared"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Valid reports whether l is a defined level.
+func (l Level) Valid() bool { return l >= LevelRaw && l <= LevelNotShared }
+
+// CoarserThan reports whether l reveals strictly less than o.
+func (l Level) CoarserThan(o Level) bool { return l > o }
+
+// MostRestrictive returns the coarser of two levels.
+func MostRestrictive(a, b Level) Level {
+	if a.CoarserThan(b) {
+		return a
+	}
+	return b
+}
+
+// ParseLevel parses a Table 1(b) option string for the given category. It
+// accepts both the canonical names (Raw/Modes/Binary/NotShared) and the
+// paper's descriptive spellings ("ECG/Respiration Data",
+// "Still/Walk/Run/Bike/Drive", "Move/Not Move", "Stressed/Not Stressed",
+// "Not Share", ...).
+func ParseLevel(cat Category, s string) (Level, error) {
+	key := strings.ToLower(strings.TrimSpace(s))
+	key = strings.ReplaceAll(key, " ", "")
+	switch key {
+	case "raw", "rawdata":
+		return LevelRaw, nil
+	case "modes":
+		if cat != CategoryActivity {
+			return 0, fmt.Errorf("rules: level Modes only exists for Activity, not %s", cat)
+		}
+		return LevelModes, nil
+	case "binary":
+		return LevelBinary, nil
+	case "notshared", "notshare", "none":
+		return LevelNotShared, nil
+	}
+	switch cat {
+	case CategoryActivity:
+		switch key {
+		case "accelerometerdata":
+			return LevelRaw, nil
+		case "still/walk/run/bike/drive":
+			return LevelModes, nil
+		case "move/notmove", "moving/notmoving":
+			return LevelBinary, nil
+		}
+	case CategoryStress:
+		switch key {
+		case "ecg/respirationdata":
+			return LevelRaw, nil
+		case "stressed/notstressed":
+			return LevelBinary, nil
+		}
+	case CategorySmoking:
+		switch key {
+		case "respirationdata":
+			return LevelRaw, nil
+		case "smoking/notsmoking":
+			return LevelBinary, nil
+		}
+	case CategoryConversation:
+		switch key {
+		case "microphone/respirationdata":
+			return LevelRaw, nil
+		case "conversation/notconversation":
+			return LevelBinary, nil
+		}
+	}
+	return 0, fmt.Errorf("rules: unknown %s level %q", cat, s)
+}
+
+// Dependency graph: which sensor channels each category can be inferred
+// from (paper §5.1 and Table 1(b)). GPS channels also feed activity
+// inference (transportation mode), and are additionally gated by the
+// location granularity in the dependency closure.
+var categorySensors = map[Category][]string{
+	CategoryActivity: {
+		wavesegment.ChannelAccelX, wavesegment.ChannelAccelY, wavesegment.ChannelAccelZ,
+		wavesegment.ChannelLatitude, wavesegment.ChannelLongitude,
+	},
+	CategoryStress: {
+		wavesegment.ChannelECG, wavesegment.ChannelRespiration, wavesegment.ChannelHeartRate,
+	},
+	CategorySmoking: {
+		wavesegment.ChannelRespiration,
+	},
+	CategoryConversation: {
+		wavesegment.ChannelMicrophone, wavesegment.ChannelRespiration,
+	},
+}
+
+// CategorySensors returns the sensor channels category cat can be inferred
+// from.
+func CategorySensors(cat Category) []string {
+	return append([]string(nil), categorySensors[cat]...)
+}
+
+// SensorCategories returns the categories inferable from a sensor channel.
+// Channels that feed no inference (e.g. skin temperature) return nil.
+func SensorCategories(channel string) []Category {
+	var out []Category
+	for _, cat := range Categories() {
+		for _, s := range categorySensors[cat] {
+			if s == channel {
+				out = append(out, cat)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// MaxLevel returns the coarsest meaningful (non-hidden) level on a
+// category's ladder: LevelBinary everywhere, since LevelModes exists only
+// for Activity and is finer than Binary.
+func MaxLevel(cat Category) Level { return LevelBinary }
+
+// ValidLevel reports whether the level exists on the category's ladder.
+func ValidLevel(cat Category, l Level) bool {
+	if !l.Valid() {
+		return false
+	}
+	if l == LevelModes && cat != CategoryActivity {
+		return false
+	}
+	return true
+}
+
+// AbstractLabel rewrites a context label to the given level on its ladder:
+// at LevelBinary the five activity modes collapse to Moving/NotMoving; at
+// LevelNotShared the label disappears (empty string, false). Raw and Modes
+// keep the label as-is.
+func AbstractLabel(label string, l Level) (string, bool) {
+	cat, ok := LabelCategory(label)
+	if !ok {
+		return "", false
+	}
+	switch l {
+	case LevelRaw, LevelModes:
+		return label, true
+	case LevelBinary:
+		if cat != CategoryActivity {
+			return label, true
+		}
+		switch label {
+		case CtxStill, CtxNotMoving:
+			return CtxNotMoving, true
+		default:
+			return CtxMoving, true
+		}
+	default:
+		return "", false
+	}
+}

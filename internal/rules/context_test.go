@@ -1,0 +1,173 @@
+package rules
+
+import (
+	"testing"
+
+	"sensorsafe/internal/wavesegment"
+)
+
+func TestLabelCategory(t *testing.T) {
+	cases := map[string]Category{
+		CtxStill: CategoryActivity, CtxWalk: CategoryActivity, CtxRun: CategoryActivity,
+		CtxBike: CategoryActivity, CtxDrive: CategoryActivity, CtxMoving: CategoryActivity,
+		CtxNotMoving: CategoryActivity,
+		CtxStressed:  CategoryStress, CtxNotStressed: CategoryStress,
+		CtxSmoking: CategorySmoking, CtxNotSmoking: CategorySmoking,
+		CtxConversation: CategoryConversation, CtxNoConversation: CategoryConversation,
+	}
+	for label, want := range cases {
+		got, ok := LabelCategory(label)
+		if !ok || got != want {
+			t.Errorf("LabelCategory(%q) = %v, %v; want %v", label, got, ok, want)
+		}
+	}
+	if _, ok := LabelCategory("Flying"); ok {
+		t.Error("unknown label should miss")
+	}
+}
+
+func TestParseContextLabelAliases(t *testing.T) {
+	for in, want := range map[string]string{
+		"driving": CtxDrive, "Drive": CtxDrive, "walking": CtxWalk,
+		"stress": CtxStressed, "in conversation": CtxConversation,
+		"smoke": CtxSmoking, "not moving": CtxNotMoving,
+	} {
+		got, err := ParseContextLabel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseContextLabel(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	if _, err := ParseContextLabel("levitating"); err == nil {
+		t.Error("unknown context should error")
+	}
+}
+
+func TestKnownContextLabelsSortedComplete(t *testing.T) {
+	labels := KnownContextLabels()
+	if len(labels) != 13 {
+		t.Errorf("expected 13 labels, got %d: %v", len(labels), labels)
+	}
+	for i := 1; i < len(labels); i++ {
+		if labels[i-1] >= labels[i] {
+			t.Errorf("labels not sorted at %d: %v", i, labels)
+		}
+	}
+}
+
+func TestParseLevelTable1Spellings(t *testing.T) {
+	// Table 1(b) descriptive option names must parse.
+	cases := []struct {
+		cat  Category
+		in   string
+		want Level
+	}{
+		{CategoryActivity, "Accelerometer Data", LevelRaw},
+		{CategoryActivity, "Still/Walk/Run/Bike/Drive", LevelModes},
+		{CategoryActivity, "Move/Not Move", LevelBinary},
+		{CategoryActivity, "NotShared", LevelNotShared},
+		{CategoryStress, "ECG/Respiration Data", LevelRaw},
+		{CategoryStress, "Stressed/Not Stressed", LevelBinary},
+		{CategoryStress, "Not Share", LevelNotShared},
+		{CategorySmoking, "Respiration Data", LevelRaw},
+		{CategorySmoking, "Smoking/Not Smoking", LevelBinary},
+		{CategoryConversation, "Microphone/Respiration Data", LevelRaw},
+		{CategoryConversation, "Conversation/Not Conversation", LevelBinary},
+		{CategoryConversation, "Raw", LevelRaw},
+		{CategoryStress, "Binary", LevelBinary},
+	}
+	for _, tc := range cases {
+		got, err := ParseLevel(tc.cat, tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseLevel(%s, %q) = %v, %v; want %v", tc.cat, tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseLevel(CategoryStress, "Modes"); err == nil {
+		t.Error("Modes should be invalid for Stress")
+	}
+	if _, err := ParseLevel(CategoryActivity, "Modes"); err != nil {
+		t.Error("Modes should be valid for Activity")
+	}
+	if _, err := ParseLevel(CategorySmoking, "banana"); err == nil {
+		t.Error("unknown level should error")
+	}
+}
+
+func TestDependencyGraph(t *testing.T) {
+	// Paper §5.1: respiration feeds stress, conversation, and smoking.
+	cats := SensorCategories(wavesegment.ChannelRespiration)
+	if len(cats) != 3 {
+		t.Fatalf("Respiration categories = %v", cats)
+	}
+	has := func(cs []Category, want Category) bool {
+		for _, c := range cs {
+			if c == want {
+				return true
+			}
+		}
+		return false
+	}
+	for _, want := range []Category{CategoryStress, CategorySmoking, CategoryConversation} {
+		if !has(cats, want) {
+			t.Errorf("Respiration should feed %s", want)
+		}
+	}
+	if got := SensorCategories(wavesegment.ChannelECG); len(got) != 1 || got[0] != CategoryStress {
+		t.Errorf("ECG categories = %v", got)
+	}
+	if got := SensorCategories(wavesegment.ChannelMicrophone); len(got) != 1 || got[0] != CategoryConversation {
+		t.Errorf("Microphone categories = %v", got)
+	}
+	if got := SensorCategories(wavesegment.ChannelAccelX); len(got) != 1 || got[0] != CategoryActivity {
+		t.Errorf("AccelX categories = %v", got)
+	}
+	if got := SensorCategories(wavesegment.ChannelSkinTemp); got != nil {
+		t.Errorf("SkinTemperature should feed nothing, got %v", got)
+	}
+	if got := CategorySensors(CategorySmoking); len(got) != 1 || got[0] != wavesegment.ChannelRespiration {
+		t.Errorf("Smoking sensors = %v", got)
+	}
+}
+
+func TestLevelHelpers(t *testing.T) {
+	if !LevelNotShared.CoarserThan(LevelBinary) || LevelRaw.CoarserThan(LevelRaw) {
+		t.Error("CoarserThan wrong")
+	}
+	if MostRestrictive(LevelBinary, LevelModes) != LevelBinary {
+		t.Error("MostRestrictive wrong")
+	}
+	if !ValidLevel(CategoryActivity, LevelModes) || ValidLevel(CategoryStress, LevelModes) {
+		t.Error("ValidLevel Modes handling wrong")
+	}
+	if ValidLevel(CategoryStress, Level(99)) {
+		t.Error("out-of-range level should be invalid")
+	}
+	if LevelRaw.String() != "Raw" || LevelNotShared.String() != "NotShared" {
+		t.Error("Level.String wrong")
+	}
+}
+
+func TestAbstractLabel(t *testing.T) {
+	cases := []struct {
+		label string
+		level Level
+		want  string
+		ok    bool
+	}{
+		{CtxDrive, LevelRaw, CtxDrive, true},
+		{CtxDrive, LevelModes, CtxDrive, true},
+		{CtxDrive, LevelBinary, CtxMoving, true},
+		{CtxWalk, LevelBinary, CtxMoving, true},
+		{CtxStill, LevelBinary, CtxNotMoving, true},
+		{CtxNotMoving, LevelBinary, CtxNotMoving, true},
+		{CtxDrive, LevelNotShared, "", false},
+		{CtxStressed, LevelBinary, CtxStressed, true},
+		{CtxSmoking, LevelNotShared, "", false},
+		{"Flying", LevelRaw, "", false},
+	}
+	for _, tc := range cases {
+		got, ok := AbstractLabel(tc.label, tc.level)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("AbstractLabel(%q, %v) = %q, %v; want %q, %v", tc.label, tc.level, got, ok, tc.want, tc.ok)
+		}
+	}
+}

@@ -1,0 +1,409 @@
+package rules
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/timeutil"
+	"sensorsafe/internal/wavesegment"
+)
+
+// Request describes one access-control question: may this consumer see this
+// contributor's data taken at this instant, place, and context?
+type Request struct {
+	// Consumer is the requesting consumer's user name.
+	Consumer string
+	// ConsumerGroups are the groups/studies the consumer belongs to.
+	ConsumerGroups []string
+	// At is the instant the data was recorded.
+	At time.Time
+	// Location is where the data was recorded.
+	Location geo.Point
+	// ActiveContexts are the inferred context labels active at At.
+	ActiveContexts []string
+}
+
+// Decision is the engine's answer: which channels may flow raw, at what
+// location/time granularity, and each context category's level — after the
+// sensor/context dependency closure has run.
+type Decision struct {
+	// Channels maps channel name → raw data may flow. Channels absent from
+	// the map were never granted. The map already reflects the dependency
+	// closure.
+	Channels map[string]bool
+	// AllChannelsGranted is set when some matching rule had no sensor
+	// condition, granting channels not known to the engine a priori. The
+	// closure still blocks inference-bearing channels individually.
+	AllChannelsGranted bool
+	// Location is the granted location granularity.
+	Location geo.LocationGranularity
+	// Time is the granted timestamp granularity.
+	Time timeutil.Granularity
+	// Contexts maps category → granted level (LevelNotShared when absent).
+	Contexts map[Category]Level
+}
+
+// SharesAnything reports whether the decision releases any information.
+func (d *Decision) SharesAnything() bool {
+	if d.AllChannelsGranted {
+		return true
+	}
+	for _, ok := range d.Channels {
+		if ok {
+			return true
+		}
+	}
+	for _, l := range d.Contexts {
+		if l != LevelNotShared {
+			return true
+		}
+	}
+	return false
+}
+
+// ChannelShared reports whether raw data of the channel may flow. With
+// AllChannelsGranted, channels not explicitly blocked flow if they bear no
+// inference risk (the closure recorded risky ones explicitly).
+func (d *Decision) ChannelShared(channel string) bool {
+	if v, ok := d.Channels[channel]; ok {
+		return v
+	}
+	return d.AllChannelsGranted
+}
+
+// ContextLevel returns the granted level for a category.
+func (d *Decision) ContextLevel(cat Category) Level {
+	if l, ok := d.Contexts[cat]; ok {
+		return l
+	}
+	return LevelNotShared
+}
+
+// denyAll is the default decision.
+func denyAll() *Decision {
+	return &Decision{
+		Channels: map[string]bool{},
+		Location: geo.LocNotShared,
+		Time:     timeutil.GranNotShared,
+		Contexts: map[Category]Level{},
+	}
+}
+
+// Engine evaluates a contributor's rule set. It resolves location labels
+// through the contributor's gazetteer. Engines are cheap to construct and
+// safe for concurrent use once built.
+type Engine struct {
+	rules     []*Rule
+	gazetteer *geo.Gazetteer
+}
+
+// NewEngine builds an engine over a rule set. gaz may be nil when no rule
+// uses location labels. Rules are validated; the first invalid rule aborts.
+func NewEngine(rs []*Rule, gaz *geo.Gazetteer) (*Engine, error) {
+	for _, r := range rs {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	cloned := make([]*Rule, len(rs))
+	for i, r := range rs {
+		cloned[i] = r.Clone()
+	}
+	return &Engine{rules: cloned, gazetteer: gaz}, nil
+}
+
+// Rules returns a copy of the engine's rule set.
+func (e *Engine) Rules() []*Rule {
+	out := make([]*Rule, len(e.rules))
+	for i, r := range e.rules {
+		out[i] = r.Clone()
+	}
+	return out
+}
+
+// matches reports whether the rule's conditions hold for the request. The
+// sensor condition does not participate in matching — it scopes the action.
+func (e *Engine) matches(r *Rule, req *Request) bool {
+	if !e.consumerMatches(r, req) {
+		return false
+	}
+	if !e.locationMatches(r, req.Location) {
+		return false
+	}
+	if !timeMatches(r, req.At) {
+		return false
+	}
+	return contextMatches(r, req.ActiveContexts)
+}
+
+func (e *Engine) consumerMatches(r *Rule, req *Request) bool {
+	if len(r.Consumers) == 0 && len(r.Groups) == 0 {
+		return true
+	}
+	for _, c := range r.Consumers {
+		if strings.EqualFold(c, req.Consumer) {
+			return true
+		}
+	}
+	for _, g := range r.Groups {
+		for _, cg := range req.ConsumerGroups {
+			if strings.EqualFold(g, cg) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (e *Engine) locationMatches(r *Rule, p geo.Point) bool {
+	if len(r.LocationLabels) == 0 && len(r.Regions) == 0 {
+		return true
+	}
+	for _, label := range r.LocationLabels {
+		if e.gazetteer == nil {
+			continue
+		}
+		if rg, ok := e.gazetteer.Lookup(label); ok && rg.Contains(p) {
+			return true
+		}
+	}
+	for _, rg := range r.Regions {
+		if rg.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func timeMatches(r *Rule, at time.Time) bool {
+	if len(r.TimeRanges) == 0 && len(r.RepeatTimes) == 0 {
+		return true
+	}
+	for _, rng := range r.TimeRanges {
+		if rng.Contains(at) {
+			return true
+		}
+	}
+	for _, rep := range r.RepeatTimes {
+		if rep.Contains(at) {
+			return true
+		}
+	}
+	return false
+}
+
+func contextMatches(r *Rule, active []string) bool {
+	if len(r.Contexts) == 0 {
+		return true
+	}
+	for _, want := range r.Contexts {
+		for _, have := range active {
+			if strings.EqualFold(want, have) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Decide evaluates the rule set for one request and returns the effective
+// decision, including the dependency closure.
+func (e *Engine) Decide(req *Request) *Decision {
+	d := denyAll()
+
+	grantedChannels := map[string]bool{} // channel → granted by some rule
+	deniedChannels := map[string]bool{}  // channel → revoked by some rule
+	grantAll := false
+	denyEverything := false
+	grantedCats := map[Category]bool{}
+	deniedCats := map[Category]bool{}
+	clampCats := map[Category]Level{}
+	locClamp := geo.LocCoordinates
+	timeClamp := timeutil.GranMillisecond
+
+	for _, r := range e.rules {
+		if !e.matches(r, req) {
+			continue
+		}
+		switch r.Action.Kind {
+		case ActionAllow:
+			if r.GovernsAllChannels() {
+				grantAll = true
+			} else {
+				for _, s := range r.Sensors {
+					grantedChannels[s] = true
+				}
+			}
+			for _, cat := range r.GovernedCategories() {
+				grantedCats[cat] = true
+			}
+		case ActionAbstract:
+			// An abstraction action is primarily a *restriction*: its
+			// location/time entries clamp what other rules release, and a
+			// category entry both clamps the category and grants it at the
+			// named level (so a standalone "share Activity as Move/NotMove"
+			// rule works). It never grants raw channels — that is what
+			// Allow is for. This keeps a consumer-unscoped restriction
+			// like Fig. 4's "Stress: NotShared while in conversation" from
+			// silently granting everything else to everyone.
+			spec := r.Action.Abstraction
+			if spec.Location != nil {
+				locClamp = geo.CoarsestLocation(locClamp, *spec.Location)
+			}
+			if spec.Time != nil {
+				timeClamp = timeutil.Coarsest(timeClamp, *spec.Time)
+			}
+			for cat, l := range spec.Contexts {
+				cur, seen := clampCats[cat]
+				if !seen || l.CoarserThan(cur) {
+					clampCats[cat] = l
+				}
+				if l != LevelNotShared {
+					grantedCats[cat] = true
+				}
+			}
+		case ActionDeny:
+			if r.GovernsAllChannels() {
+				denyEverything = true
+			}
+			for _, s := range r.Sensors {
+				deniedChannels[s] = true
+			}
+			for _, cat := range Categories() {
+				if r.CoversAllSensorsOf(cat) {
+					deniedCats[cat] = true
+				}
+			}
+		}
+	}
+
+	if denyEverything {
+		grantAll = false
+		grantedChannels = map[string]bool{}
+		grantedCats = map[Category]bool{}
+	}
+
+	// Effective context levels before closure.
+	for cat := range grantedCats {
+		if deniedCats[cat] {
+			continue
+		}
+		level := LevelRaw
+		if clamp, ok := clampCats[cat]; ok {
+			level = MostRestrictive(level, clamp)
+		}
+		if level != LevelNotShared {
+			d.Contexts[cat] = level
+		}
+	}
+
+	// Location/time granularities flow whenever any grant survived.
+	if grantAll || len(grantedChannels) > 0 || len(d.Contexts) > 0 {
+		d.Location = locClamp
+		d.Time = timeClamp
+	}
+
+	// Channel grants before closure.
+	d.AllChannelsGranted = grantAll
+	for ch := range grantedChannels {
+		d.Channels[ch] = true
+	}
+	for ch := range deniedChannels {
+		d.Channels[ch] = false
+	}
+
+	e.applyClosure(d)
+	return d
+}
+
+// applyClosure enforces the sensor/context dependency graph: raw data of a
+// channel flows only if every category inferable from it is granted at
+// LevelRaw, and GPS channels only at Coordinates location granularity.
+func (e *Engine) applyClosure(d *Decision) {
+	blockIfRisky := func(ch string) {
+		for _, cat := range SensorCategories(ch) {
+			if d.ContextLevel(cat) != LevelRaw {
+				d.Channels[ch] = false
+				return
+			}
+		}
+		if (ch == wavesegment.ChannelLatitude || ch == wavesegment.ChannelLongitude) && d.Location != geo.LocCoordinates {
+			d.Channels[ch] = false
+		}
+	}
+	for ch, ok := range d.Channels {
+		if ok {
+			blockIfRisky(ch)
+		}
+	}
+	if d.AllChannelsGranted {
+		// Materialize explicit blocks for every inference-bearing channel so
+		// ChannelShared answers correctly for channels granted via "all".
+		for _, cat := range Categories() {
+			for _, ch := range categorySensors[cat] {
+				if _, seen := d.Channels[ch]; !seen {
+					d.Channels[ch] = true
+				}
+				if d.Channels[ch] {
+					blockIfRisky(ch)
+				}
+			}
+		}
+	}
+	// If nothing flows at all, hide location/time too.
+	if !d.SharesAnything() {
+		d.Location = geo.LocNotShared
+		d.Time = timeutil.GranNotShared
+	}
+}
+
+// BoundariesWithin returns the sorted instants inside (from, to) at which
+// the rule set's time conditions can change a decision: absolute range
+// endpoints and recurring-window edges. Enforcement uses these to cut a
+// segment into spans of constant decision.
+func (e *Engine) BoundariesWithin(from, to time.Time) []time.Time {
+	var out []time.Time
+	add := func(t time.Time) {
+		if t.After(from) && t.Before(to) {
+			out = append(out, t)
+		}
+	}
+	for _, r := range e.rules {
+		for _, rng := range r.TimeRanges {
+			if !rng.Start.IsZero() {
+				add(rng.Start)
+			}
+			if !rng.End.IsZero() {
+				add(rng.End)
+			}
+		}
+		for _, rep := range r.RepeatTimes {
+			if rep.IsZero() {
+				continue
+			}
+			wFrom, wTo := rep.Window()
+			// Walk each local day the span touches and add window edges.
+			day := time.Date(from.Year(), from.Month(), from.Day(), 0, 0, 0, 0, from.Location())
+			for !day.After(to) {
+				if wFrom != wTo {
+					add(day.Add(time.Duration(wFrom) * time.Minute))
+					add(day.Add(time.Duration(wTo) * time.Minute))
+				} else {
+					add(day) // whole-day windows flip at midnight
+				}
+				day = day.AddDate(0, 0, 1)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	// Dedupe.
+	dedup := out[:0]
+	for i, t := range out {
+		if i == 0 || !t.Equal(dedup[len(dedup)-1]) {
+			dedup = append(dedup, t)
+		}
+	}
+	return dedup
+}

@@ -1,0 +1,521 @@
+package rules
+
+import (
+	"testing"
+	"time"
+
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/timeutil"
+	"sensorsafe/internal/wavesegment"
+)
+
+var (
+	uclaPoint = geo.Point{Lat: 34.0689, Lon: -118.4452}
+	homePoint = geo.Point{Lat: 34.0250, Lon: -118.4950}
+	elsewhere = geo.Point{Lat: 36.0, Lon: -115.0}
+)
+
+func testGazetteer(t *testing.T) *geo.Gazetteer {
+	t.Helper()
+	g := geo.NewGazetteer()
+	uclaRect, _ := geo.NewRect(geo.Point{Lat: 34.05, Lon: -118.46}, geo.Point{Lat: 34.08, Lon: -118.43})
+	homeRect, _ := geo.NewRect(geo.Point{Lat: 34.02, Lon: -118.50}, geo.Point{Lat: 34.03, Lon: -118.49})
+	if err := g.Define("UCLA", geo.Region{Rect: uclaRect}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Define("Home", geo.Region{Rect: homeRect}); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustEngine(t *testing.T, gaz *geo.Gazetteer, rs ...*Rule) *Engine {
+	t.Helper()
+	e, err := NewEngine(rs, gaz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func req(consumer string, at time.Time, loc geo.Point, contexts ...string) *Request {
+	return &Request{Consumer: consumer, At: at, Location: loc, ActiveContexts: contexts}
+}
+
+var wednesday10am = time.Date(2011, 2, 16, 10, 0, 0, 0, time.UTC)
+
+func TestDefaultDeny(t *testing.T) {
+	e := mustEngine(t, nil)
+	d := e.Decide(req("Bob", wednesday10am, uclaPoint))
+	if d.SharesAnything() {
+		t.Error("empty rule set must share nothing")
+	}
+	if d.Location != geo.LocNotShared || d.Time != timeutil.GranNotShared {
+		t.Error("location/time must be hidden by default")
+	}
+	if d.ChannelShared("ECG") {
+		t.Error("no channel should be shared by default")
+	}
+}
+
+func TestPlainAllow(t *testing.T) {
+	e := mustEngine(t, nil, &Rule{ID: "all", Action: Allow()})
+	d := e.Decide(req("Bob", wednesday10am, uclaPoint))
+	if !d.AllChannelsGranted {
+		t.Error("allow-all should grant all channels")
+	}
+	for _, ch := range []string{"ECG", "Respiration", "AccelX", "Microphone", "SkinTemperature"} {
+		if !d.ChannelShared(ch) {
+			t.Errorf("channel %s should be shared", ch)
+		}
+	}
+	for _, cat := range Categories() {
+		if d.ContextLevel(cat) != LevelRaw {
+			t.Errorf("category %s should be raw", cat)
+		}
+	}
+	if d.Location != geo.LocCoordinates || d.Time != timeutil.GranMillisecond {
+		t.Error("allow should release full-precision location/time")
+	}
+}
+
+func TestConsumerCondition(t *testing.T) {
+	e := mustEngine(t, nil, &Rule{Consumers: []string{"Bob"}, Action: Allow()})
+	if !e.Decide(req("Bob", wednesday10am, uclaPoint)).SharesAnything() {
+		t.Error("Bob should get access")
+	}
+	if !e.Decide(req("bob", wednesday10am, uclaPoint)).SharesAnything() {
+		t.Error("consumer match should be case-insensitive")
+	}
+	if e.Decide(req("Eve", wednesday10am, uclaPoint)).SharesAnything() {
+		t.Error("Eve should get nothing")
+	}
+}
+
+func TestGroupCondition(t *testing.T) {
+	e := mustEngine(t, nil, &Rule{Groups: []string{"StressStudy"}, Action: Allow()})
+	r := req("Carol", wednesday10am, uclaPoint)
+	if e.Decide(r).SharesAnything() {
+		t.Error("non-member should get nothing")
+	}
+	r.ConsumerGroups = []string{"OtherStudy", "stressstudy"}
+	if !e.Decide(r).SharesAnything() {
+		t.Error("group member should get access (case-insensitive)")
+	}
+}
+
+func TestLocationLabelCondition(t *testing.T) {
+	e := mustEngine(t, testGazetteer(t), &Rule{LocationLabels: []string{"UCLA"}, Action: Allow()})
+	if !e.Decide(req("Bob", wednesday10am, uclaPoint)).SharesAnything() {
+		t.Error("inside UCLA should match")
+	}
+	if e.Decide(req("Bob", wednesday10am, homePoint)).SharesAnything() {
+		t.Error("home is not UCLA")
+	}
+	if e.Decide(req("Bob", wednesday10am, elsewhere)).SharesAnything() {
+		t.Error("elsewhere should not match")
+	}
+	// Unknown label with nil gazetteer: rule cannot match.
+	e2 := mustEngine(t, nil, &Rule{LocationLabels: []string{"UCLA"}, Action: Allow()})
+	if e2.Decide(req("Bob", wednesday10am, uclaPoint)).SharesAnything() {
+		t.Error("label without gazetteer should never match")
+	}
+}
+
+func TestRegionCondition(t *testing.T) {
+	rect, _ := geo.NewRect(geo.Point{Lat: 34, Lon: -119}, geo.Point{Lat: 35, Lon: -118})
+	e := mustEngine(t, nil, &Rule{Regions: []geo.Region{{Rect: rect}}, Action: Allow()})
+	if !e.Decide(req("Bob", wednesday10am, uclaPoint)).SharesAnything() {
+		t.Error("inside region should match")
+	}
+	if e.Decide(req("Bob", wednesday10am, elsewhere)).SharesAnything() {
+		t.Error("outside region should not match")
+	}
+}
+
+func TestPolygonRegionCondition(t *testing.T) {
+	// Rules drawn on the map UI can be polygons, not just rects.
+	in := `{
+	  "Region": {"polygon": [
+	    {"lat": 34.0, "lon": -118.5},
+	    {"lat": 34.1, "lon": -118.4},
+	    {"lat": 34.0, "lon": -118.3}
+	  ]},
+	  "Action": "Allow"
+	}`
+	r, err := UnmarshalRule([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mustEngine(t, nil, r)
+	inside := geo.Point{Lat: 34.03, Lon: -118.4}
+	outside := geo.Point{Lat: 34.09, Lon: -118.31}
+	if !e.Decide(req("Bob", wednesday10am, inside)).SharesAnything() {
+		t.Error("inside the triangle should share")
+	}
+	if e.Decide(req("Bob", wednesday10am, outside)).SharesAnything() {
+		t.Error("outside the triangle should not share")
+	}
+	// Round trip keeps the polygon.
+	data, err := MarshalRule(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalRule(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Regions) != 1 || len(back.Regions[0].Polygon) != 3 {
+		t.Errorf("round trip lost polygon: %+v", back.Regions)
+	}
+}
+
+func TestTimeConditions(t *testing.T) {
+	rng, _ := timeutil.NewRange(
+		time.Date(2011, 2, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(2011, 3, 1, 0, 0, 0, 0, time.UTC))
+	e := mustEngine(t, nil, &Rule{TimeRanges: []timeutil.Range{rng}, Action: Allow()})
+	if !e.Decide(req("Bob", wednesday10am, uclaPoint)).SharesAnything() {
+		t.Error("Feb 2011 should match")
+	}
+	apr := time.Date(2011, 4, 10, 0, 0, 0, 0, time.UTC)
+	if e.Decide(req("Bob", apr, uclaPoint)).SharesAnything() {
+		t.Error("April should not match")
+	}
+
+	rep, _ := timeutil.ParseRepeated([]string{"Mon", "Tue", "Wed", "Thu", "Fri"}, []string{"9:00am", "6:00pm"})
+	e2 := mustEngine(t, nil, &Rule{RepeatTimes: []timeutil.Repeated{rep}, Action: Allow()})
+	if !e2.Decide(req("Bob", wednesday10am, uclaPoint)).SharesAnything() {
+		t.Error("Wednesday 10am should match")
+	}
+	sat := time.Date(2011, 2, 19, 10, 0, 0, 0, time.UTC)
+	if e2.Decide(req("Bob", sat, uclaPoint)).SharesAnything() {
+		t.Error("Saturday should not match")
+	}
+}
+
+func TestContextCondition(t *testing.T) {
+	e := mustEngine(t, nil, &Rule{Contexts: []string{CtxDrive}, Action: Allow()})
+	if !e.Decide(req("Bob", wednesday10am, uclaPoint, CtxDrive)).SharesAnything() {
+		t.Error("driving request should match")
+	}
+	if e.Decide(req("Bob", wednesday10am, uclaPoint, CtxWalk)).SharesAnything() {
+		t.Error("walking request should not match")
+	}
+	if e.Decide(req("Bob", wednesday10am, uclaPoint)).SharesAnything() {
+		t.Error("context-free request should not match a context-conditioned rule")
+	}
+}
+
+func TestSensorScopedAllow(t *testing.T) {
+	// Alice's health-coach rule (§6): coach sees accelerometer data only.
+	e := mustEngine(t, nil, &Rule{
+		Consumers: []string{"coach"},
+		Sensors:   ExpandSensorNames([]string{"Accelerometer"}),
+		Action:    Allow(),
+	})
+	d := e.Decide(req("coach", wednesday10am, uclaPoint))
+	for _, ch := range []string{"AccelX", "AccelY", "AccelZ"} {
+		if !d.ChannelShared(ch) {
+			t.Errorf("%s should be shared with coach", ch)
+		}
+	}
+	for _, ch := range []string{"ECG", "Respiration", "Microphone"} {
+		if d.ChannelShared(ch) {
+			t.Errorf("%s should not be shared with coach", ch)
+		}
+	}
+	if d.AllChannelsGranted {
+		t.Error("sensor-scoped allow must not grant all channels")
+	}
+	if d.ContextLevel(CategoryActivity) != LevelRaw {
+		t.Error("activity context inferable from granted accel should be raw")
+	}
+	if d.ContextLevel(CategoryStress) != LevelNotShared {
+		t.Error("stress must stay hidden")
+	}
+}
+
+func TestFig4Semantics(t *testing.T) {
+	// The paper's Fig. 4 pair: allow all at UCLA, but abstract stress to
+	// NotShared while in conversation on weekday business hours.
+	rs, err := UnmarshalRuleSet([]byte(fig4JSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mustEngine(t, testGazetteer(t), rs...)
+
+	// Weekday 10am at UCLA, in conversation: everything but stress —
+	// and the dependency closure must also block ECG/Respiration/HeartRate
+	// because stress could be re-inferred from them.
+	d := e.Decide(req("Bob", wednesday10am, uclaPoint, CtxConversation))
+	if d.ContextLevel(CategoryStress) != LevelNotShared {
+		t.Error("stress must be hidden during conversation")
+	}
+	if d.ChannelShared(wavesegment.ChannelECG) || d.ChannelShared(wavesegment.ChannelRespiration) {
+		t.Error("closure must block ECG/Respiration while stress is hidden")
+	}
+	if !d.ChannelShared(wavesegment.ChannelAccelX) || !d.ChannelShared(wavesegment.ChannelMicrophone) {
+		t.Error("unrelated channels should still flow")
+	}
+	if d.ContextLevel(CategoryConversation) != LevelRaw {
+		t.Error("conversation itself was not abstracted")
+	}
+
+	// Same instant, not in conversation: full access.
+	d = e.Decide(req("Bob", wednesday10am, uclaPoint))
+	if d.ContextLevel(CategoryStress) != LevelRaw || !d.ChannelShared(wavesegment.ChannelECG) {
+		t.Error("without conversation the restriction must not fire")
+	}
+
+	// Saturday in conversation at UCLA: outside the repeat window.
+	sat := time.Date(2011, 2, 19, 10, 0, 0, 0, time.UTC)
+	d = e.Decide(req("Bob", sat, uclaPoint, CtxConversation))
+	if d.ContextLevel(CategoryStress) != LevelRaw {
+		t.Error("restriction must not fire outside the repeat window")
+	}
+
+	// Somewhere else: no rule matches at all.
+	d = e.Decide(req("Bob", wednesday10am, elsewhere))
+	if d.SharesAnything() {
+		t.Error("no data should flow outside UCLA")
+	}
+
+	// A different consumer gets nothing anywhere.
+	d = e.Decide(req("Eve", wednesday10am, uclaPoint))
+	if d.SharesAnything() {
+		t.Error("rules are Bob-specific")
+	}
+}
+
+func TestDependencyClosure(t *testing.T) {
+	// Paper §5.1: "if the smoking context is not shared, respiration sensor
+	// data will not be shared even though stress and conversation are shared
+	// in raw data form."
+	e := mustEngine(t, nil,
+		&Rule{Action: Allow()},
+		&Rule{Action: Abstract(AbstractionSpec{Contexts: map[Category]Level{CategorySmoking: LevelNotShared}})},
+	)
+	d := e.Decide(req("Bob", wednesday10am, uclaPoint))
+	if d.ContextLevel(CategoryStress) != LevelRaw || d.ContextLevel(CategoryConversation) != LevelRaw {
+		t.Error("stress and conversation remain raw")
+	}
+	if d.ContextLevel(CategorySmoking) != LevelNotShared {
+		t.Error("smoking must be hidden")
+	}
+	if d.ChannelShared(wavesegment.ChannelRespiration) {
+		t.Error("respiration raw data must be blocked by the closure")
+	}
+	// ECG only feeds stress (raw) — still flows.
+	if !d.ChannelShared(wavesegment.ChannelECG) {
+		t.Error("ECG should still flow (stress is raw)")
+	}
+	// Microphone only feeds conversation (raw) — still flows.
+	if !d.ChannelShared(wavesegment.ChannelMicrophone) {
+		t.Error("microphone should still flow")
+	}
+}
+
+func TestClosureBlocksAccelWhenActivityAbstracted(t *testing.T) {
+	e := mustEngine(t, nil,
+		&Rule{
+			Consumers: []string{"coach"},
+			Sensors:   ExpandSensorNames([]string{"Accelerometer"}),
+			Action:    Abstract(AbstractionSpec{Contexts: map[Category]Level{CategoryActivity: LevelBinary}}),
+		})
+	d := e.Decide(req("coach", wednesday10am, uclaPoint))
+	if d.ChannelShared("AccelX") || d.ChannelShared("AccelY") || d.ChannelShared("AccelZ") {
+		t.Error("raw accel must be blocked when activity is clamped to binary")
+	}
+	if d.ContextLevel(CategoryActivity) != LevelBinary {
+		t.Errorf("activity level = %v, want Binary", d.ContextLevel(CategoryActivity))
+	}
+}
+
+func TestClosureBlocksGPSWhenLocationAbstracted(t *testing.T) {
+	city := geo.LocCity
+	e := mustEngine(t, nil,
+		&Rule{Action: Allow()},
+		&Rule{Action: Abstract(AbstractionSpec{Location: &city})})
+	d := e.Decide(req("Bob", wednesday10am, uclaPoint))
+	if d.ChannelShared(wavesegment.ChannelLatitude) || d.ChannelShared(wavesegment.ChannelLongitude) {
+		t.Error("GPS channels must be blocked below Coordinates granularity")
+	}
+	if d.Location != geo.LocCity {
+		t.Errorf("location granularity = %v", d.Location)
+	}
+	// Accel flows only if activity is raw — it is here.
+	if !d.ChannelShared(wavesegment.ChannelAccelX) {
+		t.Error("accel should flow (activity raw)")
+	}
+}
+
+func TestDenyOverridesAllow(t *testing.T) {
+	// Alice's §6 rule: deny accelerometer data at home.
+	e := mustEngine(t, testGazetteer(t),
+		&Rule{Action: Allow()},
+		&Rule{
+			LocationLabels: []string{"Home"},
+			Sensors:        ExpandSensorNames([]string{"Accelerometer"}),
+			Action:         Deny(),
+		})
+	atHome := e.Decide(req("Bob", wednesday10am, homePoint))
+	if atHome.ChannelShared("AccelX") {
+		t.Error("accel must be denied at home")
+	}
+	if !atHome.ChannelShared("ECG") {
+		t.Error("other channels still flow at home")
+	}
+	away := e.Decide(req("Bob", wednesday10am, uclaPoint))
+	if !away.ChannelShared("AccelX") {
+		t.Error("accel flows away from home")
+	}
+}
+
+func TestDenyEverythingDuringContext(t *testing.T) {
+	// "don't share any data while I am driving."
+	e := mustEngine(t, nil,
+		&Rule{Action: Allow()},
+		&Rule{Contexts: []string{CtxDrive}, Action: Deny()},
+	)
+	driving := e.Decide(req("Bob", wednesday10am, uclaPoint, CtxDrive))
+	if driving.SharesAnything() {
+		t.Error("nothing may flow while driving")
+	}
+	walking := e.Decide(req("Bob", wednesday10am, uclaPoint, CtxWalk))
+	if !walking.SharesAnything() {
+		t.Error("walking is fine")
+	}
+}
+
+func TestDenyRevokesCategoryOnlyWhenFullyCovered(t *testing.T) {
+	// Denying respiration alone revokes smoking (its only source) but not
+	// conversation (microphone remains a source).
+	e := mustEngine(t, nil,
+		&Rule{Action: Allow()},
+		&Rule{Sensors: []string{"Respiration"}, Action: Deny()},
+	)
+	d := e.Decide(req("Bob", wednesday10am, uclaPoint))
+	if d.ChannelShared("Respiration") {
+		t.Error("respiration must be denied")
+	}
+	if d.ContextLevel(CategorySmoking) != LevelNotShared {
+		t.Error("smoking is only inferable from respiration; deny should revoke it")
+	}
+	if d.ContextLevel(CategoryConversation) != LevelRaw {
+		t.Error("conversation should survive (microphone still granted)")
+	}
+	// But with smoking hidden nothing changes for microphone.
+	if !d.ChannelShared("Microphone") {
+		t.Error("microphone should flow")
+	}
+}
+
+func TestMostRestrictiveClampWins(t *testing.T) {
+	e := mustEngine(t, nil,
+		&Rule{Action: Abstract(AbstractionSpec{Contexts: map[Category]Level{CategoryStress: LevelBinary}})},
+		&Rule{Action: Abstract(AbstractionSpec{Contexts: map[Category]Level{CategoryStress: LevelNotShared}})},
+	)
+	d := e.Decide(req("Bob", wednesday10am, uclaPoint))
+	if d.ContextLevel(CategoryStress) != LevelNotShared {
+		t.Errorf("stress level = %v, want NotShared (most restrictive)", d.ContextLevel(CategoryStress))
+	}
+}
+
+func TestLocationTimeClampsCombine(t *testing.T) {
+	city := geo.LocCity
+	state := geo.LocState
+	hour := timeutil.GranHour
+	day := timeutil.GranDay
+	e := mustEngine(t, nil,
+		&Rule{Action: Allow()},
+		&Rule{Action: Abstract(AbstractionSpec{Location: &city, Time: &day})},
+		&Rule{Action: Abstract(AbstractionSpec{Location: &state, Time: &hour})},
+	)
+	d := e.Decide(req("Bob", wednesday10am, uclaPoint))
+	if d.Location != geo.LocState {
+		t.Errorf("location = %v, want State", d.Location)
+	}
+	if d.Time != timeutil.GranDay {
+		t.Errorf("time = %v, want Day", d.Time)
+	}
+}
+
+func TestAllowDoesNotLoosenClamp(t *testing.T) {
+	e := mustEngine(t, nil,
+		&Rule{Action: Abstract(AbstractionSpec{Contexts: map[Category]Level{CategoryStress: LevelBinary}})},
+		&Rule{Action: Allow()},
+	)
+	d := e.Decide(req("Bob", wednesday10am, uclaPoint))
+	if d.ContextLevel(CategoryStress) != LevelBinary {
+		t.Errorf("stress = %v; a plain allow must not loosen an abstraction clamp", d.ContextLevel(CategoryStress))
+	}
+}
+
+func TestNewEngineRejectsInvalidRule(t *testing.T) {
+	if _, err := NewEngine([]*Rule{{Action: Action{Kind: ActionKind(9)}}}, nil); err == nil {
+		t.Error("invalid rule should abort engine construction")
+	}
+}
+
+func TestEngineRulesIsolated(t *testing.T) {
+	orig := &Rule{ID: "r", Consumers: []string{"Bob"}, Action: Allow()}
+	e := mustEngine(t, nil, orig)
+	orig.Consumers[0] = "Eve" // mutate after construction
+	if e.Decide(req("Eve", wednesday10am, uclaPoint)).SharesAnything() {
+		t.Error("engine must have cloned its rules")
+	}
+	got := e.Rules()
+	got[0].Consumers[0] = "Mallory"
+	if e.Decide(req("Mallory", wednesday10am, uclaPoint)).SharesAnything() {
+		t.Error("Rules() must return clones")
+	}
+}
+
+func TestBoundariesWithin(t *testing.T) {
+	rng, _ := timeutil.NewRange(
+		time.Date(2011, 2, 16, 12, 0, 0, 0, time.UTC),
+		time.Date(2011, 2, 16, 14, 0, 0, 0, time.UTC))
+	rep, _ := timeutil.ParseRepeated([]string{"Wed"}, []string{"9:00am", "6:00pm"})
+	e := mustEngine(t, nil,
+		&Rule{TimeRanges: []timeutil.Range{rng}, Action: Allow()},
+		&Rule{RepeatTimes: []timeutil.Repeated{rep}, Action: Deny()},
+	)
+	from := time.Date(2011, 2, 16, 0, 0, 0, 0, time.UTC)
+	to := time.Date(2011, 2, 17, 0, 0, 0, 0, time.UTC)
+	bs := e.BoundariesWithin(from, to)
+	want := []time.Time{
+		time.Date(2011, 2, 16, 9, 0, 0, 0, time.UTC),
+		time.Date(2011, 2, 16, 12, 0, 0, 0, time.UTC),
+		time.Date(2011, 2, 16, 14, 0, 0, 0, time.UTC),
+		time.Date(2011, 2, 16, 18, 0, 0, 0, time.UTC),
+	}
+	if len(bs) != len(want) {
+		t.Fatalf("boundaries = %v, want %v", bs, want)
+	}
+	for i := range want {
+		if !bs[i].Equal(want[i]) {
+			t.Errorf("boundary %d = %v, want %v", i, bs[i], want[i])
+		}
+	}
+	// Sorted and deduped.
+	for i := 1; i < len(bs); i++ {
+		if !bs[i-1].Before(bs[i]) {
+			t.Error("boundaries must be strictly increasing")
+		}
+	}
+	if got := e.BoundariesWithin(wednesday10am, wednesday10am.Add(time.Minute)); len(got) != 0 {
+		t.Errorf("narrow window should have no boundaries: %v", got)
+	}
+}
+
+func TestDecisionHelpers(t *testing.T) {
+	d := denyAll()
+	if d.SharesAnything() || d.ChannelShared("ECG") || d.ContextLevel(CategoryStress) != LevelNotShared {
+		t.Error("denyAll should share nothing")
+	}
+	d.Contexts[CategoryStress] = LevelBinary
+	if !d.SharesAnything() {
+		t.Error("binary stress counts as sharing")
+	}
+}

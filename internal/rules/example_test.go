@@ -1,0 +1,70 @@
+package rules_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/rules"
+)
+
+// ExampleUnmarshalRuleSet parses the paper's Fig. 4 rule document and shows
+// the dependency closure at work: hiding stress while in conversation also
+// blocks the raw channels stress could be re-inferred from.
+func ExampleUnmarshalRuleSet() {
+	rs, err := rules.UnmarshalRuleSet([]byte(`[
+	  { "Consumer": ["Bob"], "Action": "Allow" },
+	  { "Consumer": ["Bob"], "Context": ["Conversation"],
+	    "Action": { "Abstraction": { "Stress": "NotShared" } } }
+	]`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := rules.NewEngine(rs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	at := time.Date(2011, 2, 16, 10, 0, 0, 0, time.UTC)
+	loc := geo.Point{Lat: 34.07, Lon: -118.44}
+
+	quiet := engine.Decide(&rules.Request{Consumer: "Bob", At: at, Location: loc})
+	talking := engine.Decide(&rules.Request{
+		Consumer: "Bob", At: at, Location: loc,
+		ActiveContexts: []string{rules.CtxConversation},
+	})
+
+	fmt.Printf("quiet:   ECG=%v stress=%v\n", quiet.ChannelShared("ECG"), quiet.ContextLevel(rules.CategoryStress))
+	fmt.Printf("talking: ECG=%v stress=%v\n", talking.ChannelShared("ECG"), talking.ContextLevel(rules.CategoryStress))
+	// Output:
+	// quiet:   ECG=true stress=Raw
+	// talking: ECG=false stress=NotShared
+}
+
+// ExampleEngine_CollectionDecision shows the phone-side §5.3 hints: with a
+// context-conditioned rule the phone must collect first and decide after
+// inference; with no possible sharing it keeps the sensors off.
+func ExampleEngine_CollectionDecision() {
+	mk := func(doc string) *rules.Engine {
+		rs, err := rules.UnmarshalRuleSet([]byte(doc))
+		if err != nil {
+			log.Fatal(err)
+		}
+		e, err := rules.NewEngine(rs, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return e
+	}
+	at := time.Date(2011, 2, 16, 10, 0, 0, 0, time.UTC)
+	loc := geo.Point{Lat: 34, Lon: -118}
+
+	fmt.Println(mk(`[{"Action":"Allow"}]`).CollectionDecision(at, loc))
+	fmt.Println(mk(`[{"Context":["Drive"],"Action":"Allow"}]`).CollectionDecision(at, loc))
+	fmt.Println(mk(`[{"TimeRange":{"Start":"2030-01-01T00:00:00Z"},"Action":"Allow"}]`).CollectionDecision(at, loc))
+	// Output:
+	// Share
+	// NeedsContext
+	// Skip
+}

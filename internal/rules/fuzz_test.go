@@ -1,0 +1,74 @@
+package rules
+
+import (
+	"testing"
+)
+
+// Fuzz targets for the two parsers that consume untrusted input: rule JSON
+// arrives from web UIs and broker sync, and must never panic or accept a
+// document that fails validation. Run with `go test -fuzz=FuzzRuleJSON`;
+// under plain `go test` the seed corpus runs as regression cases.
+
+func FuzzRuleJSON(f *testing.F) {
+	seeds := []string{
+		`{"Action":"Allow"}`,
+		`{"Action":"Deny"}`,
+		`[{"Consumer":["Bob"],"LocationLabel":["UCLA"],"Action":"Allow"},
+		  {"Consumer":["Bob"],"RepeatTime":{"Day":["Mon"],"HourMin":["9:00am","6:00pm"]},
+		   "Context":["Conversation"],"Action":{"Abstraction":{"Stress":"NotShared"}}}]`,
+		`{"Region":{"rect":{"minLat":34,"minLon":-119,"maxLat":35,"maxLon":-118}},"Action":"Deny"}`,
+		`{"Region":{"polygon":[{"lat":34,"lon":-119},{"lat":35,"lon":-118.5},{"lat":34,"lon":-118}]},"Action":"Allow"}`,
+		`{"Action":{"Abstraction":{"Location":"City","Time":"Hour","Activity":"Move/Not Move"}}}`,
+		`{"TimeRange":{"Start":"2011-02-01T00:00:00Z"},"Action":"Allow"}`,
+		`{"Sensor":"Accelerometer","Action":"Allow"}`,
+		`null`, `[]`, `{}`, `[[]]`, `{"Action":7}`,
+		`{"Action":{"Abstraction":{"Stress":[]}}}`,
+		`{"RepeatTime":[{"Day":["Mon"]},{"Day":["Tue"]}],"Action":"Deny"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rs, err := UnmarshalRuleSet(data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must be valid, marshal cleanly, and re-parse to
+		// an equally valid rule set.
+		for _, r := range rs {
+			if verr := r.Validate(); verr != nil {
+				t.Fatalf("accepted invalid rule: %v\ninput: %s", verr, data)
+			}
+		}
+		out, err := MarshalRuleSet(rs)
+		if err != nil {
+			t.Fatalf("accepted rules do not marshal: %v\ninput: %s", err, data)
+		}
+		back, err := UnmarshalRuleSet(out)
+		if err != nil {
+			t.Fatalf("marshaled rules do not re-parse: %v\noutput: %s", err, out)
+		}
+		if len(back) != len(rs) {
+			t.Fatalf("round trip changed rule count: %d -> %d", len(rs), len(back))
+		}
+		// And the engine must compile them without panicking.
+		if _, err := NewEngine(rs, nil); err != nil {
+			t.Fatalf("accepted rules do not compile: %v", err)
+		}
+	})
+}
+
+func FuzzParseContextLabel(f *testing.F) {
+	for _, s := range []string{"Drive", "driving", "not moving", "Stress", "", "x", "NOTSMOKING"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		label, err := ParseContextLabel(s)
+		if err != nil {
+			return
+		}
+		if _, ok := LabelCategory(label); !ok {
+			t.Fatalf("accepted label %q (from %q) has no category", label, s)
+		}
+	})
+}

@@ -1,0 +1,353 @@
+package rules
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/timeutil"
+)
+
+// Rule JSON follows the paper's Fig. 4 shape. A rule document is an object
+// (or an array of objects for a rule set):
+//
+//	{ "Consumer": ["Bob"],
+//	  "LocationLabel": ["UCLA"],
+//	  "RepeatTime": { "Day": ["Mon","Tue"], "HourMin": ["9:00am","6:00pm"] },
+//	  "Context": ["Conversation"],
+//	  "Action": { "Abstraction": { "Stress": "NotShared" } } }
+//
+// "Action" is either the string "Allow"/"Deny" or an object with an
+// "Abstraction" map whose keys are "Location", "Time", or a context
+// category, and whose values are Table 1(b) option names. Scalar condition
+// fields also accept single values where Fig. 4 uses arrays, and
+// "RepeatTime"/"TimeRange" accept an object or an array of objects.
+
+type wireRepeat struct {
+	Day     []string `json:"Day"`
+	HourMin []string `json:"HourMin"`
+}
+
+type wireRange struct {
+	Start string `json:"Start"`
+	End   string `json:"End"`
+}
+
+type wireRule struct {
+	ID            string          `json:"ID,omitempty"`
+	Description   string          `json:"Description,omitempty"`
+	Consumer      stringList      `json:"Consumer,omitempty"`
+	Group         stringList      `json:"Group,omitempty"`
+	Study         stringList      `json:"Study,omitempty"`
+	LocationLabel stringList      `json:"LocationLabel,omitempty"`
+	Region        json.RawMessage `json:"Region,omitempty"`
+	TimeRange     json.RawMessage `json:"TimeRange,omitempty"`
+	RepeatTime    json.RawMessage `json:"RepeatTime,omitempty"`
+	Sensor        stringList      `json:"Sensor,omitempty"`
+	Context       stringList      `json:"Context,omitempty"`
+	Action        json.RawMessage `json:"Action"`
+}
+
+// stringList unmarshals either a JSON string or an array of strings.
+type stringList []string
+
+func (l *stringList) UnmarshalJSON(data []byte) error {
+	var one string
+	if err := json.Unmarshal(data, &one); err == nil {
+		*l = []string{one}
+		return nil
+	}
+	var many []string
+	if err := json.Unmarshal(data, &many); err != nil {
+		return fmt.Errorf("expected string or array of strings: %w", err)
+	}
+	*l = many
+	return nil
+}
+
+func (l stringList) MarshalJSON() ([]byte, error) {
+	return json.Marshal([]string(l))
+}
+
+// objectList unmarshals either one JSON object or an array of objects into
+// the given slice-appending callback.
+func objectList(raw json.RawMessage, appendOne func(json.RawMessage) error) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	var many []json.RawMessage
+	if err := json.Unmarshal(raw, &many); err == nil {
+		for _, m := range many {
+			if err := appendOne(m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return appendOne(raw)
+}
+
+// timeRangeWire is the RFC3339 layout used for TimeRange bounds.
+const timeRangeWire = time.RFC3339
+
+// UnmarshalRule parses one Fig. 4 rule object.
+func UnmarshalRule(data []byte) (*Rule, error) {
+	var w wireRule
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("rules: bad rule JSON: %w", err)
+	}
+	r := &Rule{
+		ID:             w.ID,
+		Description:    w.Description,
+		Consumers:      w.Consumer,
+		Groups:         append(append([]string(nil), w.Group...), w.Study...),
+		LocationLabels: w.LocationLabel,
+		Sensors:        ExpandSensorNames(w.Sensor),
+	}
+	for _, c := range w.Context {
+		label, err := ParseContextLabel(c)
+		if err != nil {
+			return nil, err
+		}
+		r.Contexts = append(r.Contexts, label)
+	}
+	if err := objectList(w.Region, func(m json.RawMessage) error {
+		var rg geo.Region
+		if err := json.Unmarshal(m, &rg); err != nil {
+			return fmt.Errorf("rules: bad Region: %w", err)
+		}
+		if !rg.HasGeometry() {
+			return fmt.Errorf("rules: Region without geometry")
+		}
+		r.Regions = append(r.Regions, rg)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := objectList(w.TimeRange, func(m json.RawMessage) error {
+		var wr wireRange
+		if err := json.Unmarshal(m, &wr); err != nil {
+			return fmt.Errorf("rules: bad TimeRange: %w", err)
+		}
+		var start, end time.Time
+		var err error
+		if wr.Start != "" {
+			if start, err = time.Parse(timeRangeWire, wr.Start); err != nil {
+				return fmt.Errorf("rules: bad TimeRange.Start: %w", err)
+			}
+		}
+		if wr.End != "" {
+			if end, err = time.Parse(timeRangeWire, wr.End); err != nil {
+				return fmt.Errorf("rules: bad TimeRange.End: %w", err)
+			}
+		}
+		rng, err := timeutil.NewRange(start, end)
+		if err != nil {
+			return err
+		}
+		r.TimeRanges = append(r.TimeRanges, rng)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := objectList(w.RepeatTime, func(m json.RawMessage) error {
+		var wr wireRepeat
+		if err := json.Unmarshal(m, &wr); err != nil {
+			return fmt.Errorf("rules: bad RepeatTime: %w", err)
+		}
+		rep, err := timeutil.ParseRepeated(wr.Day, wr.HourMin)
+		if err != nil {
+			return err
+		}
+		r.RepeatTimes = append(r.RepeatTimes, rep)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	action, err := parseAction(w.Action)
+	if err != nil {
+		return nil, err
+	}
+	r.Action = action
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func parseAction(raw json.RawMessage) (Action, error) {
+	if len(raw) == 0 {
+		return Action{}, fmt.Errorf("rules: rule has no Action")
+	}
+	var s string
+	if err := json.Unmarshal(raw, &s); err == nil {
+		switch s {
+		case "Allow", "allow":
+			return Allow(), nil
+		case "Deny", "deny":
+			return Deny(), nil
+		default:
+			return Action{}, fmt.Errorf("rules: unknown action %q", s)
+		}
+	}
+	var obj struct {
+		Abstraction map[string]string `json:"Abstraction"`
+	}
+	if err := json.Unmarshal(raw, &obj); err != nil || len(obj.Abstraction) == 0 {
+		return Action{}, fmt.Errorf("rules: action must be \"Allow\", \"Deny\", or {\"Abstraction\": {...}}")
+	}
+	spec := AbstractionSpec{Contexts: make(map[Category]Level)}
+	for key, val := range obj.Abstraction {
+		switch key {
+		case "Location", "location":
+			g, err := geo.ParseLocationGranularity(val)
+			if err != nil {
+				return Action{}, err
+			}
+			spec.Location = &g
+		case "Time", "time":
+			g, err := timeutil.ParseGranularity(val)
+			if err != nil {
+				return Action{}, err
+			}
+			spec.Time = &g
+		default:
+			cat, err := parseCategory(key)
+			if err != nil {
+				return Action{}, err
+			}
+			lvl, err := ParseLevel(cat, val)
+			if err != nil {
+				return Action{}, err
+			}
+			spec.Contexts[cat] = lvl
+		}
+	}
+	if len(spec.Contexts) == 0 {
+		spec.Contexts = nil
+	}
+	return Abstract(spec), nil
+}
+
+func parseCategory(s string) (Category, error) {
+	for _, cat := range Categories() {
+		if string(cat) == s {
+			return cat, nil
+		}
+	}
+	return "", fmt.Errorf("rules: unknown abstraction key %q (want Location, Time, or a context category)", s)
+}
+
+// MarshalRule renders a rule in the Fig. 4 JSON shape.
+func MarshalRule(r *Rule) ([]byte, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	w := map[string]any{}
+	if r.ID != "" {
+		w["ID"] = r.ID
+	}
+	if r.Description != "" {
+		w["Description"] = r.Description
+	}
+	if len(r.Consumers) > 0 {
+		w["Consumer"] = r.Consumers
+	}
+	if len(r.Groups) > 0 {
+		w["Group"] = r.Groups
+	}
+	if len(r.LocationLabels) > 0 {
+		w["LocationLabel"] = r.LocationLabels
+	}
+	if len(r.Regions) > 0 {
+		w["Region"] = r.Regions
+	}
+	if len(r.TimeRanges) > 0 {
+		var rs []wireRange
+		for _, rng := range r.TimeRanges {
+			var wr wireRange
+			if !rng.Start.IsZero() {
+				wr.Start = rng.Start.Format(timeRangeWire)
+			}
+			if !rng.End.IsZero() {
+				wr.End = rng.End.Format(timeRangeWire)
+			}
+			rs = append(rs, wr)
+		}
+		w["TimeRange"] = rs
+	}
+	if len(r.RepeatTimes) > 0 {
+		var rs []wireRepeat
+		for _, rep := range r.RepeatTimes {
+			from, to := rep.Window()
+			wr := wireRepeat{Day: rep.DayNames()}
+			if from != to {
+				wr.HourMin = []string{from.String(), to.String()}
+			}
+			rs = append(rs, wr)
+		}
+		w["RepeatTime"] = rs
+	}
+	if len(r.Sensors) > 0 {
+		w["Sensor"] = r.Sensors
+	}
+	if len(r.Contexts) > 0 {
+		w["Context"] = r.Contexts
+	}
+	switch r.Action.Kind {
+	case ActionAllow:
+		w["Action"] = "Allow"
+	case ActionDeny:
+		w["Action"] = "Deny"
+	case ActionAbstract:
+		abs := map[string]string{}
+		spec := r.Action.Abstraction
+		if spec.Location != nil {
+			abs["Location"] = spec.Location.String()
+		}
+		if spec.Time != nil {
+			abs["Time"] = spec.Time.String()
+		}
+		for cat, l := range spec.Contexts {
+			abs[string(cat)] = l.String()
+		}
+		w["Action"] = map[string]any{"Abstraction": abs}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalRuleSet parses an array of Fig. 4 rule objects (or a single
+// object) into a rule list.
+func UnmarshalRuleSet(data []byte) ([]*Rule, error) {
+	var raws []json.RawMessage
+	if err := json.Unmarshal(data, &raws); err != nil {
+		r, err2 := UnmarshalRule(data)
+		if err2 != nil {
+			return nil, fmt.Errorf("rules: rule set is neither array nor object: %w", err2)
+		}
+		return []*Rule{r}, nil
+	}
+	out := make([]*Rule, 0, len(raws))
+	for i, raw := range raws {
+		r, err := UnmarshalRule(raw)
+		if err != nil {
+			return nil, fmt.Errorf("rules: rule %d: %w", i, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// MarshalRuleSet renders a rule list as a JSON array.
+func MarshalRuleSet(rs []*Rule) ([]byte, error) {
+	parts := make([]json.RawMessage, len(rs))
+	for i, r := range rs {
+		b, err := MarshalRule(r)
+		if err != nil {
+			return nil, fmt.Errorf("rules: rule %d (%s): %w", i, r.ID, err)
+		}
+		parts[i] = b
+	}
+	return json.Marshal(parts)
+}

@@ -1,0 +1,301 @@
+package rules
+
+import (
+	"testing"
+	"time"
+
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/timeutil"
+)
+
+// fig4JSON is the paper's Fig. 4 example verbatim (modulo the paper's
+// single-quote typography): "Share all data collected at UCLA with Bob but
+// do not share stress information while I am in conversation at UCLA on
+// Weekdays from 9am to 6pm."
+const fig4JSON = `[
+  { "Consumer": ["Bob"],
+    "LocationLabel": ["UCLA"],
+    "Action": "Allow"
+  },
+  { "Consumer": ["Bob"],
+    "LocationLabel": ["UCLA"],
+    "RepeatTime": { "Day": ["Mon", "Tue", "Wed", "Thu", "Fri"],
+                    "HourMin": ["9:00am", "6:00pm"]},
+    "Context": ["Conversation"],
+    "Action": { "Abstraction": { "Stress": "NotShared" } }
+  }
+]`
+
+func TestFig4RoundTrip(t *testing.T) {
+	rs, err := UnmarshalRuleSet([]byte(fig4JSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("parsed %d rules, want 2", len(rs))
+	}
+
+	r1, r2 := rs[0], rs[1]
+	if r1.Action.Kind != ActionAllow || len(r1.Consumers) != 1 || r1.Consumers[0] != "Bob" {
+		t.Errorf("rule 1 = %+v", r1)
+	}
+	if len(r1.LocationLabels) != 1 || r1.LocationLabels[0] != "UCLA" {
+		t.Errorf("rule 1 labels = %v", r1.LocationLabels)
+	}
+	if r2.Action.Kind != ActionAbstract {
+		t.Fatalf("rule 2 kind = %v", r2.Action.Kind)
+	}
+	if lvl, ok := r2.Action.Abstraction.Contexts[CategoryStress]; !ok || lvl != LevelNotShared {
+		t.Errorf("rule 2 abstraction = %+v", r2.Action.Abstraction)
+	}
+	if len(r2.RepeatTimes) != 1 {
+		t.Fatalf("rule 2 repeat times = %v", r2.RepeatTimes)
+	}
+	wed := time.Date(2011, 2, 16, 10, 0, 0, 0, time.UTC)
+	sat := time.Date(2011, 2, 19, 10, 0, 0, 0, time.UTC)
+	if !r2.RepeatTimes[0].Contains(wed) || r2.RepeatTimes[0].Contains(sat) {
+		t.Error("rule 2 repeat window wrong")
+	}
+	if len(r2.Contexts) != 1 || r2.Contexts[0] != CtxConversation {
+		t.Errorf("rule 2 contexts = %v", r2.Contexts)
+	}
+
+	// Round trip.
+	data, err := MarshalRuleSet(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalRuleSet(data)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, data)
+	}
+	if len(back) != 2 || back[1].Action.Abstraction.Contexts[CategoryStress] != LevelNotShared {
+		t.Errorf("round trip lost information: %+v", back)
+	}
+	if !back[1].RepeatTimes[0].Contains(wed) || back[1].RepeatTimes[0].Contains(sat) {
+		t.Error("round-tripped repeat window wrong")
+	}
+}
+
+func TestUnmarshalRuleScalarsAndSingleObjects(t *testing.T) {
+	// Scalar condition values and single-object RepeatTime/TimeRange.
+	in := `{
+	  "Consumer": "Bob",
+	  "Sensor": "Accelerometer",
+	  "TimeRange": {"Start": "2011-02-01T00:00:00Z", "End": "2011-03-01T00:00:00Z"},
+	  "Action": "Allow"
+	}`
+	r, err := UnmarshalRule([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Consumers) != 1 || r.Consumers[0] != "Bob" {
+		t.Errorf("Consumers = %v", r.Consumers)
+	}
+	// Accelerometer expands to the axis triple.
+	if len(r.Sensors) != 3 || r.Sensors[0] != "AccelX" {
+		t.Errorf("Sensors = %v", r.Sensors)
+	}
+	if len(r.TimeRanges) != 1 || r.TimeRanges[0].Duration() != 28*24*time.Hour {
+		t.Errorf("TimeRanges = %v", r.TimeRanges)
+	}
+}
+
+func TestUnmarshalRuleRegionAndGPS(t *testing.T) {
+	in := `{
+	  "Region": {"rect": {"minLat": 34, "minLon": -119, "maxLat": 35, "maxLon": -118}},
+	  "Sensor": ["GPS", "ECG"],
+	  "Action": "Deny"
+	}`
+	r, err := UnmarshalRule([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Regions) != 1 || !r.Regions[0].Contains(geo.Point{Lat: 34.5, Lon: -118.5}) {
+		t.Errorf("Regions = %+v", r.Regions)
+	}
+	want := []string{"Latitude", "Longitude", "ECG"}
+	if len(r.Sensors) != 3 {
+		t.Fatalf("Sensors = %v", r.Sensors)
+	}
+	for i, s := range want {
+		if r.Sensors[i] != s {
+			t.Errorf("Sensors[%d] = %q, want %q", i, r.Sensors[i], s)
+		}
+	}
+}
+
+func TestUnmarshalRuleAbstractionAllDimensions(t *testing.T) {
+	in := `{
+	  "Consumer": ["coach"],
+	  "Action": { "Abstraction": {
+	    "Location": "City",
+	    "Time": "Hour",
+	    "Activity": "Move/Not Move",
+	    "Stress": "Stressed/Not Stressed",
+	    "Smoking": "NotShared",
+	    "Conversation": "Conversation/Not Conversation"
+	  }}
+	}`
+	r, err := UnmarshalRule([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := r.Action.Abstraction
+	if spec.Location == nil || *spec.Location != geo.LocCity {
+		t.Errorf("Location = %v", spec.Location)
+	}
+	if spec.Time == nil || *spec.Time != timeutil.GranHour {
+		t.Errorf("Time = %v", spec.Time)
+	}
+	want := map[Category]Level{
+		CategoryActivity: LevelBinary, CategoryStress: LevelBinary,
+		CategorySmoking: LevelNotShared, CategoryConversation: LevelBinary,
+	}
+	for cat, lvl := range want {
+		if spec.Contexts[cat] != lvl {
+			t.Errorf("Contexts[%s] = %v, want %v", cat, spec.Contexts[cat], lvl)
+		}
+	}
+	// And back out.
+	data, err := MarshalRule(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalRule(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *back.Action.Abstraction.Location != geo.LocCity || back.Action.Abstraction.Contexts[CategorySmoking] != LevelNotShared {
+		t.Errorf("round trip lost abstraction: %+v", back.Action.Abstraction)
+	}
+}
+
+func TestUnmarshalRuleErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"Action": "Explode"}`,
+		`{}`,
+		`{"Action": {"Abstraction": {}}}`,
+		`{"Action": {"Abstraction": {"Altitude": "Raw"}}}`,
+		`{"Action": {"Abstraction": {"Stress": "Modes"}}}`,
+		`{"Action": {"Abstraction": {"Location": "galaxy"}}}`,
+		`{"Action": {"Abstraction": {"Time": "fortnight"}}}`,
+		`{"Context": ["levitating"], "Action": "Allow"}`,
+		`{"TimeRange": {"Start": "bogus"}, "Action": "Allow"}`,
+		`{"TimeRange": {"Start": "2011-03-01T00:00:00Z", "End": "2011-02-01T00:00:00Z"}, "Action": "Allow"}`,
+		`{"RepeatTime": {"Day": ["Funday"]}, "Action": "Allow"}`,
+		`{"RepeatTime": {"HourMin": ["9:00am"]}, "Action": "Allow"}`,
+		`{"Region": {"label": "nowhere"}, "Action": "Allow"}`,
+		`{"Consumer": 42, "Action": "Allow"}`,
+	}
+	for _, in := range cases {
+		if _, err := UnmarshalRule([]byte(in)); err == nil {
+			t.Errorf("expected error for %s", in)
+		}
+	}
+}
+
+func TestUnmarshalRuleSetSingleObject(t *testing.T) {
+	rs, err := UnmarshalRuleSet([]byte(`{"Action": "Allow"}`))
+	if err != nil || len(rs) != 1 {
+		t.Fatalf("single-object rule set: %v, %v", rs, err)
+	}
+	if _, err := UnmarshalRuleSet([]byte(`[{"Action": "Explode"}]`)); err == nil {
+		t.Error("bad rule inside set should error")
+	}
+	if _, err := UnmarshalRuleSet([]byte(`"nope"`)); err == nil {
+		t.Error("non-object rule set should error")
+	}
+}
+
+func TestMarshalRuleRejectsInvalid(t *testing.T) {
+	r := &Rule{Action: Action{Kind: ActionKind(9)}}
+	if _, err := MarshalRule(r); err == nil {
+		t.Error("invalid rule should not marshal")
+	}
+	if _, err := MarshalRuleSet([]*Rule{r}); err == nil {
+		t.Error("invalid rule set should not marshal")
+	}
+}
+
+func TestRuleValidate(t *testing.T) {
+	valid := &Rule{ID: "r", Action: Allow()}
+	if err := valid.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []*Rule{
+		{Action: Action{Kind: ActionAllow, Abstraction: &AbstractionSpec{}}},
+		{Action: Action{Kind: ActionAbstract}},
+		{Action: Action{Kind: ActionAbstract, Abstraction: &AbstractionSpec{}}},
+		{Contexts: []string{"levitating"}, Action: Allow()},
+		{Sensors: []string{" "}, Action: Allow()},
+		{LocationLabels: []string{""}, Action: Allow()},
+		{Regions: []geo.Region{{Label: "x"}}, Action: Allow()},
+		{Action: Action{Kind: ActionKind(7)}},
+	}
+	for i, r := range cases {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, r)
+		}
+	}
+	badLoc := geo.LocationGranularity(99)
+	r := &Rule{Action: Abstract(AbstractionSpec{Location: &badLoc})}
+	if err := r.Validate(); err == nil {
+		t.Error("invalid location granularity should be rejected")
+	}
+	badTime := timeutil.Granularity(99)
+	r = &Rule{Action: Abstract(AbstractionSpec{Time: &badTime})}
+	if err := r.Validate(); err == nil {
+		t.Error("invalid time granularity should be rejected")
+	}
+	r = &Rule{Action: Abstract(AbstractionSpec{Contexts: map[Category]Level{CategoryStress: LevelModes}})}
+	if err := r.Validate(); err == nil {
+		t.Error("Modes for Stress should be rejected")
+	}
+}
+
+func TestRuleCloneIsDeep(t *testing.T) {
+	loc := geo.LocCity
+	r := &Rule{
+		ID:        "r1",
+		Consumers: []string{"Bob"},
+		Sensors:   []string{"ECG"},
+		Action:    Abstract(AbstractionSpec{Location: &loc, Contexts: map[Category]Level{CategoryStress: LevelBinary}}),
+	}
+	c := r.Clone()
+	c.Consumers[0] = "Eve"
+	c.Sensors[0] = "Respiration"
+	*c.Action.Abstraction.Location = geo.LocCountry
+	c.Action.Abstraction.Contexts[CategoryStress] = LevelNotShared
+	if r.Consumers[0] != "Bob" || r.Sensors[0] != "ECG" ||
+		*r.Action.Abstraction.Location != geo.LocCity ||
+		r.Action.Abstraction.Contexts[CategoryStress] != LevelBinary {
+		t.Error("Clone shares memory with original")
+	}
+}
+
+func TestRuleGoverns(t *testing.T) {
+	r := &Rule{Sensors: []string{"ECG", "Respiration"}, Action: Allow()}
+	if !r.GovernsChannel("ECG") || !r.GovernsChannel("ecg") || r.GovernsChannel("AccelX") {
+		t.Error("GovernsChannel wrong")
+	}
+	all := &Rule{Action: Allow()}
+	if !all.GovernsAllChannels() || !all.GovernsChannel("anything") {
+		t.Error("empty sensor condition should govern everything")
+	}
+	cats := r.GovernedCategories()
+	// ECG+Respiration feed Stress, Smoking, Conversation.
+	if len(cats) != 3 {
+		t.Errorf("GovernedCategories = %v", cats)
+	}
+	if !r.CoversAllSensorsOf(CategorySmoking) {
+		t.Error("ECG+Respiration covers all Smoking sensors (just Respiration)")
+	}
+	if r.CoversAllSensorsOf(CategoryStress) {
+		t.Error("Stress also needs HeartRate; not fully covered")
+	}
+	if r.CoversAllSensorsOf(CategoryConversation) {
+		t.Error("Conversation also needs Microphone; not fully covered")
+	}
+}

@@ -1,0 +1,359 @@
+package rules
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/timeutil"
+	"sensorsafe/internal/wavesegment"
+)
+
+// Property-based tests of the decision engine's security invariants, over
+// randomized rule sets and requests.
+
+// randomRule synthesizes one plausible rule.
+func randomRule(rng *rand.Rand) *Rule {
+	r := &Rule{ID: fmt.Sprintf("r%d", rng.Int())}
+	if rng.Intn(2) == 0 {
+		r.Consumers = []string{fmt.Sprintf("consumer-%d", rng.Intn(4))}
+	}
+	if rng.Intn(4) == 0 {
+		r.Groups = []string{fmt.Sprintf("group-%d", rng.Intn(3))}
+	}
+	if rng.Intn(3) == 0 {
+		lat := float64(rng.Intn(60))
+		lon := float64(rng.Intn(60)) - 120
+		rect, _ := geo.NewRect(geo.Point{Lat: lat, Lon: lon}, geo.Point{Lat: lat + 5, Lon: lon + 5})
+		r.Regions = []geo.Region{{Rect: rect}}
+	}
+	if rng.Intn(3) == 0 {
+		days := [][]string{{"Mon", "Tue", "Wed"}, {"Sat", "Sun"}, nil}[rng.Intn(3)]
+		hours := [][]string{{"9:00am", "6:00pm"}, {"10:00pm", "2:00am"}, nil}[rng.Intn(3)]
+		if rep, err := timeutil.ParseRepeated(days, hours); err == nil {
+			r.RepeatTimes = []timeutil.Repeated{rep}
+		}
+	}
+	if rng.Intn(3) == 0 {
+		sensors := [][]string{{"ECG"}, {"Respiration"}, {"Accelerometer"}, {"Microphone", "ECG"}}[rng.Intn(4)]
+		r.Sensors = ExpandSensorNames(sensors)
+	}
+	if rng.Intn(3) == 0 {
+		r.Contexts = []string{KnownContextLabels()[rng.Intn(13)]}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		r.Action = Allow()
+	case 1:
+		r.Action = Deny()
+	default:
+		spec := AbstractionSpec{}
+		switch rng.Intn(3) {
+		case 0:
+			g := []geo.LocationGranularity{geo.LocZipcode, geo.LocCity, geo.LocNotShared}[rng.Intn(3)]
+			spec.Location = &g
+		case 1:
+			g := []timeutil.Granularity{timeutil.GranHour, timeutil.GranDay, timeutil.GranNotShared}[rng.Intn(3)]
+			spec.Time = &g
+		default:
+			cat := Categories()[rng.Intn(4)]
+			levels := []Level{LevelBinary, LevelNotShared}
+			if cat == CategoryActivity {
+				levels = append(levels, LevelModes)
+			}
+			spec.Contexts = map[Category]Level{cat: levels[rng.Intn(len(levels))]}
+		}
+		r.Action = Abstract(spec)
+	}
+	return r
+}
+
+func randomRuleSet(rng *rand.Rand, n int) []*Rule {
+	out := make([]*Rule, n)
+	for i := range out {
+		out[i] = randomRule(rng)
+	}
+	return out
+}
+
+func randomRequest(rng *rand.Rand) *Request {
+	req := &Request{
+		Consumer: fmt.Sprintf("consumer-%d", rng.Intn(5)),
+		At:       time.Date(2011, 2, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(rng.Intn(40*24)) * time.Hour),
+		Location: geo.Point{Lat: float64(rng.Intn(70)), Lon: float64(rng.Intn(70)) - 120},
+	}
+	if rng.Intn(2) == 0 {
+		req.ConsumerGroups = []string{fmt.Sprintf("group-%d", rng.Intn(3))}
+	}
+	labels := KnownContextLabels()
+	for i := 0; i < rng.Intn(3); i++ {
+		req.ActiveContexts = append(req.ActiveContexts, labels[rng.Intn(len(labels))])
+	}
+	return req
+}
+
+// sharingScore counts how much a decision reveals, for monotonicity
+// comparisons: each raw channel, each context level step, and the
+// location/time precision all contribute.
+func sharingScore(d *Decision) int {
+	score := 0
+	for _, ch := range allTestChannels {
+		if d.ChannelShared(ch) {
+			score += 10
+		}
+	}
+	for _, cat := range Categories() {
+		score += int(LevelNotShared - d.ContextLevel(cat)) // 0..3
+	}
+	score += int(geo.LocNotShared - d.Location)
+	score += int(timeutil.GranNotShared - d.Time)
+	return score
+}
+
+var allTestChannels = []string{
+	wavesegment.ChannelECG, wavesegment.ChannelRespiration, wavesegment.ChannelAccelX,
+	wavesegment.ChannelAccelY, wavesegment.ChannelAccelZ, wavesegment.ChannelMicrophone,
+	wavesegment.ChannelLatitude, wavesegment.ChannelLongitude, wavesegment.ChannelSkinTemp,
+}
+
+func TestPropertyDenyNeverIncreasesSharing(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := randomRuleSet(rng, rng.Intn(6)+1)
+		e1, err := NewEngine(base, nil)
+		if err != nil {
+			return false
+		}
+		deny := randomRule(rng)
+		deny.Action = Deny()
+		e2, err := NewEngine(append(append([]*Rule{}, base...), deny), nil)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 5; i++ {
+			req := randomRequest(rng)
+			if sharingScore(e2.Decide(req)) > sharingScore(e1.Decide(req)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAbstractionNeverGrantsChannels(t *testing.T) {
+	// Adding an abstraction rule must never make a previously-blocked raw
+	// channel flow.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := randomRuleSet(rng, rng.Intn(6)+1)
+		e1, err := NewEngine(base, nil)
+		if err != nil {
+			return false
+		}
+		abs := randomRule(rng)
+		spec := AbstractionSpec{Contexts: map[Category]Level{
+			Categories()[rng.Intn(4)]: LevelBinary,
+		}}
+		abs.Action = Abstract(spec)
+		e2, err := NewEngine(append(append([]*Rule{}, base...), abs), nil)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 5; i++ {
+			req := randomRequest(rng)
+			d1, d2 := e1.Decide(req), e2.Decide(req)
+			for _, ch := range allTestChannels {
+				if d2.ChannelShared(ch) && !d1.ChannelShared(ch) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyClosureSoundness(t *testing.T) {
+	// Whenever a decision shares a channel raw, every category inferable
+	// from that channel must be at LevelRaw, and GPS channels require
+	// exact coordinates.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e, err := NewEngine(randomRuleSet(rng, rng.Intn(8)+1), nil)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 10; i++ {
+			d := e.Decide(randomRequest(rng))
+			for _, ch := range allTestChannels {
+				if !d.ChannelShared(ch) {
+					continue
+				}
+				for _, cat := range SensorCategories(ch) {
+					if d.ContextLevel(cat) != LevelRaw {
+						return false
+					}
+				}
+				if (ch == wavesegment.ChannelLatitude || ch == wavesegment.ChannelLongitude) &&
+					d.Location != geo.LocCoordinates {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyConsumerIsolation(t *testing.T) {
+	// If every rule names specific consumers, an unnamed consumer gets
+	// nothing, ever.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rs := randomRuleSet(rng, rng.Intn(6)+1)
+		for _, r := range rs {
+			r.Consumers = []string{fmt.Sprintf("consumer-%d", rng.Intn(4))}
+			r.Groups = nil
+		}
+		e, err := NewEngine(rs, nil)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 5; i++ {
+			req := randomRequest(rng)
+			req.Consumer = "outsider"
+			req.ConsumerGroups = nil
+			if e.Decide(req).SharesAnything() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDecideDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e, err := NewEngine(randomRuleSet(rng, rng.Intn(8)+1), nil)
+		if err != nil {
+			return false
+		}
+		req := randomRequest(rng)
+		a, b := e.Decide(req), e.Decide(req)
+		if a.Location != b.Location || a.Time != b.Time || a.AllChannelsGranted != b.AllChannelsGranted {
+			return false
+		}
+		for _, ch := range allTestChannels {
+			if a.ChannelShared(ch) != b.ChannelShared(ch) {
+				return false
+			}
+		}
+		for _, cat := range Categories() {
+			if a.ContextLevel(cat) != b.ContextLevel(cat) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRuleOrderIrrelevant(t *testing.T) {
+	// Decisions must not depend on rule ordering (grants union, clamps
+	// combine most-restrictively, denies override — all commutative).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rs := randomRuleSet(rng, rng.Intn(6)+2)
+		e1, err := NewEngine(rs, nil)
+		if err != nil {
+			return false
+		}
+		shuffled := append([]*Rule{}, rs...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		e2, err := NewEngine(shuffled, nil)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 5; i++ {
+			req := randomRequest(rng)
+			a, b := e1.Decide(req), e2.Decide(req)
+			if a.Location != b.Location || a.Time != b.Time {
+				return false
+			}
+			for _, ch := range allTestChannels {
+				if a.ChannelShared(ch) != b.ChannelShared(ch) {
+					return false
+				}
+			}
+			for _, cat := range Categories() {
+				if a.ContextLevel(cat) != b.ContextLevel(cat) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRuleJSONRoundTrip(t *testing.T) {
+	// Random rules survive marshal → unmarshal with identical decisions.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rs := randomRuleSet(rng, rng.Intn(5)+1)
+		data, err := MarshalRuleSet(rs)
+		if err != nil {
+			return false
+		}
+		back, err := UnmarshalRuleSet(data)
+		if err != nil {
+			return false
+		}
+		e1, err := NewEngine(rs, nil)
+		if err != nil {
+			return false
+		}
+		e2, err := NewEngine(back, nil)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 5; i++ {
+			req := randomRequest(rng)
+			a, b := e1.Decide(req), e2.Decide(req)
+			for _, ch := range allTestChannels {
+				if a.ChannelShared(ch) != b.ChannelShared(ch) {
+					return false
+				}
+			}
+			for _, cat := range Categories() {
+				if a.ContextLevel(cat) != b.ContextLevel(cat) {
+					return false
+				}
+			}
+			if a.Location != b.Location || a.Time != b.Time {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

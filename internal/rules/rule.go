@@ -1,0 +1,322 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/timeutil"
+)
+
+// ActionKind discriminates a rule's action (Table 1(a)): Allow, Deny, or
+// Abstraction.
+type ActionKind int
+
+// The three action kinds.
+const (
+	ActionAllow ActionKind = iota
+	ActionDeny
+	ActionAbstract
+)
+
+func (k ActionKind) String() string {
+	switch k {
+	case ActionAllow:
+		return "Allow"
+	case ActionDeny:
+		return "Deny"
+	case ActionAbstract:
+		return "Abstraction"
+	default:
+		return fmt.Sprintf("ActionKind(%d)", int(k))
+	}
+}
+
+// AbstractionSpec lists the clamps of an Abstraction action. Nil pointer /
+// missing map entry means "not clamped by this rule" (raw remains allowed
+// for that dimension, subject to other rules).
+type AbstractionSpec struct {
+	// Location clamps the location granularity.
+	Location *geo.LocationGranularity
+	// Time clamps the timestamp granularity.
+	Time *timeutil.Granularity
+	// Contexts clamps per-category context levels.
+	Contexts map[Category]Level
+}
+
+// Empty reports whether the spec clamps nothing.
+func (a *AbstractionSpec) Empty() bool {
+	return a == nil || (a.Location == nil && a.Time == nil && len(a.Contexts) == 0)
+}
+
+// Clone deep-copies the spec.
+func (a *AbstractionSpec) Clone() *AbstractionSpec {
+	if a == nil {
+		return nil
+	}
+	out := &AbstractionSpec{}
+	if a.Location != nil {
+		l := *a.Location
+		out.Location = &l
+	}
+	if a.Time != nil {
+		t := *a.Time
+		out.Time = &t
+	}
+	if len(a.Contexts) > 0 {
+		out.Contexts = make(map[Category]Level, len(a.Contexts))
+		for k, v := range a.Contexts {
+			out.Contexts[k] = v
+		}
+	}
+	return out
+}
+
+// Action is what a matching rule does.
+type Action struct {
+	Kind        ActionKind
+	Abstraction *AbstractionSpec // set iff Kind == ActionAbstract
+}
+
+// Allow returns the plain allow action.
+func Allow() Action { return Action{Kind: ActionAllow} }
+
+// Deny returns the plain deny action.
+func Deny() Action { return Action{Kind: ActionDeny} }
+
+// Abstract returns an abstraction action with the given clamps.
+func Abstract(spec AbstractionSpec) Action {
+	return Action{Kind: ActionAbstract, Abstraction: &spec}
+}
+
+// Rule is one privacy rule (Table 1(a)). All condition slices are optional;
+// an empty condition matches everything on that dimension. Within a
+// condition the listed values are alternatives (OR); across conditions the
+// rule requires all of them (AND).
+type Rule struct {
+	// ID identifies the rule within a contributor's rule set.
+	ID string
+	// Description is free text shown in UIs.
+	Description string
+
+	// Consumers names individual data consumers this rule applies to.
+	Consumers []string
+	// Groups names consumer groups or studies this rule applies to.
+	Groups []string
+
+	// LocationLabels reference the contributor's gazetteer ("home", "UCLA").
+	LocationLabels []string
+	// Regions are raw map regions.
+	Regions []geo.Region
+
+	// TimeRanges are absolute time windows.
+	TimeRanges []timeutil.Range
+	// RepeatTimes are recurring weekly windows.
+	RepeatTimes []timeutil.Repeated
+
+	// Sensors restricts the channels the rule governs.
+	Sensors []string
+	// Contexts conditions the rule on active inferred contexts.
+	Contexts []string
+
+	// Action is what the rule does when it matches.
+	Action Action
+}
+
+// Validate checks structural well-formedness: known context labels, known
+// channels in sensor conditions are not required (stores may hold arbitrary
+// channels), a consistent action, and usable geometry.
+func (r *Rule) Validate() error {
+	for _, c := range r.Contexts {
+		if _, err := ParseContextLabel(c); err != nil {
+			return fmt.Errorf("rule %s: %w", r.ID, err)
+		}
+	}
+	for _, rg := range r.Regions {
+		if !rg.HasGeometry() {
+			return fmt.Errorf("rule %s: region %q has no geometry", r.ID, rg.Label)
+		}
+	}
+	for _, s := range r.Sensors {
+		if strings.TrimSpace(s) == "" {
+			return fmt.Errorf("rule %s: empty sensor name", r.ID)
+		}
+	}
+	for _, l := range r.LocationLabels {
+		if strings.TrimSpace(l) == "" {
+			return fmt.Errorf("rule %s: empty location label", r.ID)
+		}
+	}
+	switch r.Action.Kind {
+	case ActionAllow, ActionDeny:
+		if r.Action.Abstraction != nil {
+			return fmt.Errorf("rule %s: %s action must not carry an abstraction spec", r.ID, r.Action.Kind)
+		}
+	case ActionAbstract:
+		if r.Action.Abstraction.Empty() {
+			return fmt.Errorf("rule %s: abstraction action with empty spec", r.ID)
+		}
+		spec := r.Action.Abstraction
+		if spec.Location != nil && !spec.Location.Valid() {
+			return fmt.Errorf("rule %s: invalid location granularity", r.ID)
+		}
+		if spec.Time != nil && !spec.Time.Valid() {
+			return fmt.Errorf("rule %s: invalid time granularity", r.ID)
+		}
+		for cat, l := range spec.Contexts {
+			if !ValidLevel(cat, l) {
+				return fmt.Errorf("rule %s: invalid level %v for category %s", r.ID, l, cat)
+			}
+		}
+	default:
+		return fmt.Errorf("rule %s: unknown action kind %d", r.ID, int(r.Action.Kind))
+	}
+	return nil
+}
+
+// Clone deep-copies the rule.
+func (r *Rule) Clone() *Rule {
+	out := *r
+	out.Consumers = append([]string(nil), r.Consumers...)
+	out.Groups = append([]string(nil), r.Groups...)
+	out.LocationLabels = append([]string(nil), r.LocationLabels...)
+	out.Regions = append([]geo.Region(nil), r.Regions...)
+	out.TimeRanges = append([]timeutil.Range(nil), r.TimeRanges...)
+	out.RepeatTimes = append([]timeutil.Repeated(nil), r.RepeatTimes...)
+	out.Sensors = append([]string(nil), r.Sensors...)
+	out.Contexts = append([]string(nil), r.Contexts...)
+	out.Action.Abstraction = r.Action.Abstraction.Clone()
+	return &out
+}
+
+// GovernsAllChannels reports whether the rule has no sensor condition.
+func (r *Rule) GovernsAllChannels() bool { return len(r.Sensors) == 0 }
+
+// GovernsChannel reports whether the rule's sensor condition covers the
+// channel.
+func (r *Rule) GovernsChannel(channel string) bool {
+	if len(r.Sensors) == 0 {
+		return true
+	}
+	for _, s := range r.Sensors {
+		if strings.EqualFold(s, channel) {
+			return true
+		}
+	}
+	return false
+}
+
+// GovernedCategories returns the context categories inferable from the
+// channels the rule governs. With no sensor condition that is every
+// category.
+func (r *Rule) GovernedCategories() []Category {
+	if len(r.Sensors) == 0 {
+		return Categories()
+	}
+	seen := make(map[Category]bool)
+	var out []Category
+	for _, s := range r.Sensors {
+		for _, cat := range SensorCategories(canonicalChannel(s)) {
+			if !seen[cat] {
+				seen[cat] = true
+				out = append(out, cat)
+			}
+		}
+	}
+	return out
+}
+
+// CoversAllSensorsOf reports whether the rule's sensor scope includes every
+// channel the category can be inferred from — the condition under which a
+// Deny rule revokes the category's annotations as well.
+func (r *Rule) CoversAllSensorsOf(cat Category) bool {
+	if len(r.Sensors) == 0 {
+		return true
+	}
+	for _, need := range categorySensors[cat] {
+		if !r.GovernsChannel(need) {
+			return false
+		}
+	}
+	return true
+}
+
+// canonicalChannel maps loose sensor spellings to canonical channel names.
+func canonicalChannel(s string) string {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "ecg":
+		return "ECG"
+	case "respiration", "resp":
+		return "Respiration"
+	case "accelerometer", "accel":
+		return "AccelX" // representative; SensorChannels expands the triple
+	case "accelx":
+		return "AccelX"
+	case "accely":
+		return "AccelY"
+	case "accelz":
+		return "AccelZ"
+	case "microphone", "mic":
+		return "Microphone"
+	case "gps", "latitude":
+		return "Latitude"
+	case "longitude":
+		return "Longitude"
+	case "heartrate", "heart rate":
+		return "HeartRate"
+	case "skintemperature", "skin temperature", "skintemp":
+		return "SkinTemperature"
+	default:
+		return strings.TrimSpace(s)
+	}
+}
+
+// ExpandSensorNames canonicalizes a sensor condition, expanding the
+// umbrella names "Accelerometer" (→ AccelX/Y/Z) and "GPS" (→ Latitude,
+// Longitude) used in rule UIs.
+func ExpandSensorNames(sensors []string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(c string) {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	for _, s := range sensors {
+		switch strings.ToLower(strings.TrimSpace(s)) {
+		case "accelerometer", "accel":
+			add("AccelX")
+			add("AccelY")
+			add("AccelZ")
+		case "gps", "location":
+			add("Latitude")
+			add("Longitude")
+		default:
+			add(canonicalChannel(s))
+		}
+	}
+	return out
+}
+
+func (r *Rule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Rule{%s", r.Action.Kind)
+	if len(r.Consumers) > 0 {
+		fmt.Fprintf(&b, " consumers=%v", r.Consumers)
+	}
+	if len(r.Groups) > 0 {
+		fmt.Fprintf(&b, " groups=%v", r.Groups)
+	}
+	if len(r.LocationLabels) > 0 {
+		fmt.Fprintf(&b, " at=%v", r.LocationLabels)
+	}
+	if len(r.Sensors) > 0 {
+		fmt.Fprintf(&b, " sensors=%v", r.Sensors)
+	}
+	if len(r.Contexts) > 0 {
+		fmt.Fprintf(&b, " contexts=%v", r.Contexts)
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,343 @@
+// Package sensors synthesizes the sensor hardware of the paper's testbed —
+// a Zephyr BioHarness chest band (ECG, respiration) and a smartphone
+// (3-axis accelerometer, GPS, microphone) — as deterministic signal
+// generators driven by a scripted scenario with ground-truth behavioural
+// phases. The signals are shaped so the inference package can recover the
+// ground truth from features (spike rate, band energy, GPS speed), which
+// exercises exactly the code paths the paper's access-control layer needs:
+// context labels derived from raw sensor channels.
+package sensors
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/rules"
+	"sensorsafe/internal/wavesegment"
+)
+
+// Vital-sign ground truth per behavioural state. These drive the generators
+// and are what the inference thresholds in package inference are calibrated
+// against.
+const (
+	CalmHeartRateBPM      = 65
+	StressHeartRateBPM    = 95
+	CalmRespirationRPM    = 14
+	StressRespirationRPM  = 20
+	SmokingRespirationRPM = 8 // deep, slow puffs
+)
+
+// Speeds (m/s) per transportation mode, used for GPS trajectory synthesis.
+var modeSpeed = map[string]float64{
+	rules.CtxStill: 0,
+	rules.CtxWalk:  1.4,
+	rules.CtxRun:   3.5,
+	rules.CtxBike:  6.0,
+	rules.CtxDrive: 15.0,
+}
+
+// Accelerometer oscillation parameters per mode: peak amplitude in g and
+// dominant frequency in Hz.
+var modeAccel = map[string]struct{ amp, freq float64 }{
+	rules.CtxStill: {0.005, 0},
+	rules.CtxWalk:  {0.35, 1.8},
+	rules.CtxRun:   {0.90, 2.6},
+	rules.CtxBike:  {0.18, 1.0},
+	rules.CtxDrive: {0.05, 12.0},
+}
+
+// ModeSpeed returns the nominal speed (m/s) of a transportation mode.
+func ModeSpeed(mode string) (float64, bool) {
+	v, ok := modeSpeed[mode]
+	return v, ok
+}
+
+// Phase is one scripted stretch of a contributor's day.
+type Phase struct {
+	// Duration of the phase.
+	Duration time.Duration
+	// Activity is the transportation mode (rules.CtxStill..CtxDrive).
+	Activity string
+	// Stressed, Smoking, Conversation flag the physiological /
+	// behavioural states active throughout the phase.
+	Stressed     bool
+	Smoking      bool
+	Conversation bool
+	// Heading is the movement direction in degrees (0 = north); only
+	// meaningful for moving activities.
+	Heading float64
+}
+
+// Scenario scripts a recording session.
+type Scenario struct {
+	// Start is the session start instant.
+	Start time.Time
+	// Origin is the starting coordinate.
+	Origin geo.Point
+	// Phases play back-to-back.
+	Phases []Phase
+	// Seed makes the synthesized noise reproducible.
+	Seed int64
+	// SampleHz is the sampling rate for every channel (default 10).
+	SampleHz float64
+	// PacketSamples is the number of samples per upload packet, matching
+	// the paper's note that the Zephyr band sends 64-sample packets
+	// (default 64).
+	PacketSamples int
+}
+
+// Duration returns the total scripted length.
+func (sc *Scenario) Duration() time.Duration {
+	var d time.Duration
+	for _, p := range sc.Phases {
+		d += p.Duration
+	}
+	return d
+}
+
+// Validate checks the scenario is runnable.
+func (sc *Scenario) Validate() error {
+	if sc.Start.IsZero() {
+		return fmt.Errorf("sensors: scenario needs a start time")
+	}
+	if len(sc.Phases) == 0 {
+		return fmt.Errorf("sensors: scenario has no phases")
+	}
+	for i, p := range sc.Phases {
+		if p.Duration <= 0 {
+			return fmt.Errorf("sensors: phase %d has non-positive duration", i)
+		}
+		if _, ok := modeSpeed[p.Activity]; !ok {
+			return fmt.Errorf("sensors: phase %d has unknown activity %q", i, p.Activity)
+		}
+	}
+	return nil
+}
+
+// Recording is the synthesized output: packetized wave segments per device
+// plus the ground-truth annotations a perfect inference would produce.
+type Recording struct {
+	// ChestBand segments carry ECG + Respiration.
+	ChestBand []*wavesegment.Segment
+	// Phone segments carry AccelX/Y/Z, Latitude, Longitude, Microphone.
+	Phone []*wavesegment.Segment
+	// Truth is the scripted ground truth as annotation spans.
+	Truth []wavesegment.Annotation
+	// Path is the coordinate at each phase boundary (len(Phases)+1).
+	Path []geo.Point
+}
+
+// AllSegments returns chest-band and phone segments interleaved by time.
+func (r *Recording) AllSegments() []*wavesegment.Segment {
+	out := make([]*wavesegment.Segment, 0, len(r.ChestBand)+len(r.Phone))
+	i, j := 0, 0
+	for i < len(r.ChestBand) && j < len(r.Phone) {
+		if r.ChestBand[i].StartTime().Before(r.Phone[j].StartTime()) {
+			out = append(out, r.ChestBand[i])
+			i++
+		} else {
+			out = append(out, r.Phone[j])
+			j++
+		}
+	}
+	out = append(out, r.ChestBand[i:]...)
+	return append(out, r.Phone[j:]...)
+}
+
+// Generate synthesizes a full recording for the scenario.
+func Generate(contributor string, sc *Scenario) (*Recording, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	hz := sc.SampleHz
+	if hz <= 0 {
+		hz = 10
+	}
+	packet := sc.PacketSamples
+	if packet <= 0 {
+		packet = 64
+	}
+	interval := time.Duration(float64(time.Second) / hz)
+	rng := rand.New(rand.NewSource(sc.Seed))
+
+	rec := &Recording{Path: []geo.Point{sc.Origin}}
+	pos := sc.Origin
+	at := sc.Start
+
+	chest := newPacketizer(contributor, interval, packet,
+		[]string{wavesegment.ChannelECG, wavesegment.ChannelRespiration})
+	phone := newPacketizer(contributor, interval, packet,
+		[]string{
+			wavesegment.ChannelAccelX, wavesegment.ChannelAccelY, wavesegment.ChannelAccelZ,
+			wavesegment.ChannelLatitude, wavesegment.ChannelLongitude,
+			wavesegment.ChannelMicrophone,
+		})
+
+	for _, p := range sc.Phases {
+		n := int(float64(p.Duration) / float64(interval))
+		if n == 0 {
+			n = 1
+		}
+		phaseStart := at
+		speed, _ := modeSpeed[p.Activity]
+		acc := modeAccel[p.Activity]
+		hr, rr := float64(CalmHeartRateBPM), float64(CalmRespirationRPM)
+		if p.Stressed {
+			hr, rr = StressHeartRateBPM, StressRespirationRPM
+		}
+		respDepth := 1.0
+		if p.Smoking {
+			rr = SmokingRespirationRPM
+			respDepth = 2.5
+		}
+
+		headingRad := p.Heading * math.Pi / 180
+		for i := 0; i < n; i++ {
+			ts := float64(at.Sub(sc.Start)) / float64(time.Second)
+
+			ecg := ecgSample(ts, hr, rng)
+			resp := respDepth*math.Sin(2*math.Pi*rr/60*ts) + 0.05*rng.NormFloat64()
+
+			ax := acc.amp*math.Sin(2*math.Pi*acc.freq*ts) + 0.01*rng.NormFloat64()
+			ay := 0.6*acc.amp*math.Sin(2*math.Pi*acc.freq*ts+1.0) + 0.01*rng.NormFloat64()
+			az := 1.0 + 0.4*acc.amp*math.Sin(2*math.Pi*acc.freq*ts+2.1) + 0.01*rng.NormFloat64()
+
+			mic := 0.02 + 0.01*rng.NormFloat64()
+			if p.Conversation {
+				// Speech: syllabic energy bursts at ~4 Hz.
+				mic = 0.25 + 0.2*math.Abs(math.Sin(2*math.Pi*4*ts)) + 0.05*rng.NormFloat64()
+			}
+
+			// Advance position.
+			if speed > 0 {
+				step := speed * float64(interval) / float64(time.Second)
+				dLat := step * math.Cos(headingRad) / 111320.0
+				dLon := step * math.Sin(headingRad) / (111320.0 * math.Cos(pos.Lat*math.Pi/180))
+				pos.Lat += dLat
+				pos.Lon += dLon
+			}
+
+			chest.add(at, pos, []float64{ecg, resp})
+			phone.add(at, pos, []float64{ax, ay, az, pos.Lat, pos.Lon, mic})
+			at = at.Add(interval)
+		}
+		phaseEnd := at
+		rec.Path = append(rec.Path, pos)
+
+		// Ground truth.
+		addTruth := func(ctx string) {
+			rec.Truth = append(rec.Truth, wavesegment.Annotation{Context: ctx, Start: phaseStart, End: phaseEnd})
+		}
+		addTruth(p.Activity)
+		if p.Stressed {
+			addTruth(rules.CtxStressed)
+		} else {
+			addTruth(rules.CtxNotStressed)
+		}
+		if p.Smoking {
+			addTruth(rules.CtxSmoking)
+		}
+		if p.Conversation {
+			addTruth(rules.CtxConversation)
+		}
+	}
+	rec.ChestBand = chest.finish()
+	rec.Phone = phone.finish()
+	return rec, nil
+}
+
+// ecgSample synthesizes an ECG-like trace: a baseline with R-peaks at the
+// heart rate. The R window is a fixed 150 ms so that even at the default
+// 10 Hz sampling every beat lands at least one (and at most two) samples in
+// the peak, making the peak-rate feature track the true heart rate.
+func ecgSample(ts, bpm float64, rng *rand.Rand) float64 {
+	beatPeriod := 60.0 / bpm
+	tIn := math.Mod(ts, beatPeriod)
+	phase := tIn / beatPeriod
+	v := 0.05 * rng.NormFloat64()
+	switch {
+	case tIn < 0.15: // R complex (fixed width)
+		v += 1.2
+	case tIn < 0.25: // S dip
+		v -= 0.3
+	case phase > 0.55 && phase < 0.70: // T wave
+		v += 0.25
+	}
+	return v
+}
+
+// packetizer accumulates samples and emits fixed-size wave segments the way
+// the real hardware streams packets.
+type packetizer struct {
+	contributor string
+	interval    time.Duration
+	packet      int
+	channels    []string
+
+	start  time.Time
+	loc    geo.Point
+	values [][]float64
+	out    []*wavesegment.Segment
+}
+
+func newPacketizer(contributor string, interval time.Duration, packet int, channels []string) *packetizer {
+	return &packetizer{contributor: contributor, interval: interval, packet: packet, channels: channels}
+}
+
+func (p *packetizer) add(at time.Time, loc geo.Point, row []float64) {
+	if len(p.values) == 0 {
+		p.start = at
+		p.loc = loc
+	}
+	p.values = append(p.values, row)
+	if len(p.values) >= p.packet {
+		p.flush()
+	}
+}
+
+func (p *packetizer) flush() {
+	if len(p.values) == 0 {
+		return
+	}
+	p.out = append(p.out, &wavesegment.Segment{
+		Contributor: p.contributor,
+		Start:       p.start,
+		Interval:    p.interval,
+		Location:    p.loc,
+		Channels:    append([]string(nil), p.channels...),
+		Values:      p.values,
+	})
+	p.values = nil
+}
+
+func (p *packetizer) finish() []*wavesegment.Segment {
+	p.flush()
+	return p.out
+}
+
+// DayInTheLife returns the paper's §6 storyline as a compact scenario:
+// a morning at home, a stressful drive to campus, a walk across campus
+// with a conversation, desk work (stressed, then a smoke break), and the
+// drive home. Durations are scaled by the given factor so tests can run a
+// miniature day (scale 1 ≈ 66 minutes).
+func DayInTheLife(start time.Time, origin geo.Point, scale float64) *Scenario {
+	d := func(mins float64) time.Duration {
+		return time.Duration(mins * scale * float64(time.Minute))
+	}
+	return &Scenario{
+		Start:  start,
+		Origin: origin,
+		Seed:   42,
+		Phases: []Phase{
+			{Duration: d(10), Activity: rules.CtxStill},                                // home, calm
+			{Duration: d(12), Activity: rules.CtxDrive, Stressed: true, Heading: 80},   // stressful commute
+			{Duration: d(8), Activity: rules.CtxWalk, Conversation: true, Heading: 10}, // campus walk, chatting
+			{Duration: d(20), Activity: rules.CtxStill, Stressed: true},                // desk, deadline
+			{Duration: d(4), Activity: rules.CtxStill, Smoking: true},                  // smoke break
+			{Duration: d(12), Activity: rules.CtxDrive, Heading: 260},                  // drive home, calm
+		},
+	}
+}

@@ -1,0 +1,254 @@
+package sensors
+
+import (
+	"testing"
+	"time"
+
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/rules"
+	"sensorsafe/internal/wavesegment"
+)
+
+var (
+	t0     = time.Date(2011, 2, 16, 8, 0, 0, 0, time.UTC)
+	origin = geo.Point{Lat: 34.0250, Lon: -118.4950}
+)
+
+func simpleScenario(phases ...Phase) *Scenario {
+	return &Scenario{Start: t0, Origin: origin, Seed: 1, Phases: phases}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	ok := simpleScenario(Phase{Duration: time.Minute, Activity: rules.CtxStill})
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []*Scenario{
+		{Origin: origin, Phases: []Phase{{Duration: time.Minute, Activity: rules.CtxStill}}},
+		simpleScenario(),
+		simpleScenario(Phase{Duration: 0, Activity: rules.CtxStill}),
+		simpleScenario(Phase{Duration: time.Minute, Activity: "Flying"}),
+	}
+	for i, sc := range cases {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestScenarioDuration(t *testing.T) {
+	sc := simpleScenario(
+		Phase{Duration: time.Minute, Activity: rules.CtxStill},
+		Phase{Duration: 2 * time.Minute, Activity: rules.CtxWalk},
+	)
+	if sc.Duration() != 3*time.Minute {
+		t.Errorf("Duration = %v", sc.Duration())
+	}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	sc := simpleScenario(
+		Phase{Duration: time.Minute, Activity: rules.CtxStill},
+		Phase{Duration: time.Minute, Activity: rules.CtxWalk, Heading: 90},
+	)
+	rec, err := Generate("alice", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 120 s at 10 Hz = 1200 samples per device; 64-sample packets -> 19 packets
+	// with a final partial one.
+	wantPackets := 1200/64 + 1
+	if len(rec.ChestBand) != wantPackets {
+		t.Errorf("chest packets = %d, want %d", len(rec.ChestBand), wantPackets)
+	}
+	if len(rec.Phone) != wantPackets {
+		t.Errorf("phone packets = %d, want %d", len(rec.Phone), wantPackets)
+	}
+	total := 0
+	for _, s := range rec.ChestBand {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("invalid chest segment: %v", err)
+		}
+		if len(s.Channels) != 2 {
+			t.Errorf("chest channels = %v", s.Channels)
+		}
+		total += s.NumSamples()
+	}
+	if total != 1200 {
+		t.Errorf("chest samples = %d", total)
+	}
+	for _, s := range rec.Phone {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("invalid phone segment: %v", err)
+		}
+		if len(s.Channels) != 6 {
+			t.Errorf("phone channels = %v", s.Channels)
+		}
+		if s.Contributor != "alice" {
+			t.Errorf("contributor = %q", s.Contributor)
+		}
+	}
+	// Path has one point per phase boundary plus origin.
+	if len(rec.Path) != 3 {
+		t.Errorf("path points = %d", len(rec.Path))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	sc := simpleScenario(Phase{Duration: 30 * time.Second, Activity: rules.CtxRun, Heading: 45})
+	a, err := Generate("alice", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate("alice", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Phone) != len(b.Phone) {
+		t.Fatal("packet counts differ")
+	}
+	for i := range a.Phone {
+		for r := range a.Phone[i].Values {
+			for c := range a.Phone[i].Values[r] {
+				if a.Phone[i].Values[r][c] != b.Phone[i].Values[r][c] {
+					t.Fatalf("values differ at packet %d row %d col %d", i, r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateMovementCoversDistance(t *testing.T) {
+	sc := simpleScenario(Phase{Duration: time.Minute, Activity: rules.CtxDrive, Heading: 0})
+	rec, err := Generate("alice", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := geo.Distance(rec.Path[0], rec.Path[1])
+	// 15 m/s for 60 s ≈ 900 m.
+	if dist < 800 || dist > 1000 {
+		t.Errorf("drive distance = %.0f m, want ~900", dist)
+	}
+
+	still := simpleScenario(Phase{Duration: time.Minute, Activity: rules.CtxStill})
+	rec2, err := Generate("alice", still)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := geo.Distance(rec2.Path[0], rec2.Path[1]); d != 0 {
+		t.Errorf("still phase moved %.1f m", d)
+	}
+}
+
+func TestGenerateGroundTruth(t *testing.T) {
+	sc := simpleScenario(
+		Phase{Duration: time.Minute, Activity: rules.CtxStill, Stressed: true},
+		Phase{Duration: time.Minute, Activity: rules.CtxWalk, Conversation: true},
+		Phase{Duration: time.Minute, Activity: rules.CtxStill, Smoking: true},
+	)
+	rec, err := Generate("alice", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(ctx string) *wavesegment.Annotation {
+		for i := range rec.Truth {
+			if rec.Truth[i].Context == ctx {
+				return &rec.Truth[i]
+			}
+		}
+		return nil
+	}
+	stress := find(rules.CtxStressed)
+	if stress == nil || !stress.Start.Equal(t0) || !stress.End.Equal(t0.Add(time.Minute)) {
+		t.Errorf("stress truth = %+v", stress)
+	}
+	if find(rules.CtxConversation) == nil || find(rules.CtxSmoking) == nil {
+		t.Error("missing conversation/smoking truth")
+	}
+	if find(rules.CtxWalk) == nil {
+		t.Error("missing walk truth")
+	}
+	// Unstressed phases are labeled NotStressed.
+	notStressed := 0
+	for _, a := range rec.Truth {
+		if a.Context == rules.CtxNotStressed {
+			notStressed++
+		}
+	}
+	if notStressed != 2 {
+		t.Errorf("NotStressed spans = %d, want 2", notStressed)
+	}
+}
+
+func TestGenerateCustomRates(t *testing.T) {
+	sc := simpleScenario(Phase{Duration: 10 * time.Second, Activity: rules.CtxStill})
+	sc.SampleHz = 20
+	sc.PacketSamples = 50
+	rec, err := Generate("alice", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.ChestBand) != 4 { // 200 samples / 50
+		t.Errorf("packets = %d, want 4", len(rec.ChestBand))
+	}
+	if rec.ChestBand[0].Interval != 50*time.Millisecond {
+		t.Errorf("interval = %v", rec.ChestBand[0].Interval)
+	}
+}
+
+func TestAllSegmentsInterleaved(t *testing.T) {
+	sc := simpleScenario(Phase{Duration: 30 * time.Second, Activity: rules.CtxStill})
+	rec, err := Generate("alice", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := rec.AllSegments()
+	if len(all) != len(rec.ChestBand)+len(rec.Phone) {
+		t.Fatalf("AllSegments lost segments")
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].StartTime().Before(all[i-1].StartTime()) {
+			t.Fatal("AllSegments not time ordered")
+		}
+	}
+}
+
+func TestGenerateRejectsInvalid(t *testing.T) {
+	if _, err := Generate("alice", simpleScenario()); err == nil {
+		t.Error("empty scenario should error")
+	}
+}
+
+func TestDayInTheLife(t *testing.T) {
+	sc := DayInTheLife(t0, origin, 0.1)
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Phases) != 6 {
+		t.Errorf("phases = %d", len(sc.Phases))
+	}
+	rec, err := Generate("alice", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The storyline covers driving, walking, stress, smoking, conversation.
+	seen := map[string]bool{}
+	for _, a := range rec.Truth {
+		seen[a.Context] = true
+	}
+	for _, want := range []string{rules.CtxDrive, rules.CtxWalk, rules.CtxStill,
+		rules.CtxStressed, rules.CtxSmoking, rules.CtxConversation} {
+		if !seen[want] {
+			t.Errorf("day-in-the-life missing %s", want)
+		}
+	}
+}
+
+func TestModeSpeed(t *testing.T) {
+	if v, ok := ModeSpeed(rules.CtxDrive); !ok || v != 15 {
+		t.Errorf("ModeSpeed(Drive) = %v, %v", v, ok)
+	}
+	if _, ok := ModeSpeed("Flying"); ok {
+		t.Error("unknown mode should miss")
+	}
+}

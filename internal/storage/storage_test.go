@@ -1,0 +1,512 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/wavesegment"
+)
+
+var (
+	t0   = time.Date(2011, 2, 16, 10, 0, 0, 0, time.UTC)
+	ucla = geo.Point{Lat: 34.0689, Lon: -118.4452}
+)
+
+func seg(contributor string, start time.Time, n int, channels ...string) *wavesegment.Segment {
+	if len(channels) == 0 {
+		channels = []string{wavesegment.ChannelECG}
+	}
+	s := &wavesegment.Segment{
+		Contributor: contributor,
+		Start:       start,
+		Interval:    100 * time.Millisecond,
+		Location:    ucla,
+		Channels:    channels,
+	}
+	for i := 0; i < n; i++ {
+		row := make([]float64, len(channels))
+		for j := range row {
+			row[j] = float64(i)
+		}
+		s.Values = append(s.Values, row)
+	}
+	return s
+}
+
+func memStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s := memStore(t)
+	id, err := s.Put(seg("alice", t0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Contributor != "alice" || got.NumSamples() != 10 {
+		t.Errorf("got %v", got)
+	}
+	if s.Count() != 1 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	if err := s.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(id); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get after delete: %v", err)
+	}
+	if err := s.Delete(id); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete: %v", err)
+	}
+	if s.Count() != 0 {
+		t.Errorf("Count = %d", s.Count())
+	}
+}
+
+func TestPutValidatesAndClones(t *testing.T) {
+	s := memStore(t)
+	if _, err := s.Put(&wavesegment.Segment{}); err == nil {
+		t.Error("invalid segment should be rejected")
+	}
+	if _, err := s.Put(nil); err == nil {
+		t.Error("nil segment should be rejected")
+	}
+	orig := seg("alice", t0, 5)
+	id, err := s.Put(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.Values[0][0] = 999 // mutate after Put
+	got, _ := s.Get(id)
+	if got.Values[0][0] == 999 {
+		t.Error("store must clone on Put")
+	}
+	got.Values[1][0] = 888 // mutate returned copy
+	again, _ := s.Get(id)
+	if again.Values[1][0] == 888 {
+		t.Error("store must clone on Get")
+	}
+}
+
+func TestScanTimeRange(t *testing.T) {
+	s := memStore(t)
+	for i := 0; i < 10; i++ {
+		// 10 segments of 1 s each at t0, t0+1m, t0+2m, ...
+		if _, err := s.Put(seg("alice", t0.Add(time.Duration(i)*time.Minute), 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Scan(Query{From: t0.Add(2 * time.Minute), To: t0.Add(5 * time.Minute)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("scan returned %d segments, want 3", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Segment.StartTime().Before(got[i-1].Segment.StartTime()) {
+			t.Error("results not ordered by start")
+		}
+	}
+	// Half-open semantics: a segment starting exactly at To is excluded; one
+	// ending exactly at From is excluded.
+	got, _ = s.Scan(Query{From: t0.Add(time.Second), To: t0.Add(time.Minute)})
+	if len(got) != 0 {
+		t.Errorf("boundary scan = %d segments, want 0", len(got))
+	}
+	// Overlap: window inside a segment matches it.
+	got, _ = s.Scan(Query{From: t0.Add(200 * time.Millisecond), To: t0.Add(300 * time.Millisecond)})
+	if len(got) != 1 {
+		t.Errorf("interior scan = %d segments, want 1", len(got))
+	}
+}
+
+func TestScanFilters(t *testing.T) {
+	s := memStore(t)
+	mustPut := func(x *wavesegment.Segment) {
+		t.Helper()
+		if _, err := s.Put(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustPut(seg("alice", t0, 10, wavesegment.ChannelECG))
+	mustPut(seg("bob", t0.Add(time.Minute), 10, wavesegment.ChannelAccelX))
+	far := seg("alice", t0.Add(2*time.Minute), 10, wavesegment.ChannelECG)
+	far.Location = geo.Point{Lat: 48.85, Lon: 2.35}
+	mustPut(far)
+
+	got, _ := s.Scan(Query{Contributor: "alice"})
+	if len(got) != 2 {
+		t.Errorf("contributor filter: %d, want 2", len(got))
+	}
+	got, _ = s.Scan(Query{Channels: []string{wavesegment.ChannelAccelX, wavesegment.ChannelAccelY}})
+	if len(got) != 1 || got[0].Segment.Contributor != "bob" {
+		t.Errorf("channel filter: %v", got)
+	}
+	rect, _ := geo.NewRect(geo.Point{Lat: 34, Lon: -119}, geo.Point{Lat: 35, Lon: -118})
+	got, _ = s.Scan(Query{Region: rect})
+	if len(got) != 2 {
+		t.Errorf("region filter: %d, want 2", len(got))
+	}
+	got, _ = s.Scan(Query{Limit: 1})
+	if len(got) != 1 {
+		t.Errorf("limit: %d, want 1", len(got))
+	}
+	got, _ = s.Scan(Query{})
+	if len(got) != 3 {
+		t.Errorf("match-all: %d, want 3", len(got))
+	}
+}
+
+func TestScanRefsSharesRecords(t *testing.T) {
+	s := memStore(t)
+	if _, err := s.Put(seg("alice", t0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.ScanRefs(Query{})
+	if err != nil || len(a) != 1 {
+		t.Fatalf("ScanRefs: %v, %v", a, err)
+	}
+	b, _ := s.ScanRefs(Query{})
+	if a[0].Segment != b[0].Segment {
+		t.Error("ScanRefs should return the same record pointer")
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := s.Put(seg("alice", t0, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := s.Put(seg("bob", t0.Add(time.Minute), 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(id1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Count() != 1 {
+		t.Fatalf("after reopen Count = %d, want 1", s2.Count())
+	}
+	got, err := s2.Get(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Contributor != "bob" || got.NumSamples() != 30 {
+		t.Errorf("recovered segment = %v", got)
+	}
+	// IDs continue from where they left off.
+	id3, err := s2.Put(seg("carol", t0.Add(2*time.Minute), 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 <= id2 {
+		t.Errorf("id3 = %d should exceed id2 = %d", id3, id2)
+	}
+}
+
+func TestReplayToleratesTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Put(seg("alice", t0.Add(time.Duration(i)*time.Minute), 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	path := filepath.Join(dir, walName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-record to simulate a crash during the last append.
+	if err := os.WriteFile(path, data[:len(data)-17], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Count() != 4 {
+		t.Errorf("after truncated replay Count = %d, want 4", s2.Count())
+	}
+	// Store still writable after recovery.
+	if _, err := s2.Put(seg("alice", t0.Add(time.Hour), 10)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayToleratesCorruptTail(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Put(seg("alice", t0.Add(time.Duration(i)*time.Minute), 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	path := filepath.Join(dir, walName)
+	data, _ := os.ReadFile(path)
+	data[len(data)-5] ^= 0xFF // corrupt inside last record
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Count() != 2 {
+		t.Errorf("after corrupt replay Count = %d, want 2", s2.Count())
+	}
+}
+
+func TestCompactShrinksLog(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	var ids []ID
+	for i := 0; i < 20; i++ {
+		id, err := s.Put(seg("alice", t0.Add(time.Duration(i)*time.Minute), 50))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids[:15] {
+		if err := s.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := os.Stat(filepath.Join(dir, walName))
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(filepath.Join(dir, walName))
+	if after.Size() >= before.Size() {
+		t.Errorf("compact did not shrink log: %d -> %d", before.Size(), after.Size())
+	}
+	if s.Count() != 5 {
+		t.Errorf("Count after compact = %d", s.Count())
+	}
+	// Data survives compaction + reopen.
+	s.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Count() != 5 {
+		t.Errorf("Count after reopen = %d", s2.Count())
+	}
+	// Writes continue to work post-compact reopen.
+	if _, err := s2.Put(seg("alice", t0.Add(time.Hour), 5)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	s, _ := Open("")
+	s.Close()
+	if _, err := s.Put(seg("a", t0, 1)); !errors.Is(err, ErrClosed) {
+		t.Errorf("Put on closed: %v", err)
+	}
+	if _, err := s.Get(1); !errors.Is(err, ErrClosed) {
+		t.Errorf("Get on closed: %v", err)
+	}
+	if err := s.Delete(1); !errors.Is(err, ErrClosed) {
+		t.Errorf("Delete on closed: %v", err)
+	}
+	if _, err := s.Scan(Query{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Scan on closed: %v", err)
+	}
+	if err := s.Compact(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Compact on closed: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := memStore(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id, err := s.Put(seg("alice", t0.Add(time.Duration(w*1000+i)*time.Second), 10))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Get(id); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Scan(Query{Limit: 5}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Count() != 400 {
+		t.Errorf("Count = %d, want 400", s.Count())
+	}
+}
+
+func TestTimeBoundsAndContributors(t *testing.T) {
+	s := memStore(t)
+	if _, _, ok := s.TimeBounds(); ok {
+		t.Error("empty store should have no bounds")
+	}
+	if _, err := s.Put(seg("bob", t0.Add(time.Minute), 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(seg("alice", t0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	min, max, ok := s.TimeBounds()
+	if !ok || !min.Equal(t0) || !max.Equal(t0.Add(time.Minute+time.Second)) {
+		t.Errorf("bounds = %v..%v, %v", min, max, ok)
+	}
+	cs := s.Contributors()
+	if len(cs) != 2 || cs[0] != "alice" || cs[1] != "bob" {
+		t.Errorf("Contributors = %v", cs)
+	}
+}
+
+func TestLatestBefore(t *testing.T) {
+	s := memStore(t)
+	if _, ok := s.LatestBefore("alice", t0.Add(time.Hour)); ok {
+		t.Error("empty store has no latest record")
+	}
+	idA, _ := s.Put(seg("alice", t0, 10))
+	idB, _ := s.Put(seg("alice", t0.Add(time.Minute), 10, wavesegment.ChannelAccelX))
+	_, _ = s.Put(seg("bob", t0.Add(2*time.Minute), 10))
+
+	got, ok := s.LatestBefore("alice", t0.Add(time.Hour))
+	if !ok || got.ID != idB {
+		t.Errorf("LatestBefore = %+v, %v; want id %d", got, ok, idB)
+	}
+	// Strictly before: a record starting exactly at t is excluded.
+	got, ok = s.LatestBefore("alice", t0.Add(time.Minute))
+	if !ok || got.ID != idA {
+		t.Errorf("boundary LatestBefore = %+v, %v; want id %d", got, ok, idA)
+	}
+	if _, ok := s.LatestBefore("alice", t0); ok {
+		t.Error("nothing strictly before the first record")
+	}
+	// Any-contributor form.
+	got, ok = s.LatestBefore("", t0.Add(time.Hour))
+	if !ok || got.Segment.Contributor != "bob" {
+		t.Errorf("any-contributor = %+v, %v", got, ok)
+	}
+	// Predicate form: latest alice record carrying ECG.
+	got, ok = s.LatestBeforeFunc("alice", t0.Add(time.Hour), func(sg *wavesegment.Segment) bool {
+		return sg.HasChannel(wavesegment.ChannelECG)
+	})
+	if !ok || got.ID != idA {
+		t.Errorf("predicate LatestBefore = %+v, %v; want id %d", got, ok, idA)
+	}
+	if _, ok := s.LatestBeforeFunc("alice", t0.Add(time.Hour), func(*wavesegment.Segment) bool { return false }); ok {
+		t.Error("unsatisfiable predicate should miss")
+	}
+}
+
+func TestScanRefsFiltersAndLimit(t *testing.T) {
+	s := memStore(t)
+	_, _ = s.Put(seg("alice", t0, 10))
+	_, _ = s.Put(seg("bob", t0.Add(time.Minute), 10))
+	_, _ = s.Put(seg("alice", t0.Add(2*time.Minute), 10))
+
+	got, err := s.ScanRefs(Query{Contributor: "alice"})
+	if err != nil || len(got) != 2 {
+		t.Fatalf("contributor filter = %v, %v", got, err)
+	}
+	got, _ = s.ScanRefs(Query{Limit: 1})
+	if len(got) != 1 {
+		t.Errorf("limit = %d results", len(got))
+	}
+	got, _ = s.ScanRefs(Query{To: t0.Add(90 * time.Second)})
+	if len(got) != 2 {
+		t.Errorf("to-bounded = %d results", len(got))
+	}
+	s.Close()
+	if _, err := s.ScanRefs(Query{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("closed ScanRefs: %v", err)
+	}
+}
+
+func TestCompactInMemoryNoop(t *testing.T) {
+	s := memStore(t)
+	if _, err := s.Put(seg("alice", t0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Errorf("in-memory compact: %v", err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Errorf("in-memory sync: %v", err)
+	}
+	if s.Count() != 1 {
+		t.Error("compact must not drop records")
+	}
+}
+
+func TestSyncClosed(t *testing.T) {
+	s, _ := Open("")
+	s.Close()
+	if err := s.Sync(); !errors.Is(err, ErrClosed) {
+		t.Errorf("closed sync: %v", err)
+	}
+}
+
+func TestScanOrderWithEqualStarts(t *testing.T) {
+	s := memStore(t)
+	a, _ := s.Put(seg("alice", t0, 10))
+	b, _ := s.Put(seg("alice", t0, 20))
+	got, _ := s.Scan(Query{})
+	if len(got) != 2 || got[0].ID != a || got[1].ID != b {
+		t.Errorf("equal-start order: %v", got)
+	}
+}

@@ -1,0 +1,438 @@
+// Package timeutil provides the time-condition primitives used by SensorSafe
+// privacy rules: absolute time ranges, repeated (recurring) time windows such
+// as "Mon-Fri 9:00am-6:00pm", and timestamp abstraction ladders
+// (milliseconds → hour → day → month → year → not shared).
+//
+// All types are immutable value types and safe for concurrent use.
+package timeutil
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Range is a half-open absolute time interval [Start, End). A zero Range is
+// treated as unbounded (matches every instant); a Range with a zero Start is
+// unbounded below and one with a zero End is unbounded above.
+type Range struct {
+	Start time.Time
+	End   time.Time
+}
+
+// NewRange builds a bounded range and validates ordering.
+func NewRange(start, end time.Time) (Range, error) {
+	if !start.IsZero() && !end.IsZero() && end.Before(start) {
+		return Range{}, fmt.Errorf("timeutil: range end %v before start %v", end, start)
+	}
+	return Range{Start: start, End: end}, nil
+}
+
+// IsZero reports whether the range is fully unbounded.
+func (r Range) IsZero() bool { return r.Start.IsZero() && r.End.IsZero() }
+
+// Contains reports whether t falls inside [Start, End).
+func (r Range) Contains(t time.Time) bool {
+	if !r.Start.IsZero() && t.Before(r.Start) {
+		return false
+	}
+	if !r.End.IsZero() && !t.Before(r.End) {
+		return false
+	}
+	return true
+}
+
+// Overlaps reports whether the two ranges share at least one instant.
+func (r Range) Overlaps(o Range) bool {
+	startsBeforeOtherEnds := o.End.IsZero() || r.Start.IsZero() || r.Start.Before(o.End)
+	otherStartsBeforeEnds := r.End.IsZero() || o.Start.IsZero() || o.Start.Before(r.End)
+	return startsBeforeOtherEnds && otherStartsBeforeEnds
+}
+
+// Intersect returns the overlap of two ranges and whether it is non-empty.
+func (r Range) Intersect(o Range) (Range, bool) {
+	if !r.Overlaps(o) {
+		return Range{}, false
+	}
+	out := r
+	if out.Start.IsZero() || (!o.Start.IsZero() && o.Start.After(out.Start)) {
+		out.Start = o.Start
+	}
+	if out.End.IsZero() || (!o.End.IsZero() && o.End.Before(out.End)) {
+		out.End = o.End
+	}
+	return out, true
+}
+
+// Duration returns End-Start for bounded ranges and 0 for unbounded ones.
+func (r Range) Duration() time.Duration {
+	if r.Start.IsZero() || r.End.IsZero() {
+		return 0
+	}
+	return r.End.Sub(r.Start)
+}
+
+func (r Range) String() string {
+	fmtSide := func(t time.Time) string {
+		if t.IsZero() {
+			return "-"
+		}
+		return t.Format(time.RFC3339)
+	}
+	return fmt.Sprintf("[%s, %s)", fmtSide(r.Start), fmtSide(r.End))
+}
+
+// Weekday abbreviations accepted in rule JSON (Fig. 4 of the paper uses
+// 'Mon'..'Fri').
+var weekdayNames = map[string]time.Weekday{
+	"sun": time.Sunday, "sunday": time.Sunday,
+	"mon": time.Monday, "monday": time.Monday,
+	"tue": time.Tuesday, "tues": time.Tuesday, "tuesday": time.Tuesday,
+	"wed": time.Wednesday, "wednesday": time.Wednesday,
+	"thu": time.Thursday, "thur": time.Thursday, "thurs": time.Thursday, "thursday": time.Thursday,
+	"fri": time.Friday, "friday": time.Friday,
+	"sat": time.Saturday, "saturday": time.Saturday,
+}
+
+var weekdayAbbrev = [...]string{"Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"}
+
+// ParseWeekday parses a weekday name ("Mon", "monday", ...).
+func ParseWeekday(s string) (time.Weekday, error) {
+	d, ok := weekdayNames[strings.ToLower(strings.TrimSpace(s))]
+	if !ok {
+		return 0, fmt.Errorf("timeutil: unknown weekday %q", s)
+	}
+	return d, nil
+}
+
+// ClockTime is a time of day expressed as minutes since local midnight.
+type ClockTime int
+
+// MinutesPerDay is the number of minutes in one day.
+const MinutesPerDay = 24 * 60
+
+// ClockTimeOf extracts the clock time from an instant (in its own location).
+func ClockTimeOf(t time.Time) ClockTime {
+	return ClockTime(t.Hour()*60 + t.Minute())
+}
+
+// ParseClockTime parses "9:00am", "6:00pm", "18:00", "9am" formats used in
+// the paper's JSON rule examples.
+func ParseClockTime(s string) (ClockTime, error) {
+	orig := s
+	s = strings.ToLower(strings.TrimSpace(s))
+	meridiem := ""
+	switch {
+	case strings.HasSuffix(s, "am"):
+		meridiem, s = "am", strings.TrimSpace(strings.TrimSuffix(s, "am"))
+	case strings.HasSuffix(s, "pm"):
+		meridiem, s = "pm", strings.TrimSpace(strings.TrimSuffix(s, "pm"))
+	}
+	hh, mm := 0, 0
+	var err error
+	if strings.Contains(s, ":") {
+		_, err = fmt.Sscanf(s, "%d:%d", &hh, &mm)
+	} else {
+		_, err = fmt.Sscanf(s, "%d", &hh)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("timeutil: cannot parse clock time %q: %w", orig, err)
+	}
+	if mm < 0 || mm > 59 {
+		return 0, fmt.Errorf("timeutil: minute out of range in %q", orig)
+	}
+	switch meridiem {
+	case "am":
+		if hh < 1 || hh > 12 {
+			return 0, fmt.Errorf("timeutil: hour out of range in %q", orig)
+		}
+		if hh == 12 {
+			hh = 0
+		}
+	case "pm":
+		if hh < 1 || hh > 12 {
+			return 0, fmt.Errorf("timeutil: hour out of range in %q", orig)
+		}
+		if hh != 12 {
+			hh += 12
+		}
+	default:
+		if hh < 0 || hh > 24 {
+			return 0, fmt.Errorf("timeutil: hour out of range in %q", orig)
+		}
+	}
+	ct := ClockTime(hh*60 + mm)
+	if ct > MinutesPerDay {
+		return 0, fmt.Errorf("timeutil: clock time %q past end of day", orig)
+	}
+	return ct, nil
+}
+
+// String renders the clock time in the paper's "9:00am" style.
+func (c ClockTime) String() string {
+	h, m := int(c)/60, int(c)%60
+	suffix := "am"
+	switch {
+	case h == 0:
+		h = 12
+	case h == 12:
+		suffix = "pm"
+	case h > 12:
+		h, suffix = h-12, "pm"
+	}
+	return fmt.Sprintf("%d:%02d%s", h, m, suffix)
+}
+
+// Repeated is a recurring weekly time window: a set of weekdays and a
+// [From, To) clock-time window. It mirrors the paper's 'RepeatTime'
+// condition: {"Day": ["Mon",...], "HourMin": ["9:00am","6:00pm"]}.
+// A window with From==To covers the whole day. Windows that wrap past
+// midnight (From > To) are supported and interpreted as spanning into the
+// next day; the weekday test applies to the instant's own weekday.
+type Repeated struct {
+	days [7]bool
+	from ClockTime
+	to   ClockTime
+}
+
+// NewRepeated builds a recurring window from weekday and clock bounds. An
+// empty days slice means "every day".
+func NewRepeated(days []time.Weekday, from, to ClockTime) (Repeated, error) {
+	if from < 0 || from > MinutesPerDay || to < 0 || to > MinutesPerDay {
+		return Repeated{}, errors.New("timeutil: clock bounds out of range")
+	}
+	var r Repeated
+	if len(days) == 0 {
+		for i := range r.days {
+			r.days[i] = true
+		}
+	}
+	for _, d := range days {
+		if d < time.Sunday || d > time.Saturday {
+			return Repeated{}, fmt.Errorf("timeutil: invalid weekday %d", d)
+		}
+		r.days[d] = true
+	}
+	r.from, r.to = from, to
+	return r, nil
+}
+
+// ParseRepeated builds a Repeated from the paper's JSON attribute shapes:
+// day names plus a two-element [from, to] clock pair. An empty hourMin
+// means the whole day.
+func ParseRepeated(dayNames []string, hourMin []string) (Repeated, error) {
+	days := make([]time.Weekday, 0, len(dayNames))
+	for _, n := range dayNames {
+		d, err := ParseWeekday(n)
+		if err != nil {
+			return Repeated{}, err
+		}
+		days = append(days, d)
+	}
+	var from, to ClockTime
+	switch len(hourMin) {
+	case 0:
+		// whole day
+	case 2:
+		var err error
+		if from, err = ParseClockTime(hourMin[0]); err != nil {
+			return Repeated{}, err
+		}
+		if to, err = ParseClockTime(hourMin[1]); err != nil {
+			return Repeated{}, err
+		}
+	default:
+		return Repeated{}, fmt.Errorf("timeutil: HourMin must have 0 or 2 entries, got %d", len(hourMin))
+	}
+	return NewRepeated(days, from, to)
+}
+
+// Days returns the active weekdays in ascending order.
+func (r Repeated) Days() []time.Weekday {
+	out := make([]time.Weekday, 0, 7)
+	for d, on := range r.days {
+		if on {
+			out = append(out, time.Weekday(d))
+		}
+	}
+	return out
+}
+
+// Window returns the [from, to) clock bounds.
+func (r Repeated) Window() (from, to ClockTime) { return r.from, r.to }
+
+// IsZero reports whether r is the zero value (no days, empty window),
+// which matches nothing. Use NewRepeated to obtain a matching window.
+func (r Repeated) IsZero() bool {
+	for _, on := range r.days {
+		if on {
+			return false
+		}
+	}
+	return r.from == 0 && r.to == 0
+}
+
+// Contains reports whether instant t falls in the recurring window.
+func (r Repeated) Contains(t time.Time) bool {
+	if r.IsZero() {
+		return false
+	}
+	ct := ClockTimeOf(t)
+	day := t.Weekday()
+	switch {
+	case r.from == r.to: // whole day
+		return r.days[day]
+	case r.from < r.to: // same-day window
+		return r.days[day] && ct >= r.from && ct < r.to
+	default: // wraps midnight: evening part today, morning part belongs to previous day's window
+		if ct >= r.from {
+			return r.days[day]
+		}
+		if ct < r.to {
+			prev := (int(day) + 6) % 7
+			return r.days[prev]
+		}
+		return false
+	}
+}
+
+// DayNames renders the active weekdays as the abbreviations used in rule JSON.
+func (r Repeated) DayNames() []string {
+	out := make([]string, 0, 7)
+	for d, on := range r.days {
+		if on {
+			out = append(out, weekdayAbbrev[d])
+		}
+	}
+	return out
+}
+
+func (r Repeated) String() string {
+	if r.IsZero() {
+		return "never"
+	}
+	return fmt.Sprintf("%s %s-%s", strings.Join(r.DayNames(), ","), r.from, r.to)
+}
+
+// Granularity is the timestamp abstraction level of Table 1(b):
+// Milliseconds, Hour, Day, Month, Year, Not Share.
+type Granularity int
+
+// Granularity levels ordered from most precise to least.
+const (
+	GranMillisecond Granularity = iota
+	GranSecond
+	GranMinute
+	GranHour
+	GranDay
+	GranMonth
+	GranYear
+	GranNotShared
+)
+
+var granNames = map[Granularity]string{
+	GranMillisecond: "Milliseconds",
+	GranSecond:      "Second",
+	GranMinute:      "Minute",
+	GranHour:        "Hour",
+	GranDay:         "Day",
+	GranMonth:       "Month",
+	GranYear:        "Year",
+	GranNotShared:   "NotShared",
+}
+
+// ParseGranularity parses a Table 1(b) time-abstraction option name.
+func ParseGranularity(s string) (Granularity, error) {
+	key := strings.ToLower(strings.TrimSpace(s))
+	for g, name := range granNames {
+		if strings.ToLower(name) == key {
+			return g, nil
+		}
+	}
+	// Accept a couple of aliases that appear in rule corpora.
+	switch key {
+	case "ms", "millisecond", "raw":
+		return GranMillisecond, nil
+	case "not share", "not_shared", "notshare", "none":
+		return GranNotShared, nil
+	}
+	return 0, fmt.Errorf("timeutil: unknown time granularity %q", s)
+}
+
+func (g Granularity) String() string {
+	if n, ok := granNames[g]; ok {
+		return n
+	}
+	return fmt.Sprintf("Granularity(%d)", int(g))
+}
+
+// Valid reports whether g is a defined level.
+func (g Granularity) Valid() bool { return g >= GranMillisecond && g <= GranNotShared }
+
+// CoarserThan reports whether g reveals strictly less than o.
+func (g Granularity) CoarserThan(o Granularity) bool { return g > o }
+
+// Coarsest returns the less precise of g and o.
+func Coarsest(g, o Granularity) Granularity {
+	if g.CoarserThan(o) {
+		return g
+	}
+	return o
+}
+
+// Abstract truncates t to the granularity. GranNotShared returns the zero
+// time; callers must treat a zero time as withheld.
+func (g Granularity) Abstract(t time.Time) time.Time {
+	switch g {
+	case GranMillisecond:
+		return t.Truncate(time.Millisecond)
+	case GranSecond:
+		return t.Truncate(time.Second)
+	case GranMinute:
+		return t.Truncate(time.Minute)
+	case GranHour:
+		return time.Date(t.Year(), t.Month(), t.Day(), t.Hour(), 0, 0, 0, t.Location())
+	case GranDay:
+		return time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, t.Location())
+	case GranMonth:
+		return time.Date(t.Year(), t.Month(), 1, 0, 0, 0, 0, t.Location())
+	case GranYear:
+		return time.Date(t.Year(), 1, 1, 0, 0, 0, 0, t.Location())
+	case GranNotShared:
+		return time.Time{}
+	default:
+		return t
+	}
+}
+
+// MergeRanges normalizes a set of ranges: sorts by start and coalesces
+// overlapping or adjacent bounded ranges. Unbounded ranges collapse the
+// result accordingly.
+func MergeRanges(ranges []Range) []Range {
+	if len(ranges) == 0 {
+		return nil
+	}
+	rs := make([]Range, len(ranges))
+	copy(rs, ranges)
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Start.Equal(rs[j].Start) {
+			return rs[i].End.Before(rs[j].End)
+		}
+		return rs[i].Start.Before(rs[j].Start)
+	})
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		adjacentOrOverlap := last.End.IsZero() || !r.Start.After(last.End)
+		if adjacentOrOverlap {
+			if !last.End.IsZero() && (r.End.IsZero() || r.End.After(last.End)) {
+				last.End = r.End
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,426 @@
+package timeutil
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mustTime(t *testing.T, s string) time.Time {
+	t.Helper()
+	tt, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return tt
+}
+
+func TestRangeContains(t *testing.T) {
+	start := mustTime(t, "2011-02-01T00:00:00Z")
+	end := mustTime(t, "2011-03-01T00:00:00Z")
+	r := Range{Start: start, End: end}
+	cases := []struct {
+		name string
+		at   time.Time
+		want bool
+	}{
+		{"before", start.Add(-time.Second), false},
+		{"at start", start, true},
+		{"middle", start.Add(24 * time.Hour), true},
+		{"at end (half open)", end, false},
+		{"after", end.Add(time.Second), false},
+	}
+	for _, tc := range cases {
+		if got := r.Contains(tc.at); got != tc.want {
+			t.Errorf("%s: Contains(%v) = %v, want %v", tc.name, tc.at, got, tc.want)
+		}
+	}
+}
+
+func TestRangeUnbounded(t *testing.T) {
+	var r Range
+	if !r.Contains(time.Now()) {
+		t.Error("zero range should contain every instant")
+	}
+	r = Range{Start: mustTime(t, "2011-02-01T00:00:00Z")}
+	if r.Contains(mustTime(t, "2011-01-31T00:00:00Z")) {
+		t.Error("open-above range should not contain instants before start")
+	}
+	if !r.Contains(mustTime(t, "2030-01-01T00:00:00Z")) {
+		t.Error("open-above range should contain far-future instants")
+	}
+}
+
+func TestNewRangeRejectsInverted(t *testing.T) {
+	a := mustTime(t, "2011-03-01T00:00:00Z")
+	b := mustTime(t, "2011-02-01T00:00:00Z")
+	if _, err := NewRange(a, b); err == nil {
+		t.Fatal("expected error for end before start")
+	}
+}
+
+func TestRangeOverlapsAndIntersect(t *testing.T) {
+	t1 := mustTime(t, "2011-01-01T00:00:00Z")
+	t2 := mustTime(t, "2011-02-01T00:00:00Z")
+	t3 := mustTime(t, "2011-03-01T00:00:00Z")
+	t4 := mustTime(t, "2011-04-01T00:00:00Z")
+
+	a := Range{Start: t1, End: t3}
+	b := Range{Start: t2, End: t4}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatal("expected overlap")
+	}
+	got, ok := a.Intersect(b)
+	if !ok || !got.Start.Equal(t2) || !got.End.Equal(t3) {
+		t.Fatalf("Intersect = %v, %v", got, ok)
+	}
+
+	c := Range{Start: t3, End: t4}
+	if a.Overlaps(c) {
+		t.Error("touching half-open ranges should not overlap")
+	}
+	if _, ok := a.Intersect(c); ok {
+		t.Error("touching ranges should have empty intersection")
+	}
+
+	var unbounded Range
+	got, ok = unbounded.Intersect(a)
+	if !ok || !got.Start.Equal(t1) || !got.End.Equal(t3) {
+		t.Fatalf("intersect with unbounded = %v, %v", got, ok)
+	}
+}
+
+func TestParseClockTime(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    ClockTime
+		wantErr bool
+	}{
+		{"9:00am", 9 * 60, false},
+		{"6:00pm", 18 * 60, false},
+		{"12:00am", 0, false},
+		{"12:00pm", 12 * 60, false},
+		{"12:30pm", 12*60 + 30, false},
+		{"18:00", 18 * 60, false},
+		{"9am", 9 * 60, false},
+		{"11:59pm", 23*60 + 59, false},
+		{"0:00", 0, false},
+		{"24:00", MinutesPerDay, false},
+		{"13:00pm", 0, true},
+		{"9:75am", 0, true},
+		{"abc", 0, true},
+		{"25:00", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseClockTime(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseClockTime(%q): expected error, got %v", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseClockTime(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseClockTime(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestClockTimeStringRoundTrip(t *testing.T) {
+	for m := ClockTime(0); m < MinutesPerDay; m += 7 {
+		back, err := ParseClockTime(m.String())
+		if err != nil {
+			t.Fatalf("round trip %d (%s): %v", m, m, err)
+		}
+		if back != m {
+			t.Fatalf("round trip %d -> %s -> %d", m, m, back)
+		}
+	}
+}
+
+func TestRepeatedContainsWeekdayWindow(t *testing.T) {
+	// Paper Fig. 4: Mon-Fri 9:00am-6:00pm.
+	rep, err := ParseRepeated([]string{"Mon", "Tue", "Wed", "Thu", "Fri"}, []string{"9:00am", "6:00pm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2011-02-16 was a Wednesday.
+	wedMorning := time.Date(2011, 2, 16, 10, 30, 0, 0, time.UTC)
+	wedEvening := time.Date(2011, 2, 16, 19, 0, 0, 0, time.UTC)
+	satNoon := time.Date(2011, 2, 19, 12, 0, 0, 0, time.UTC)
+	atStart := time.Date(2011, 2, 16, 9, 0, 0, 0, time.UTC)
+	atEnd := time.Date(2011, 2, 16, 18, 0, 0, 0, time.UTC)
+
+	if !rep.Contains(wedMorning) {
+		t.Error("Wednesday 10:30 should match")
+	}
+	if rep.Contains(wedEvening) {
+		t.Error("Wednesday 19:00 should not match")
+	}
+	if rep.Contains(satNoon) {
+		t.Error("Saturday should not match")
+	}
+	if !rep.Contains(atStart) {
+		t.Error("window start should be inclusive")
+	}
+	if rep.Contains(atEnd) {
+		t.Error("window end should be exclusive")
+	}
+}
+
+func TestRepeatedWholeDay(t *testing.T) {
+	rep, err := ParseRepeated([]string{"Sat", "Sun"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat := time.Date(2011, 2, 19, 3, 0, 0, 0, time.UTC)
+	mon := time.Date(2011, 2, 21, 3, 0, 0, 0, time.UTC)
+	if !rep.Contains(sat) {
+		t.Error("whole-day Saturday window should match 3am Saturday")
+	}
+	if rep.Contains(mon) {
+		t.Error("Saturday/Sunday window should not match Monday")
+	}
+}
+
+func TestRepeatedEveryDayDefault(t *testing.T) {
+	rep, err := ParseRepeated(nil, []string{"10:00pm", "11:00pm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 7; d++ {
+		at := time.Date(2011, 2, 13+d, 22, 30, 0, 0, time.UTC)
+		if !rep.Contains(at) {
+			t.Errorf("day offset %d: expected match at 22:30", d)
+		}
+	}
+}
+
+func TestRepeatedWrapsMidnight(t *testing.T) {
+	// Friday 10pm - 2am (spills into Saturday morning).
+	rep, err := ParseRepeated([]string{"Fri"}, []string{"10:00pm", "2:00am"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	friNight := time.Date(2011, 2, 18, 23, 0, 0, 0, time.UTC)  // Friday
+	satEarly := time.Date(2011, 2, 19, 1, 0, 0, 0, time.UTC)   // Saturday 1am
+	satLater := time.Date(2011, 2, 19, 3, 0, 0, 0, time.UTC)   // Saturday 3am
+	thuNight := time.Date(2011, 2, 17, 23, 0, 0, 0, time.UTC)  // Thursday
+	friMorning := time.Date(2011, 2, 18, 1, 0, 0, 0, time.UTC) // Friday 1am (belongs to Thursday's window)
+
+	if !rep.Contains(friNight) {
+		t.Error("Friday 23:00 should match")
+	}
+	if !rep.Contains(satEarly) {
+		t.Error("Saturday 01:00 should match (wraps from Friday)")
+	}
+	if rep.Contains(satLater) {
+		t.Error("Saturday 03:00 should not match")
+	}
+	if rep.Contains(thuNight) {
+		t.Error("Thursday 23:00 should not match")
+	}
+	if rep.Contains(friMorning) {
+		t.Error("Friday 01:00 should not match (Thursday not active)")
+	}
+}
+
+func TestRepeatedZeroMatchesNothing(t *testing.T) {
+	var rep Repeated
+	if !rep.IsZero() {
+		t.Fatal("zero value should report IsZero")
+	}
+	if rep.Contains(time.Now()) {
+		t.Error("zero Repeated should match nothing")
+	}
+}
+
+func TestParseRepeatedErrors(t *testing.T) {
+	if _, err := ParseRepeated([]string{"Funday"}, nil); err == nil {
+		t.Error("expected error for bad weekday")
+	}
+	if _, err := ParseRepeated(nil, []string{"9:00am"}); err == nil {
+		t.Error("expected error for single HourMin entry")
+	}
+	if _, err := ParseRepeated(nil, []string{"9:00am", "nope"}); err == nil {
+		t.Error("expected error for bad clock time")
+	}
+}
+
+func TestParseWeekdayAliases(t *testing.T) {
+	for in, want := range map[string]time.Weekday{
+		"Mon": time.Monday, "monday": time.Monday, " TUE ": time.Tuesday,
+		"thurs": time.Thursday, "Sun": time.Sunday,
+	} {
+		got, err := ParseWeekday(in)
+		if err != nil || got != want {
+			t.Errorf("ParseWeekday(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+}
+
+func TestGranularityAbstract(t *testing.T) {
+	at := time.Date(2011, 2, 16, 10, 31, 45, 123456789, time.UTC)
+	cases := []struct {
+		g    Granularity
+		want time.Time
+	}{
+		{GranMillisecond, time.Date(2011, 2, 16, 10, 31, 45, 123000000, time.UTC)},
+		{GranSecond, time.Date(2011, 2, 16, 10, 31, 45, 0, time.UTC)},
+		{GranMinute, time.Date(2011, 2, 16, 10, 31, 0, 0, time.UTC)},
+		{GranHour, time.Date(2011, 2, 16, 10, 0, 0, 0, time.UTC)},
+		{GranDay, time.Date(2011, 2, 16, 0, 0, 0, 0, time.UTC)},
+		{GranMonth, time.Date(2011, 2, 1, 0, 0, 0, 0, time.UTC)},
+		{GranYear, time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC)},
+		{GranNotShared, time.Time{}},
+	}
+	for _, tc := range cases {
+		if got := tc.g.Abstract(at); !got.Equal(tc.want) {
+			t.Errorf("%v.Abstract = %v, want %v", tc.g, got, tc.want)
+		}
+	}
+}
+
+func TestGranularityParseAndOrder(t *testing.T) {
+	for _, name := range []string{"Milliseconds", "Hour", "Day", "Month", "Year", "NotShared", "not share"} {
+		if _, err := ParseGranularity(name); err != nil {
+			t.Errorf("ParseGranularity(%q): %v", name, err)
+		}
+	}
+	if _, err := ParseGranularity("fortnight"); err == nil {
+		t.Error("expected error for unknown granularity")
+	}
+	if !GranYear.CoarserThan(GranDay) {
+		t.Error("Year should be coarser than Day")
+	}
+	if GranHour.CoarserThan(GranHour) {
+		t.Error("granularity is not coarser than itself")
+	}
+	if Coarsest(GranDay, GranNotShared) != GranNotShared {
+		t.Error("Coarsest should pick NotShared")
+	}
+}
+
+func TestGranularityAbstractIdempotent(t *testing.T) {
+	f := func(sec int64) bool {
+		at := time.Unix(sec%4102444800, 0).UTC() // clamp to sane year range
+		if at.Year() < 1 {
+			at = time.Unix(0, 0).UTC()
+		}
+		for g := GranMillisecond; g <= GranNotShared; g++ {
+			once := g.Abstract(at)
+			twice := g.Abstract(once)
+			if !once.Equal(twice) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGranularityMonotone(t *testing.T) {
+	// Abstracting at a coarser level then a finer one equals the coarser
+	// level alone (information only decreases along the ladder).
+	f := func(sec int64) bool {
+		at := time.Unix(sec%4102444800, 0).UTC()
+		if at.Year() < 1 {
+			at = time.Unix(0, 0).UTC()
+		}
+		for g := GranMillisecond; g < GranNotShared; g++ {
+			coarse := (g + 1).Abstract(at)
+			if !g.Abstract(coarse).Equal(coarse) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeRanges(t *testing.T) {
+	t1 := mustTime(t, "2011-01-01T00:00:00Z")
+	t2 := mustTime(t, "2011-02-01T00:00:00Z")
+	t3 := mustTime(t, "2011-03-01T00:00:00Z")
+	t4 := mustTime(t, "2011-04-01T00:00:00Z")
+	t5 := mustTime(t, "2011-05-01T00:00:00Z")
+
+	got := MergeRanges([]Range{
+		{Start: t3, End: t4},
+		{Start: t1, End: t2},
+		{Start: t2, End: t3}, // adjacent to both
+	})
+	if len(got) != 1 || !got[0].Start.Equal(t1) || !got[0].End.Equal(t4) {
+		t.Fatalf("MergeRanges adjacent = %v", got)
+	}
+
+	got = MergeRanges([]Range{{Start: t1, End: t2}, {Start: t4, End: t5}})
+	if len(got) != 2 {
+		t.Fatalf("disjoint ranges should stay separate: %v", got)
+	}
+
+	// sorted: [t1,t3), [t2,∞) -> t2 before t3 so they merge into [t1,∞)
+	got = MergeRanges([]Range{{Start: t2}, {Start: t1, End: t3}})
+	if len(got) != 1 || !got[0].Start.Equal(t1) || !got[0].End.IsZero() {
+		t.Fatalf("unexpected merge result: %v", got)
+	}
+	if MergeRanges(nil) != nil {
+		t.Error("MergeRanges(nil) should be nil")
+	}
+}
+
+func TestMergeRangesUnboundedAbsorbs(t *testing.T) {
+	t1 := mustTime(t, "2011-01-01T00:00:00Z")
+	t2 := mustTime(t, "2011-02-01T00:00:00Z")
+	got := MergeRanges([]Range{{Start: t1, End: t2}, {Start: t1}})
+	if len(got) != 1 || !got[0].End.IsZero() {
+		t.Fatalf("unbounded range should absorb bounded: %v", got)
+	}
+}
+
+func TestRepeatedStringAndDays(t *testing.T) {
+	rep, err := ParseRepeated([]string{"Wed", "Mon"}, []string{"9:00am", "6:00pm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := rep.Days()
+	if len(days) != 2 || days[0] != time.Monday || days[1] != time.Wednesday {
+		t.Fatalf("Days() = %v", days)
+	}
+	if s := rep.String(); s != "Mon,Wed 9:00am-6:00pm" {
+		t.Errorf("String() = %q", s)
+	}
+	from, to := rep.Window()
+	if from != 9*60 || to != 18*60 {
+		t.Errorf("Window() = %d, %d", from, to)
+	}
+}
+
+func TestRangeString(t *testing.T) {
+	var r Range
+	if r.String() != "[-, -)" {
+		t.Errorf("zero range String() = %q", r.String())
+	}
+	r.Start = mustTime(t, "2011-01-01T00:00:00Z")
+	if r.String() != "[2011-01-01T00:00:00Z, -)" {
+		t.Errorf("String() = %q", r.String())
+	}
+}
+
+func TestRangeDuration(t *testing.T) {
+	t1 := mustTime(t, "2011-01-01T00:00:00Z")
+	r := Range{Start: t1, End: t1.Add(time.Hour)}
+	if r.Duration() != time.Hour {
+		t.Errorf("Duration = %v", r.Duration())
+	}
+	if (Range{Start: t1}).Duration() != 0 {
+		t.Error("unbounded range duration should be 0")
+	}
+}
