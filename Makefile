@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short cover bench harness fuzz examples clean
+.PHONY: all build vet lint test test-short race cover bench harness fuzz examples clean
 
-all: build vet test
+all: build lint test race
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint = vet + gofmt check (fails when any file needs formatting).
+lint: vet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
 test:
 	$(GO) test ./...
+
+# Race-detector pass over the whole module (obs + httpapi are the
+# concurrency hot spots).
+race:
+	$(GO) test -race ./...
 
 test-short:
 	$(GO) test -short ./...

@@ -11,6 +11,7 @@
 //	benchharness            # all experiments, default sizes
 //	benchharness -quick     # smaller sweeps (CI-sized)
 //	benchharness -only E2,E4
+//	benchharness -metrics   # dump the Prometheus metric state after each run
 package main
 
 import (
@@ -21,12 +22,14 @@ import (
 	"strings"
 
 	"sensorsafe/internal/experiments"
+	"sensorsafe/internal/obs"
 	"sensorsafe/internal/rules"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run smaller sweeps")
 	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E2,E4)")
+	metrics := flag.Bool("metrics", false, "print the accumulated obs metrics after each experiment")
 	flag.Parse()
 
 	selected := map[string]bool{}
@@ -105,6 +108,15 @@ func main() {
 					failed = true
 				}
 			}
+		}
+		if *metrics {
+			// The registry is cumulative across experiments; the dump after
+			// the last table is the whole run's metric state.
+			fmt.Printf("```text (obs metrics after %s)\n", e.id)
+			if err := obs.Default.WritePrometheus(os.Stdout); err != nil {
+				log.Printf("metrics dump failed: %v", err)
+			}
+			fmt.Println("```")
 		}
 	}
 	if failed {

@@ -6,29 +6,38 @@
 // Usage:
 //
 //	brokerserver -listen :8080
+//
+// The broker exposes Prometheus metrics at /metrics and a JSON health report
+// at /healthz; pass -pprof to additionally mount net/http/pprof profiling
+// handlers under /debug/pprof/.
 package main
 
 import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"os"
 
 	"sensorsafe/internal/broker"
 	"sensorsafe/internal/httpapi"
+	"sensorsafe/internal/obs"
 )
 
 func main() {
 	listen := flag.String("listen", ":8080", "address to listen on")
 	dir := flag.String("dir", "", "state directory (empty = in-memory)")
 	useTLS := flag.Bool("tls", false, "serve HTTPS with a self-signed certificate")
+	withPprof := flag.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
 
 	svc, err := broker.NewPersistent(*dir)
 	if err != nil {
 		log.Fatalf("brokerserver: %v", err)
 	}
-	log.Printf("broker listening on %s (tls=%v)", *listen, *useTLS)
-	handler := httpapi.NewBrokerHandler(svc)
+	logger := obs.NewLogger("brokerserver", os.Stderr)
+	logger.Info("listening", "listen", *listen, "dir", *dir, "tls", *useTLS, "pprof", *withPprof)
+	handler := mountPprof(httpapi.NewBrokerHandler(svc), *withPprof)
 	if *useTLS {
 		tlsCfg, err := httpapi.SelfSignedTLS([]string{"localhost", "127.0.0.1"}, 0)
 		if err != nil {
@@ -43,4 +52,21 @@ func main() {
 	if err := http.ListenAndServe(*listen, handler); err != nil {
 		log.Fatalf("brokerserver: %v", err)
 	}
+}
+
+// mountPprof optionally layers the net/http/pprof handlers over the API.
+// Profiling stays opt-in so a production broker does not expose heap and
+// goroutine dumps by default.
+func mountPprof(h http.Handler, enabled bool) http.Handler {
+	if !enabled {
+		return h
+	}
+	root := http.NewServeMux()
+	root.Handle("/", h)
+	root.HandleFunc("/debug/pprof/", pprof.Index)
+	root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return root
 }

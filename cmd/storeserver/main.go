@@ -10,6 +10,10 @@
 //
 // With -broker set, contributor registrations and rule changes propagate to
 // the broker over its HTTP API, exactly as in a multi-host deployment.
+//
+// The store exposes Prometheus metrics at /metrics and a JSON health report
+// at /healthz; pass -pprof to additionally mount net/http/pprof profiling
+// handlers under /debug/pprof/.
 package main
 
 import (
@@ -17,10 +21,12 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"sensorsafe/internal/datastore"
 	"sensorsafe/internal/httpapi"
+	"sensorsafe/internal/obs"
 )
 
 func main() {
@@ -30,6 +36,7 @@ func main() {
 	brokerURL := flag.String("broker", "", "broker base URL for rule sync and contributor registration")
 	maxSamples := flag.Int("max-segment-samples", 0, "wave-segment size cap (0 = default)")
 	useTLS := flag.Bool("tls", false, "serve HTTPS with a self-signed certificate")
+	withPprof := flag.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
 
 	if *name == "" {
@@ -53,8 +60,10 @@ func main() {
 	}
 	defer svc.Close()
 
-	log.Printf("remote data store %s listening on %s (dir=%q broker=%q tls=%v)", *name, *listen, *dir, *brokerURL, *useTLS)
-	handler := httpapi.NewStoreHandler(svc)
+	logger := obs.NewLogger("storeserver", os.Stderr)
+	logger.Info("listening", "name", *name, "listen", *listen,
+		"dir", *dir, "broker", *brokerURL, "tls", *useTLS, "pprof", *withPprof)
+	handler := mountPprof(httpapi.NewStoreHandler(svc), *withPprof)
 	if *useTLS {
 		tlsCfg, err := httpapi.SelfSignedTLS([]string{"localhost", "127.0.0.1"}, 0)
 		if err != nil {
@@ -69,4 +78,22 @@ func main() {
 	if err := http.ListenAndServe(*listen, handler); err != nil {
 		log.Fatalf("storeserver: %v", err)
 	}
+}
+
+// mountPprof optionally layers the net/http/pprof handlers over the API.
+// Profiling stays opt-in: the endpoints expose heap contents and must not be
+// reachable on a store that holds real sensor data unless deliberately
+// enabled.
+func mountPprof(h http.Handler, enabled bool) http.Handler {
+	if !enabled {
+		return h
+	}
+	root := http.NewServeMux()
+	root.Handle("/", h)
+	root.HandleFunc("/debug/pprof/", pprof.Index)
+	root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return root
 }

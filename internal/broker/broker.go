@@ -10,6 +10,7 @@
 package broker
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -19,6 +20,7 @@ import (
 
 	"sensorsafe/internal/auth"
 	"sensorsafe/internal/geo"
+	"sensorsafe/internal/obs"
 	"sensorsafe/internal/rules"
 )
 
@@ -29,9 +31,18 @@ type StoreConn interface {
 	// Addr returns the store's address (shown in the directory).
 	Addr() string
 	// ProvisionConsumer registers a consumer on the store and returns the
-	// store-local API key.
-	ProvisionConsumer(name string) (auth.APIKey, error)
+	// store-local API key. The context carries the request ID of the
+	// consumer's connect call so broker→store hops stay correlated.
+	ProvisionConsumer(ctx context.Context, name string) (auth.APIKey, error)
 }
+
+// Broker metrics.
+var (
+	metricDirectorySize = obs.NewGauge("sensorsafe_broker_directory_size",
+		"Contributors currently in the broker directory.")
+	metricProvisions = obs.NewCounterVec("sensorsafe_broker_provisions_total",
+		"Consumer credentials provisioned on stores, by result.", "result")
+)
 
 // Errors returned by the broker.
 var (
@@ -136,6 +147,7 @@ func (s *Service) RegisterContributor(name, storeAddr string) error {
 			gazetteer: geo.NewGazetteer(),
 		}
 	}
+	metricDirectorySize.Set(float64(len(s.contributors)))
 	s.mu.Unlock()
 	return s.saveState()
 }
@@ -167,6 +179,7 @@ func (s *Service) SyncRules(contributor string, ruleSetJSON []byte, places []geo
 	e.rules = rs
 	e.gazetteer = gaz
 	e.engine = engine
+	metricDirectorySize.Set(float64(len(s.contributors)))
 	s.mu.Unlock()
 	return s.saveState()
 }
@@ -217,8 +230,9 @@ func (s *Service) Directory(key auth.APIKey) ([]ContributorInfo, error) {
 
 // Connect provisions (or returns the vaulted) API key for the consumer on
 // the contributor's store, automating the per-store registration the paper
-// describes in §5.4.
-func (s *Service) Connect(key auth.APIKey, contributor string) (Credential, error) {
+// describes in §5.4. The context's request ID travels with the
+// provisioning call to the store.
+func (s *Service) Connect(ctx context.Context, key auth.APIKey, contributor string) (Credential, error) {
 	u, e, err := s.authConsumer(key)
 	if err != nil {
 		return Credential{}, err
@@ -254,10 +268,12 @@ func (s *Service) Connect(key auth.APIKey, contributor string) (Credential, erro
 	if conn == nil {
 		return Credential{}, fmt.Errorf("%w: %s", ErrUnknownStore, addr)
 	}
-	storeKey, err := conn.ProvisionConsumer(u.Name)
+	storeKey, err := conn.ProvisionConsumer(ctx, u.Name)
 	if err != nil {
+		metricProvisions.With("error").Inc()
 		return Credential{}, fmt.Errorf("broker: provisioning %s on %s: %w", u.Name, addr, err)
 	}
+	metricProvisions.With("ok").Inc()
 	s.mu.Lock()
 	e.keys[addr] = storeKey
 	s.mu.Unlock()

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -21,7 +22,7 @@ type fakeStore struct {
 
 func (f *fakeStore) Addr() string { return f.addr }
 
-func (f *fakeStore) ProvisionConsumer(name string) (auth.APIKey, error) {
+func (f *fakeStore) ProvisionConsumer(_ context.Context, name string) (auth.APIKey, error) {
 	if f.fail {
 		return "", errors.New("store down")
 	}
@@ -113,7 +114,7 @@ func TestConnectProvisionsOnceAndVaults(t *testing.T) {
 	store := &fakeStore{addr: "store-alice"}
 	b.RegisterStore(store)
 
-	cred, err := b.Connect(bob.Key, "alice")
+	cred, err := b.Connect(context.Background(), bob.Key, "alice")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestConnectProvisionsOnceAndVaults(t *testing.T) {
 		t.Fatalf("credential = %+v", cred)
 	}
 	// Second connect reuses the vaulted key without re-provisioning.
-	cred2, err := b.Connect(bob.Key, "alice")
+	cred2, err := b.Connect(context.Background(), bob.Key, "alice")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestConnectProvisionsOnceAndVaults(t *testing.T) {
 		t.Errorf("credentials = %v, %v", creds, err)
 	}
 
-	if _, err := b.Connect(bob.Key, "nobody"); !errors.Is(err, ErrUnknownContributor) {
+	if _, err := b.Connect(context.Background(), bob.Key, "nobody"); !errors.Is(err, ErrUnknownContributor) {
 		t.Errorf("unknown contributor: %v", err)
 	}
 }
@@ -145,11 +146,11 @@ func TestConnectProvisionsOnceAndVaults(t *testing.T) {
 func TestConnectStoreFailures(t *testing.T) {
 	b, bob := newBrokerWith(t, map[string]string{"alice": `[{"Action":"Allow"}]`})
 	// No store connection registered.
-	if _, err := b.Connect(bob.Key, "alice"); !errors.Is(err, ErrUnknownStore) {
+	if _, err := b.Connect(context.Background(), bob.Key, "alice"); !errors.Is(err, ErrUnknownStore) {
 		t.Errorf("missing store: %v", err)
 	}
 	b.RegisterStore(&fakeStore{addr: "store-alice", fail: true})
-	if _, err := b.Connect(bob.Key, "alice"); err == nil {
+	if _, err := b.Connect(context.Background(), bob.Key, "alice"); err == nil {
 		t.Error("store failure should propagate")
 	}
 }

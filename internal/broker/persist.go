@@ -178,6 +178,7 @@ func (s *Service) loadState() error {
 		}
 		s.contributors[key] = ce
 	}
+	metricDirectorySize.Set(float64(len(s.contributors)))
 	for key, pc := range st.Consumers {
 		e := &consumerEntry{
 			lists:  make(map[string][]string),

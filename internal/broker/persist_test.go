@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -23,7 +24,7 @@ func TestBrokerStateSurvivesRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	b.RegisterStore(&fakeStore{addr: "store-alice"})
-	cred, err := b.Connect(bob.Key, "alice")
+	cred, err := b.Connect(context.Background(), bob.Key, "alice")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,15 +1,22 @@
 package broker
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"sensorsafe/internal/auth"
 	"sensorsafe/internal/geo"
+	"sensorsafe/internal/obs"
 	"sensorsafe/internal/rules"
 	"sensorsafe/internal/timeutil"
 )
+
+// metricSearches counts contributor searches; pair it with the
+// broker.search span histogram for latency.
+var metricSearches = obs.NewCounter("sensorsafe_broker_searches_total",
+	"Contributor searches evaluated against replicated rules.")
 
 // SearchQuery describes the data a consumer needs, so the broker can find
 // contributors whose privacy rules would actually release it (paper §5.2:
@@ -65,6 +72,8 @@ func (q *SearchQuery) Validate() error {
 // everything the query demands to this consumer, sorted. A contributor
 // matches when at least one probe location passes at every probe instant.
 func (s *Service) Search(key auth.APIKey, q *SearchQuery) ([]string, error) {
+	defer obs.Time(context.Background(), "broker.search")()
+	metricSearches.Inc()
 	u, e, err := s.authConsumer(key)
 	if err != nil {
 		return nil, err

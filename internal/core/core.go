@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -224,7 +225,7 @@ func (c *Consumer) Search(q *broker.SearchQuery) ([]string, error) {
 // Query downloads a contributor's data directly from their store (the
 // broker only brokers the credential).
 func (c *Consumer) Query(contributor string, q *query.Query) ([]*abstraction.Release, error) {
-	cred, err := c.network.Broker.Connect(c.Key, contributor)
+	cred, err := c.network.Broker.Connect(context.Background(), c.Key, contributor)
 	if err != nil {
 		return nil, err
 	}

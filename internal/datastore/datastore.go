@@ -8,6 +8,7 @@
 package datastore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -18,12 +19,30 @@ import (
 	"sensorsafe/internal/audit"
 	"sensorsafe/internal/auth"
 	"sensorsafe/internal/geo"
+	"sensorsafe/internal/obs"
 	"sensorsafe/internal/query"
 	"sensorsafe/internal/recommend"
 	"sensorsafe/internal/rules"
 	"sensorsafe/internal/storage"
 	"sensorsafe/internal/timeutil"
 	"sensorsafe/internal/wavesegment"
+)
+
+// Hot-path metrics (paper §5.1 upload/query pipeline): how much the
+// wave-segment optimizer compacts uploads, how much a consumer query
+// scans, and what rule enforcement decided for every candidate span.
+var (
+	metricUploadBatches = obs.NewCounter("sensorsafe_datastore_uploads_total",
+		"Accepted upload batches.")
+	metricUploadSegments = obs.NewCounter("sensorsafe_datastore_upload_segments_total",
+		"Wave segments received in upload batches, before optimization.")
+	metricSegmentsMerged = obs.NewCounter("sensorsafe_datastore_segments_merged_total",
+		"Wave segments eliminated by the wave-segment merge optimization.")
+	metricSegmentsScanned = obs.NewCounter("sensorsafe_datastore_segments_scanned_total",
+		"Stored segments scanned while answering consumer queries.")
+	metricReleases = obs.NewCounterVec("sensorsafe_datastore_releases_total",
+		"Release decisions after rule enforcement, per enforcement span.",
+		"decision")
 )
 
 // Errors returned by the service.
@@ -158,8 +177,10 @@ func (s *Service) RegisterContributor(name string) (auth.User, error) {
 }
 
 // ProvisionConsumer registers a consumer and returns only the API key; it
-// satisfies the broker's StoreConn for in-process wiring.
-func (s *Service) ProvisionConsumer(name string) (auth.APIKey, error) {
+// satisfies the broker's StoreConn for in-process wiring. The context is
+// part of the StoreConn contract (request-ID correlation) and unused here
+// because no further hop exists.
+func (s *Service) ProvisionConsumer(_ context.Context, name string) (auth.APIKey, error) {
 	u, err := s.RegisterConsumer(name)
 	if err != nil {
 		return "", err
@@ -228,6 +249,7 @@ func (s *Service) state(contributor string) (*contributorState, error) {
 // steady streaming still produces few large records. Returns the number of
 // records written.
 func (s *Service) Upload(key auth.APIKey, segs []*wavesegment.Segment) (int, error) {
+	defer obs.Time(context.Background(), "datastore.upload")()
 	u, err := s.authenticate(key, auth.RoleContributor)
 	if err != nil {
 		return 0, err
@@ -266,6 +288,11 @@ func (s *Service) Upload(key auth.APIKey, segs []*wavesegment.Segment) (int, err
 			}
 			written++
 		}
+	}
+	metricUploadBatches.Inc()
+	metricUploadSegments.Add(float64(len(segs)))
+	if d := len(segs) - written; d > 0 {
+		metricSegmentsMerged.Add(float64(d))
 	}
 	return written, nil
 }
@@ -486,6 +513,7 @@ func (s *Service) ResyncAll() error {
 // on released rather than raw annotations so the filter cannot leak
 // withheld contexts).
 func (s *Service) Query(key auth.APIKey, q *query.Query) ([]*abstraction.Release, error) {
+	defer obs.Time(context.Background(), "datastore.query")()
 	u, err := s.authenticate(key, auth.RoleConsumer)
 	if err != nil {
 		return nil, err
@@ -497,6 +525,7 @@ func (s *Service) Query(key auth.APIKey, q *query.Query) ([]*abstraction.Release
 	if err != nil {
 		return nil, err
 	}
+	metricSegmentsScanned.Add(float64(len(results)))
 
 	var out []*abstraction.Release
 	for _, res := range results {
@@ -518,9 +547,12 @@ func (s *Service) Query(key auth.APIKey, q *query.Query) ([]*abstraction.Release
 		}
 		s.mu.RUnlock()
 		if err != nil || engine == nil {
+			metricReleases.With("deny").Inc()
 			continue // contributor without rules: default deny
 		}
+		stopEval := obs.Time(context.Background(), "datastore.rule_eval")
 		rels, err := abstraction.Enforce(engine, u.Name, groups, seg, s.opts.Geocoder)
+		stopEval()
 		if err != nil {
 			return nil, err
 		}
@@ -529,10 +561,17 @@ func (s *Service) Query(key auth.APIKey, q *query.Query) ([]*abstraction.Release
 			if rel = postFilter(rel, q); rel != nil {
 				out = append(out, rel)
 				delivered++
-				s.trail.Record(auditEvent(u.Name, q, rel, seg))
+				ev := auditEvent(u.Name, q, rel, seg)
+				if ev.Outcome == audit.OutcomeRaw {
+					metricReleases.With("allow").Inc()
+				} else {
+					metricReleases.With("abstract").Inc()
+				}
+				s.trail.Record(ev)
 			}
 		}
 		if delivered == 0 {
+			metricReleases.With("deny").Inc()
 			s.trail.Record(audit.Event{
 				Contributor: seg.Contributor, Consumer: u.Name, Query: q.String(),
 				SpanStart: seg.StartTime(), SpanEnd: seg.EndTime(),

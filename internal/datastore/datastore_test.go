@@ -1,6 +1,7 @@
 package datastore
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -490,14 +491,14 @@ func TestAccessorsAndProvisioning(t *testing.T) {
 	if s.Users() == nil || s.Web() == nil || s.Storage() == nil {
 		t.Error("accessors must not be nil")
 	}
-	key, err := s.ProvisionConsumer("bob")
+	key, err := s.ProvisionConsumer(context.Background(), "bob")
 	if err != nil || key == "" {
 		t.Fatalf("ProvisionConsumer = %q, %v", key, err)
 	}
 	if _, err := s.Query(key, &query.Query{}); err != nil {
 		t.Errorf("provisioned key should query: %v", err)
 	}
-	if _, err := s.ProvisionConsumer("bob"); err == nil {
+	if _, err := s.ProvisionConsumer(context.Background(), "bob"); err == nil {
 		t.Error("duplicate provisioning should fail")
 	}
 }

@@ -1,11 +1,14 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strings"
 	"time"
+
+	"sensorsafe/internal/obs"
 
 	"sensorsafe/internal/auth"
 	"sensorsafe/internal/broker"
@@ -155,6 +158,7 @@ func (w *searchWire) toQuery() (*broker.SearchQuery, error) {
 // provisioning works without explicit store registration (and across
 // broker restarts).
 func NewBrokerHandler(svc *broker.Service) http.Handler {
+	start := time.Now()
 	svc.SetStoreDialer(func(addr string) broker.StoreConn {
 		if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
 			return &StoreClient{BaseURL: addr}
@@ -163,7 +167,7 @@ func NewBrokerHandler(svc *broker.Service) http.Handler {
 	})
 	mux := http.NewServeMux()
 
-	mux.HandleFunc("/api/consumers/register", post(func(r *registerReq) (registerResp, error) {
+	mux.HandleFunc("/api/consumers/register", post(func(ctx context.Context, r *registerReq) (registerResp, error) {
 		u, err := svc.RegisterConsumer(r.Name)
 		if err != nil {
 			return registerResp{}, err
@@ -171,21 +175,21 @@ func NewBrokerHandler(svc *broker.Service) http.Handler {
 		return registerResp{Name: u.Name, Role: u.Role.String(), Key: u.Key}, nil
 	}))
 
-	mux.HandleFunc("/api/contributors/register", post(func(r *brokerRegisterContribReq) (okResp, error) {
+	mux.HandleFunc("/api/contributors/register", post(func(ctx context.Context, r *brokerRegisterContribReq) (okResp, error) {
 		if err := svc.RegisterContributor(r.Name, r.StoreAddr); err != nil {
 			return okResp{}, err
 		}
 		return okResp{OK: true}, nil
 	}))
 
-	mux.HandleFunc("/api/sync", post(func(r *brokerSyncReq) (okResp, error) {
+	mux.HandleFunc("/api/sync", post(func(ctx context.Context, r *brokerSyncReq) (okResp, error) {
 		if err := svc.SyncRules(r.Contributor, r.Rules, r.Places); err != nil {
 			return okResp{}, err
 		}
 		return okResp{OK: true}, nil
 	}))
 
-	mux.HandleFunc("/api/directory", post(func(r *keyReq) (directoryResp, error) {
+	mux.HandleFunc("/api/directory", post(func(ctx context.Context, r *keyReq) (directoryResp, error) {
 		dir, err := svc.Directory(r.Key)
 		if err != nil {
 			return directoryResp{}, err
@@ -193,11 +197,11 @@ func NewBrokerHandler(svc *broker.Service) http.Handler {
 		return directoryResp{Contributors: dir}, nil
 	}))
 
-	mux.HandleFunc("/api/connect", post(func(r *connectReq) (broker.Credential, error) {
-		return svc.Connect(r.Key, r.Contributor)
+	mux.HandleFunc("/api/connect", post(func(ctx context.Context, r *connectReq) (broker.Credential, error) {
+		return svc.Connect(ctx, r.Key, r.Contributor)
 	}))
 
-	mux.HandleFunc("/api/credentials", post(func(r *keyReq) (credentialsResp, error) {
+	mux.HandleFunc("/api/credentials", post(func(ctx context.Context, r *keyReq) (credentialsResp, error) {
 		creds, err := svc.Credentials(r.Key)
 		if err != nil {
 			return credentialsResp{}, err
@@ -205,7 +209,7 @@ func NewBrokerHandler(svc *broker.Service) http.Handler {
 		return credentialsResp{Credentials: creds}, nil
 	}))
 
-	mux.HandleFunc("/api/search", post(func(r *searchWire) (searchResp, error) {
+	mux.HandleFunc("/api/search", post(func(ctx context.Context, r *searchWire) (searchResp, error) {
 		q, err := r.toQuery()
 		if err != nil {
 			return searchResp{}, err
@@ -217,14 +221,14 @@ func NewBrokerHandler(svc *broker.Service) http.Handler {
 		return searchResp{Contributors: names}, nil
 	}))
 
-	mux.HandleFunc("/api/lists/save", post(func(r *listSaveReq) (okResp, error) {
+	mux.HandleFunc("/api/lists/save", post(func(ctx context.Context, r *listSaveReq) (okResp, error) {
 		if err := svc.SaveList(r.Key, r.Name, r.Members); err != nil {
 			return okResp{}, err
 		}
 		return okResp{OK: true}, nil
 	}))
 
-	mux.HandleFunc("/api/lists/get", post(func(r *listGetReq) (listGetResp, error) {
+	mux.HandleFunc("/api/lists/get", post(func(ctx context.Context, r *listGetReq) (listGetResp, error) {
 		members, err := svc.List(r.Key, r.Name)
 		if err != nil {
 			return listGetResp{}, err
@@ -232,21 +236,21 @@ func NewBrokerHandler(svc *broker.Service) http.Handler {
 		return listGetResp{Members: members}, nil
 	}))
 
-	mux.HandleFunc("/api/studies/create", post(func(r *studyReq) (okResp, error) {
+	mux.HandleFunc("/api/studies/create", post(func(ctx context.Context, r *studyReq) (okResp, error) {
 		if err := svc.CreateStudy(r.Study); err != nil {
 			return okResp{}, err
 		}
 		return okResp{OK: true}, nil
 	}))
 
-	mux.HandleFunc("/api/studies/join", post(func(r *studyReq) (okResp, error) {
+	mux.HandleFunc("/api/studies/join", post(func(ctx context.Context, r *studyReq) (okResp, error) {
 		if err := svc.JoinStudy(r.Key, r.Study); err != nil {
 			return okResp{}, err
 		}
 		return okResp{OK: true}, nil
 	}))
 
-	mux.HandleFunc("/api/studies/members", post(func(r *studyReq) (studyMembersResp, error) {
+	mux.HandleFunc("/api/studies/members", post(func(ctx context.Context, r *studyReq) (studyMembersResp, error) {
 		members, err := svc.StudyMembers(r.Study)
 		if err != nil {
 			return studyMembersResp{}, err
@@ -255,8 +259,15 @@ func NewBrokerHandler(svc *broker.Service) http.Handler {
 	}))
 
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, map[string]int{"contributors": svc.ContributorCount(), "consumers": svc.Users().Len()})
+		writeJSON(w, Health{
+			Status:       "ok",
+			UptimeS:      time.Since(start).Seconds(),
+			Contributors: svc.ContributorCount(),
+			Consumers:    svc.Users().Len(),
+		})
 	})
+
+	mux.Handle("/metrics", obs.Handler())
 
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -267,7 +278,7 @@ func NewBrokerHandler(svc *broker.Service) http.Handler {
 		fmt.Fprintf(w, brokerAdminHTML, svc.ContributorCount(), svc.Users().Len())
 	})
 
-	return mux
+	return withObs("broker", mux)
 }
 
 const brokerAdminHTML = `<!DOCTYPE html>

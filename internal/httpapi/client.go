@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 	"sensorsafe/internal/auth"
 	"sensorsafe/internal/broker"
 	"sensorsafe/internal/geo"
+	"sensorsafe/internal/obs"
 	"sensorsafe/internal/query"
 	"sensorsafe/internal/recommend"
 	"sensorsafe/internal/rules"
@@ -21,14 +23,27 @@ import (
 )
 
 // doJSON posts a JSON body and decodes the JSON response, mapping error
-// envelopes to Go errors.
-func doJSON(hc *http.Client, baseURL, path string, req, resp any) error {
+// envelopes to Go errors. Every request carries an X-Request-ID — the
+// context's when present (so a server handling an inbound request
+// propagates its ID to outbound service-to-service calls), fresh
+// otherwise — which the servers echo and log.
+func doJSON(ctx context.Context, hc *http.Client, baseURL, path string, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("httpapi: encode request: %w", err)
 	}
 	url := strings.TrimRight(baseURL, "/") + path
-	httpResp, err := hc.Post(url, "application/json", bytes.NewReader(body))
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("httpapi: build request: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	id := obs.RequestID(ctx)
+	if id == "" {
+		id = obs.NewRequestID()
+	}
+	httpReq.Header.Set(requestIDHeader, id)
+	httpResp, err := hc.Do(httpReq)
 	if err != nil {
 		return fmt.Errorf("httpapi: POST %s: %w", url, err)
 	}
@@ -57,6 +72,24 @@ func defaultClient() *http.Client {
 	return &http.Client{Timeout: 30 * time.Second}
 }
 
+// getHealth fetches and decodes a server's /healthz report.
+func getHealth(hc *http.Client, baseURL string) (Health, error) {
+	url := strings.TrimRight(baseURL, "/") + "/healthz"
+	resp, err := hc.Get(url)
+	if err != nil {
+		return Health{}, fmt.Errorf("httpapi: GET %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Health{}, fmt.Errorf("httpapi: /healthz: HTTP %d", resp.StatusCode)
+	}
+	var h Health
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h); err != nil {
+		return Health{}, fmt.Errorf("httpapi: decode health: %w", err)
+	}
+	return h, nil
+}
+
 // StoreClient is a typed client for a remote data store's API. It
 // satisfies phone.Store (Upload, RulesFor) and broker.StoreConn (Addr,
 // ProvisionConsumer).
@@ -79,8 +112,12 @@ func (c *StoreClient) Addr() string { return c.BaseURL }
 
 // Register creates an account on the store.
 func (c *StoreClient) Register(name, role string) (auth.User, error) {
+	return c.register(context.Background(), name, role)
+}
+
+func (c *StoreClient) register(ctx context.Context, name, role string) (auth.User, error) {
 	var resp registerResp
-	if err := doJSON(c.hc(), c.BaseURL, "/api/register", &registerReq{Name: name, Role: role}, &resp); err != nil {
+	if err := doJSON(ctx, c.hc(), c.BaseURL, "/api/register", &registerReq{Name: name, Role: role}, &resp); err != nil {
 		return auth.User{}, err
 	}
 	r := auth.RoleConsumer
@@ -90,19 +127,26 @@ func (c *StoreClient) Register(name, role string) (auth.User, error) {
 	return auth.User{Name: resp.Name, Role: r, Key: resp.Key}, nil
 }
 
-// ProvisionConsumer registers a consumer and returns the key (broker use).
-func (c *StoreClient) ProvisionConsumer(name string) (auth.APIKey, error) {
-	u, err := c.Register(name, "consumer")
+// ProvisionConsumer registers a consumer and returns the key (broker
+// use). The context's request ID is forwarded so a consumer's connect
+// request is correlated across broker and store logs.
+func (c *StoreClient) ProvisionConsumer(ctx context.Context, name string) (auth.APIKey, error) {
+	u, err := c.register(ctx, name, "consumer")
 	if err != nil {
 		return "", err
 	}
 	return u.Key, nil
 }
 
+// Health fetches the store's /healthz report.
+func (c *StoreClient) Health() (Health, error) {
+	return getHealth(c.hc(), c.BaseURL)
+}
+
 // Upload sends wave segments (Fig. 5 JSON on the wire).
 func (c *StoreClient) Upload(key auth.APIKey, segs []*wavesegment.Segment) (int, error) {
 	var resp uploadResp
-	if err := doJSON(c.hc(), c.BaseURL, "/api/upload", &uploadReq{Key: key, Segments: segs}, &resp); err != nil {
+	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/upload", &uploadReq{Key: key, Segments: segs}, &resp); err != nil {
 		return 0, err
 	}
 	return resp.Records, nil
@@ -111,7 +155,7 @@ func (c *StoreClient) Upload(key auth.APIKey, segs []*wavesegment.Segment) (int,
 // Query runs an enforced consumer query.
 func (c *StoreClient) Query(key auth.APIKey, q *query.Query) ([]*abstraction.Release, error) {
 	var resp queryResp
-	if err := doJSON(c.hc(), c.BaseURL, "/api/query", &queryReq{Key: key, Query: q}, &resp); err != nil {
+	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/query", &queryReq{Key: key, Query: q}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Releases, nil
@@ -120,7 +164,7 @@ func (c *StoreClient) Query(key auth.APIKey, q *query.Query) ([]*abstraction.Rel
 // QueryText runs an enforced consumer query written in the mini-language.
 func (c *StoreClient) QueryText(key auth.APIKey, text string) ([]*abstraction.Release, error) {
 	var resp queryResp
-	if err := doJSON(c.hc(), c.BaseURL, "/api/query", &queryReq{Key: key, Text: text}, &resp); err != nil {
+	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/query", &queryReq{Key: key, Text: text}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Releases, nil
@@ -129,7 +173,7 @@ func (c *StoreClient) QueryText(key auth.APIKey, text string) ([]*abstraction.Re
 // QueryOwn retrieves the owner's raw data.
 func (c *StoreClient) QueryOwn(key auth.APIKey, q *query.Query) ([]*wavesegment.Segment, error) {
 	var resp queryOwnResp
-	if err := doJSON(c.hc(), c.BaseURL, "/api/queryown", &queryReq{Key: key, Query: q}, &resp); err != nil {
+	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/queryown", &queryReq{Key: key, Query: q}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Segments, nil
@@ -137,13 +181,13 @@ func (c *StoreClient) QueryOwn(key auth.APIKey, q *query.Query) ([]*wavesegment.
 
 // SetRules replaces the owner's privacy rules (Fig. 4 JSON).
 func (c *StoreClient) SetRules(key auth.APIKey, ruleSetJSON []byte) error {
-	return doJSON(c.hc(), c.BaseURL, "/api/rules/set", &rulesSetReq{Key: key, Rules: ruleSetJSON}, &okResp{})
+	return doJSON(context.Background(), c.hc(), c.BaseURL, "/api/rules/set", &rulesSetReq{Key: key, Rules: ruleSetJSON}, &okResp{})
 }
 
 // Rules fetches the owner's privacy rules.
 func (c *StoreClient) Rules(key auth.APIKey) ([]byte, error) {
 	var resp rulesGetResp
-	if err := doJSON(c.hc(), c.BaseURL, "/api/rules/get", &rulesGetReq{Key: key}, &resp); err != nil {
+	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/rules/get", &rulesGetReq{Key: key}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Rules, nil
@@ -151,14 +195,14 @@ func (c *StoreClient) Rules(key auth.APIKey) ([]byte, error) {
 
 // DefinePlace registers a labeled region.
 func (c *StoreClient) DefinePlace(key auth.APIKey, label string, region geo.Region) error {
-	return doJSON(c.hc(), c.BaseURL, "/api/places/define",
+	return doJSON(context.Background(), c.hc(), c.BaseURL, "/api/places/define",
 		&placeDefineReq{Key: key, Label: label, Region: region}, &okResp{})
 }
 
 // Places lists the owner's labeled regions.
 func (c *StoreClient) Places(key auth.APIKey) ([]geo.Region, error) {
 	var resp placesListResp
-	if err := doJSON(c.hc(), c.BaseURL, "/api/places/list", &rulesGetReq{Key: key}, &resp); err != nil {
+	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/places/list", &rulesGetReq{Key: key}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Places, nil
@@ -167,7 +211,7 @@ func (c *StoreClient) Places(key auth.APIKey) ([]geo.Region, error) {
 // AssignConsumerGroups records a consumer's groups for the owner's
 // group-scoped rules.
 func (c *StoreClient) AssignConsumerGroups(key auth.APIKey, consumer string, groups []string) error {
-	return doJSON(c.hc(), c.BaseURL, "/api/groups/assign",
+	return doJSON(context.Background(), c.hc(), c.BaseURL, "/api/groups/assign",
 		&groupsAssignReq{Key: key, Consumer: consumer, Groups: groups}, &okResp{})
 }
 
@@ -178,7 +222,7 @@ func (c *StoreClient) Audit(key auth.APIKey, consumer string, since time.Time, l
 		req.Since = since.Format(time.RFC3339)
 	}
 	var resp auditEventsResp
-	if err := doJSON(c.hc(), c.BaseURL, "/api/audit/events", req, &resp); err != nil {
+	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/audit/events", req, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Events, nil
@@ -187,7 +231,7 @@ func (c *StoreClient) Audit(key auth.APIKey, consumer string, since time.Time, l
 // AuditSummary fetches the owner's per-consumer access aggregates.
 func (c *StoreClient) AuditSummary(key auth.APIKey) ([]audit.ConsumerSummary, error) {
 	var resp auditSummaryResp
-	if err := doJSON(c.hc(), c.BaseURL, "/api/audit/summary", &rulesGetReq{Key: key}, &resp); err != nil {
+	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/audit/summary", &rulesGetReq{Key: key}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Consumers, nil
@@ -196,7 +240,7 @@ func (c *StoreClient) AuditSummary(key auth.APIKey) ([]audit.ConsumerSummary, er
 // RotateKey invalidates the presented key and returns a fresh one.
 func (c *StoreClient) RotateKey(key auth.APIKey) (auth.APIKey, error) {
 	var resp registerResp
-	if err := doJSON(c.hc(), c.BaseURL, "/api/rotate", &rulesGetReq{Key: key}, &resp); err != nil {
+	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/rotate", &rulesGetReq{Key: key}, &resp); err != nil {
 		return "", err
 	}
 	return resp.Key, nil
@@ -209,7 +253,7 @@ func (c *StoreClient) Recommend(key auth.APIKey, minOverlap float64, minDuration
 		req.MinDuration = minDuration.String()
 	}
 	var resp recommendResp
-	if err := doJSON(c.hc(), c.BaseURL, "/api/recommend", req, &resp); err != nil {
+	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/recommend", req, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Suggestions, nil
@@ -217,13 +261,13 @@ func (c *StoreClient) Recommend(key auth.APIKey, minOverlap float64, minDuration
 
 // SetPassword sets the web-UI password, authenticating with the API key.
 func (c *StoreClient) SetPassword(key auth.APIKey, password string) error {
-	return doJSON(c.hc(), c.BaseURL, "/api/password", &passwordReq{Key: key, Password: password}, &okResp{})
+	return doJSON(context.Background(), c.hc(), c.BaseURL, "/api/password", &passwordReq{Key: key, Password: password}, &okResp{})
 }
 
 // Login exchanges a username/password for a web session token.
 func (c *StoreClient) Login(name, password string) (string, error) {
 	var resp loginResp
-	if err := doJSON(c.hc(), c.BaseURL, "/api/login", &loginReq{Name: name, Password: password}, &resp); err != nil {
+	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/login", &loginReq{Name: name, Password: password}, &resp); err != nil {
 		return "", err
 	}
 	return resp.Token, nil
@@ -271,10 +315,15 @@ func (c *BrokerClient) hc() *http.Client {
 	return defaultClient()
 }
 
+// Health fetches the broker's /healthz report.
+func (c *BrokerClient) Health() (Health, error) {
+	return getHealth(c.hc(), c.BaseURL)
+}
+
 // RegisterConsumer creates a consumer account.
 func (c *BrokerClient) RegisterConsumer(name string) (auth.User, error) {
 	var resp registerResp
-	if err := doJSON(c.hc(), c.BaseURL, "/api/consumers/register", &registerReq{Name: name}, &resp); err != nil {
+	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/consumers/register", &registerReq{Name: name}, &resp); err != nil {
 		return auth.User{}, err
 	}
 	return auth.User{Name: resp.Name, Role: auth.RoleConsumer, Key: resp.Key}, nil
@@ -282,20 +331,20 @@ func (c *BrokerClient) RegisterConsumer(name string) (auth.User, error) {
 
 // RegisterContributor records a contributor → store mapping.
 func (c *BrokerClient) RegisterContributor(name, storeAddr string) error {
-	return doJSON(c.hc(), c.BaseURL, "/api/contributors/register",
+	return doJSON(context.Background(), c.hc(), c.BaseURL, "/api/contributors/register",
 		&brokerRegisterContribReq{Name: name, StoreAddr: storeAddr}, &okResp{})
 }
 
 // SyncRules pushes a contributor's rule replica (datastore.SyncTarget).
 func (c *BrokerClient) SyncRules(contributor string, ruleSetJSON []byte, places []geo.Region) error {
-	return doJSON(c.hc(), c.BaseURL, "/api/sync",
+	return doJSON(context.Background(), c.hc(), c.BaseURL, "/api/sync",
 		&brokerSyncReq{Contributor: contributor, Rules: ruleSetJSON, Places: places}, &okResp{})
 }
 
 // Directory lists contributors.
 func (c *BrokerClient) Directory(key auth.APIKey) ([]broker.ContributorInfo, error) {
 	var resp directoryResp
-	if err := doJSON(c.hc(), c.BaseURL, "/api/directory", &keyReq{Key: key}, &resp); err != nil {
+	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/directory", &keyReq{Key: key}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Contributors, nil
@@ -305,7 +354,7 @@ func (c *BrokerClient) Directory(key auth.APIKey) ([]broker.ContributorInfo, err
 // contributor's store.
 func (c *BrokerClient) Connect(key auth.APIKey, contributor string) (broker.Credential, error) {
 	var resp broker.Credential
-	if err := doJSON(c.hc(), c.BaseURL, "/api/connect", &connectReq{Key: key, Contributor: contributor}, &resp); err != nil {
+	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/connect", &connectReq{Key: key, Contributor: contributor}, &resp); err != nil {
 		return broker.Credential{}, err
 	}
 	return resp, nil
@@ -314,7 +363,7 @@ func (c *BrokerClient) Connect(key auth.APIKey, contributor string) (broker.Cred
 // Credentials fetches every vaulted credential.
 func (c *BrokerClient) Credentials(key auth.APIKey) ([]broker.Credential, error) {
 	var resp credentialsResp
-	if err := doJSON(c.hc(), c.BaseURL, "/api/credentials", &keyReq{Key: key}, &resp); err != nil {
+	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/credentials", &keyReq{Key: key}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Credentials, nil
@@ -355,7 +404,7 @@ func (c *BrokerClient) Search(key auth.APIKey, q *broker.SearchQuery) ([]string,
 		wire.Reference = q.Reference.Format(time.RFC3339)
 	}
 	var resp searchResp
-	if err := doJSON(c.hc(), c.BaseURL, "/api/search", wire, &resp); err != nil {
+	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/search", wire, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Contributors, nil
@@ -363,13 +412,13 @@ func (c *BrokerClient) Search(key auth.APIKey, q *broker.SearchQuery) ([]string,
 
 // SaveList stores a named contributor list.
 func (c *BrokerClient) SaveList(key auth.APIKey, name string, members []string) error {
-	return doJSON(c.hc(), c.BaseURL, "/api/lists/save", &listSaveReq{Key: key, Name: name, Members: members}, &okResp{})
+	return doJSON(context.Background(), c.hc(), c.BaseURL, "/api/lists/save", &listSaveReq{Key: key, Name: name, Members: members}, &okResp{})
 }
 
 // List fetches a saved contributor list.
 func (c *BrokerClient) List(key auth.APIKey, name string) ([]string, error) {
 	var resp listGetResp
-	if err := doJSON(c.hc(), c.BaseURL, "/api/lists/get", &listGetReq{Key: key, Name: name}, &resp); err != nil {
+	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/lists/get", &listGetReq{Key: key, Name: name}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Members, nil
@@ -377,18 +426,18 @@ func (c *BrokerClient) List(key auth.APIKey, name string) ([]string, error) {
 
 // CreateStudy declares a study.
 func (c *BrokerClient) CreateStudy(name string) error {
-	return doJSON(c.hc(), c.BaseURL, "/api/studies/create", &studyReq{Study: name}, &okResp{})
+	return doJSON(context.Background(), c.hc(), c.BaseURL, "/api/studies/create", &studyReq{Study: name}, &okResp{})
 }
 
 // JoinStudy adds the consumer to a study.
 func (c *BrokerClient) JoinStudy(key auth.APIKey, study string) error {
-	return doJSON(c.hc(), c.BaseURL, "/api/studies/join", &studyReq{Key: key, Study: study}, &okResp{})
+	return doJSON(context.Background(), c.hc(), c.BaseURL, "/api/studies/join", &studyReq{Key: key, Study: study}, &okResp{})
 }
 
 // StudyMembers lists a study's members.
 func (c *BrokerClient) StudyMembers(study string) ([]string, error) {
 	var resp studyMembersResp
-	if err := doJSON(c.hc(), c.BaseURL, "/api/studies/members", &studyReq{Study: study}, &resp); err != nil {
+	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/studies/members", &studyReq{Study: study}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Members, nil

@@ -8,6 +8,7 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -26,6 +27,9 @@ const maxBodyBytes = 64 << 20
 type errorBody struct {
 	Error string `json:"error"`
 }
+
+// errMethodNotAllowed marks non-POST calls on POST-only API endpoints.
+var errMethodNotAllowed = errors.New("httpapi: method not allowed")
 
 // writeJSON encodes a 200 response.
 func writeJSON(w http.ResponseWriter, v any) {
@@ -57,6 +61,8 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, auth.ErrDuplicateUser):
 		status = http.StatusConflict
+	case errors.Is(err, errMethodNotAllowed):
+		status = http.StatusMethodNotAllowed
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -64,12 +70,14 @@ func writeError(w http.ResponseWriter, err error) {
 }
 
 // post wraps a JSON-in/JSON-out handler: decodes the request body into req
-// and writes whatever handle returns.
-func post[Req any, Resp any](handle func(*Req) (Resp, error)) http.HandlerFunc {
+// and writes whatever handle returns. The request context (carrying the
+// middleware's request ID) is passed through so handlers can correlate
+// spans and outbound service-to-service calls.
+func post[Req any, Resp any](handle func(context.Context, *Req) (Resp, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
-			writeError(w, fmt.Errorf("httpapi: method %s not allowed", r.Method))
+			writeError(w, fmt.Errorf("%w: %s", errMethodNotAllowed, r.Method))
 			return
 		}
 		body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
@@ -84,7 +92,7 @@ func post[Req any, Resp any](handle func(*Req) (Resp, error)) http.HandlerFunc {
 				return
 			}
 		}
-		resp, err := handle(&req)
+		resp, err := handle(r.Context(), &req)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -96,4 +104,16 @@ func post[Req any, Resp any](handle func(*Req) (Resp, error)) http.HandlerFunc {
 // okResp is the empty success envelope.
 type okResp struct {
 	OK bool `json:"ok"`
+}
+
+// Health is the JSON shape of both servers' /healthz endpoints; the
+// store fills Name/Segments/Users, the broker Contributors/Consumers.
+type Health struct {
+	Status       string  `json:"status"`
+	UptimeS      float64 `json:"uptime_s"`
+	Name         string  `json:"name,omitempty"`
+	Segments     int     `json:"segments,omitempty"`
+	Users        int     `json:"users,omitempty"`
+	Contributors int     `json:"contributors,omitempty"`
+	Consumers    int     `json:"consumers,omitempty"`
 }

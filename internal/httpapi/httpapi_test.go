@@ -294,8 +294,11 @@ func TestMethodNotAllowedAndPages(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode == http.StatusOK {
-		t.Error("GET on POST endpoint should not succeed")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET on POST endpoint: HTTP %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+		t.Errorf("Allow header = %q, want POST", allow)
 	}
 	for _, url := range []string{d.storeClient.BaseURL, d.brokerClient.BaseURL} {
 		resp, err := http.Get(url + "/")
@@ -306,14 +309,6 @@ func TestMethodNotAllowedAndPages(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Errorf("admin page %s: HTTP %d", url, resp.StatusCode)
 		}
-		resp, err = http.Get(url + "/healthz")
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			t.Errorf("healthz %s: HTTP %d", url, resp.StatusCode)
-		}
 		resp, err = http.Get(url + "/nonexistent")
 		if err != nil {
 			t.Fatal(err)
@@ -322,6 +317,39 @@ func TestMethodNotAllowedAndPages(t *testing.T) {
 		if resp.StatusCode != http.StatusNotFound {
 			t.Errorf("bogus path %s: HTTP %d", url, resp.StatusCode)
 		}
+	}
+}
+
+func TestHealthEndpoints(t *testing.T) {
+	d := deploy(t)
+	if _, err := d.storeClient.Register("alice", "contributor"); err != nil {
+		t.Fatal(err)
+	}
+
+	sh, err := d.storeClient.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Status != "ok" {
+		t.Errorf("store health status = %q", sh.Status)
+	}
+	if sh.UptimeS < 0 {
+		t.Errorf("store uptime = %v", sh.UptimeS)
+	}
+	if sh.Users != 1 {
+		t.Errorf("store health users = %d, want 1", sh.Users)
+	}
+
+	bh, err := d.brokerClient.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bh.Status != "ok" {
+		t.Errorf("broker health status = %q", bh.Status)
+	}
+	// Alice's store registration propagated to the broker directory.
+	if bh.Contributors != 1 {
+		t.Errorf("broker health contributors = %d, want 1", bh.Contributors)
 	}
 }
 

@@ -1,0 +1,81 @@
+package httpapi
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"sensorsafe/internal/obs"
+)
+
+// requestIDHeader carries the correlation ID between SensorSafe services;
+// the middleware generates one when absent and always echoes it back.
+const requestIDHeader = "X-Request-ID"
+
+// HTTP-layer metrics, shared by both servers and split by component.
+var (
+	metricHTTPRequests = obs.NewCounterVec("sensorsafe_http_requests_total",
+		"HTTP requests served, by component, method, route, and status.",
+		"component", "method", "route", "status")
+	metricHTTPLatency = obs.NewHistogramVec("sensorsafe_http_request_seconds",
+		"HTTP request latency in seconds, by component and route.",
+		obs.DefBuckets, "component", "route")
+	metricHTTPInFlight = obs.NewGaugeVec("sensorsafe_http_in_flight_requests",
+		"HTTP requests currently being served, by component.", "component")
+)
+
+// logDest is where request logs are written (test seam; servers log to
+// stderr).
+var logDest io.Writer = os.Stderr
+
+// statusWriter records the status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// withObs wraps a server mux with the observability middleware: method/
+// route/status counters, an in-flight gauge, latency histograms, request
+// logging, and X-Request-ID generation + propagation. Routes are taken
+// from the mux's registered patterns so metric cardinality stays bounded
+// no matter what paths clients probe.
+func withObs(component string, mux *http.ServeMux) http.Handler {
+	logger := obs.NewLogger(component, logDest)
+	inFlight := metricHTTPInFlight.With(component)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get(requestIDHeader)
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		ctx := obs.WithRequestID(r.Context(), id)
+		w.Header().Set(requestIDHeader, id)
+
+		route := "unmatched"
+		if _, pattern := mux.Handler(r); pattern != "" {
+			route = pattern
+		}
+
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		inFlight.Inc()
+		mux.ServeHTTP(sw, r.WithContext(ctx))
+		inFlight.Dec()
+
+		elapsed := time.Since(start)
+		metricHTTPRequests.With(component, r.Method, route, strconv.Itoa(sw.status)).Inc()
+		metricHTTPLatency.With(component, route).Observe(elapsed.Seconds())
+		logger.Info("request",
+			"request_id", id,
+			"method", r.Method,
+			"route", route,
+			"status", sw.status,
+			"duration_ms", float64(elapsed.Microseconds())/1000)
+	})
+}

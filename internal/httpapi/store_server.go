@@ -1,10 +1,13 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"time"
+
+	"sensorsafe/internal/obs"
 
 	"sensorsafe/internal/abstraction"
 	"sensorsafe/internal/audit"
@@ -83,12 +86,6 @@ type groupsAssignReq struct {
 	Groups   []string    `json:"groups"`
 }
 
-type statusResp struct {
-	Name     string `json:"name"`
-	Segments int    `json:"segments"`
-	Users    int    `json:"users"`
-}
-
 type auditEventsReq struct {
 	Key      auth.APIKey `json:"key"`
 	Consumer string      `json:"consumer,omitempty"`
@@ -138,11 +135,14 @@ func (q *queryReq) resolve() (*query.Query, error) {
 	return &query.Query{}, nil
 }
 
-// NewStoreHandler builds the HTTP API for one remote data store.
+// NewStoreHandler builds the HTTP API for one remote data store,
+// wrapped in the observability middleware (metrics, request logging,
+// X-Request-ID propagation).
 func NewStoreHandler(svc *datastore.Service) http.Handler {
+	start := time.Now()
 	mux := http.NewServeMux()
 
-	mux.HandleFunc("/api/register", post(func(r *registerReq) (registerResp, error) {
+	mux.HandleFunc("/api/register", post(func(ctx context.Context, r *registerReq) (registerResp, error) {
 		var u auth.User
 		var err error
 		switch r.Role {
@@ -159,7 +159,7 @@ func NewStoreHandler(svc *datastore.Service) http.Handler {
 		return registerResp{Name: u.Name, Role: u.Role.String(), Key: u.Key}, nil
 	}))
 
-	mux.HandleFunc("/api/upload", post(func(r *uploadReq) (uploadResp, error) {
+	mux.HandleFunc("/api/upload", post(func(ctx context.Context, r *uploadReq) (uploadResp, error) {
 		n, err := svc.Upload(r.Key, r.Segments)
 		if err != nil {
 			return uploadResp{}, err
@@ -167,7 +167,7 @@ func NewStoreHandler(svc *datastore.Service) http.Handler {
 		return uploadResp{Records: n}, nil
 	}))
 
-	mux.HandleFunc("/api/query", post(func(r *queryReq) (queryResp, error) {
+	mux.HandleFunc("/api/query", post(func(ctx context.Context, r *queryReq) (queryResp, error) {
 		q, err := r.resolve()
 		if err != nil {
 			return queryResp{}, err
@@ -179,7 +179,7 @@ func NewStoreHandler(svc *datastore.Service) http.Handler {
 		return queryResp{Releases: rels}, nil
 	}))
 
-	mux.HandleFunc("/api/queryown", post(func(r *queryReq) (queryOwnResp, error) {
+	mux.HandleFunc("/api/queryown", post(func(ctx context.Context, r *queryReq) (queryOwnResp, error) {
 		q, err := r.resolve()
 		if err != nil {
 			return queryOwnResp{}, err
@@ -191,14 +191,14 @@ func NewStoreHandler(svc *datastore.Service) http.Handler {
 		return queryOwnResp{Segments: segs}, nil
 	}))
 
-	mux.HandleFunc("/api/rules/set", post(func(r *rulesSetReq) (okResp, error) {
+	mux.HandleFunc("/api/rules/set", post(func(ctx context.Context, r *rulesSetReq) (okResp, error) {
 		if err := svc.SetRules(r.Key, r.Rules); err != nil {
 			return okResp{}, err
 		}
 		return okResp{OK: true}, nil
 	}))
 
-	mux.HandleFunc("/api/rules/get", post(func(r *rulesGetReq) (rulesGetResp, error) {
+	mux.HandleFunc("/api/rules/get", post(func(ctx context.Context, r *rulesGetReq) (rulesGetResp, error) {
 		data, err := svc.Rules(r.Key)
 		if err != nil {
 			return rulesGetResp{}, err
@@ -206,14 +206,14 @@ func NewStoreHandler(svc *datastore.Service) http.Handler {
 		return rulesGetResp{Rules: data}, nil
 	}))
 
-	mux.HandleFunc("/api/places/define", post(func(r *placeDefineReq) (okResp, error) {
+	mux.HandleFunc("/api/places/define", post(func(ctx context.Context, r *placeDefineReq) (okResp, error) {
 		if err := svc.DefinePlace(r.Key, r.Label, r.Region); err != nil {
 			return okResp{}, err
 		}
 		return okResp{OK: true}, nil
 	}))
 
-	mux.HandleFunc("/api/places/list", post(func(r *rulesGetReq) (placesListResp, error) {
+	mux.HandleFunc("/api/places/list", post(func(ctx context.Context, r *rulesGetReq) (placesListResp, error) {
 		ps, err := svc.Places(r.Key)
 		if err != nil {
 			return placesListResp{}, err
@@ -221,14 +221,14 @@ func NewStoreHandler(svc *datastore.Service) http.Handler {
 		return placesListResp{Places: ps}, nil
 	}))
 
-	mux.HandleFunc("/api/groups/assign", post(func(r *groupsAssignReq) (okResp, error) {
+	mux.HandleFunc("/api/groups/assign", post(func(ctx context.Context, r *groupsAssignReq) (okResp, error) {
 		if err := svc.AssignConsumerGroups(r.Key, r.Consumer, r.Groups); err != nil {
 			return okResp{}, err
 		}
 		return okResp{OK: true}, nil
 	}))
 
-	mux.HandleFunc("/api/audit/events", post(func(r *auditEventsReq) (auditEventsResp, error) {
+	mux.HandleFunc("/api/audit/events", post(func(ctx context.Context, r *auditEventsReq) (auditEventsResp, error) {
 		f := audit.Filter{Consumer: r.Consumer, Limit: r.Limit}
 		if r.Since != "" {
 			since, err := time.Parse(time.RFC3339, r.Since)
@@ -244,7 +244,7 @@ func NewStoreHandler(svc *datastore.Service) http.Handler {
 		return auditEventsResp{Events: events}, nil
 	}))
 
-	mux.HandleFunc("/api/audit/summary", post(func(r *rulesGetReq) (auditSummaryResp, error) {
+	mux.HandleFunc("/api/audit/summary", post(func(ctx context.Context, r *rulesGetReq) (auditSummaryResp, error) {
 		sums, err := svc.AuditSummary(r.Key)
 		if err != nil {
 			return auditSummaryResp{}, err
@@ -252,7 +252,7 @@ func NewStoreHandler(svc *datastore.Service) http.Handler {
 		return auditSummaryResp{Consumers: sums}, nil
 	}))
 
-	mux.HandleFunc("/api/rotate", post(func(r *rulesGetReq) (registerResp, error) {
+	mux.HandleFunc("/api/rotate", post(func(ctx context.Context, r *rulesGetReq) (registerResp, error) {
 		newKey, err := svc.RotateKey(r.Key)
 		if err != nil {
 			return registerResp{}, err
@@ -260,7 +260,7 @@ func NewStoreHandler(svc *datastore.Service) http.Handler {
 		return registerResp{Key: newKey}, nil
 	}))
 
-	mux.HandleFunc("/api/recommend", post(func(r *recommendReq) (recommendResp, error) {
+	mux.HandleFunc("/api/recommend", post(func(ctx context.Context, r *recommendReq) (recommendResp, error) {
 		opts := recommend.Options{MinOverlap: r.MinOverlap}
 		if r.MinDuration != "" {
 			d, err := time.ParseDuration(r.MinDuration)
@@ -280,7 +280,7 @@ func NewStoreHandler(svc *datastore.Service) http.Handler {
 	// authenticated by a login system using a username and a password").
 	// A user proves API-key possession to set their password, then logs in
 	// for a session token.
-	mux.HandleFunc("/api/password", post(func(r *passwordReq) (okResp, error) {
+	mux.HandleFunc("/api/password", post(func(ctx context.Context, r *passwordReq) (okResp, error) {
 		u, err := svc.Users().Authenticate(r.Key)
 		if err != nil {
 			return okResp{}, err
@@ -291,7 +291,7 @@ func NewStoreHandler(svc *datastore.Service) http.Handler {
 		return okResp{OK: true}, nil
 	}))
 
-	mux.HandleFunc("/api/login", post(func(r *loginReq) (loginResp, error) {
+	mux.HandleFunc("/api/login", post(func(ctx context.Context, r *loginReq) (loginResp, error) {
 		token, err := svc.Web().Login(r.Name, r.Password)
 		if err != nil {
 			return loginResp{}, err
@@ -300,8 +300,16 @@ func NewStoreHandler(svc *datastore.Service) http.Handler {
 	}))
 
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, statusResp{Name: svc.Name(), Segments: svc.SegmentCount(), Users: svc.Users().Len()})
+		writeJSON(w, Health{
+			Status:   "ok",
+			UptimeS:  time.Since(start).Seconds(),
+			Name:     svc.Name(),
+			Segments: svc.SegmentCount(),
+			Users:    svc.Users().Len(),
+		})
 	})
+
+	mux.Handle("/metrics", obs.Handler())
 
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -312,7 +320,7 @@ func NewStoreHandler(svc *datastore.Service) http.Handler {
 		fmt.Fprintf(w, storeAdminHTML, svc.Name(), svc.SegmentCount(), svc.Users().Len())
 	})
 
-	return mux
+	return withObs("store", mux)
 }
 
 // storeAdminHTML is the minimal web UI of the store (the paper's Fig. 3 UI

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"sync/atomic"
+)
+
+// ctxKey is the context key type for request IDs.
+type ctxKey struct{}
+
+// reqSeq backs NewRequestID when the entropy source fails.
+var reqSeq atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-character correlation identifier.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("seq-%012x", reqSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID stores a request ID in the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// RequestID returns the context's request ID, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}
+
+// NewLogger returns a structured text logger tagged with the component
+// name (w defaults to os.Stderr). Every SensorSafe server logs through
+// one of these so broker and store lines are distinguishable when their
+// output is interleaved.
+func NewLogger(component string, w io.Writer) *slog.Logger {
+	if w == nil {
+		w = os.Stderr
+	}
+	return slog.New(slog.NewTextHandler(w, nil)).With("component", component)
+}
+
+// Log returns base (slog.Default when nil) decorated with the context's
+// request ID, so call sites can write one-liners like
+// obs.Log(ctx, logger).Info("upload", "records", n).
+func Log(ctx context.Context, base *slog.Logger) *slog.Logger {
+	if base == nil {
+		base = slog.Default()
+	}
+	if id := RequestID(ctx); id != "" {
+		base = base.With("request_id", id)
+	}
+	return base
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	cv := r.CounterVec("test_labeled_total", "labeled ops", "kind")
+	g := r.Gauge("test_in_flight", "in flight")
+	h := r.Histogram("test_latency_seconds", "latency", []float64{0.01, 0.1, 1})
+
+	const workers, iters = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				cv.With("a").Inc()
+				cv.With("b").Add(2)
+				g.Inc()
+				g.Dec()
+				h.Observe(0.05)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*iters {
+		t.Errorf("counter = %v, want %v", got, workers*iters)
+	}
+	if got := cv.With("a").Value(); got != workers*iters {
+		t.Errorf("counter{kind=a} = %v, want %v", got, workers*iters)
+	}
+	if got := cv.With("b").Value(); got != 2*workers*iters {
+		t.Errorf("counter{kind=b} = %v, want %v", got, 2*workers*iters)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0", got)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Errorf("histogram count = %v, want %v", got, workers*iters)
+	}
+	wantSum := 0.05 * workers * iters
+	if got := h.Sum(); got < wantSum-1e-6 || got > wantSum+1e-6 {
+		t.Errorf("histogram sum = %v, want ~%v", got, wantSum)
+	}
+}
+
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("sensorsafe_http_requests_total",
+		"HTTP requests served.", "method", "status").With("POST", "200").Add(3)
+	r.Gauge("sensorsafe_http_in_flight_requests", "In-flight requests.").Set(2)
+	h := r.Histogram("sensorsafe_http_request_seconds", "Request latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP sensorsafe_http_in_flight_requests In-flight requests.
+# TYPE sensorsafe_http_in_flight_requests gauge
+sensorsafe_http_in_flight_requests 2
+# HELP sensorsafe_http_request_seconds Request latency.
+# TYPE sensorsafe_http_request_seconds histogram
+sensorsafe_http_request_seconds_bucket{le="0.01"} 1
+sensorsafe_http_request_seconds_bucket{le="0.1"} 2
+sensorsafe_http_request_seconds_bucket{le="1"} 2
+sensorsafe_http_request_seconds_bucket{le="+Inf"} 3
+sensorsafe_http_request_seconds_sum 5.055
+sensorsafe_http_request_seconds_count 3
+# HELP sensorsafe_http_requests_total HTTP requests served.
+# TYPE sensorsafe_http_requests_total counter
+sensorsafe_http_requests_total{method="POST",status="200"} 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_bounds", "bounds", []float64{1, 2})
+	h.Observe(1) // le="1" is inclusive
+	h.Observe(1.5)
+	h.Observe(3) // only +Inf
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`test_bounds_bucket{le="1"} 1`,
+		`test_bounds_bucket{le="2"} 2`,
+		`test_bounds_bucket{le="+Inf"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("test_escape_total", "escape", "path").With(`a"b\c` + "\n").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if want := `test_escape_total{path="a\"b\\c\n"} 1`; !strings.Contains(b.String(), want) {
+		t.Errorf("escaping: got\n%s\nwant line %q", b.String(), want)
+	}
+}
+
+func TestSchemaMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_dup", "dup")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with a different kind should panic")
+		}
+	}()
+	r.Gauge("test_dup", "dup")
+}
+
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_same", "same")
+	b := r.Counter("test_same", "same")
+	if a != b {
+		t.Error("same name should return the same counter")
+	}
+}

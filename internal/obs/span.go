@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// spanSeconds aggregates every named span into one histogram family so
+// "how long does a privacy-rule evaluation take under load?" is a single
+// /metrics query away.
+var spanSeconds = NewHistogramVec("sensorsafe_span_seconds",
+	"Latency of named internal spans (rule evaluation, segment scans, ...).",
+	DefBuckets, "span")
+
+// Time starts a span and returns the function that ends it:
+//
+//	defer obs.Time(ctx, "datastore.query")()
+//
+// Ending the span feeds sensorsafe_span_seconds{span=name} and, when the
+// context carries a request ID and debug logging is enabled, emits a
+// correlated trace line.
+func Time(ctx context.Context, name string) func() {
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		spanSeconds.With(name).Observe(d.Seconds())
+		Log(ctx, nil).Debug("span", "span", name, "duration_ms", float64(d.Microseconds())/1000)
+	}
+}
