@@ -88,6 +88,14 @@ func main() {
 		}},
 		{"E7", runE7},
 		{"E8", runE8},
+		{"E9", func() (*experiments.Table, error) {
+			cfg := experiments.DefaultE9()
+			if *quick {
+				cfg.SubscriberCounts = []int{1, 10}
+				cfg.Segments = 20
+			}
+			return experiments.RunE9(cfg)
+		}},
 	}
 
 	failed := false

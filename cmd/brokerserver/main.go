@@ -13,16 +13,25 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"sensorsafe/internal/broker"
 	"sensorsafe/internal/httpapi"
 	"sensorsafe/internal/obs"
 )
+
+// shutdownGrace bounds how long in-flight requests may run after SIGINT/
+// SIGTERM before the listener is torn down.
+const shutdownGrace = 5 * time.Second
 
 func main() {
 	listen := flag.String("listen", ":8080", "address to listen on")
@@ -38,19 +47,37 @@ func main() {
 	logger := obs.NewLogger("brokerserver", os.Stderr)
 	logger.Info("listening", "listen", *listen, "dir", *dir, "tls", *useTLS, "pprof", *withPprof)
 	handler := mountPprof(httpapi.NewBrokerHandler(svc), *withPprof)
+	server := &http.Server{Addr: *listen, Handler: handler}
 	if *useTLS {
 		tlsCfg, err := httpapi.SelfSignedTLS([]string{"localhost", "127.0.0.1"}, 0)
 		if err != nil {
 			log.Fatalf("brokerserver: %v", err)
 		}
-		server := &http.Server{Addr: *listen, Handler: handler, TLSConfig: tlsCfg}
-		if err := server.ListenAndServeTLS("", ""); err != nil {
-			log.Fatalf("brokerserver: %v", err)
-		}
-		return
+		server.TLSConfig = tlsCfg
 	}
-	if err := http.ListenAndServe(*listen, handler); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		if *useTLS {
+			errCh <- server.ListenAndServeTLS("", "")
+			return
+		}
+		errCh <- server.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
 		log.Fatalf("brokerserver: %v", err)
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutting down", "grace", shutdownGrace.String())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("shutdown", "err", err)
 	}
 }
 

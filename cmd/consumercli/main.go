@@ -18,11 +18,13 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"sensorsafe/internal/abstraction"
 	"sensorsafe/internal/auth"
 	"sensorsafe/internal/broker"
 	"sensorsafe/internal/httpapi"
+	"sensorsafe/internal/stream"
 	"sensorsafe/internal/timeutil"
 )
 
@@ -33,7 +35,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: consumercli [flags] <directory|search|query> [subflags]")
+		fmt.Fprintln(os.Stderr, "usage: consumercli [flags] <directory|search|query|follow> [subflags]")
 		os.Exit(2)
 	}
 	bc := &httpapi.BrokerClient{BaseURL: *brokerURL}
@@ -157,8 +159,81 @@ func main() {
 			fmt.Printf("[%3d] %s | %s | %s | contexts %v\n", i, span, loc, chans, ctxs)
 		}
 
+	case "follow":
+		fs := flag.NewFlagSet("follow", flag.ExitOnError)
+		contributor := fs.String("contributor", "", "contributor to follow live")
+		channels := fs.String("channels", "", "comma-separated channels (empty = everything the rules release)")
+		cursor := fs.String("cursor", "", "resume cursor from a previous session")
+		wait := fs.Duration("wait", 30*time.Second, "long-poll wait per round trip")
+		_ = fs.Parse(flag.Args()[1:])
+		if *contributor == "" {
+			log.Fatal("consumercli: -contributor is required")
+		}
+		cred, err := bc.Connect(apiKey, *contributor)
+		if err != nil {
+			log.Fatalf("consumercli: connect: %v", err)
+		}
+		sc := &httpapi.StoreClient{BaseURL: cred.StoreAddr}
+		var chans []string
+		if *channels != "" {
+			chans = strings.Split(*channels, ",")
+		}
+		info, err := sc.Subscribe(cred.Key, *contributor, chans)
+		if err != nil {
+			log.Fatalf("consumercli: subscribe: %v", err)
+		}
+		cur := info.Cursor
+		if *cursor != "" {
+			cur = *cursor
+		}
+		fmt.Printf("following %s (subscription %s, cursor %s; resumed=%v)\n",
+			*contributor, info.ID, cur, info.Resumed)
+		for {
+			b, err := sc.Next(cred.Key, info.ID, cur, *wait)
+			if err != nil {
+				log.Fatalf("consumercli: next: %v", err)
+			}
+			for _, ev := range b.Events {
+				switch ev.Kind {
+				case stream.KindGap:
+					fmt.Printf("[gap] %d segment(s) missed while disconnected or lagging\n", ev.Dropped)
+				case stream.KindBye:
+					fmt.Printf("store closed the stream; resume later with cursor %s\n", ev.Cursor)
+					return
+				default:
+					for _, rel := range ev.Releases {
+						printRelease(int(ev.Seq), rel)
+					}
+				}
+			}
+			cur = b.Cursor
+		}
+
 	default:
 		fmt.Fprintf(os.Stderr, "consumercli: unknown command %q\n", flag.Arg(0))
 		os.Exit(2)
 	}
+}
+
+// printRelease renders one released span like the query output.
+func printRelease(seq int, rel *abstraction.Release) {
+	loc := "location withheld"
+	if rel.Location.Point != nil {
+		loc = rel.Location.Point.String()
+	} else if rel.Location.Text != "" {
+		loc = rel.Location.Text
+	}
+	span := "time withheld"
+	if !rel.Start.IsZero() {
+		span = fmt.Sprintf("%s .. %s (%s)", rel.Start.Format("15:04:05"), rel.End.Format("15:04:05"), rel.TimeGranularity)
+	}
+	chans := "no raw channels"
+	if rel.Segment != nil {
+		chans = fmt.Sprintf("%v, %d samples", rel.Segment.Channels, rel.Segment.NumSamples())
+	}
+	var ctxs []string
+	for _, c := range rel.Contexts {
+		ctxs = append(ctxs, c.Context)
+	}
+	fmt.Printf("[%3d] %s | %s | %s | contexts %v\n", seq, span, loc, chans, ctxs)
 }

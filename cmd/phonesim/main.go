@@ -31,6 +31,8 @@ func main() {
 	rulesPath := flag.String("rules", "", "privacy rules JSON file to install (Fig. 4 shape)")
 	scale := flag.Float64("scale", 0.1, "day-in-the-life duration scale (1.0 ≈ 66 min)")
 	ruleAware := flag.Bool("rule-aware", false, "enable privacy-rule-aware collection")
+	live := flag.Bool("live", false, "pace uploads at scripted wall-clock (scaled by -speedup) instead of one burst")
+	speedup := flag.Float64("speedup", 60, "wall-clock compression factor for -live (60 = one scripted minute per second)")
 	lat := flag.Float64("lat", 34.0250, "origin latitude")
 	lon := flag.Float64("lon", -118.4950, "origin longitude")
 	flag.Parse()
@@ -65,6 +67,19 @@ func main() {
 		Key:         auth.APIKey(apiKey),
 		Store:       client,
 		RuleAware:   *ruleAware,
+	}
+	if *live {
+		if *speedup <= 0 {
+			log.Fatalf("phonesim: -speedup must be positive")
+		}
+		// Each packet uploads on its own, spaced by its scripted duration
+		// compressed by -speedup, so a subscribed consumer sees a stream
+		// of deliveries instead of one burst.
+		p.BatchPackets = 1
+		p.Pace = func(d time.Duration) {
+			time.Sleep(time.Duration(float64(d) / *speedup))
+		}
+		fmt.Printf("live replay at %gx\n", *speedup)
 	}
 	rep, err := p.Run(sc)
 	if err != nil {

@@ -17,17 +17,26 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"sensorsafe/internal/datastore"
 	"sensorsafe/internal/httpapi"
 	"sensorsafe/internal/obs"
 )
+
+// shutdownGrace bounds how long in-flight requests may run after SIGINT/
+// SIGTERM before the listener is torn down.
+const shutdownGrace = 5 * time.Second
 
 func main() {
 	listen := flag.String("listen", ":8081", "address to listen on")
@@ -64,19 +73,41 @@ func main() {
 	logger.Info("listening", "name", *name, "listen", *listen,
 		"dir", *dir, "broker", *brokerURL, "tls", *useTLS, "pprof", *withPprof)
 	handler := mountPprof(httpapi.NewStoreHandler(svc), *withPprof)
+	server := &http.Server{Addr: *listen, Handler: handler}
 	if *useTLS {
 		tlsCfg, err := httpapi.SelfSignedTLS([]string{"localhost", "127.0.0.1"}, 0)
 		if err != nil {
 			log.Fatalf("storeserver: %v", err)
 		}
-		server := &http.Server{Addr: *listen, Handler: handler, TLSConfig: tlsCfg}
-		if err := server.ListenAndServeTLS("", ""); err != nil {
-			log.Fatalf("storeserver: %v", err)
-		}
-		return
+		server.TLSConfig = tlsCfg
 	}
-	if err := http.ListenAndServe(*listen, handler); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		if *useTLS {
+			errCh <- server.ListenAndServeTLS("", "")
+			return
+		}
+		errCh <- server.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
 		log.Fatalf("storeserver: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: send the terminal bye to live-sharing subscribers
+	// first so blocked long-polls and SSE streams return inside the grace
+	// window, then drain the remaining requests.
+	logger.Info("shutting down", "grace", shutdownGrace.String())
+	svc.Stream().Shutdown()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("shutdown", "err", err)
 	}
 }
 

@@ -106,7 +106,7 @@ func TestQueryIsAudited(t *testing.T) {
 func TestAuditRecordsQueryText(t *testing.T) {
 	s := newService(t, Options{})
 	alice, bob := setupAliceBob(t, s)
-	if _, err := s.Upload(alice.Key, stream("alice", t0, 1)); err != nil {
+	if _, err := s.Upload(alice.Key, packetStream("alice", t0, 1)); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.SetRules(alice.Key, []byte(`[{"Action":"Allow"}]`)); err != nil {

@@ -24,6 +24,7 @@ import (
 	"sensorsafe/internal/recommend"
 	"sensorsafe/internal/rules"
 	"sensorsafe/internal/storage"
+	"sensorsafe/internal/stream"
 	"sensorsafe/internal/timeutil"
 	"sensorsafe/internal/wavesegment"
 )
@@ -84,6 +85,9 @@ type Options struct {
 	Directory Directory
 	// Name identifies this store instance (e.g. its address).
 	Name string
+	// StreamBufferSegments caps each live subscription's undelivered
+	// backlog (stream.DefaultBufferSegments if zero).
+	StreamBufferSegments int
 }
 
 // contributorState is the per-contributor slice of an (institutional)
@@ -95,15 +99,20 @@ type contributorState struct {
 	// groups maps consumer name → group/study names, as assigned by this
 	// contributor (used by group-scoped rules).
 	groups map[string][]string
+	// ruleVersion increments on every rule or place change; live-stream
+	// deliveries are stamped with it so a consumer can see exactly which
+	// rule set filtered each segment.
+	ruleVersion uint64
 }
 
 // Service is one remote data store.
 type Service struct {
-	opts  Options
-	store *storage.Store
-	users *auth.Registry
-	web   *auth.Passwords
-	trail *audit.Trail
+	opts   Options
+	store  *storage.Store
+	users  *auth.Registry
+	web    *auth.Passwords
+	trail  *audit.Trail
+	stream *stream.Hub
 
 	mu           sync.RWMutex
 	contributors map[string]*contributorState
@@ -129,6 +138,12 @@ func New(opts Options) (*Service, error) {
 		trail:        audit.NewTrail(0),
 		contributors: make(map[string]*contributorState),
 	}
+	svc.stream = stream.New(stream.Options{
+		Rules:          svc,
+		Geocoder:       opts.Geocoder,
+		BufferSegments: opts.StreamBufferSegments,
+		OnChange:       func() { _ = svc.saveState() },
+	})
 	if err := svc.loadState(); err != nil {
 		st.Close()
 		return nil, err
@@ -136,8 +151,17 @@ func New(opts Options) (*Service, error) {
 	return svc, nil
 }
 
-// Close releases the underlying storage.
-func (s *Service) Close() error { return s.store.Close() }
+// Close persists metadata and releases the underlying storage. Saving here
+// captures stream positions advanced by uploads (which, unlike metadata
+// mutations, do not rewrite the state file on the hot path), so a graceful
+// shutdown surfaces undelivered segments as a gap instead of losing them.
+func (s *Service) Close() error {
+	if err := s.saveState(); err != nil {
+		s.store.Close()
+		return err
+	}
+	return s.store.Close()
+}
 
 // Name returns the store's configured name.
 func (s *Service) Name() string { return s.opts.Name }
@@ -281,12 +305,19 @@ func (s *Service) Upload(key auth.APIKey, segs []*wavesegment.Segment) (int, err
 		if len(merged) == 0 {
 			continue
 		}
+		// Live subscribers get exactly the new post-merge segments; the
+		// tail coalesce below may fold the first into an already-stored
+		// (and already-published) record, so capture before it runs.
+		fresh := append([]*wavesegment.Segment(nil), merged...)
 		merged = s.coalesceTail(u.Name, merged)
 		for _, seg := range merged {
 			if _, err := s.store.Put(seg); err != nil {
 				return written, err
 			}
 			written++
+		}
+		for _, seg := range fresh {
+			s.stream.Publish(u.Name, seg)
 		}
 	}
 	metricUploadBatches.Inc()
@@ -371,6 +402,7 @@ func (s *Service) SetRules(key auth.APIKey, ruleSetJSON []byte) error {
 	}
 	st.rules = rs
 	st.engine = engine
+	st.ruleVersion++
 	s.mu.Unlock()
 	if err := s.saveState(); err != nil {
 		return err
@@ -416,6 +448,7 @@ func (s *Service) DefinePlace(key auth.APIKey, label string, region geo.Region) 
 		return err
 	}
 	st.engine = engine
+	st.ruleVersion++
 	s.mu.Unlock()
 	if err := s.saveState(); err != nil {
 		return err

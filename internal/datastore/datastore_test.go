@@ -51,7 +51,7 @@ func packet(contributor string, start time.Time, n int, channels ...string) *wav
 }
 
 // stream returns count consecutive 64-sample packets at 10 Hz.
-func stream(contributor string, start time.Time, count int) []*wavesegment.Segment {
+func packetStream(contributor string, start time.Time, count int) []*wavesegment.Segment {
 	var out []*wavesegment.Segment
 	at := start
 	for i := 0; i < count; i++ {
@@ -81,7 +81,7 @@ func TestRegisterAndRoles(t *testing.T) {
 		t.Fatal("roles wrong")
 	}
 	// Role enforcement.
-	if _, err := s.Upload(bob.Key, stream("Bob", t0, 1)); !errors.Is(err, ErrNotContributor) {
+	if _, err := s.Upload(bob.Key, packetStream("Bob", t0, 1)); !errors.Is(err, ErrNotContributor) {
 		t.Errorf("consumer upload: %v", err)
 	}
 	if _, err := s.Query(alice.Key, &query.Query{}); !errors.Is(err, ErrNotConsumer) {
@@ -96,7 +96,7 @@ func TestUploadOptimizesPackets(t *testing.T) {
 	s := newService(t, Options{MaxSegmentSamples: 1 << 20})
 	alice, _ := setupAliceBob(t, s)
 	// 100 consecutive 64-sample packets merge into one record.
-	n, err := s.Upload(alice.Key, stream("alice", t0, 100))
+	n, err := s.Upload(alice.Key, packetStream("alice", t0, 100))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestUploadOptimizesPackets(t *testing.T) {
 func TestUploadTailCoalescing(t *testing.T) {
 	s := newService(t, Options{MaxSegmentSamples: 1 << 20})
 	alice, _ := setupAliceBob(t, s)
-	packets := stream("alice", t0, 10)
+	packets := packetStream("alice", t0, 10)
 	// Upload in two consecutive batches: the second must extend the first's
 	// record instead of creating another.
 	if _, err := s.Upload(alice.Key, packets[:5]); err != nil {
@@ -135,7 +135,7 @@ func TestUploadTailCoalescing(t *testing.T) {
 func TestUploadRespectsSegmentCap(t *testing.T) {
 	s := newService(t, Options{MaxSegmentSamples: 200})
 	alice, _ := setupAliceBob(t, s)
-	if _, err := s.Upload(alice.Key, stream("alice", t0, 10)); err != nil {
+	if _, err := s.Upload(alice.Key, packetStream("alice", t0, 10)); err != nil {
 		t.Fatal(err)
 	}
 	segs, _ := s.QueryOwn(alice.Key, &query.Query{})
@@ -153,7 +153,7 @@ func TestUploadOwnershipChecks(t *testing.T) {
 	s := newService(t, Options{})
 	alice, _ := setupAliceBob(t, s)
 	// Foreign contributor name rejected.
-	if _, err := s.Upload(alice.Key, stream("mallory", t0, 1)); !errors.Is(err, ErrWrongOwner) {
+	if _, err := s.Upload(alice.Key, packetStream("mallory", t0, 1)); !errors.Is(err, ErrWrongOwner) {
 		t.Errorf("foreign upload: %v", err)
 	}
 	// Blank contributor is stamped with the owner.
@@ -177,7 +177,7 @@ func TestUploadOwnershipChecks(t *testing.T) {
 func TestQueryDefaultDeny(t *testing.T) {
 	s := newService(t, Options{})
 	alice, bob := setupAliceBob(t, s)
-	if _, err := s.Upload(alice.Key, stream("alice", t0, 5)); err != nil {
+	if _, err := s.Upload(alice.Key, packetStream("alice", t0, 5)); err != nil {
 		t.Fatal(err)
 	}
 	rels, err := s.Query(bob.Key, &query.Query{})
@@ -192,7 +192,7 @@ func TestQueryDefaultDeny(t *testing.T) {
 func TestSetRulesAndQuery(t *testing.T) {
 	s := newService(t, Options{})
 	alice, bob := setupAliceBob(t, s)
-	if _, err := s.Upload(alice.Key, stream("alice", t0, 5)); err != nil {
+	if _, err := s.Upload(alice.Key, packetStream("alice", t0, 5)); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.SetRules(alice.Key, []byte(`[{"Consumer":["Bob"],"Action":"Allow"}]`)); err != nil {
@@ -246,7 +246,7 @@ func TestSetRulesRejectsBadJSON(t *testing.T) {
 func TestDefinePlaceAffectsRules(t *testing.T) {
 	s := newService(t, Options{})
 	alice, bob := setupAliceBob(t, s)
-	if _, err := s.Upload(alice.Key, stream("alice", t0, 2)); err != nil {
+	if _, err := s.Upload(alice.Key, packetStream("alice", t0, 2)); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.SetRules(alice.Key, []byte(`[{"Consumer":["Bob"],"LocationLabel":["UCLA"],"Action":"Allow"}]`)); err != nil {
@@ -352,7 +352,7 @@ func TestContextFilterCannotLeakHiddenContexts(t *testing.T) {
 func TestGroupScopedRules(t *testing.T) {
 	s := newService(t, Options{})
 	alice, bob := setupAliceBob(t, s)
-	if _, err := s.Upload(alice.Key, stream("alice", t0, 2)); err != nil {
+	if _, err := s.Upload(alice.Key, packetStream("alice", t0, 2)); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.SetRules(alice.Key, []byte(`[{"Group":["StressStudy"],"Action":"Allow"}]`)); err != nil {
@@ -379,10 +379,10 @@ func TestQueryOwnScopedToOwner(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Upload(alice.Key, stream("alice", t0, 1)); err != nil {
+	if _, err := s.Upload(alice.Key, packetStream("alice", t0, 1)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Upload(carol.Key, stream("carol", t0, 1)); err != nil {
+	if _, err := s.Upload(carol.Key, packetStream("carol", t0, 1)); err != nil {
 		t.Fatal(err)
 	}
 	segs, err := s.QueryOwn(alice.Key, &query.Query{Contributor: "carol"})
@@ -443,7 +443,7 @@ func TestPersistentServiceSurvivesReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Upload(alice.Key, stream("alice", t0, 3)); err != nil {
+	if _, err := s.Upload(alice.Key, packetStream("alice", t0, 3)); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {
@@ -534,7 +534,7 @@ func TestConcurrentUploadsAndQueries(t *testing.T) {
 			defer wg.Done()
 			start := t0.Add(time.Duration(w) * time.Hour)
 			for i := 0; i < 10; i++ {
-				if _, err := s.Upload(alice.Key, stream("alice", start.Add(time.Duration(i)*time.Minute), 2)); err != nil {
+				if _, err := s.Upload(alice.Key, packetStream("alice", start.Add(time.Duration(i)*time.Minute), 2)); err != nil {
 					t.Error(err)
 					return
 				}

@@ -31,7 +31,7 @@ func TestSyncFailureDoesNotCorruptStore(t *testing.T) {
 	}
 	// ...but the rules were installed locally and enforcement works: the
 	// store is authoritative, the broker replica is best-effort.
-	if _, err := s.Upload(alice.Key, stream("alice", t0, 1)); err != nil {
+	if _, err := s.Upload(alice.Key, packetStream("alice", t0, 1)); err != nil {
 		t.Fatal(err)
 	}
 	rels, err := s.Query(bob.Key, &query.Query{})
@@ -65,7 +65,7 @@ func TestDirectoryFailureStillCreatesAccount(t *testing.T) {
 	if u.Key == "" {
 		t.Fatal("local account should still be issued")
 	}
-	if _, err := s.Upload(u.Key, stream("alice", t0, 1)); err != nil {
+	if _, err := s.Upload(u.Key, packetStream("alice", t0, 1)); err != nil {
 		t.Fatalf("local account should work: %v", err)
 	}
 }
@@ -79,7 +79,7 @@ func TestQueryWindowClipping(t *testing.T) {
 		t.Fatal(err)
 	}
 	// One 10-minute record.
-	if _, err := s.Upload(alice.Key, stream("alice", t0, 94)); err != nil {
+	if _, err := s.Upload(alice.Key, packetStream("alice", t0, 94)); err != nil {
 		t.Fatal(err)
 	}
 	from, to := t0.Add(60*1e9), t0.Add(120*1e9) // [t0+1m, t0+2m)

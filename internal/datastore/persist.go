@@ -11,6 +11,7 @@ import (
 	"sensorsafe/internal/auth"
 	"sensorsafe/internal/geo"
 	"sensorsafe/internal/rules"
+	"sensorsafe/internal/stream"
 )
 
 // Metadata persistence: sensor data lives in the storage WAL; everything
@@ -29,14 +30,19 @@ type persistedUser struct {
 }
 
 type persistedContributor struct {
-	Rules  json.RawMessage     `json:"rules,omitempty"`
-	Places []geo.Region        `json:"places,omitempty"`
-	Groups map[string][]string `json:"groups,omitempty"`
+	Rules       json.RawMessage     `json:"rules,omitempty"`
+	Places      []geo.Region        `json:"places,omitempty"`
+	Groups      map[string][]string `json:"groups,omitempty"`
+	RuleVersion uint64              `json:"ruleVersion,omitempty"`
 }
 
 type persistedState struct {
 	Users        []persistedUser                  `json:"users"`
 	Contributors map[string]*persistedContributor `json:"contributors"`
+	// Subscriptions are the live-sharing registrations and their durable
+	// cursors; buffered-but-unacked segments are not persisted and
+	// surface as a gap event after a restart.
+	Subscriptions []stream.SubscriptionState `json:"subscriptions,omitempty"`
 }
 
 // saveState writes the metadata file. Callers must not hold s.mu.
@@ -66,6 +72,7 @@ func (s *Service) saveState() error {
 
 func (s *Service) snapshotState() (*persistedState, error) {
 	st := &persistedState{Contributors: make(map[string]*persistedContributor)}
+	st.Subscriptions = s.stream.Snapshot() // before s.mu: hub locks never nest inside it
 	for _, u := range s.users.Snapshot() {
 		st.Users = append(st.Users, persistedUser{Name: u.Name, Role: u.Role.String(), Key: u.Key})
 	}
@@ -78,7 +85,7 @@ func (s *Service) snapshotState() (*persistedState, error) {
 	sort.Strings(names)
 	for _, name := range names {
 		cs := s.contributors[name]
-		pc := &persistedContributor{Places: placesOf(cs)}
+		pc := &persistedContributor{Places: placesOf(cs), RuleVersion: cs.ruleVersion}
 		if len(cs.rules) > 0 {
 			data, err := rules.MarshalRuleSet(cs.rules)
 			if err != nil {
@@ -124,12 +131,14 @@ func (s *Service) loadState() error {
 	if err := s.users.Restore(users); err != nil {
 		return fmt.Errorf("datastore: restore users: %w", err)
 	}
+	s.stream.Restore(st.Subscriptions)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for name, pc := range st.Contributors {
 		cs := &contributorState{
-			gazetteer: geo.NewGazetteer(),
-			groups:    make(map[string][]string),
+			gazetteer:   geo.NewGazetteer(),
+			groups:      make(map[string][]string),
+			ruleVersion: pc.RuleVersion,
 		}
 		for _, rg := range pc.Places {
 			if err := cs.gazetteer.Define(rg.Label, rg); err != nil {

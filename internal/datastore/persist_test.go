@@ -34,7 +34,7 @@ func TestFullStateSurvivesReopen(t *testing.T) {
 	if err := s.AssignConsumerGroups(alice.Key, "Bob", []string{"Study"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Upload(alice.Key, stream("alice", t0, 2)); err != nil {
+	if _, err := s.Upload(alice.Key, packetStream("alice", t0, 2)); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {

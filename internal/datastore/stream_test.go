@@ -1,0 +1,238 @@
+package datastore
+
+import (
+	"testing"
+	"time"
+
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/stream"
+	"sensorsafe/internal/wavesegment"
+)
+
+// TestStreamDeliversUploadThroughRules is the end-to-end happy path: a
+// consumer subscribed before an upload receives the post-merge segment
+// with the contributor's rules applied.
+func TestStreamDeliversUploadThroughRules(t *testing.T) {
+	s := newService(t, Options{})
+	alice, bob := setupAliceBob(t, s)
+	if err := s.SetRules(alice.Key, []byte(`[{"Action":"Allow"}]`)); err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Subscribe(bob.Key, "alice", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Upload(alice.Key, packetStream("alice", t0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.StreamNext(bob.Key, info.ID, info.Cursor, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Events) != 1 || b.Events[0].Kind != stream.KindData {
+		t.Fatalf("events = %+v", b.Events)
+	}
+	rel := b.Events[0].Releases[0]
+	if rel.Segment == nil || rel.Segment.NumSamples() != 128 {
+		t.Fatalf("release = %+v", rel)
+	}
+	// Auth boundaries.
+	if _, err := s.Subscribe(alice.Key, "alice", nil); err == nil {
+		t.Error("contributor key must not open a consumer subscription")
+	}
+	if _, err := s.StreamNext(alice.Key, info.ID, "", 0); err == nil {
+		t.Error("contributor key must not poll")
+	}
+	if _, err := s.Subscribe(bob.Key, "nobody", nil); err == nil {
+		t.Error("subscribing to an unknown contributor must fail")
+	}
+}
+
+// TestStreamRuleChangeMidStream drives the rule-edit scenarios from the
+// issue: each case uploads under an initial rule set, delivers once, flips
+// the rules, uploads again, and checks the next delivery reflects the new
+// rules.
+func TestStreamRuleChangeMidStream(t *testing.T) {
+	cases := []struct {
+		name   string
+		before string
+		after  string
+		check  func(t *testing.T, b stream.Batch)
+	}{
+		{
+			name:   "allow then deny suppresses",
+			before: `[{"Action":"Allow"}]`,
+			after:  `[{"Action":"Deny"}]`,
+			check: func(t *testing.T, b stream.Batch) {
+				if len(b.Events) != 0 {
+					t.Fatalf("post-deny delivery leaked: %+v", b.Events)
+				}
+				if b.Cursor != "2" {
+					t.Fatalf("cursor must advance past suppressed segment, got %s", b.Cursor)
+				}
+			},
+		},
+		{
+			name:   "allow then city-level location",
+			before: `[{"Action":"Allow"}]`,
+			after: `[{"Action":"Allow"},
+			         {"Action":{"Abstraction":{"Location":"City"}}}]`,
+			check: func(t *testing.T, b stream.Batch) {
+				if len(b.Events) != 1 || len(b.Events[0].Releases) == 0 {
+					t.Fatalf("events = %+v", b.Events)
+				}
+				for _, rel := range b.Events[0].Releases {
+					if rel.Location.Granularity != geo.LocCity || rel.Location.Point != nil {
+						t.Fatalf("location not clamped to city: %+v", rel.Location)
+					}
+				}
+			},
+		},
+		{
+			name:   "smoking closure strips respiration",
+			before: `[{"Action":"Allow"}]`,
+			after: `[{"Action":"Allow"},
+			         {"Action":{"Abstraction":{"Smoking":"NotShared"}}}]`,
+			check: func(t *testing.T, b stream.Batch) {
+				if len(b.Events) != 1 {
+					t.Fatalf("events = %+v", b.Events)
+				}
+				for _, rel := range b.Events[0].Releases {
+					if rel.Segment == nil {
+						continue
+					}
+					if rel.Segment.HasChannel(wavesegment.ChannelRespiration) {
+						t.Fatal("respiration leaked while smoking is hidden (dependency closure)")
+					}
+					if !rel.Segment.HasChannel(wavesegment.ChannelECG) {
+						t.Fatal("ECG should survive the smoking closure")
+					}
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newService(t, Options{})
+			alice, bob := setupAliceBob(t, s)
+			if err := s.SetRules(alice.Key, []byte(tc.before)); err != nil {
+				t.Fatal(err)
+			}
+			info, err := s.Subscribe(bob.Key, "alice", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Upload(alice.Key, packetStream("alice", t0, 1)); err != nil {
+				t.Fatal(err)
+			}
+			b, err := s.StreamNext(bob.Key, info.ID, info.Cursor, time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(b.Events) != 1 || b.Events[0].RuleVersion == 0 {
+				t.Fatalf("pre-flip delivery = %+v", b.Events)
+			}
+			preVersion := b.Events[0].RuleVersion
+
+			if err := s.SetRules(alice.Key, []byte(tc.after)); err != nil {
+				t.Fatal(err)
+			}
+			// Upload far enough ahead that the segment cannot coalesce
+			// into the first record.
+			if _, err := s.Upload(alice.Key, packetStream("alice", t0.Add(time.Hour), 1)); err != nil {
+				t.Fatal(err)
+			}
+			b2, err := s.StreamNext(bob.Key, info.ID, b.Cursor, time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ev := range b2.Events {
+				if ev.RuleVersion <= preVersion {
+					t.Errorf("rule version not bumped: %d <= %d", ev.RuleVersion, preVersion)
+				}
+			}
+			tc.check(t, b2)
+		})
+	}
+}
+
+// TestStreamRefiltersBufferedSegments uploads while one rule set is live,
+// then flips the rules BEFORE the consumer polls: the buffered, undelivered
+// segment must be filtered by the rules in force at delivery time.
+func TestStreamRefiltersBufferedSegments(t *testing.T) {
+	s := newService(t, Options{})
+	alice, bob := setupAliceBob(t, s)
+	if err := s.SetRules(alice.Key, []byte(`[{"Action":"Allow"}]`)); err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Subscribe(bob.Key, "alice", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Upload(alice.Key, packetStream("alice", t0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Revocation lands while the segment sits undelivered in the buffer.
+	if err := s.SetRules(alice.Key, []byte(`[{"Action":"Deny"}]`)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.StreamNext(bob.Key, info.ID, info.Cursor, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Events) != 0 {
+		t.Fatalf("buffered segment leaked after revocation: %+v", b.Events)
+	}
+}
+
+// TestStreamSubscriptionsSurviveRestart checks the durable-cursor contract:
+// registrations and acked cursors persist in state.json; segments that were
+// buffered but unacked at shutdown surface as a gap after reopen.
+func TestStreamSubscriptionsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := newService(t, Options{Dir: dir})
+	alice, bob := setupAliceBob(t, s)
+	if err := s.SetRules(alice.Key, []byte(`[{"Action":"Allow"}]`)); err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Subscribe(bob.Key, "alice", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Upload(alice.Key, packetStream("alice", t0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.StreamNext(bob.Key, info.ID, info.Cursor, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Events) != 1 {
+		t.Fatalf("events = %+v", b.Events)
+	}
+	if err := s.StreamAck(bob.Key, info.ID, b.Cursor); err != nil {
+		t.Fatal(err)
+	}
+	// One more upload the consumer never sees before the store goes down.
+	if _, err := s.Upload(alice.Key, packetStream("alice", t0.Add(time.Hour), 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newService(t, Options{Dir: dir})
+	again, err := s2.Subscribe(bob.Key, "alice", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Resumed || again.ID != info.ID || again.Cursor != b.Cursor {
+		t.Fatalf("restored subscription = %+v (want resumed at cursor %s)", again, b.Cursor)
+	}
+	b2, err := s2.StreamNext(bob.Key, again.ID, again.Cursor, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b2.Events) != 1 || b2.Events[0].Kind != stream.KindGap || b2.Events[0].Dropped != 1 {
+		t.Fatalf("restart gap = %+v", b2.Events)
+	}
+}

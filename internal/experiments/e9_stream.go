@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sensorsafe/internal/auth"
+	"sensorsafe/internal/datastore"
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/stream"
+	"sensorsafe/internal/wavesegment"
+)
+
+// E9Config parameterizes the live-sharing fan-out experiment: one
+// contributor uploading while N subscribers consume the stream, measuring
+// per-delivery latency (upload call → event received, rules applied) and
+// the drop rate under a deliberately tiny ring buffer.
+type E9Config struct {
+	// SubscriberCounts sweeps the fan-out.
+	SubscriberCounts []int
+	// Segments uploaded per fan-out level.
+	Segments int
+	// SamplesPerSegment sizes each upload.
+	SamplesPerSegment int
+	// BurstBuffer is the per-subscriber ring size for the overflow row
+	// (subscribers poll only after the whole burst has been ingested, so
+	// everything beyond the ring must be dropped and surfaced as a gap).
+	BurstBuffer int
+}
+
+// DefaultE9 sweeps 1/10/100 subscribers over 50 uploads.
+func DefaultE9() E9Config {
+	return E9Config{
+		SubscriberCounts:  []int{1, 10, 100},
+		Segments:          50,
+		SamplesPerSegment: 64,
+		BurstBuffer:       8,
+	}
+}
+
+// RunE9 measures stream fan-out: delivery latency percentiles while N
+// concurrent subscribers poll against live ingest, plus a burst scenario
+// demonstrating the bounded-buffer drop-oldest policy.
+func RunE9(cfg E9Config) (*Table, error) {
+	t := &Table{
+		ID:      "E9",
+		Caption: "live-sharing fan-out: 1 contributor, N subscribers",
+		Headers: []string{"subscribers", "segments", "delivered", "dropped", "drop rate", "p50 latency", "p95 latency"},
+		Notes: []string{
+			"latency is upload call -> enforced event received by the subscriber (in-process, rules applied per delivery)",
+			fmt.Sprintf("the burst rows ingest all %d segments before the first poll with a %d-segment ring: drop-oldest keeps the newest data and the gap event reports the loss", cfg.Segments, cfg.BurstBuffer),
+		},
+	}
+	for _, n := range cfg.SubscriberCounts {
+		row, err := e9FanOut(cfg, n)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	for _, n := range cfg.SubscriberCounts {
+		row, err := e9Burst(cfg, n)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func e9Setup(n int, buffer int) (*datastore.Service, auth.User, []auth.User, []stream.SubInfo, error) {
+	svc, err := datastore.New(datastore.Options{StreamBufferSegments: buffer})
+	if err != nil {
+		return nil, auth.User{}, nil, nil, err
+	}
+	alice, err := svc.RegisterContributor("alice")
+	if err != nil {
+		return nil, auth.User{}, nil, nil, err
+	}
+	if err := svc.SetRules(alice.Key, []byte(`[{"Action":"Allow"}]`)); err != nil {
+		return nil, auth.User{}, nil, nil, err
+	}
+	consumers := make([]auth.User, n)
+	infos := make([]stream.SubInfo, n)
+	for i := range consumers {
+		u, err := svc.RegisterConsumer(fmt.Sprintf("consumer-%d", i))
+		if err != nil {
+			return nil, auth.User{}, nil, nil, err
+		}
+		consumers[i] = u
+		info, err := svc.Subscribe(u.Key, "alice", nil)
+		if err != nil {
+			return nil, auth.User{}, nil, nil, err
+		}
+		infos[i] = info
+	}
+	return svc, alice, consumers, infos, nil
+}
+
+func e9Segment(start time.Time, samples int) *wavesegment.Segment {
+	s := &wavesegment.Segment{
+		Contributor: "alice",
+		Start:       start,
+		Interval:    10 * time.Millisecond,
+		Location:    geo.Point{Lat: 34.0689, Lon: -118.4452},
+		Channels:    []string{wavesegment.ChannelECG, wavesegment.ChannelRespiration},
+	}
+	for i := 0; i < samples; i++ {
+		s.Values = append(s.Values, []float64{float64(i), float64(i)})
+	}
+	return s
+}
+
+// e9FanOut runs live ingest against N concurrently polling subscribers and
+// reports delivery latency percentiles.
+func e9FanOut(cfg E9Config, n int) ([]string, error) {
+	svc, alice, consumers, infos, err := e9Setup(n, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Close()
+
+	start := time.Date(2026, 8, 5, 8, 0, 0, 0, time.UTC)
+	uploadTimes := make([]time.Time, cfg.Segments+1) // indexed by seq (1-based)
+	var utMu sync.Mutex
+
+	var wg sync.WaitGroup
+	latCh := make(chan time.Duration, n*cfg.Segments)
+	dropCh := make(chan uint64, n)
+	errCh := make(chan error, n+1)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(u auth.User, info stream.SubInfo) {
+			defer wg.Done()
+			var accounted, dropped uint64
+			cursor := info.Cursor
+			deadline := time.Now().Add(60 * time.Second)
+			for accounted < uint64(cfg.Segments) && time.Now().Before(deadline) {
+				b, err := svc.StreamNext(u.Key, info.ID, cursor, 500*time.Millisecond)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				now := time.Now()
+				for _, ev := range b.Events {
+					switch ev.Kind {
+					case stream.KindData:
+						accounted++
+						utMu.Lock()
+						ut := uploadTimes[ev.Seq]
+						utMu.Unlock()
+						if !ut.IsZero() {
+							latCh <- now.Sub(ut)
+						}
+					case stream.KindGap:
+						accounted += ev.Dropped
+						dropped += ev.Dropped
+					}
+				}
+				cursor = b.Cursor
+			}
+			dropCh <- dropped
+		}(consumers[i], infos[i])
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		at := start
+		for i := 1; i <= cfg.Segments; i++ {
+			seg := e9Segment(at, cfg.SamplesPerSegment)
+			utMu.Lock()
+			uploadTimes[i] = time.Now()
+			utMu.Unlock()
+			if _, err := svc.Upload(alice.Key, []*wavesegment.Segment{seg}); err != nil {
+				errCh <- err
+				return
+			}
+			at = seg.EndTime().Add(time.Hour) // non-contiguous: one record each
+		}
+	}()
+	wg.Wait()
+	close(latCh)
+	close(dropCh)
+	close(errCh)
+	for err := range errCh {
+		return nil, err
+	}
+
+	var lats []time.Duration
+	for d := range latCh {
+		lats = append(lats, d)
+	}
+	var dropped uint64
+	for d := range dropCh {
+		dropped += d
+	}
+	total := uint64(n * cfg.Segments)
+	return []string{
+		fmt.Sprintf("%d", n),
+		fmt.Sprintf("%d", cfg.Segments),
+		fmt.Sprintf("%d", uint64(len(lats))),
+		fmt.Sprintf("%d", dropped),
+		fmt.Sprintf("%.1f%%", 100*float64(dropped)/float64(total)),
+		e9Percentile(lats, 0.50).String(),
+		e9Percentile(lats, 0.95).String(),
+	}, nil
+}
+
+// e9Burst ingests the whole run before any subscriber polls, with a ring
+// far smaller than the burst: the overflow policy must keep ingest
+// non-blocking, drop the oldest segments, and report the loss as a gap.
+func e9Burst(cfg E9Config, n int) ([]string, error) {
+	svc, alice, consumers, infos, err := e9Setup(n, cfg.BurstBuffer)
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Close()
+
+	at := time.Date(2026, 8, 5, 8, 0, 0, 0, time.UTC)
+	for i := 0; i < cfg.Segments; i++ {
+		seg := e9Segment(at, cfg.SamplesPerSegment)
+		if _, err := svc.Upload(alice.Key, []*wavesegment.Segment{seg}); err != nil {
+			return nil, err
+		}
+		at = seg.EndTime().Add(time.Hour)
+	}
+
+	var delivered, dropped uint64
+	for i := 0; i < n; i++ {
+		var accounted uint64
+		cursor := infos[i].Cursor
+		for accounted < uint64(cfg.Segments) {
+			b, err := svc.StreamNext(consumers[i].Key, infos[i].ID, cursor, 0)
+			if err != nil {
+				return nil, err
+			}
+			if len(b.Events) == 0 {
+				break
+			}
+			for _, ev := range b.Events {
+				switch ev.Kind {
+				case stream.KindData:
+					accounted++
+					delivered++
+				case stream.KindGap:
+					accounted += ev.Dropped
+					dropped += ev.Dropped
+				}
+			}
+			cursor = b.Cursor
+		}
+	}
+	total := uint64(n * cfg.Segments)
+	return []string{
+		fmt.Sprintf("%d (burst)", n),
+		fmt.Sprintf("%d", cfg.Segments),
+		fmt.Sprintf("%d", delivered),
+		fmt.Sprintf("%d", dropped),
+		fmt.Sprintf("%.1f%%", 100*float64(dropped)/float64(total)),
+		"-", "-",
+	}, nil
+}
+
+func e9Percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	i := int(p * float64(len(ds)-1))
+	return ds[i].Round(time.Microsecond)
+}

@@ -18,6 +18,7 @@ import (
 	"sensorsafe/internal/auth"
 	"sensorsafe/internal/broker"
 	"sensorsafe/internal/datastore"
+	"sensorsafe/internal/stream"
 )
 
 // maxBodyBytes bounds request bodies (64 MiB covers large upload batches).
@@ -50,10 +51,12 @@ func writeError(w http.ResponseWriter, err error) {
 		errors.Is(err, auth.ErrSessionExpired):
 		status = http.StatusUnauthorized
 	case errors.Is(err, datastore.ErrNotContributor),
-		errors.Is(err, datastore.ErrNotConsumer):
+		errors.Is(err, datastore.ErrNotConsumer),
+		errors.Is(err, stream.ErrNotOwner):
 		status = http.StatusForbidden
 	case errors.Is(err, auth.ErrUnknownUser),
 		errors.Is(err, datastore.ErrUnknownUser),
+		errors.Is(err, stream.ErrUnknownSubscription),
 		errors.Is(err, broker.ErrUnknownContributor),
 		errors.Is(err, broker.ErrUnknownStore),
 		errors.Is(err, broker.ErrUnknownList),

@@ -41,6 +41,14 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the underlying writer so streaming handlers (SSE) keep
+// working through the middleware.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // withObs wraps a server mux with the observability middleware: method/
 // route/status counters, an in-flight gauge, latency histograms, request
 // logging, and X-Request-ID generation + propagation. Routes are taken

@@ -299,6 +299,8 @@ func NewStoreHandler(svc *datastore.Service) http.Handler {
 		return loginResp{Token: token}, nil
 	}))
 
+	registerStreamAPI(mux, svc)
+
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, Health{
 			Status:   "ok",

@@ -1,0 +1,169 @@
+package httpapi
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sensorsafe/internal/stream"
+	"sensorsafe/internal/wavesegment"
+)
+
+func streamPacket(start time.Time, n int) *wavesegment.Segment {
+	s := &wavesegment.Segment{
+		Contributor: "alice",
+		Start:       start,
+		Interval:    100 * time.Millisecond,
+		Location:    home,
+		Channels:    []string{wavesegment.ChannelECG},
+	}
+	for i := 0; i < n; i++ {
+		s.Values = append(s.Values, []float64{float64(i)})
+	}
+	return s
+}
+
+// TestStreamOverHTTP covers the acceptance path: a consumer subscribed over
+// HTTP receives a post-subscription upload within one long-poll round trip
+// with the contributor's abstraction applied, and a disconnect +
+// resubscribe with the returned cursor replays nothing acknowledged.
+func TestStreamOverHTTP(t *testing.T) {
+	d := deploy(t)
+	alice, err := d.storeClient.Register("alice", "contributor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// City-level location: the delivered release must carry no exact point.
+	if err := d.storeClient.SetRules(alice.Key, []byte(`[
+	  {"Action":"Allow"},
+	  {"Action":{"Abstraction":{"Location":"City"}}}
+	]`)); err != nil {
+		t.Fatal(err)
+	}
+	bob, err := d.storeClient.Register("Bob", "consumer")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := d.storeClient.Subscribe(bob.Key, "alice", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Resumed || info.Cursor != "0" {
+		t.Fatalf("fresh subscription = %+v", info)
+	}
+
+	// Upload lands after the subscription; one long-poll must return it.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		d.storeClient.Upload(alice.Key, []*wavesegment.Segment{streamPacket(t0, 8)})
+	}()
+	b, err := d.storeClient.Next(bob.Key, info.ID, info.Cursor, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Events) != 1 || b.Events[0].Kind != stream.KindData {
+		t.Fatalf("long-poll batch = %+v", b)
+	}
+	for _, rel := range b.Events[0].Releases {
+		if rel.Location.Point != nil {
+			t.Fatal("exact location leaked through live delivery")
+		}
+	}
+
+	// Ack the batch, "disconnect", upload again, resubscribe: the consumer
+	// gets only the new segment — nothing acked replays, nothing is lost.
+	if err := d.storeClient.AckStream(bob.Key, info.ID, b.Cursor); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.storeClient.Upload(alice.Key, []*wavesegment.Segment{streamPacket(t0.Add(time.Hour), 8)}); err != nil {
+		t.Fatal(err)
+	}
+	again, err := d.storeClient.Subscribe(bob.Key, "alice", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Resumed || again.ID != info.ID || again.Cursor != b.Cursor {
+		t.Fatalf("resubscribe = %+v (want resumed at %s)", again, b.Cursor)
+	}
+	b2, err := d.storeClient.Next(bob.Key, again.ID, again.Cursor, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b2.Events) != 1 || b2.Events[0].Seq != 2 {
+		t.Fatalf("post-resubscribe batch = %+v", b2.Events)
+	}
+
+	// Error mapping: foreign and unknown subscriptions.
+	eve, _ := d.storeClient.Register("Eve", "consumer")
+	if _, err := d.storeClient.Next(eve.Key, info.ID, "", 0); err == nil {
+		t.Error("foreign poll must fail")
+	}
+	if _, err := d.storeClient.Next(bob.Key, "nope", "", 0); err == nil {
+		t.Error("unknown subscription must 404")
+	}
+}
+
+// TestStreamSSEOverHTTP exercises /api/stream/live end to end: events
+// arrive as they are ingested, and the callback sees the terminal bye when
+// the hub shuts down.
+func TestStreamSSEOverHTTP(t *testing.T) {
+	d := deploy(t)
+	alice, err := d.storeClient.Register("alice", "contributor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.storeClient.SetRules(alice.Key, []byte(`[{"Action":"Allow"}]`)); err != nil {
+		t.Fatal(err)
+	}
+	bob, err := d.storeClient.Register("Bob", "consumer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := d.storeClient.Subscribe(bob.Key, "alice", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	events := make(chan stream.Event, 16)
+	liveDone := make(chan error, 1)
+	go func() {
+		_, err := d.storeClient.Live(ctx, bob.Key, info.ID, info.Cursor, func(ev stream.Event) error {
+			events <- ev
+			return nil
+		})
+		liveDone <- err
+	}()
+
+	time.Sleep(100 * time.Millisecond) // let the stream attach
+	if _, err := d.storeClient.Upload(alice.Key, []*wavesegment.Segment{streamPacket(t0, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		if ev.Kind != stream.KindData || ev.Seq != 1 || len(ev.Releases) == 0 {
+			t.Fatalf("SSE event = %+v", ev)
+		}
+	case <-ctx.Done():
+		t.Fatal("no SSE event before deadline")
+	}
+
+	// Graceful hub shutdown terminates the stream with a bye frame.
+	d.storeSvc.Stream().Shutdown()
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case ev := <-events:
+			if ev.Kind == stream.KindBye {
+				if err := <-liveDone; err != nil {
+					t.Fatalf("Live returned error after bye: %v", err)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("no bye frame after shutdown")
+		}
+	}
+}

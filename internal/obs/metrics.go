@@ -388,9 +388,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 						break
 					}
 				}
+				// The +Inf bucket and _count must never read below the
+				// finite buckets' cumulative sum: Observe bumps the bucket
+				// before the total, so a concurrent scrape could otherwise
+				// see a non-monotone series.
+				total := m.Count()
+				if cum > total {
+					total = cum
+				}
 				if err == nil {
 					_, err = fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
-						labelString(f.labelNames, values, "le", "+Inf"), m.Count())
+						labelString(f.labelNames, values, "le", "+Inf"), total)
 				}
 				if err == nil {
 					_, err = fmt.Fprintf(w, "%s_sum%s %s\n", f.name,
@@ -398,7 +406,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				}
 				if err == nil {
 					_, err = fmt.Fprintf(w, "%s_count%s %d\n", f.name,
-						labelString(f.labelNames, values, "", ""), m.Count())
+						labelString(f.labelNames, values, "", ""), total)
 				}
 			}
 			if err != nil {

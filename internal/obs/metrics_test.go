@@ -139,3 +139,51 @@ func TestIdempotentRegistration(t *testing.T) {
 		t.Error("same name should return the same counter")
 	}
 }
+
+func TestHistogramExpositionNeverObserved(t *testing.T) {
+	// A histogram that was registered but never observed must still emit a
+	// full, internally consistent series: every finite bucket, the
+	// cumulative +Inf bucket, _sum, and _count — all zero.
+	r := NewRegistry()
+	r.Histogram("test_idle_seconds", "idle", []float64{0.1, 1})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`test_idle_seconds_bucket{le="0.1"} 0`,
+		`test_idle_seconds_bucket{le="1"} 0`,
+		`test_idle_seconds_bucket{le="+Inf"} 0`,
+		`test_idle_seconds_sum 0`,
+		`test_idle_seconds_count 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramExpositionMonotoneUnderTornReads(t *testing.T) {
+	// Observe bumps the bucket counter before the total; exposition must
+	// clamp +Inf/_count to at least the finite buckets' cumulative sum so
+	// a scrape racing an Observe never shows a non-monotone series.
+	r := NewRegistry()
+	h := r.Histogram("test_torn_seconds", "torn", []float64{1})
+	h.Observe(0.5)
+	h.counts[0].Add(1) // simulate the torn state: bucket bumped, count not yet
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`test_torn_seconds_bucket{le="1"} 2`,
+		`test_torn_seconds_bucket{le="+Inf"} 2`,
+		`test_torn_seconds_count 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

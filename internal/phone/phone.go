@@ -47,6 +47,11 @@ type Phone struct {
 	// BatchPackets is how many packets accumulate before an upload round
 	// trip (default 16).
 	BatchPackets int
+	// Pace, when set, is called with each packet's recorded duration
+	// before the packet is processed, letting a live simulation replay
+	// the scenario at scripted wall-clock speed (the caller scales and
+	// sleeps). Nil replays as one burst.
+	Pace func(d time.Duration)
 }
 
 // Report tallies one collection session.
@@ -172,6 +177,9 @@ func (p *Phone) Process(rec *sensors.Recording) (*Report, error) {
 	}
 
 	for _, seg := range all {
+		if p.Pace != nil {
+			p.Pace(seg.EndTime().Sub(seg.StartTime()))
+		}
 		rep.PacketsTotal++
 		rep.SamplesTotal += seg.NumSamples()
 

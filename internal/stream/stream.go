@@ -1,0 +1,709 @@
+// Package stream is SensorSafe's live-sharing subsystem: consumers
+// subscribe to a contributor's channels and every newly-ingested
+// (post-merge) wave segment is pushed through the full privacy-rule
+// pipeline — rule match, dependency-closure check, abstraction — before
+// delivery. The paper serves continuous sensory data (ECG, respiration,
+// GPS) yet its API is pull-only; this package adds the push half: a
+// subscription registry keyed by (consumer, contributor, channels),
+// durable per-subscriber cursors so a reconnecting consumer resumes
+// without loss or duplication, and bounded per-subscriber buffers whose
+// overflow policy never blocks ingest (the subscriber is marked lagging,
+// the oldest segments are dropped, and a gap marker is surfaced in-band).
+//
+// Enforcement runs at delivery time, not enqueue time: a rule edit or
+// revocation therefore takes effect on the next delivered segment, and
+// segments still buffered when the rules change are re-filtered under the
+// new rules. Every data event is stamped with the rule version that
+// filtered it.
+package stream
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sensorsafe/internal/abstraction"
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/obs"
+	"sensorsafe/internal/rules"
+	"sensorsafe/internal/timeutil"
+	"sensorsafe/internal/wavesegment"
+)
+
+// Live-sharing pipeline metrics.
+var (
+	metricSubscribers = obs.NewGauge("sensorsafe_stream_subscribers",
+		"Active live-sharing subscriptions.")
+	metricLagging = obs.NewGauge("sensorsafe_stream_lagging_subscribers",
+		"Subscriptions that overflowed their buffer and have an undelivered gap.")
+	metricSegments = obs.NewCounterVec("sensorsafe_stream_segments_total",
+		"Per-subscriber segment outcomes in the live-sharing pipeline.",
+		"outcome") // delivered | abstracted | suppressed | dropped
+	metricDelivery = obs.NewHistogram("sensorsafe_stream_delivery_seconds",
+		"Latency from segment ingest (publish) to consumer delivery.", nil)
+)
+
+// Errors returned by the hub.
+var (
+	ErrUnknownSubscription = errors.New("stream: unknown subscription")
+	ErrNotOwner            = errors.New("stream: subscription belongs to another consumer")
+	ErrBadCursor           = errors.New("stream: malformed cursor")
+)
+
+// Event kinds.
+const (
+	// KindData carries the rule-filtered releases of one wave segment.
+	KindData = "data"
+	// KindGap marks segments dropped while the subscriber lagged; Dropped
+	// counts them. Acknowledging the gap's cursor resumes past it.
+	KindGap = "gap"
+	// KindBye is the terminal event: the hub is shutting down or the
+	// subscription was revoked. No further events will follow.
+	KindBye = "bye"
+)
+
+// Event is one delivery to a subscriber.
+type Event struct {
+	Kind string `json:"kind"`
+	// Seq is the per-subscription sequence number this event settles.
+	Seq uint64 `json:"seq"`
+	// Cursor acknowledges everything up to and including this event when
+	// passed to the next poll.
+	Cursor      string `json:"cursor"`
+	Contributor string `json:"contributor,omitempty"`
+	// RuleVersion is the contributor's rule-set version that filtered
+	// this event's payload (data events only).
+	RuleVersion uint64 `json:"ruleVersion,omitempty"`
+	// Releases is the post-enforcement payload of one wave segment.
+	Releases []*abstraction.Release `json:"releases,omitempty"`
+	// Dropped counts segments lost to buffer overflow (gap events only).
+	Dropped uint64 `json:"dropped,omitempty"`
+}
+
+// Batch is one poll's worth of events. Cursor is the resume token for the
+// next poll; it can run ahead of the last event when trailing segments
+// were suppressed by the rules (the consumer must still ack it).
+type Batch struct {
+	Events []Event `json:"events"`
+	Cursor string  `json:"cursor"`
+}
+
+// SubInfo describes a subscription to its consumer.
+type SubInfo struct {
+	ID          string   `json:"id"`
+	Contributor string   `json:"contributor"`
+	Channels    []string `json:"channels,omitempty"`
+	// Cursor is the durable resume token: everything at or before it has
+	// been acknowledged.
+	Cursor string `json:"cursor"`
+	// Resumed reports that Subscribe matched an existing registration for
+	// the same (consumer, contributor, channels) key.
+	Resumed bool `json:"resumed,omitempty"`
+	// Lagging reports an undelivered buffer-overflow gap.
+	Lagging bool `json:"lagging,omitempty"`
+}
+
+// RuleSource resolves the privacy-rule state used to filter deliveries;
+// *datastore.Service implements it. StreamEngine may return a nil engine
+// (contributor has no rules yet), which denies everything.
+type RuleSource interface {
+	StreamEngine(contributor string) (*rules.Engine, uint64, error)
+	StreamGroups(contributor, consumer string) []string
+}
+
+// DefaultBufferSegments bounds each subscription's undelivered backlog.
+const DefaultBufferSegments = 256
+
+// maxBatchEvents caps one poll's response size.
+const maxBatchEvents = 64
+
+// Options configures a Hub.
+type Options struct {
+	// Rules filters every delivery (required).
+	Rules RuleSource
+	// Geocoder used for location abstraction (GridGeocoder if nil).
+	Geocoder geo.Geocoder
+	// BufferSegments caps each subscription's ring buffer
+	// (DefaultBufferSegments if zero).
+	BufferSegments int
+	// OnChange, when set, is called after every durable mutation
+	// (subscribe, unsubscribe, cursor advance) with no hub locks held;
+	// the datastore hooks its state persistence here.
+	OnChange func()
+}
+
+// entry is one buffered, not-yet-acknowledged segment.
+type entry struct {
+	seq      uint64
+	seg      *wavesegment.Segment
+	enqueued time.Time
+}
+
+// sub is one live subscription.
+type sub struct {
+	id          string
+	consumer    string // normalized
+	contributor string // normalized
+	channels    []string
+
+	mu      sync.Mutex
+	entries []entry // pending segments, ascending seq
+	acked   uint64  // highest acknowledged seq
+	next    uint64  // next seq to assign (next-1 = newest published)
+	lagging bool    // overflow happened since the last delivered gap
+	closed  bool    // terminal: shutdown or revoked
+	notify  chan struct{}
+	done    chan struct{}
+}
+
+// Hub fans newly-ingested segments out to subscriptions and serves polls.
+type Hub struct {
+	opts Options
+
+	mu        sync.RWMutex
+	subs      map[string]*sub   // by id
+	byKey     map[string]*sub   // by (consumer, contributor, channels) key
+	byContrib map[string][]*sub // by normalized contributor
+	closed    bool
+}
+
+// New builds a hub.
+func New(opts Options) *Hub {
+	if opts.Geocoder == nil {
+		opts.Geocoder = geo.GridGeocoder{}
+	}
+	if opts.BufferSegments <= 0 {
+		opts.BufferSegments = DefaultBufferSegments
+	}
+	return &Hub{
+		opts:      opts,
+		subs:      make(map[string]*sub),
+		byKey:     make(map[string]*sub),
+		byContrib: make(map[string][]*sub),
+	}
+}
+
+func norm(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+// subKey is the registry key: one subscription per (consumer, contributor,
+// channel set); channel order does not matter.
+func subKey(consumer, contributor string, channels []string) string {
+	cs := make([]string, 0, len(channels))
+	for _, c := range channels {
+		cs = append(cs, norm(c))
+	}
+	sort.Strings(cs)
+	return consumer + "\xff" + contributor + "\xff" + strings.Join(cs, "\xff")
+}
+
+func newSubID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("stream: id entropy unavailable: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Subscribe registers (or resumes) a subscription. Re-subscribing with the
+// same (consumer, contributor, channels) tuple returns the existing
+// registration and its durable cursor, so a reconnecting consumer replays
+// nothing it acknowledged and misses nothing still buffered.
+func (h *Hub) Subscribe(consumer, contributor string, channels []string) (SubInfo, error) {
+	key := subKey(norm(consumer), norm(contributor), channels)
+	h.mu.Lock()
+	if s, ok := h.byKey[key]; ok {
+		h.mu.Unlock()
+		s.mu.Lock()
+		info := s.info(true)
+		s.mu.Unlock()
+		return info, nil
+	}
+	s := &sub{
+		id:          newSubID(),
+		consumer:    norm(consumer),
+		contributor: norm(contributor),
+		channels:    append([]string(nil), channels...),
+		notify:      make(chan struct{}, 1),
+		done:        make(chan struct{}),
+	}
+	h.subs[s.id] = s
+	h.byKey[key] = s
+	h.byContrib[s.contributor] = append(h.byContrib[s.contributor], s)
+	closed := h.closed
+	h.mu.Unlock()
+	if closed {
+		// Subscribing against a draining hub still registers (the cursor
+		// is durable) but the first poll sees the terminal event.
+		s.mu.Lock()
+		s.terminateLocked()
+		s.mu.Unlock()
+	}
+	metricSubscribers.Inc()
+	h.changed()
+	s.mu.Lock()
+	info := s.info(false)
+	s.mu.Unlock()
+	return info, nil
+}
+
+// info builds a SubInfo; callers hold s.mu.
+func (s *sub) info(resumed bool) SubInfo {
+	return SubInfo{
+		ID:          s.id,
+		Contributor: s.contributor,
+		Channels:    append([]string(nil), s.channels...),
+		Cursor:      formatCursor(s.acked),
+		Resumed:     resumed,
+		Lagging:     s.lagging,
+	}
+}
+
+// Unsubscribe revokes a consumer's subscription; blocked polls receive the
+// terminal event.
+func (h *Hub) Unsubscribe(consumer, id string) error {
+	h.mu.Lock()
+	s, ok := h.subs[id]
+	if !ok {
+		h.mu.Unlock()
+		return ErrUnknownSubscription
+	}
+	if s.consumer != norm(consumer) {
+		h.mu.Unlock()
+		return ErrNotOwner
+	}
+	delete(h.subs, id)
+	delete(h.byKey, subKey(s.consumer, s.contributor, s.channels))
+	list := h.byContrib[s.contributor]
+	for i, other := range list {
+		if other == s {
+			h.byContrib[s.contributor] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	h.mu.Unlock()
+	s.mu.Lock()
+	wasLagging := s.lagging
+	s.lagging = false
+	s.terminateLocked()
+	s.mu.Unlock()
+	if wasLagging {
+		metricLagging.Dec()
+	}
+	metricSubscribers.Dec()
+	h.changed()
+	return nil
+}
+
+// terminateLocked marks the subscription closed and wakes every waiter;
+// callers hold s.mu.
+func (s *sub) terminateLocked() {
+	if !s.closed {
+		s.closed = true
+		close(s.done)
+	}
+}
+
+// Shutdown drains the hub for graceful server stop: every subscription is
+// marked terminal (blocked polls wake with a bye event) but registrations
+// and cursors are kept, so they persist across a restart.
+func (h *Hub) Shutdown() {
+	h.mu.Lock()
+	h.closed = true
+	all := make([]*sub, 0, len(h.subs))
+	for _, s := range h.subs {
+		all = append(all, s)
+	}
+	h.mu.Unlock()
+	for _, s := range all {
+		s.mu.Lock()
+		s.terminateLocked()
+		s.mu.Unlock()
+	}
+}
+
+// Publish fans one newly-ingested (post-merge) wave segment out to every
+// matching subscription. It never blocks on slow consumers: a full buffer
+// drops its oldest segment, marks the subscriber lagging, and the loss
+// surfaces as an in-band gap event. The segment is cloned once so later
+// mutation by the caller (e.g. store-side coalescing) cannot leak into
+// deliveries.
+func (h *Hub) Publish(contributor string, seg *wavesegment.Segment) {
+	h.mu.RLock()
+	targets := h.byContrib[norm(contributor)]
+	if len(targets) == 0 {
+		h.mu.RUnlock()
+		return
+	}
+	matched := make([]*sub, 0, len(targets))
+	for _, s := range targets {
+		if subWantsSegment(s.channels, seg) {
+			matched = append(matched, s)
+		}
+	}
+	h.mu.RUnlock()
+	if len(matched) == 0 {
+		return
+	}
+	c := seg.Clone()
+	now := time.Now()
+	for _, s := range matched {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			continue
+		}
+		if len(s.entries) >= h.opts.BufferSegments {
+			s.entries = s.entries[1:]
+			if !s.lagging {
+				s.lagging = true
+				metricLagging.Inc()
+			}
+			metricSegments.With("dropped").Inc()
+		}
+		s.next++
+		s.entries = append(s.entries, entry{seq: s.next, seg: c, enqueued: now})
+		s.mu.Unlock()
+		select {
+		case s.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// subWantsSegment reports whether a segment carries any channel the
+// subscription asked for (empty channel list = everything).
+func subWantsSegment(channels []string, seg *wavesegment.Segment) bool {
+	if len(channels) == 0 {
+		return true
+	}
+	for _, c := range rules.ExpandSensorNames(channels) {
+		if seg.HasChannel(c) {
+			return true
+		}
+	}
+	return false
+}
+
+func formatCursor(seq uint64) string { return strconv.FormatUint(seq, 10) }
+
+// parseCursor resolves a client cursor; "" means "resume from the durable
+// acked position".
+func parseCursor(cursor string, acked uint64) (uint64, error) {
+	if cursor == "" {
+		return acked, nil
+	}
+	v, err := strconv.ParseUint(cursor, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %q", ErrBadCursor, cursor)
+	}
+	return v, nil
+}
+
+// Ack advances the durable cursor without waiting for events (SSE
+// transports and clean client shutdowns use it).
+func (h *Hub) Ack(consumer, id, cursor string) error {
+	s, err := h.lookup(consumer, id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	cur, err := parseCursor(cursor, s.acked)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	changed := s.advanceLocked(cur)
+	s.mu.Unlock()
+	if changed {
+		h.changed()
+	}
+	return nil
+}
+
+func (h *Hub) lookup(consumer, id string) (*sub, error) {
+	h.mu.RLock()
+	s, ok := h.subs[id]
+	h.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSubscription, id)
+	}
+	if s.consumer != norm(consumer) {
+		return nil, ErrNotOwner
+	}
+	return s, nil
+}
+
+// advanceLocked moves the acked cursor forward (never past the newest
+// published seq, never backward) and trims settled entries. Callers hold
+// s.mu; returns whether the durable cursor moved.
+func (s *sub) advanceLocked(cur uint64) bool {
+	if cur > s.next {
+		cur = s.next
+	}
+	if cur <= s.acked {
+		return false
+	}
+	s.acked = cur
+	i := 0
+	for i < len(s.entries) && s.entries[i].seq <= cur {
+		i++
+	}
+	s.entries = s.entries[i:]
+	// Contiguity restored (no pending gap in front of the buffer) clears
+	// the lagging mark.
+	if s.lagging && (len(s.entries) == 0 || s.entries[0].seq == cur+1) {
+		s.lagging = false
+		metricLagging.Dec()
+	}
+	return true
+}
+
+// Next is the long-poll delivery path. The caller's cursor acknowledges
+// every event at or before it; Next then returns the events after it —
+// each published segment re-filtered through the contributor's *current*
+// privacy rules — blocking up to wait when nothing is pending. The
+// returned Batch.Cursor is the resume token; it advances past segments the
+// rules suppressed even when Events is empty.
+func (h *Hub) Next(consumer, id, cursor string, wait time.Duration) (Batch, error) {
+	s, err := h.lookup(consumer, id)
+	if err != nil {
+		return Batch{}, err
+	}
+	s.mu.Lock()
+	cur, err := parseCursor(cursor, s.acked)
+	if err != nil {
+		s.mu.Unlock()
+		return Batch{}, err
+	}
+	if cur > s.next {
+		cur = s.next // a cursor from a lost future (pre-restart) clamps
+	}
+	ackChanged := s.advanceLocked(cur)
+	s.mu.Unlock()
+	if ackChanged {
+		h.changed()
+	}
+
+	deadline := time.Now().Add(wait)
+	for {
+		evs, newCur := h.collect(s, cur)
+		cur = newCur
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed && len(evs) == 0 {
+			evs = append(evs, Event{
+				Kind: KindBye, Seq: cur, Cursor: formatCursor(cur),
+				Contributor: s.contributor,
+			})
+		}
+		if len(evs) > 0 {
+			return Batch{Events: evs, Cursor: formatCursor(cur)}, nil
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return Batch{Cursor: formatCursor(cur)}, nil
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-s.notify:
+		case <-s.done:
+		case <-timer.C:
+		}
+		timer.Stop()
+	}
+}
+
+// collect drains deliverable events after cur, running enforcement outside
+// the subscription lock so ingest never waits on rule evaluation. Returns
+// the events and the advanced local cursor (past suppressed segments).
+func (h *Hub) collect(s *sub, cur uint64) ([]Event, uint64) {
+	s.mu.Lock()
+	newest := s.next
+	var pending []entry
+	for _, e := range s.entries {
+		if e.seq > cur {
+			pending = append(pending, e)
+			if len(pending) == maxBatchEvents {
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	var evs []Event
+	// Segments published but no longer buffered (overflow, or a restart
+	// that emptied the buffer) surface as one gap event.
+	gapTo := newest
+	if len(pending) > 0 {
+		gapTo = pending[0].seq - 1
+	}
+	if gapTo > cur {
+		evs = append(evs, Event{
+			Kind: KindGap, Seq: gapTo, Cursor: formatCursor(gapTo),
+			Contributor: s.contributor, Dropped: gapTo - cur,
+		})
+		cur = gapTo
+	}
+	if len(pending) == 0 {
+		return evs, cur
+	}
+
+	engine, version, err := h.opts.Rules.StreamEngine(s.contributor)
+	var groups []string
+	if err == nil && engine != nil {
+		groups = h.opts.Rules.StreamGroups(s.contributor, s.consumer)
+	}
+	for _, e := range pending {
+		rels := h.enforce(engine, err, s, e.seg, groups)
+		cur = e.seq
+		if len(rels) == 0 {
+			metricSegments.With("suppressed").Inc()
+			continue
+		}
+		if fullFidelity(rels, e.seg) {
+			metricSegments.With("delivered").Inc()
+		} else {
+			metricSegments.With("abstracted").Inc()
+		}
+		metricDelivery.Observe(time.Since(e.enqueued).Seconds())
+		evs = append(evs, Event{
+			Kind: KindData, Seq: e.seq, Cursor: formatCursor(e.seq),
+			Contributor: s.contributor, RuleVersion: version, Releases: rels,
+		})
+	}
+	return evs, cur
+}
+
+// enforce runs the full rule pipeline over one buffered segment for one
+// subscriber and applies the subscription's channel projection. A missing
+// or failing engine denies (privacy-safe default).
+func (h *Hub) enforce(engine *rules.Engine, engineErr error, s *sub, seg *wavesegment.Segment, groups []string) []*abstraction.Release {
+	if engineErr != nil || engine == nil {
+		return nil
+	}
+	rels, err := abstraction.Enforce(engine, s.consumer, groups, seg, h.opts.Geocoder)
+	if err != nil {
+		return nil // enforcement errors must fail closed, never leak raw data
+	}
+	if len(s.channels) == 0 {
+		return rels
+	}
+	want := rules.ExpandSensorNames(s.channels)
+	out := rels[:0]
+	for _, rel := range rels {
+		if rel.Segment != nil {
+			rel.Segment = rel.Segment.Project(want)
+		}
+		if !rel.Empty() {
+			out = append(out, rel)
+		}
+	}
+	return out
+}
+
+// fullFidelity reports whether every release flowed raw: all stored
+// channels, exact coordinates, exact timestamps (mirrors the audit
+// trail's raw/abstracted split).
+func fullFidelity(rels []*abstraction.Release, seg *wavesegment.Segment) bool {
+	for _, rel := range rels {
+		if rel.Segment == nil ||
+			len(rel.Segment.Channels) != len(seg.Channels) ||
+			rel.Location.Granularity != geo.LocCoordinates ||
+			rel.TimeGranularity != timeutil.GranMillisecond {
+			return false
+		}
+	}
+	return true
+}
+
+// changed fires the persistence hook with no locks held.
+func (h *Hub) changed() {
+	if h.opts.OnChange != nil {
+		h.opts.OnChange()
+	}
+}
+
+// SubscriptionState is the durable slice of one subscription: identity and
+// cursor, but not the volatile buffer (segments in flight across a restart
+// surface as a gap on the next poll).
+type SubscriptionState struct {
+	ID          string   `json:"id"`
+	Consumer    string   `json:"consumer"`
+	Contributor string   `json:"contributor"`
+	Channels    []string `json:"channels,omitempty"`
+	Acked       uint64   `json:"acked"`
+	Next        uint64   `json:"next"`
+}
+
+// Snapshot captures every subscription's durable state, sorted by ID.
+func (h *Hub) Snapshot() []SubscriptionState {
+	h.mu.RLock()
+	all := make([]*sub, 0, len(h.subs))
+	for _, s := range h.subs {
+		all = append(all, s)
+	}
+	h.mu.RUnlock()
+	out := make([]SubscriptionState, 0, len(all))
+	for _, s := range all {
+		s.mu.Lock()
+		out = append(out, SubscriptionState{
+			ID: s.id, Consumer: s.consumer, Contributor: s.contributor,
+			Channels: append([]string(nil), s.channels...),
+			Acked:    s.acked, Next: s.next,
+		})
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Restore re-registers persisted subscriptions at startup. Buffers start
+// empty; anything published-but-unacked before the restart is reported as
+// a gap on the subscriber's next poll (Next > Acked).
+func (h *Hub) Restore(states []SubscriptionState) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, st := range states {
+		if st.ID == "" || st.Consumer == "" || st.Contributor == "" {
+			continue
+		}
+		if _, dup := h.subs[st.ID]; dup {
+			continue
+		}
+		key := subKey(st.Consumer, st.Contributor, st.Channels)
+		if _, dup := h.byKey[key]; dup {
+			continue
+		}
+		s := &sub{
+			id:          st.ID,
+			consumer:    norm(st.Consumer),
+			contributor: norm(st.Contributor),
+			channels:    append([]string(nil), st.Channels...),
+			acked:       st.Acked,
+			next:        st.Next,
+			notify:      make(chan struct{}, 1),
+			done:        make(chan struct{}),
+		}
+		if s.next < s.acked {
+			s.next = s.acked
+		}
+		h.subs[s.id] = s
+		h.byKey[key] = s
+		h.byContrib[s.contributor] = append(h.byContrib[s.contributor], s)
+		metricSubscribers.Inc()
+	}
+}
+
+// Subscribers reports the number of active subscriptions (health surface).
+func (h *Hub) Subscribers() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.subs)
+}
