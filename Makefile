@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race cover bench harness fuzz examples clean
+.PHONY: all build vet lint test test-short race cover bench harness chaos fuzz examples clean
 
 all: build lint test race
 
@@ -42,6 +42,12 @@ harness:
 
 harness-quick:
 	$(GO) run ./cmd/benchharness -quick
+
+# Chaos suite: every network hop through the seeded fault-injecting
+# transport (internal/resilience/faultnet). The seed is fixed in the test
+# source, so a red run reproduces bit for bit.
+chaos:
+	$(GO) test -run TestChaos -count=1 -v ./internal/httpapi/
 
 # Short fuzz campaigns on the three untrusted-input parsers.
 fuzz:

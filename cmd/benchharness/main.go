@@ -2,9 +2,11 @@
 // and EXPERIMENTS.md: the Table 1 feature matrix (E1), wave-segment
 // optimization (E2), the broker data-path comparison (E3), rule-evaluation
 // overhead (E4), contributor-search scaling (E5), and privacy-rule-aware
-// collection savings (E6). E7 (Fig. 4 JSON round trip) and E8 (dependency
-// closure) are correctness properties covered by the test suite; the
-// harness re-runs their core assertions and reports PASS/FAIL.
+// collection savings (E6), live-sharing fan-out (E9), and upload
+// resilience under injected network faults (E10). E7 (Fig. 4 JSON round
+// trip) and E8 (dependency closure) are correctness properties covered by
+// the test suite; the harness re-runs their core assertions and reports
+// PASS/FAIL.
 //
 // Usage:
 //
@@ -95,6 +97,14 @@ func main() {
 				cfg.Segments = 20
 			}
 			return experiments.RunE9(cfg)
+		}},
+		{"E10", func() (*experiments.Table, error) {
+			cfg := experiments.DefaultE10()
+			if *quick {
+				cfg.FailRates = []float64{0, 0.3}
+				cfg.Minutes = 2
+			}
+			return experiments.RunE10(cfg)
 		}},
 	}
 

@@ -31,6 +31,7 @@ func main() {
 	rulesPath := flag.String("rules", "", "privacy rules JSON file to install (Fig. 4 shape)")
 	scale := flag.Float64("scale", 0.1, "day-in-the-life duration scale (1.0 ≈ 66 min)")
 	ruleAware := flag.Bool("rule-aware", false, "enable privacy-rule-aware collection")
+	outboxDir := flag.String("outbox", "", "durable outbox directory: failed upload batches spill here and drain on the next run")
 	live := flag.Bool("live", false, "pace uploads at scripted wall-clock (scaled by -speedup) instead of one burst")
 	speedup := flag.Float64("speedup", 60, "wall-clock compression factor for -live (60 = one scripted minute per second)")
 	lat := flag.Float64("lat", 34.0250, "origin latitude")
@@ -68,6 +69,9 @@ func main() {
 		Store:       client,
 		RuleAware:   *ruleAware,
 	}
+	if *outboxDir != "" {
+		p.Outbox = &phone.Outbox{Dir: *outboxDir}
+	}
 	if *live {
 		if *speedup <= 0 {
 			log.Fatalf("phonesim: -speedup must be positive")
@@ -90,4 +94,8 @@ func main() {
 		rep.PacketsTotal, rep.PacketsUploaded, rep.PacketsSkipped, rep.PacketsDiscarded)
 	fmt.Printf("samples uploaded: %d/%d (%.0f%%), %d bytes, %d store records\n",
 		rep.SamplesUploaded, rep.SamplesTotal, rep.UploadFraction()*100, rep.BytesUploaded, rep.RecordsWritten)
+	if rep.BatchesSpilled > 0 || rep.BatchesRecovered > 0 {
+		fmt.Printf("outbox: %d batches spilled (%d samples), %d recovered from earlier runs\n",
+			rep.BatchesSpilled, rep.SamplesSpilled, rep.BatchesRecovered)
+	}
 }

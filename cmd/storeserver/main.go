@@ -9,7 +9,9 @@
 //	    -dir ./data/store1 -broker http://localhost:8080
 //
 // With -broker set, contributor registrations and rule changes propagate to
-// the broker over its HTTP API, exactly as in a multi-host deployment.
+// the broker over its HTTP API, exactly as in a multi-host deployment; add
+// -sync-interval 30s to run periodic anti-entropy so rule replicas converge
+// even after a broker outage outlasts the push retries.
 //
 // The store exposes Prometheus metrics at /metrics and a JSON health report
 // at /healthz; pass -pprof to additionally mount net/http/pprof profiling
@@ -43,6 +45,7 @@ func main() {
 	name := flag.String("name", "", "public address of this store (defaults to http://localhost<listen>)")
 	dir := flag.String("dir", "", "storage directory (empty = in-memory)")
 	brokerURL := flag.String("broker", "", "broker base URL for rule sync and contributor registration")
+	syncInterval := flag.Duration("sync-interval", 0, "anti-entropy period for broker rule replicas (0 = disabled; only meaningful with -broker)")
 	maxSamples := flag.Int("max-segment-samples", 0, "wave-segment size cap (0 = default)")
 	useTLS := flag.Bool("tls", false, "serve HTTPS with a self-signed certificate")
 	withPprof := flag.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
@@ -61,6 +64,7 @@ func main() {
 		bc := &httpapi.BrokerClient{BaseURL: *brokerURL}
 		opts.Sync = bc
 		opts.Directory = bc
+		opts.SyncInterval = *syncInterval
 	}
 	svc, err := datastore.New(opts)
 	if err != nil {
@@ -71,7 +75,8 @@ func main() {
 
 	logger := obs.NewLogger("storeserver", os.Stderr)
 	logger.Info("listening", "name", *name, "listen", *listen,
-		"dir", *dir, "broker", *brokerURL, "tls", *useTLS, "pprof", *withPprof)
+		"dir", *dir, "broker", *brokerURL, "sync_interval", syncInterval.String(),
+		"tls", *useTLS, "pprof", *withPprof)
 	handler := mountPprof(httpapi.NewStoreHandler(svc), *withPprof)
 	server := &http.Server{Addr: *listen, Handler: handler}
 	if *useTLS {

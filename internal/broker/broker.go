@@ -21,6 +21,7 @@ import (
 	"sensorsafe/internal/auth"
 	"sensorsafe/internal/geo"
 	"sensorsafe/internal/obs"
+	"sensorsafe/internal/resilience"
 	"sensorsafe/internal/rules"
 )
 
@@ -42,6 +43,10 @@ var (
 		"Contributors currently in the broker directory.")
 	metricProvisions = obs.NewCounterVec("sensorsafe_broker_provisions_total",
 		"Consumer credentials provisioned on stores, by result.", "result")
+	metricReplicaStale = obs.NewGauge("sensorsafe_broker_replica_stale",
+		"Contributors whose store reports a newer rule version than the broker replica holds.")
+	metricSyncRejects = obs.NewCounterVec("sensorsafe_broker_sync_rejects_total",
+		"Rule replica pushes rejected, by reason.", "reason")
 )
 
 // Errors returned by the broker.
@@ -71,6 +76,14 @@ type contributorEntry struct {
 	rules     []*rules.Rule
 	gazetteer *geo.Gazetteer
 	engine    *rules.Engine
+
+	// version is the rule-set version of the replica the broker has
+	// applied; storeVersion is the highest version the contributor's store
+	// has *claimed* (via a push or a digest). storeVersion > version means
+	// the replica is stale and anti-entropy owes us a push.
+	version      uint64
+	storeVersion uint64
+	syncedAt     time.Time
 }
 
 type consumerEntry struct {
@@ -152,22 +165,31 @@ func (s *Service) RegisterContributor(name, storeAddr string) error {
 	return s.saveState()
 }
 
-// SyncRules receives a contributor's rule replica; it implements
-// datastore.SyncTarget. Unknown contributors are registered implicitly
-// (with an empty store address until RegisterContributor supplies one).
-func (s *Service) SyncRules(contributor string, ruleSetJSON []byte, places []geo.Region) error {
+// SyncRules receives a contributor's rule replica stamped with the
+// store's rule-set version; it implements datastore.SyncTarget. Unknown
+// contributors are registered implicitly (with an empty store address
+// until RegisterContributor supplies one). Versions are monotonic per
+// contributor: a push older than the applied replica is rejected with
+// resilience.ErrStaleVersion (the sender should drop it — the broker has
+// already converged past it), and a push equal to the applied version is
+// an idempotent no-op, so retried or duplicated syncs cannot roll the
+// replica backwards.
+func (s *Service) SyncRules(contributor string, version uint64, ruleSetJSON []byte, places []geo.Region) error {
 	rs, err := rules.UnmarshalRuleSet(ruleSetJSON)
 	if err != nil {
+		metricSyncRejects.With("malformed").Inc()
 		return fmt.Errorf("broker: bad rule replica for %s: %w", contributor, err)
 	}
 	gaz := geo.NewGazetteer()
 	for _, rg := range places {
 		if err := gaz.Define(rg.Label, rg); err != nil {
+			metricSyncRejects.With("malformed").Inc()
 			return fmt.Errorf("broker: bad place replica for %s: %w", contributor, err)
 		}
 	}
 	engine, err := rules.NewEngine(rs, gaz)
 	if err != nil {
+		metricSyncRejects.With("malformed").Inc()
 		return fmt.Errorf("broker: rule replica for %s does not compile: %w", contributor, err)
 	}
 	s.mu.Lock()
@@ -176,12 +198,111 @@ func (s *Service) SyncRules(contributor string, ruleSetJSON []byte, places []geo
 		e = &contributorEntry{name: contributor}
 		s.contributors[norm(contributor)] = e
 	}
+	if version < e.version {
+		s.mu.Unlock()
+		metricSyncRejects.With("stale").Inc()
+		return fmt.Errorf("broker: replica for %s at version %d, push carries %d: %w",
+			contributor, e.version, version, resilience.ErrStaleVersion)
+	}
+	if version == e.version && version > 0 {
+		// Duplicate of the already-applied version (a retry whose first
+		// attempt landed): converged, nothing to do.
+		s.mu.Unlock()
+		return nil
+	}
 	e.rules = rs
 	e.gazetteer = gaz
 	e.engine = engine
+	e.version = version
+	if version > e.storeVersion {
+		e.storeVersion = version
+	}
+	e.syncedAt = now()
 	metricDirectorySize.Set(float64(len(s.contributors)))
+	s.recomputeStaleLocked()
 	s.mu.Unlock()
 	return s.saveState()
+}
+
+// SyncDigest is the anti-entropy exchange: the store reports every
+// contributor it hosts with its current rule-set version, and the broker
+// answers with the names whose replicas are behind and need a full push.
+// The digest also heals directory drift — contributors the broker has
+// never heard of (lost registration) are created with the reporting
+// store's address, and missing store addresses are backfilled.
+func (s *Service) SyncDigest(storeAddr string, versions map[string]uint64) ([]string, error) {
+	var stale []string
+	s.mu.Lock()
+	changed := false
+	for name, v := range versions {
+		e, ok := s.contributors[norm(name)]
+		if !ok {
+			e = &contributorEntry{name: name, storeAddr: storeAddr, gazetteer: geo.NewGazetteer()}
+			s.contributors[norm(name)] = e
+			changed = true
+		} else if e.storeAddr == "" && storeAddr != "" {
+			e.storeAddr = storeAddr
+			changed = true
+		}
+		if v > e.storeVersion {
+			e.storeVersion = v
+			changed = true
+		}
+		if e.storeVersion > e.version {
+			stale = append(stale, e.name)
+		}
+	}
+	metricDirectorySize.Set(float64(len(s.contributors)))
+	s.recomputeStaleLocked()
+	s.mu.Unlock()
+	sort.Strings(stale)
+	if changed {
+		if err := s.saveState(); err != nil {
+			return stale, err
+		}
+	}
+	return stale, nil
+}
+
+// recomputeStaleLocked refreshes the staleness gauge; caller holds s.mu.
+func (s *Service) recomputeStaleLocked() {
+	n := 0
+	for _, e := range s.contributors {
+		if e.storeVersion > e.version {
+			n++
+		}
+	}
+	metricReplicaStale.Set(float64(n))
+}
+
+// ReplicaStatus describes one contributor's replica freshness.
+type ReplicaStatus struct {
+	Name         string    `json:"name"`
+	StoreAddr    string    `json:"storeAddr,omitempty"`
+	Version      uint64    `json:"version"`
+	StoreVersion uint64    `json:"storeVersion"`
+	Stale        bool      `json:"stale"`
+	SyncedAt     time.Time `json:"syncedAt,omitempty"`
+}
+
+// Replicas reports per-contributor replica staleness, sorted by name —
+// the ops view behind the broker_replica_stale gauge.
+func (s *Service) Replicas() []ReplicaStatus {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]ReplicaStatus, 0, len(s.contributors))
+	for _, e := range s.contributors {
+		out = append(out, ReplicaStatus{
+			Name:         e.name,
+			StoreAddr:    e.storeAddr,
+			Version:      e.version,
+			StoreVersion: e.storeVersion,
+			Stale:        e.storeVersion > e.version,
+			SyncedAt:     e.syncedAt,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // RegisterConsumer creates a consumer account on the broker.

@@ -46,7 +46,7 @@ func newBrokerWith(t *testing.T, contributors map[string]string) (*Service, auth
 		if err := b.RegisterContributor(name, "store-"+name); err != nil {
 			t.Fatal(err)
 		}
-		if err := b.SyncRules(name, []byte(ruleJSON), workPlaces(t)); err != nil {
+		if err := b.SyncRules(name, 1, []byte(ruleJSON), workPlaces(t)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -85,14 +85,14 @@ func TestRegisterAndDirectory(t *testing.T) {
 
 func TestSyncRulesValidation(t *testing.T) {
 	b := New()
-	if err := b.SyncRules("alice", []byte(`[{"Action":"Explode"}]`), nil); err == nil {
+	if err := b.SyncRules("alice", 1, []byte(`[{"Action":"Explode"}]`), nil); err == nil {
 		t.Error("bad rule replica should be rejected")
 	}
-	if err := b.SyncRules("alice", []byte(`[{"Action":"Allow"}]`), []geo.Region{{Label: "x"}}); err == nil {
+	if err := b.SyncRules("alice", 1, []byte(`[{"Action":"Allow"}]`), []geo.Region{{Label: "x"}}); err == nil {
 		t.Error("bad place replica should be rejected")
 	}
 	// Implicit registration through sync.
-	if err := b.SyncRules("dave", []byte(`[{"Action":"Allow"}]`), nil); err != nil {
+	if err := b.SyncRules("dave", 1, []byte(`[{"Action":"Allow"}]`), nil); err != nil {
 		t.Fatal(err)
 	}
 	if b.ContributorCount() != 1 {

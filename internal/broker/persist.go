@@ -10,6 +10,7 @@ import (
 
 	"sensorsafe/internal/auth"
 	"sensorsafe/internal/geo"
+	"sensorsafe/internal/resilience"
 	"sensorsafe/internal/rules"
 )
 
@@ -26,6 +27,11 @@ type persistedBrokerContributor struct {
 	StoreAddr string          `json:"storeAddr,omitempty"`
 	Rules     json.RawMessage `json:"rules,omitempty"`
 	Places    []geo.Region    `json:"places,omitempty"`
+	// RuleVersion is the applied replica version; StoreVersion the highest
+	// version the store has claimed. Persisting both means a broker restart
+	// still knows which replicas were stale.
+	RuleVersion  uint64 `json:"ruleVersion,omitempty"`
+	StoreVersion uint64 `json:"storeVersion,omitempty"`
 }
 
 type persistedBrokerConsumer struct {
@@ -70,14 +76,8 @@ func (s *Service) saveState() error {
 	if err != nil {
 		return fmt.Errorf("broker: encode state: %w", err)
 	}
-	path := filepath.Join(s.dir, stateFileName)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o600); err != nil {
+	if err := resilience.WriteFileAtomic(filepath.Join(s.dir, stateFileName), data, 0o600); err != nil {
 		return fmt.Errorf("broker: write state: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("broker: commit state: %w", err)
 	}
 	return nil
 }
@@ -92,7 +92,10 @@ func (s *Service) snapshotState() (*persistedBrokerState, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	for key, ce := range s.contributors {
-		pc := &persistedBrokerContributor{Name: ce.name, StoreAddr: ce.storeAddr}
+		pc := &persistedBrokerContributor{
+			Name: ce.name, StoreAddr: ce.storeAddr,
+			RuleVersion: ce.version, StoreVersion: ce.storeVersion,
+		}
 		if len(ce.rules) > 0 {
 			data, err := rules.MarshalRuleSet(ce.rules)
 			if err != nil {
@@ -158,7 +161,10 @@ func (s *Service) loadState() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for key, pc := range st.Contributors {
-		ce := &contributorEntry{name: pc.Name, storeAddr: pc.StoreAddr, gazetteer: geo.NewGazetteer()}
+		ce := &contributorEntry{
+			name: pc.Name, storeAddr: pc.StoreAddr, gazetteer: geo.NewGazetteer(),
+			version: pc.RuleVersion, storeVersion: pc.StoreVersion,
+		}
 		for _, rg := range pc.Places {
 			if err := ce.gazetteer.Define(rg.Label, rg); err != nil {
 				return fmt.Errorf("broker: restore place %q: %w", rg.Label, err)
@@ -179,6 +185,7 @@ func (s *Service) loadState() error {
 		s.contributors[key] = ce
 	}
 	metricDirectorySize.Set(float64(len(s.contributors)))
+	s.recomputeStaleLocked()
 	for key, pc := range st.Consumers {
 		e := &consumerEntry{
 			lists:  make(map[string][]string),

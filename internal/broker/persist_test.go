@@ -16,7 +16,7 @@ func TestBrokerStateSurvivesRestart(t *testing.T) {
 	if err := b.RegisterContributor("alice", "store-alice"); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.SyncRules("alice", []byte(`[{"Action":"Allow"}]`), workPlaces(t)); err != nil {
+	if err := b.SyncRules("alice", 1, []byte(`[{"Action":"Allow"}]`), workPlaces(t)); err != nil {
 		t.Fatal(err)
 	}
 	bob, err := b.RegisterConsumer("Bob")
@@ -80,7 +80,7 @@ func TestBrokerStateSurvivesRestart(t *testing.T) {
 func TestBrokerGroupMembershipSurvives(t *testing.T) {
 	dir := t.TempDir()
 	b, _ := NewPersistent(dir)
-	if err := b.SyncRules("alice", []byte(`[{"Group":["Study"],"Action":"Allow"}]`), nil); err != nil {
+	if err := b.SyncRules("alice", 1, []byte(`[{"Group":["Study"],"Action":"Allow"}]`), nil); err != nil {
 		t.Fatal(err)
 	}
 	bob, _ := b.RegisterConsumer("bob")
@@ -116,6 +116,39 @@ func TestBrokerCorruptState(t *testing.T) {
 	}
 	if _, err := NewPersistent(dir); err == nil {
 		t.Error("corrupt broker state should abort startup")
+	}
+}
+
+func TestBrokerTornTempFileDoesNotCorruptState(t *testing.T) {
+	// A crash mid-save leaves a torn temp file but never a torn state
+	// file (write-temp → fsync → rename). Reopen must succeed on the
+	// intact state and the next save must replace the debris.
+	dir := t.TempDir()
+	b, err := NewPersistent(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SyncRules("alice", 1, []byte(`[{"Action":"Allow"}]`), nil); err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, stateFileName+".tmp")
+	if err := os.WriteFile(torn, []byte(`{"contributors":[{"na`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	b2, err := NewPersistent(dir)
+	if err != nil {
+		t.Fatalf("torn temp file must not block reopen: %v", err)
+	}
+	reps := b2.Replicas()
+	if len(reps) != 1 || reps[0].Version != 1 {
+		t.Fatalf("state lost after torn-temp crash: %+v", reps)
+	}
+	if _, err := b2.RegisterConsumer("bob"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Errorf("temp file should be gone after a successful save: %v", err)
 	}
 }
 

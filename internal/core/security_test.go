@@ -169,8 +169,10 @@ func TestAttackCompromisedBrokerCannotLeakData(t *testing.T) {
 	if _, err := alice.RecordDay(day, false); err != nil {
 		t.Fatal(err)
 	}
-	// Forged replica: broker believes Alice shares with everyone.
-	if err := n.Broker.SyncRules("alice", []byte(`[{"Action":"Allow"}]`), nil); err != nil {
+	// Forged replica: broker believes Alice shares with everyone. The
+	// forged version outruns the store's real one so the broker applies it
+	// (a stale forgery would be rejected outright).
+	if err := n.Broker.SyncRules("alice", 99, []byte(`[{"Action":"Allow"}]`), nil); err != nil {
 		t.Fatal(err)
 	}
 	eve, _ := n.NewConsumer("Eve")

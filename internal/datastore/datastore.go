@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"sensorsafe/internal/abstraction"
 	"sensorsafe/internal/audit"
@@ -22,6 +23,7 @@ import (
 	"sensorsafe/internal/obs"
 	"sensorsafe/internal/query"
 	"sensorsafe/internal/recommend"
+	"sensorsafe/internal/resilience"
 	"sensorsafe/internal/rules"
 	"sensorsafe/internal/storage"
 	"sensorsafe/internal/stream"
@@ -44,6 +46,12 @@ var (
 	metricReleases = obs.NewCounterVec("sensorsafe_datastore_releases_total",
 		"Release decisions after rule enforcement, per enforcement span.",
 		"decision")
+	metricSyncPending = obs.NewGauge("sensorsafe_datastore_sync_pending",
+		"Rule replicas queued in the durable outbox awaiting a broker push.")
+	metricSyncPushes = obs.NewCounterVec("sensorsafe_datastore_sync_pushes_total",
+		"Replica pushes attempted against the sync target, by result.", "result")
+	metricAntiEntropy = obs.NewCounterVec("sensorsafe_datastore_antientropy_total",
+		"Anti-entropy reconciliation rounds, by result.", "result")
 )
 
 // Errors returned by the service.
@@ -57,9 +65,21 @@ var (
 // SyncTarget receives privacy-rule replicas whenever a contributor's rules
 // or labeled places change; the broker implements this (paper §5.2:
 // "remote data stores automatically communicate with the broker to
-// synchronize the privacy rules").
+// synchronize the privacy rules"). Replication is versioned and
+// anti-entropy-based: pushes carry the store's rule-set version so the
+// target can reject stale or duplicated replicas, and the digest exchange
+// lets the store discover which replicas the target is missing after an
+// outage.
 type SyncTarget interface {
-	SyncRules(contributor string, ruleSet []byte, places []geo.Region) error
+	// SyncRules applies one contributor's replica at the given version.
+	// Implementations must be idempotent per version and reject versions
+	// older than what they already applied with an error satisfying
+	// resilience.IsStale.
+	SyncRules(contributor string, version uint64, ruleSet []byte, places []geo.Region) error
+	// SyncDigest reports every contributor this store hosts with its
+	// current rule version; the target answers with the names whose
+	// replicas are behind and need a full push.
+	SyncDigest(storeAddr string, versions map[string]uint64) ([]string, error)
 }
 
 // Directory is the broker-side contributor directory; stores push new
@@ -88,6 +108,12 @@ type Options struct {
 	// StreamBufferSegments caps each live subscription's undelivered
 	// backlog (stream.DefaultBufferSegments if zero).
 	StreamBufferSegments int
+	// SyncInterval, when > 0 and Sync is set, runs the background
+	// anti-entropy loop at this cadence: drain the durable outbox, exchange
+	// a version digest, push whatever the target reports as stale. Zero
+	// means reconciliation only happens on explicit AntiEntropy/ResyncAll
+	// calls (the pre-existing behavior; tests rely on it).
+	SyncInterval time.Duration
 }
 
 // contributorState is the per-contributor slice of an (institutional)
@@ -116,6 +142,14 @@ type Service struct {
 
 	mu           sync.RWMutex
 	contributors map[string]*contributorState
+	// pending is the durable replica outbox: contributor → rule-set version
+	// queued for push. Entries survive restarts (persisted in the state
+	// file) and are cleared only when the sync target acknowledges the
+	// version (or rejects it as stale, which means it already converged).
+	pending map[string]uint64
+
+	stopSync chan struct{}
+	syncDone chan struct{}
 }
 
 // New opens a remote data store service.
@@ -137,6 +171,7 @@ func New(opts Options) (*Service, error) {
 		web:          auth.NewPasswords(0),
 		trail:        audit.NewTrail(0),
 		contributors: make(map[string]*contributorState),
+		pending:      make(map[string]uint64),
 	}
 	svc.stream = stream.New(stream.Options{
 		Rules:          svc,
@@ -148,6 +183,11 @@ func New(opts Options) (*Service, error) {
 		st.Close()
 		return nil, err
 	}
+	if opts.Sync != nil && opts.SyncInterval > 0 {
+		svc.stopSync = make(chan struct{})
+		svc.syncDone = make(chan struct{})
+		go svc.syncLoop()
+	}
 	return svc, nil
 }
 
@@ -156,6 +196,11 @@ func New(opts Options) (*Service, error) {
 // mutations, do not rewrite the state file on the hot path), so a graceful
 // shutdown surfaces undelivered segments as a gap instead of losing them.
 func (s *Service) Close() error {
+	if s.stopSync != nil {
+		close(s.stopSync)
+		<-s.syncDone
+		s.stopSync = nil
+	}
 	if err := s.saveState(); err != nil {
 		s.store.Close()
 		return err
@@ -403,11 +448,16 @@ func (s *Service) SetRules(key auth.APIKey, ruleSetJSON []byte) error {
 	st.rules = rs
 	st.engine = engine
 	st.ruleVersion++
+	s.enqueueSyncLocked(u.Name, st.ruleVersion)
 	s.mu.Unlock()
 	if err := s.saveState(); err != nil {
 		return err
 	}
-	return s.pushSync(u.Name)
+	// Replicate best-effort: the change is already committed locally and
+	// queued in the durable outbox, so a broker outage here is not an
+	// error — the anti-entropy loop (or ResyncAll) delivers it later.
+	_ = s.pushSync(u.Name)
+	return nil
 }
 
 // Rules returns the contributor's current rule set as Fig. 4 JSON.
@@ -449,11 +499,13 @@ func (s *Service) DefinePlace(key auth.APIKey, label string, region geo.Region) 
 	}
 	st.engine = engine
 	st.ruleVersion++
+	s.enqueueSyncLocked(u.Name, st.ruleVersion)
 	s.mu.Unlock()
 	if err := s.saveState(); err != nil {
 		return err
 	}
-	return s.pushSync(u.Name)
+	_ = s.pushSync(u.Name)
+	return nil
 }
 
 // Places lists the contributor's labeled regions.
@@ -501,8 +553,21 @@ func (s *Service) AssignConsumerGroups(key auth.APIKey, consumer string, groups 
 	return s.saveState()
 }
 
-// pushSync replicates the contributor's rules and places to the sync
-// target, if configured.
+// enqueueSyncLocked records a replica version in the durable outbox;
+// caller holds s.mu.
+func (s *Service) enqueueSyncLocked(contributor string, version uint64) {
+	if s.opts.Sync == nil {
+		return
+	}
+	s.pending[normName(contributor)] = version
+	metricSyncPending.Set(float64(len(s.pending)))
+}
+
+// pushSync replicates the contributor's rules and places (stamped with
+// the current rule version) to the sync target, if configured. On success
+// — or on a stale rejection, which means the target already converged
+// past this version — the outbox entry is cleared; on any other failure
+// it stays queued for the anti-entropy loop.
 func (s *Service) pushSync(contributor string) error {
 	if s.opts.Sync == nil {
 		return nil
@@ -513,17 +578,36 @@ func (s *Service) pushSync(contributor string) error {
 		s.mu.RUnlock()
 		return err
 	}
+	version := st.ruleVersion
 	data, err := rules.MarshalRuleSet(st.rules)
 	places := placesOf(st)
 	s.mu.RUnlock()
 	if err != nil {
 		return err
 	}
-	return s.opts.Sync.SyncRules(contributor, data, places)
+	err = s.opts.Sync.SyncRules(contributor, version, data, places)
+	switch {
+	case err == nil:
+		metricSyncPushes.With("ok").Inc()
+	case resilience.IsStale(err):
+		metricSyncPushes.With("stale").Inc()
+	default:
+		metricSyncPushes.With("error").Inc()
+		return err
+	}
+	s.mu.Lock()
+	if v, ok := s.pending[normName(contributor)]; ok && v <= version {
+		delete(s.pending, normName(contributor))
+		metricSyncPending.Set(float64(len(s.pending)))
+		s.mu.Unlock()
+		return s.saveState()
+	}
+	s.mu.Unlock()
+	return nil
 }
 
 // ResyncAll pushes every contributor's replica (used when a broker
-// reconnects).
+// reconnects or an operator forces a full resync).
 func (s *Service) ResyncAll() error {
 	s.mu.RLock()
 	names := make([]string, 0, len(s.contributors))
@@ -538,6 +622,84 @@ func (s *Service) ResyncAll() error {
 		}
 	}
 	return nil
+}
+
+// SyncBacklog reports how many replicas sit in the durable outbox.
+func (s *Service) SyncBacklog() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pending)
+}
+
+// AntiEntropy performs one reconciliation round against the sync target:
+// drain the durable outbox, then exchange a version digest and push
+// whatever the target reports as stale. Returns the first error so the
+// background loop can back off; partial progress still counts (each
+// successful push clears its own outbox entry).
+func (s *Service) AntiEntropy() error {
+	if s.opts.Sync == nil {
+		return nil
+	}
+	s.mu.RLock()
+	queued := make([]string, 0, len(s.pending))
+	for name := range s.pending {
+		queued = append(queued, name)
+	}
+	versions := make(map[string]uint64, len(s.contributors))
+	for name, cs := range s.contributors {
+		versions[name] = cs.ruleVersion
+	}
+	s.mu.RUnlock()
+	sort.Strings(queued)
+	var firstErr error
+	for _, name := range queued {
+		if err := s.pushSync(name); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	stale, err := s.opts.Sync.SyncDigest(s.opts.Name, versions)
+	if err != nil {
+		if firstErr == nil {
+			firstErr = err
+		}
+	} else {
+		for _, name := range stale {
+			if err := s.pushSync(name); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if firstErr != nil {
+		metricAntiEntropy.With("error").Inc()
+		return firstErr
+	}
+	metricAntiEntropy.With("ok").Inc()
+	return nil
+}
+
+// syncLoop runs anti-entropy in the background at SyncInterval, backing
+// off exponentially (to 8× the interval) while the target keeps failing
+// so a broker outage does not become a hammering loop.
+func (s *Service) syncLoop() {
+	defer close(s.syncDone)
+	interval := s.opts.SyncInterval
+	delay := interval
+	for {
+		t := time.NewTimer(delay)
+		select {
+		case <-s.stopSync:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		if err := s.AntiEntropy(); err != nil {
+			if delay < 8*interval {
+				delay *= 2
+			}
+		} else {
+			delay = interval
+		}
+	}
 }
 
 // Query answers a consumer's data request: scan matching records, enforce

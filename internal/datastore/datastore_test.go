@@ -400,15 +400,23 @@ func TestQueryOwnScopedToOwner(t *testing.T) {
 }
 
 type recordingSync struct {
-	mu    sync.Mutex
-	calls []string
+	mu      sync.Mutex
+	calls   []string
+	digests int
 }
 
-func (r *recordingSync) SyncRules(contributor string, ruleSet []byte, places []geo.Region) error {
+func (r *recordingSync) SyncRules(contributor string, version uint64, ruleSet []byte, places []geo.Region) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.calls = append(r.calls, contributor)
 	return nil
+}
+
+func (r *recordingSync) SyncDigest(storeAddr string, versions map[string]uint64) ([]string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.digests++
+	return nil, nil
 }
 
 func TestRuleSyncPushes(t *testing.T) {

@@ -8,29 +8,47 @@ import (
 	"sensorsafe/internal/query"
 )
 
-// failingSync simulates a broker that is down or rejecting replicas.
-type failingSync struct{ calls int }
+// failingSync simulates a broker that is down or rejecting replicas; flip
+// down to false to heal it.
+type failingSync struct {
+	down  bool
+	calls int
+}
 
-func (f *failingSync) SyncRules(string, []byte, []geo.Region) error {
+func (f *failingSync) SyncRules(string, uint64, []byte, []geo.Region) error {
 	f.calls++
-	return errors.New("broker unreachable")
+	if f.down {
+		return errors.New("broker unreachable")
+	}
+	return nil
+}
+
+func (f *failingSync) SyncDigest(string, map[string]uint64) ([]string, error) {
+	if f.down {
+		return nil, errors.New("broker unreachable")
+	}
+	return nil, nil
 }
 
 func TestSyncFailureDoesNotCorruptStore(t *testing.T) {
-	sync := &failingSync{}
+	sync := &failingSync{down: true}
 	s := newService(t, Options{Sync: sync})
 	alice, bob := setupAliceBob(t, s)
 
-	// SetRules surfaces the sync failure...
-	err := s.SetRules(alice.Key, []byte(`[{"Consumer":["Bob"],"Action":"Allow"}]`))
-	if err == nil {
-		t.Fatal("sync failure should surface")
+	// SetRules succeeds locally even though the broker is down: the change
+	// is committed and queued in the durable outbox instead of surfacing
+	// the push failure to the contributor.
+	if err := s.SetRules(alice.Key, []byte(`[{"Consumer":["Bob"],"Action":"Allow"}]`)); err != nil {
+		t.Fatalf("broker outage must not fail a local rule change: %v", err)
 	}
 	if sync.calls == 0 {
 		t.Fatal("sync was never attempted")
 	}
-	// ...but the rules were installed locally and enforcement works: the
-	// store is authoritative, the broker replica is best-effort.
+	if s.SyncBacklog() != 1 {
+		t.Fatalf("failed push should stay in the outbox: backlog = %d", s.SyncBacklog())
+	}
+	// The rules were installed locally and enforcement works: the store is
+	// authoritative, the broker replica is best-effort.
 	if _, err := s.Upload(alice.Key, packetStream("alice", t0, 1)); err != nil {
 		t.Fatal(err)
 	}
@@ -41,9 +59,21 @@ func TestSyncFailureDoesNotCorruptStore(t *testing.T) {
 	if len(rels) != 1 {
 		t.Fatalf("local enforcement should work despite sync failure: %d releases", len(rels))
 	}
-	// Recovery: ResyncAll retries the replica push when the broker returns.
+	// ResyncAll against a still-failing broker surfaces the error.
 	if err := s.ResyncAll(); err == nil {
 		t.Error("resync against a failing broker should error")
+	}
+	if err := s.AntiEntropy(); err == nil {
+		t.Error("anti-entropy against a failing broker should error")
+	}
+	// Recovery: when the broker returns, one anti-entropy round drains the
+	// outbox.
+	sync.down = false
+	if err := s.AntiEntropy(); err != nil {
+		t.Fatalf("anti-entropy after recovery: %v", err)
+	}
+	if s.SyncBacklog() != 0 {
+		t.Fatalf("outbox should drain after recovery: backlog = %d", s.SyncBacklog())
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"sensorsafe/internal/auth"
 	"sensorsafe/internal/geo"
+	"sensorsafe/internal/resilience"
 	"sensorsafe/internal/rules"
 	"sensorsafe/internal/stream"
 )
@@ -43,6 +44,11 @@ type persistedState struct {
 	// cursors; buffered-but-unacked segments are not persisted and
 	// surface as a gap event after a restart.
 	Subscriptions []stream.SubscriptionState `json:"subscriptions,omitempty"`
+	// PendingSync is the durable replica outbox: contributor → rule-set
+	// version still awaiting acknowledgment from the sync target. Persisted
+	// so a crash between a rule change and a successful broker push cannot
+	// silently drop the replica.
+	PendingSync map[string]uint64 `json:"pendingSync,omitempty"`
 }
 
 // saveState writes the metadata file. Callers must not hold s.mu.
@@ -58,14 +64,8 @@ func (s *Service) saveState() error {
 	if err != nil {
 		return fmt.Errorf("datastore: encode state: %w", err)
 	}
-	path := filepath.Join(s.opts.Dir, stateFileName)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o600); err != nil {
+	if err := resilience.WriteFileAtomic(filepath.Join(s.opts.Dir, stateFileName), data, 0o600); err != nil {
 		return fmt.Errorf("datastore: write state: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("datastore: commit state: %w", err)
 	}
 	return nil
 }
@@ -78,6 +78,12 @@ func (s *Service) snapshotState() (*persistedState, error) {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if len(s.pending) > 0 {
+		st.PendingSync = make(map[string]uint64, len(s.pending))
+		for name, v := range s.pending {
+			st.PendingSync[name] = v
+		}
+	}
 	names := make([]string, 0, len(s.contributors))
 	for name := range s.contributors {
 		names = append(names, name)
@@ -162,5 +168,9 @@ func (s *Service) loadState() error {
 		}
 		s.contributors[name] = cs
 	}
+	for name, v := range st.PendingSync {
+		s.pending[name] = v
+	}
+	metricSyncPending.Set(float64(len(s.pending)))
 	return nil
 }

@@ -94,6 +94,49 @@ func TestCorruptStateFileRejected(t *testing.T) {
 	}
 }
 
+func TestTornTempFileDoesNotCorruptState(t *testing.T) {
+	// Crash simulation: a process died mid-save, leaving a torn temp file
+	// next to a complete state file (the atomic-rename protocol's only
+	// possible wreckage). Reopen must load the intact state, and the next
+	// save must clobber the debris rather than trip over it.
+	dir := t.TempDir()
+	s, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := s.RegisterContributor("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetRules(alice.Key, []byte(`[{"Action":"Allow"}]`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, stateFileName+".tmp")
+	if err := os.WriteFile(torn, []byte(`{"users":[{"na`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("torn temp file must not block reopen: %v", err)
+	}
+	defer s2.Close()
+	data, err := s2.Rules(alice.Key)
+	if err != nil || len(data) == 0 {
+		t.Fatalf("state lost after torn-temp crash: %v", err)
+	}
+	// The next save overwrites the debris and leaves no temp behind.
+	if _, err := s2.RegisterConsumer("Bob"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Errorf("temp file should be gone after a successful save: %v", err)
+	}
+}
+
 func TestStateFilePermissions(t *testing.T) {
 	dir := t.TempDir()
 	s, err := New(Options{Dir: dir})

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"sensorsafe/internal/datastore"
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/httpapi"
+	"sensorsafe/internal/phone"
+	"sensorsafe/internal/query"
+	"sensorsafe/internal/resilience"
+	"sensorsafe/internal/resilience/faultnet"
+	"sensorsafe/internal/rules"
+	"sensorsafe/internal/sensors"
+)
+
+// E10Config parameterizes the resilience experiment: a phone session runs
+// against a real HTTP store through a fault-injecting transport at each
+// failure rate, and after the network heals the durable outbox drains.
+// The claim under test is zero sample loss at every rate.
+type E10Config struct {
+	// FailRates sweeps the per-request fault probability (two thirds
+	// dropped connections, one third injected 503s).
+	FailRates []float64
+	// Minutes is the scripted session length per rate.
+	Minutes int
+	// BatchPackets sizes upload batches (smaller → more requests).
+	BatchPackets int
+	// Seed feeds the fault transport so runs reproduce.
+	Seed int64
+}
+
+// DefaultE10 sweeps 0%–50% failure rates over a 4-minute session, plus a
+// full-blackout row where every batch must ride the outbox.
+func DefaultE10() E10Config {
+	return E10Config{
+		FailRates:    []float64{0, 0.1, 0.3, 0.5, 1},
+		Minutes:      4,
+		BatchPackets: 2,
+		Seed:         0xE10,
+	}
+}
+
+// RunE10 measures upload resilience under injected network faults: how
+// many request attempts the retry engine absorbed, how many batches
+// overflowed to the outbox, and — the invariant — that every sample the
+// phone produced is at the store once connectivity returns.
+func RunE10(cfg E10Config) (*Table, error) {
+	t := &Table{
+		ID:      "E10",
+		Caption: "upload resilience under injected faults (phone → store over HTTP)",
+		Headers: []string{"fail rate", "samples sent", "faults injected", "batches spilled", "batches drained", "samples stored", "lost"},
+		Notes: []string{
+			"faults are 2/3 dropped connections, 1/3 injected 503s; the retry engine absorbs most, the durable outbox catches batches that exhaust their attempts",
+			"the 100% row is a full blackout starting after registration: every batch spills and the post-heal drain recovers all of them",
+			"after the run the transport heals and the outbox drains: 'lost' must be 0 at every rate",
+		},
+	}
+	for _, rate := range cfg.FailRates {
+		row, err := e10Session(cfg, rate)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func e10Session(cfg E10Config, rate float64) ([]string, error) {
+	svc, err := datastore.New(datastore.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Close()
+	server := httptest.NewServer(httpapi.NewStoreHandler(svc))
+	defer server.Close()
+
+	net := faultnet.New(cfg.Seed, nil)
+	client := &httpapi.StoreClient{
+		BaseURL: server.URL,
+		HTTP:    &http.Client{Transport: net, Timeout: 10 * time.Second},
+		Retry: &resilience.Policy{
+			MaxAttempts: 8,
+			BaseDelay:   2 * time.Millisecond,
+			MaxDelay:    50 * time.Millisecond,
+		},
+	}
+	alice, err := client.Register("alice", "contributor")
+	if err != nil {
+		return nil, fmt.Errorf("e10: register at rate %.0f%%: %w", rate*100, err)
+	}
+	// Connectivity degrades after registration; rate 1 is a blackout.
+	if rate >= 1 {
+		net.Configure(faultnet.Rule{Path: "/api/", Drop: 1})
+	} else if rate > 0 {
+		net.Configure(faultnet.Rule{
+			Path:   "/api/",
+			Drop:   rate * 2 / 3,
+			Status: rate / 3, StatusCode: http.StatusServiceUnavailable,
+		})
+	}
+
+	outboxDir, err := os.MkdirTemp("", "e10-outbox-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(outboxDir)
+	p := &phone.Phone{
+		Contributor:  "alice",
+		Key:          alice.Key,
+		Store:        client,
+		BatchPackets: cfg.BatchPackets,
+		Outbox:       &phone.Outbox{Dir: outboxDir},
+	}
+	rep, err := p.Run(&sensors.Scenario{
+		Start:  time.Date(2026, 8, 5, 8, 0, 0, 0, time.UTC),
+		Origin: geo.Point{Lat: 34.0250, Lon: -118.4950},
+		Seed:   7,
+		Phases: []sensors.Phase{{Duration: time.Duration(cfg.Minutes) * time.Minute, Activity: rules.CtxStill}},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("e10: session at rate %.0f%%: %w", rate*100, err)
+	}
+
+	// Heal and drain.
+	net.Configure()
+	drained, _, err := p.DrainOutbox()
+	if err != nil {
+		return nil, fmt.Errorf("e10: drain at rate %.0f%%: %w", rate*100, err)
+	}
+	segs, err := svc.QueryOwn(alice.Key, &query.Query{})
+	if err != nil {
+		return nil, err
+	}
+	stored := 0
+	for _, s := range segs {
+		stored += s.NumSamples()
+	}
+	lost := fmt.Sprintf("%d", rep.SamplesUploaded-stored)
+	if rep.SamplesUploaded != stored {
+		lost = fmt.Sprintf("FAIL %d", rep.SamplesUploaded-stored)
+	}
+	return []string{
+		fmt.Sprintf("%.0f%%", rate*100),
+		fmt.Sprintf("%d", rep.SamplesUploaded),
+		fmt.Sprintf("%d", net.TotalInjected()),
+		fmt.Sprintf("%d", rep.BatchesSpilled),
+		fmt.Sprintf("%d", drained),
+		fmt.Sprintf("%d", stored),
+		lost,
+	}, nil
+}

@@ -58,7 +58,7 @@ func E5Broker(n, k int) (*broker.Service, auth.APIKey, error) {
 		if err != nil {
 			return nil, "", err
 		}
-		if err := b.SyncRules(name, data, places); err != nil {
+		if err := b.SyncRules(name, 1, data, places); err != nil {
 			return nil, "", err
 		}
 	}

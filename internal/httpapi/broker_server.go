@@ -13,6 +13,7 @@ import (
 	"sensorsafe/internal/auth"
 	"sensorsafe/internal/broker"
 	"sensorsafe/internal/geo"
+	"sensorsafe/internal/resilience"
 	"sensorsafe/internal/rules"
 	"sensorsafe/internal/timeutil"
 )
@@ -26,8 +27,22 @@ type brokerRegisterContribReq struct {
 
 type brokerSyncReq struct {
 	Contributor string          `json:"contributor"`
+	Version     uint64          `json:"version"`
 	Rules       json.RawMessage `json:"rules"`
 	Places      []geo.Region    `json:"places"`
+}
+
+type syncDigestReq struct {
+	StoreAddr string            `json:"storeAddr"`
+	Versions  map[string]uint64 `json:"versions"`
+}
+
+type syncDigestResp struct {
+	Stale []string `json:"stale"`
+}
+
+type replicasResp struct {
+	Replicas []broker.ReplicaStatus `json:"replicas"`
 }
 
 type keyReq struct {
@@ -183,10 +198,22 @@ func NewBrokerHandler(svc *broker.Service) http.Handler {
 	}))
 
 	mux.HandleFunc("/api/sync", post(func(ctx context.Context, r *brokerSyncReq) (okResp, error) {
-		if err := svc.SyncRules(r.Contributor, r.Rules, r.Places); err != nil {
+		if err := svc.SyncRules(r.Contributor, r.Version, r.Rules, r.Places); err != nil {
 			return okResp{}, err
 		}
 		return okResp{OK: true}, nil
+	}))
+
+	mux.HandleFunc("/api/sync/digest", post(func(ctx context.Context, r *syncDigestReq) (syncDigestResp, error) {
+		stale, err := svc.SyncDigest(r.StoreAddr, r.Versions)
+		if err != nil {
+			return syncDigestResp{}, err
+		}
+		return syncDigestResp{Stale: stale}, nil
+	}))
+
+	mux.HandleFunc("/api/replicas", post(func(ctx context.Context, r *struct{}) (replicasResp, error) {
+		return replicasResp{Replicas: svc.Replicas()}, nil
 	}))
 
 	mux.HandleFunc("/api/directory", post(func(ctx context.Context, r *keyReq) (directoryResp, error) {
@@ -278,7 +305,7 @@ func NewBrokerHandler(svc *broker.Service) http.Handler {
 		fmt.Fprintf(w, brokerAdminHTML, svc.ContributorCount(), svc.Users().Len())
 	})
 
-	return withObs("broker", mux)
+	return withObs("broker", mux, withIdempotency("broker", resilience.NewIdemCache(0), mux))
 }
 
 const brokerAdminHTML = `<!DOCTYPE html>
@@ -290,7 +317,9 @@ const brokerAdminHTML = `<!DOCTYPE html>
 <ul>
 <li>POST /api/consumers/register {name}</li>
 <li>POST /api/contributors/register {name, storeAddr}</li>
-<li>POST /api/sync {contributor, rules, places}</li>
+<li>POST /api/sync {contributor, version, rules, places}</li>
+<li>POST /api/sync/digest {storeAddr, versions}</li>
+<li>POST /api/replicas</li>
 <li>POST /api/directory {key}</li>
 <li>POST /api/connect {key, contributor}</li>
 <li>POST /api/credentials {key}</li>

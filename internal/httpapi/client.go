@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -18,31 +19,52 @@ import (
 	"sensorsafe/internal/obs"
 	"sensorsafe/internal/query"
 	"sensorsafe/internal/recommend"
+	"sensorsafe/internal/resilience"
 	"sensorsafe/internal/rules"
 	"sensorsafe/internal/wavesegment"
 )
 
 // doJSON posts a JSON body and decodes the JSON response, mapping error
-// envelopes to Go errors. Every request carries an X-Request-ID — the
-// context's when present (so a server handling an inbound request
-// propagates its ID to outbound service-to-service calls), fresh
-// otherwise — which the servers echo and log.
-func doJSON(ctx context.Context, hc *http.Client, baseURL, path string, req, resp any) error {
+// envelopes to Go errors, retrying under pol (resilience.Default() when
+// nil). Every attempt carries the same X-Request-ID — the context's when
+// present (so a server handling an inbound request propagates its ID to
+// outbound service-to-service calls), fresh otherwise. Mutating calls
+// additionally carry one X-Idempotency-Key for the whole logical call, so
+// a retry whose first attempt actually executed (lost response, torn
+// body) replays the original outcome server-side instead of applying the
+// mutation twice.
+func doJSON(ctx context.Context, hc *http.Client, pol *resilience.Policy, baseURL, path string, mutating bool, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("httpapi: encode request: %w", err)
 	}
 	url := strings.TrimRight(baseURL, "/") + path
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("httpapi: build request: %w", err)
-	}
-	httpReq.Header.Set("Content-Type", "application/json")
 	id := obs.RequestID(ctx)
 	if id == "" {
 		id = obs.NewRequestID()
 	}
+	var idem string
+	if mutating {
+		idem = obs.NewRequestID()
+	}
+	return pol.Do(ctx, path, func(actx context.Context) error {
+		return postOnce(actx, hc, url, path, id, idem, body, resp)
+	})
+}
+
+// postOnce executes one HTTP attempt, classifying failures for the retry
+// engine: transport errors and torn bodies are retryable, 5xx/429 carry
+// the server's Retry-After hint, and other statuses are terminal.
+func postOnce(ctx context.Context, hc *http.Client, url, path, id, idem string, body []byte, resp any) error {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return resilience.MarkTerminal(fmt.Errorf("httpapi: build request: %w", err))
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
 	httpReq.Header.Set(requestIDHeader, id)
+	if idem != "" {
+		httpReq.Header.Set(idempotencyKeyHeader, idem)
+	}
 	httpResp, err := hc.Do(httpReq)
 	if err != nil {
 		return fmt.Errorf("httpapi: POST %s: %w", url, err)
@@ -53,29 +75,59 @@ func doJSON(ctx context.Context, hc *http.Client, baseURL, path string, req, res
 		return fmt.Errorf("httpapi: read response: %w", err)
 	}
 	if httpResp.StatusCode != http.StatusOK {
+		msg := fmt.Sprintf("httpapi: %s: HTTP %d", path, httpResp.StatusCode)
 		var eb errorBody
 		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
-			return fmt.Errorf("httpapi: %s: %s (HTTP %d)", path, eb.Error, httpResp.StatusCode)
+			msg = fmt.Sprintf("httpapi: %s: %s (HTTP %d)", path, eb.Error, httpResp.StatusCode)
 		}
-		return fmt.Errorf("httpapi: %s: HTTP %d", path, httpResp.StatusCode)
+		return resilience.Status(httpResp.StatusCode, parseRetryAfter(httpResp.Header), "%s", msg)
 	}
 	if resp == nil {
 		return nil
 	}
 	if err := json.Unmarshal(data, resp); err != nil {
-		return fmt.Errorf("httpapi: decode response: %w", err)
+		// The full body was read above, so this is malformed JSON, not a
+		// torn read — retrying would decode the same bytes again.
+		return resilience.MarkTerminal(fmt.Errorf("httpapi: decode response: %w", err))
 	}
 	return nil
+}
+
+// parseRetryAfter reads a Retry-After header (delta-seconds or HTTP-date).
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 func defaultClient() *http.Client {
 	return &http.Client{Timeout: 30 * time.Second}
 }
 
-// getHealth fetches and decodes a server's /healthz report.
-func getHealth(hc *http.Client, baseURL string) (Health, error) {
+// getHealth fetches and decodes a server's /healthz report, carrying the
+// same request-ID correlation as the JSON endpoints.
+func getHealth(ctx context.Context, hc *http.Client, baseURL string) (Health, error) {
 	url := strings.TrimRight(baseURL, "/") + "/healthz"
-	resp, err := hc.Get(url)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return Health{}, fmt.Errorf("httpapi: build request: %w", err)
+	}
+	id := obs.RequestID(ctx)
+	if id == "" {
+		id = obs.NewRequestID()
+	}
+	req.Header.Set(requestIDHeader, id)
+	resp, err := hc.Do(req)
 	if err != nil {
 		return Health{}, fmt.Errorf("httpapi: GET %s: %w", url, err)
 	}
@@ -98,6 +150,10 @@ type StoreClient struct {
 	BaseURL string
 	// HTTP is the underlying client (30 s timeout default when nil).
 	HTTP *http.Client
+	// Retry governs transient-failure handling (resilience.Default()
+	// when nil). Mutating calls carry an idempotency key so retries are
+	// applied exactly once server-side.
+	Retry *resilience.Policy
 }
 
 func (c *StoreClient) hc() *http.Client {
@@ -107,17 +163,23 @@ func (c *StoreClient) hc() *http.Client {
 	return defaultClient()
 }
 
+// call runs one logical JSON call under the client's retry policy.
+func (c *StoreClient) call(ctx context.Context, path string, mutating bool, req, resp any) error {
+	return doJSON(ctx, c.hc(), c.Retry, c.BaseURL, path, mutating, req, resp)
+}
+
 // Addr returns the store's base URL.
 func (c *StoreClient) Addr() string { return c.BaseURL }
 
 // Register creates an account on the store.
 func (c *StoreClient) Register(name, role string) (auth.User, error) {
-	return c.register(context.Background(), name, role)
+	return c.RegisterCtx(context.Background(), name, role)
 }
 
-func (c *StoreClient) register(ctx context.Context, name, role string) (auth.User, error) {
+// RegisterCtx creates an account on the store.
+func (c *StoreClient) RegisterCtx(ctx context.Context, name, role string) (auth.User, error) {
 	var resp registerResp
-	if err := doJSON(ctx, c.hc(), c.BaseURL, "/api/register", &registerReq{Name: name, Role: role}, &resp); err != nil {
+	if err := c.call(ctx, "/api/register", true, &registerReq{Name: name, Role: role}, &resp); err != nil {
 		return auth.User{}, err
 	}
 	r := auth.RoleConsumer
@@ -131,7 +193,7 @@ func (c *StoreClient) register(ctx context.Context, name, role string) (auth.Use
 // use). The context's request ID is forwarded so a consumer's connect
 // request is correlated across broker and store logs.
 func (c *StoreClient) ProvisionConsumer(ctx context.Context, name string) (auth.APIKey, error) {
-	u, err := c.register(ctx, name, "consumer")
+	u, err := c.RegisterCtx(ctx, name, "consumer")
 	if err != nil {
 		return "", err
 	}
@@ -140,13 +202,23 @@ func (c *StoreClient) ProvisionConsumer(ctx context.Context, name string) (auth.
 
 // Health fetches the store's /healthz report.
 func (c *StoreClient) Health() (Health, error) {
-	return getHealth(c.hc(), c.BaseURL)
+	return c.HealthCtx(context.Background())
+}
+
+// HealthCtx fetches the store's /healthz report.
+func (c *StoreClient) HealthCtx(ctx context.Context) (Health, error) {
+	return getHealth(ctx, c.hc(), c.BaseURL)
 }
 
 // Upload sends wave segments (Fig. 5 JSON on the wire).
 func (c *StoreClient) Upload(key auth.APIKey, segs []*wavesegment.Segment) (int, error) {
+	return c.UploadCtx(context.Background(), key, segs)
+}
+
+// UploadCtx sends wave segments (Fig. 5 JSON on the wire).
+func (c *StoreClient) UploadCtx(ctx context.Context, key auth.APIKey, segs []*wavesegment.Segment) (int, error) {
 	var resp uploadResp
-	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/upload", &uploadReq{Key: key, Segments: segs}, &resp); err != nil {
+	if err := c.call(ctx, "/api/upload", true, &uploadReq{Key: key, Segments: segs}, &resp); err != nil {
 		return 0, err
 	}
 	return resp.Records, nil
@@ -154,8 +226,13 @@ func (c *StoreClient) Upload(key auth.APIKey, segs []*wavesegment.Segment) (int,
 
 // Query runs an enforced consumer query.
 func (c *StoreClient) Query(key auth.APIKey, q *query.Query) ([]*abstraction.Release, error) {
+	return c.QueryCtx(context.Background(), key, q)
+}
+
+// QueryCtx runs an enforced consumer query.
+func (c *StoreClient) QueryCtx(ctx context.Context, key auth.APIKey, q *query.Query) ([]*abstraction.Release, error) {
 	var resp queryResp
-	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/query", &queryReq{Key: key, Query: q}, &resp); err != nil {
+	if err := c.call(ctx, "/api/query", false, &queryReq{Key: key, Query: q}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Releases, nil
@@ -163,8 +240,13 @@ func (c *StoreClient) Query(key auth.APIKey, q *query.Query) ([]*abstraction.Rel
 
 // QueryText runs an enforced consumer query written in the mini-language.
 func (c *StoreClient) QueryText(key auth.APIKey, text string) ([]*abstraction.Release, error) {
+	return c.QueryTextCtx(context.Background(), key, text)
+}
+
+// QueryTextCtx runs an enforced consumer query written in the mini-language.
+func (c *StoreClient) QueryTextCtx(ctx context.Context, key auth.APIKey, text string) ([]*abstraction.Release, error) {
 	var resp queryResp
-	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/query", &queryReq{Key: key, Text: text}, &resp); err != nil {
+	if err := c.call(ctx, "/api/query", false, &queryReq{Key: key, Text: text}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Releases, nil
@@ -172,8 +254,13 @@ func (c *StoreClient) QueryText(key auth.APIKey, text string) ([]*abstraction.Re
 
 // QueryOwn retrieves the owner's raw data.
 func (c *StoreClient) QueryOwn(key auth.APIKey, q *query.Query) ([]*wavesegment.Segment, error) {
+	return c.QueryOwnCtx(context.Background(), key, q)
+}
+
+// QueryOwnCtx retrieves the owner's raw data.
+func (c *StoreClient) QueryOwnCtx(ctx context.Context, key auth.APIKey, q *query.Query) ([]*wavesegment.Segment, error) {
 	var resp queryOwnResp
-	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/queryown", &queryReq{Key: key, Query: q}, &resp); err != nil {
+	if err := c.call(ctx, "/api/queryown", false, &queryReq{Key: key, Query: q}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Segments, nil
@@ -181,13 +268,23 @@ func (c *StoreClient) QueryOwn(key auth.APIKey, q *query.Query) ([]*wavesegment.
 
 // SetRules replaces the owner's privacy rules (Fig. 4 JSON).
 func (c *StoreClient) SetRules(key auth.APIKey, ruleSetJSON []byte) error {
-	return doJSON(context.Background(), c.hc(), c.BaseURL, "/api/rules/set", &rulesSetReq{Key: key, Rules: ruleSetJSON}, &okResp{})
+	return c.SetRulesCtx(context.Background(), key, ruleSetJSON)
+}
+
+// SetRulesCtx replaces the owner's privacy rules (Fig. 4 JSON).
+func (c *StoreClient) SetRulesCtx(ctx context.Context, key auth.APIKey, ruleSetJSON []byte) error {
+	return c.call(ctx, "/api/rules/set", true, &rulesSetReq{Key: key, Rules: ruleSetJSON}, &okResp{})
 }
 
 // Rules fetches the owner's privacy rules.
 func (c *StoreClient) Rules(key auth.APIKey) ([]byte, error) {
+	return c.RulesCtx(context.Background(), key)
+}
+
+// RulesCtx fetches the owner's privacy rules.
+func (c *StoreClient) RulesCtx(ctx context.Context, key auth.APIKey) ([]byte, error) {
 	var resp rulesGetResp
-	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/rules/get", &rulesGetReq{Key: key}, &resp); err != nil {
+	if err := c.call(ctx, "/api/rules/get", false, &rulesGetReq{Key: key}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Rules, nil
@@ -195,14 +292,24 @@ func (c *StoreClient) Rules(key auth.APIKey) ([]byte, error) {
 
 // DefinePlace registers a labeled region.
 func (c *StoreClient) DefinePlace(key auth.APIKey, label string, region geo.Region) error {
-	return doJSON(context.Background(), c.hc(), c.BaseURL, "/api/places/define",
-		&placeDefineReq{Key: key, Label: label, Region: region}, &okResp{})
+	return c.DefinePlaceCtx(context.Background(), key, label, region)
+}
+
+// DefinePlaceCtx registers a labeled region.
+func (c *StoreClient) DefinePlaceCtx(ctx context.Context, key auth.APIKey, label string, region geo.Region) error {
+	return c.call(ctx, "/api/places/define",
+		true, &placeDefineReq{Key: key, Label: label, Region: region}, &okResp{})
 }
 
 // Places lists the owner's labeled regions.
 func (c *StoreClient) Places(key auth.APIKey) ([]geo.Region, error) {
+	return c.PlacesCtx(context.Background(), key)
+}
+
+// PlacesCtx lists the owner's labeled regions.
+func (c *StoreClient) PlacesCtx(ctx context.Context, key auth.APIKey) ([]geo.Region, error) {
 	var resp placesListResp
-	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/places/list", &rulesGetReq{Key: key}, &resp); err != nil {
+	if err := c.call(ctx, "/api/places/list", false, &rulesGetReq{Key: key}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Places, nil
@@ -211,18 +318,29 @@ func (c *StoreClient) Places(key auth.APIKey) ([]geo.Region, error) {
 // AssignConsumerGroups records a consumer's groups for the owner's
 // group-scoped rules.
 func (c *StoreClient) AssignConsumerGroups(key auth.APIKey, consumer string, groups []string) error {
-	return doJSON(context.Background(), c.hc(), c.BaseURL, "/api/groups/assign",
-		&groupsAssignReq{Key: key, Consumer: consumer, Groups: groups}, &okResp{})
+	return c.AssignConsumerGroupsCtx(context.Background(), key, consumer, groups)
+}
+
+// AssignConsumerGroupsCtx records a consumer's groups for the owner's
+// group-scoped rules.
+func (c *StoreClient) AssignConsumerGroupsCtx(ctx context.Context, key auth.APIKey, consumer string, groups []string) error {
+	return c.call(ctx, "/api/groups/assign",
+		true, &groupsAssignReq{Key: key, Consumer: consumer, Groups: groups}, &okResp{})
 }
 
 // Audit fetches the owner's access trail, newest first.
 func (c *StoreClient) Audit(key auth.APIKey, consumer string, since time.Time, limit int) ([]audit.Event, error) {
+	return c.AuditCtx(context.Background(), key, consumer, since, limit)
+}
+
+// AuditCtx fetches the owner's access trail, newest first.
+func (c *StoreClient) AuditCtx(ctx context.Context, key auth.APIKey, consumer string, since time.Time, limit int) ([]audit.Event, error) {
 	req := &auditEventsReq{Key: key, Consumer: consumer, Limit: limit}
 	if !since.IsZero() {
 		req.Since = since.Format(time.RFC3339)
 	}
 	var resp auditEventsResp
-	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/audit/events", req, &resp); err != nil {
+	if err := c.call(ctx, "/api/audit/events", false, req, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Events, nil
@@ -230,8 +348,13 @@ func (c *StoreClient) Audit(key auth.APIKey, consumer string, since time.Time, l
 
 // AuditSummary fetches the owner's per-consumer access aggregates.
 func (c *StoreClient) AuditSummary(key auth.APIKey) ([]audit.ConsumerSummary, error) {
+	return c.AuditSummaryCtx(context.Background(), key)
+}
+
+// AuditSummaryCtx fetches the owner's per-consumer access aggregates.
+func (c *StoreClient) AuditSummaryCtx(ctx context.Context, key auth.APIKey) ([]audit.ConsumerSummary, error) {
 	var resp auditSummaryResp
-	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/audit/summary", &rulesGetReq{Key: key}, &resp); err != nil {
+	if err := c.call(ctx, "/api/audit/summary", false, &rulesGetReq{Key: key}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Consumers, nil
@@ -239,8 +362,15 @@ func (c *StoreClient) AuditSummary(key auth.APIKey) ([]audit.ConsumerSummary, er
 
 // RotateKey invalidates the presented key and returns a fresh one.
 func (c *StoreClient) RotateKey(key auth.APIKey) (auth.APIKey, error) {
+	return c.RotateKeyCtx(context.Background(), key)
+}
+
+// RotateKeyCtx invalidates the presented key and returns a fresh one.
+// The idempotency key matters here: a retried rotation must not rotate
+// twice and strand the client with a key it never saw.
+func (c *StoreClient) RotateKeyCtx(ctx context.Context, key auth.APIKey) (auth.APIKey, error) {
 	var resp registerResp
-	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/rotate", &rulesGetReq{Key: key}, &resp); err != nil {
+	if err := c.call(ctx, "/api/rotate", true, &rulesGetReq{Key: key}, &resp); err != nil {
 		return "", err
 	}
 	return resp.Key, nil
@@ -248,12 +378,17 @@ func (c *StoreClient) RotateKey(key auth.APIKey) (auth.APIKey, error) {
 
 // Recommend fetches privacy-rule suggestions mined from the owner's data.
 func (c *StoreClient) Recommend(key auth.APIKey, minOverlap float64, minDuration time.Duration) ([]recommend.Suggestion, error) {
+	return c.RecommendCtx(context.Background(), key, minOverlap, minDuration)
+}
+
+// RecommendCtx fetches privacy-rule suggestions mined from the owner's data.
+func (c *StoreClient) RecommendCtx(ctx context.Context, key auth.APIKey, minOverlap float64, minDuration time.Duration) ([]recommend.Suggestion, error) {
 	req := &recommendReq{Key: key, MinOverlap: minOverlap}
 	if minDuration > 0 {
 		req.MinDuration = minDuration.String()
 	}
 	var resp recommendResp
-	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/recommend", req, &resp); err != nil {
+	if err := c.call(ctx, "/api/recommend", false, req, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Suggestions, nil
@@ -261,13 +396,23 @@ func (c *StoreClient) Recommend(key auth.APIKey, minOverlap float64, minDuration
 
 // SetPassword sets the web-UI password, authenticating with the API key.
 func (c *StoreClient) SetPassword(key auth.APIKey, password string) error {
-	return doJSON(context.Background(), c.hc(), c.BaseURL, "/api/password", &passwordReq{Key: key, Password: password}, &okResp{})
+	return c.SetPasswordCtx(context.Background(), key, password)
+}
+
+// SetPasswordCtx sets the web-UI password, authenticating with the API key.
+func (c *StoreClient) SetPasswordCtx(ctx context.Context, key auth.APIKey, password string) error {
+	return c.call(ctx, "/api/password", true, &passwordReq{Key: key, Password: password}, &okResp{})
 }
 
 // Login exchanges a username/password for a web session token.
 func (c *StoreClient) Login(name, password string) (string, error) {
+	return c.LoginCtx(context.Background(), name, password)
+}
+
+// LoginCtx exchanges a username/password for a web session token.
+func (c *StoreClient) LoginCtx(ctx context.Context, name, password string) (string, error) {
 	var resp loginResp
-	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/login", &loginReq{Name: name, Password: password}, &resp); err != nil {
+	if err := c.call(ctx, "/api/login", true, &loginReq{Name: name, Password: password}, &resp); err != nil {
 		return "", err
 	}
 	return resp.Token, nil
@@ -276,7 +421,12 @@ func (c *StoreClient) Login(name, password string) (string, error) {
 // RulesFor downloads and compiles the owner's rule set — the phone's
 // §5.3 path. Returns nil when the owner has no rules yet.
 func (c *StoreClient) RulesFor(key auth.APIKey) (*rules.Engine, error) {
-	data, err := c.Rules(key)
+	return c.RulesForCtx(context.Background(), key)
+}
+
+// RulesForCtx downloads and compiles the owner's rule set.
+func (c *StoreClient) RulesForCtx(ctx context.Context, key auth.APIKey) (*rules.Engine, error) {
+	data, err := c.RulesCtx(ctx, key)
 	if err != nil {
 		return nil, err
 	}
@@ -287,7 +437,7 @@ func (c *StoreClient) RulesFor(key auth.APIKey) (*rules.Engine, error) {
 	if len(rs) == 0 {
 		return nil, nil
 	}
-	places, err := c.Places(key)
+	places, err := c.PlacesCtx(ctx, key)
 	if err != nil {
 		return nil, err
 	}
@@ -306,6 +456,9 @@ func (c *StoreClient) RulesFor(key auth.APIKey) (*rules.Engine, error) {
 type BrokerClient struct {
 	BaseURL string
 	HTTP    *http.Client
+	// Retry governs transient-failure handling (resilience.Default()
+	// when nil).
+	Retry *resilience.Policy
 }
 
 func (c *BrokerClient) hc() *http.Client {
@@ -315,15 +468,30 @@ func (c *BrokerClient) hc() *http.Client {
 	return defaultClient()
 }
 
+// call runs one logical JSON call under the client's retry policy.
+func (c *BrokerClient) call(ctx context.Context, path string, mutating bool, req, resp any) error {
+	return doJSON(ctx, c.hc(), c.Retry, c.BaseURL, path, mutating, req, resp)
+}
+
 // Health fetches the broker's /healthz report.
 func (c *BrokerClient) Health() (Health, error) {
-	return getHealth(c.hc(), c.BaseURL)
+	return c.HealthCtx(context.Background())
+}
+
+// HealthCtx fetches the broker's /healthz report.
+func (c *BrokerClient) HealthCtx(ctx context.Context) (Health, error) {
+	return getHealth(ctx, c.hc(), c.BaseURL)
 }
 
 // RegisterConsumer creates a consumer account.
 func (c *BrokerClient) RegisterConsumer(name string) (auth.User, error) {
+	return c.RegisterConsumerCtx(context.Background(), name)
+}
+
+// RegisterConsumerCtx creates a consumer account.
+func (c *BrokerClient) RegisterConsumerCtx(ctx context.Context, name string) (auth.User, error) {
 	var resp registerResp
-	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/consumers/register", &registerReq{Name: name}, &resp); err != nil {
+	if err := c.call(ctx, "/api/consumers/register", true, &registerReq{Name: name}, &resp); err != nil {
 		return auth.User{}, err
 	}
 	return auth.User{Name: resp.Name, Role: auth.RoleConsumer, Key: resp.Key}, nil
@@ -331,20 +499,67 @@ func (c *BrokerClient) RegisterConsumer(name string) (auth.User, error) {
 
 // RegisterContributor records a contributor → store mapping.
 func (c *BrokerClient) RegisterContributor(name, storeAddr string) error {
-	return doJSON(context.Background(), c.hc(), c.BaseURL, "/api/contributors/register",
-		&brokerRegisterContribReq{Name: name, StoreAddr: storeAddr}, &okResp{})
+	return c.RegisterContributorCtx(context.Background(), name, storeAddr)
 }
 
-// SyncRules pushes a contributor's rule replica (datastore.SyncTarget).
-func (c *BrokerClient) SyncRules(contributor string, ruleSetJSON []byte, places []geo.Region) error {
-	return doJSON(context.Background(), c.hc(), c.BaseURL, "/api/sync",
-		&brokerSyncReq{Contributor: contributor, Rules: ruleSetJSON, Places: places}, &okResp{})
+// RegisterContributorCtx records a contributor → store mapping.
+func (c *BrokerClient) RegisterContributorCtx(ctx context.Context, name, storeAddr string) error {
+	return c.call(ctx, "/api/contributors/register",
+		true, &brokerRegisterContribReq{Name: name, StoreAddr: storeAddr}, &okResp{})
+}
+
+// SyncRules pushes a contributor's versioned rule replica
+// (datastore.SyncTarget). A broker holding a newer version rejects the
+// push with resilience.ErrStaleVersion.
+func (c *BrokerClient) SyncRules(contributor string, version uint64, ruleSetJSON []byte, places []geo.Region) error {
+	return c.SyncRulesCtx(context.Background(), contributor, version, ruleSetJSON, places)
+}
+
+// SyncRulesCtx pushes a contributor's versioned rule replica.
+func (c *BrokerClient) SyncRulesCtx(ctx context.Context, contributor string, version uint64, ruleSetJSON []byte, places []geo.Region) error {
+	return c.call(ctx, "/api/sync",
+		true, &brokerSyncReq{Contributor: contributor, Version: version, Rules: ruleSetJSON, Places: places}, &okResp{})
+}
+
+// SyncDigest reports the store's replica versions and returns the
+// contributors whose broker replica is stale (datastore.SyncTarget).
+func (c *BrokerClient) SyncDigest(storeAddr string, versions map[string]uint64) ([]string, error) {
+	return c.SyncDigestCtx(context.Background(), storeAddr, versions)
+}
+
+// SyncDigestCtx reports the store's replica versions to the broker.
+// Re-execution returns fresh staleness, so no idempotency key is needed.
+func (c *BrokerClient) SyncDigestCtx(ctx context.Context, storeAddr string, versions map[string]uint64) ([]string, error) {
+	var resp syncDigestResp
+	if err := c.call(ctx, "/api/sync/digest", false, &syncDigestReq{StoreAddr: storeAddr, Versions: versions}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Stale, nil
+}
+
+// Replicas lists the broker's per-contributor replica status.
+func (c *BrokerClient) Replicas() ([]broker.ReplicaStatus, error) {
+	return c.ReplicasCtx(context.Background())
+}
+
+// ReplicasCtx lists the broker's per-contributor replica status.
+func (c *BrokerClient) ReplicasCtx(ctx context.Context) ([]broker.ReplicaStatus, error) {
+	var resp replicasResp
+	if err := c.call(ctx, "/api/replicas", false, &struct{}{}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Replicas, nil
 }
 
 // Directory lists contributors.
 func (c *BrokerClient) Directory(key auth.APIKey) ([]broker.ContributorInfo, error) {
+	return c.DirectoryCtx(context.Background(), key)
+}
+
+// DirectoryCtx lists contributors.
+func (c *BrokerClient) DirectoryCtx(ctx context.Context, key auth.APIKey) ([]broker.ContributorInfo, error) {
 	var resp directoryResp
-	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/directory", &keyReq{Key: key}, &resp); err != nil {
+	if err := c.call(ctx, "/api/directory", false, &keyReq{Key: key}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Contributors, nil
@@ -353,8 +568,14 @@ func (c *BrokerClient) Directory(key auth.APIKey) ([]broker.ContributorInfo, err
 // Connect provisions (or fetches) the consumer's credential for a
 // contributor's store.
 func (c *BrokerClient) Connect(key auth.APIKey, contributor string) (broker.Credential, error) {
+	return c.ConnectCtx(context.Background(), key, contributor)
+}
+
+// ConnectCtx provisions (or fetches) the consumer's credential for a
+// contributor's store.
+func (c *BrokerClient) ConnectCtx(ctx context.Context, key auth.APIKey, contributor string) (broker.Credential, error) {
 	var resp broker.Credential
-	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/connect", &connectReq{Key: key, Contributor: contributor}, &resp); err != nil {
+	if err := c.call(ctx, "/api/connect", true, &connectReq{Key: key, Contributor: contributor}, &resp); err != nil {
 		return broker.Credential{}, err
 	}
 	return resp, nil
@@ -362,8 +583,13 @@ func (c *BrokerClient) Connect(key auth.APIKey, contributor string) (broker.Cred
 
 // Credentials fetches every vaulted credential.
 func (c *BrokerClient) Credentials(key auth.APIKey) ([]broker.Credential, error) {
+	return c.CredentialsCtx(context.Background(), key)
+}
+
+// CredentialsCtx fetches every vaulted credential.
+func (c *BrokerClient) CredentialsCtx(ctx context.Context, key auth.APIKey) ([]broker.Credential, error) {
 	var resp credentialsResp
-	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/credentials", &keyReq{Key: key}, &resp); err != nil {
+	if err := c.call(ctx, "/api/credentials", false, &keyReq{Key: key}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Credentials, nil
@@ -371,6 +597,11 @@ func (c *BrokerClient) Credentials(key auth.APIKey) ([]broker.Credential, error)
 
 // Search runs a contributor search.
 func (c *BrokerClient) Search(key auth.APIKey, q *broker.SearchQuery) ([]string, error) {
+	return c.SearchCtx(context.Background(), key, q)
+}
+
+// SearchCtx runs a contributor search.
+func (c *BrokerClient) SearchCtx(ctx context.Context, key auth.APIKey, q *broker.SearchQuery) ([]string, error) {
 	wire := &searchWire{
 		Key:            key,
 		Sensors:        q.Sensors,
@@ -404,7 +635,7 @@ func (c *BrokerClient) Search(key auth.APIKey, q *broker.SearchQuery) ([]string,
 		wire.Reference = q.Reference.Format(time.RFC3339)
 	}
 	var resp searchResp
-	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/search", wire, &resp); err != nil {
+	if err := c.call(ctx, "/api/search", false, wire, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Contributors, nil
@@ -412,13 +643,23 @@ func (c *BrokerClient) Search(key auth.APIKey, q *broker.SearchQuery) ([]string,
 
 // SaveList stores a named contributor list.
 func (c *BrokerClient) SaveList(key auth.APIKey, name string, members []string) error {
-	return doJSON(context.Background(), c.hc(), c.BaseURL, "/api/lists/save", &listSaveReq{Key: key, Name: name, Members: members}, &okResp{})
+	return c.SaveListCtx(context.Background(), key, name, members)
+}
+
+// SaveListCtx stores a named contributor list.
+func (c *BrokerClient) SaveListCtx(ctx context.Context, key auth.APIKey, name string, members []string) error {
+	return c.call(ctx, "/api/lists/save", true, &listSaveReq{Key: key, Name: name, Members: members}, &okResp{})
 }
 
 // List fetches a saved contributor list.
 func (c *BrokerClient) List(key auth.APIKey, name string) ([]string, error) {
+	return c.ListCtx(context.Background(), key, name)
+}
+
+// ListCtx fetches a saved contributor list.
+func (c *BrokerClient) ListCtx(ctx context.Context, key auth.APIKey, name string) ([]string, error) {
 	var resp listGetResp
-	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/lists/get", &listGetReq{Key: key, Name: name}, &resp); err != nil {
+	if err := c.call(ctx, "/api/lists/get", false, &listGetReq{Key: key, Name: name}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Members, nil
@@ -426,18 +667,33 @@ func (c *BrokerClient) List(key auth.APIKey, name string) ([]string, error) {
 
 // CreateStudy declares a study.
 func (c *BrokerClient) CreateStudy(name string) error {
-	return doJSON(context.Background(), c.hc(), c.BaseURL, "/api/studies/create", &studyReq{Study: name}, &okResp{})
+	return c.CreateStudyCtx(context.Background(), name)
+}
+
+// CreateStudyCtx declares a study.
+func (c *BrokerClient) CreateStudyCtx(ctx context.Context, name string) error {
+	return c.call(ctx, "/api/studies/create", true, &studyReq{Study: name}, &okResp{})
 }
 
 // JoinStudy adds the consumer to a study.
 func (c *BrokerClient) JoinStudy(key auth.APIKey, study string) error {
-	return doJSON(context.Background(), c.hc(), c.BaseURL, "/api/studies/join", &studyReq{Key: key, Study: study}, &okResp{})
+	return c.JoinStudyCtx(context.Background(), key, study)
+}
+
+// JoinStudyCtx adds the consumer to a study.
+func (c *BrokerClient) JoinStudyCtx(ctx context.Context, key auth.APIKey, study string) error {
+	return c.call(ctx, "/api/studies/join", true, &studyReq{Key: key, Study: study}, &okResp{})
 }
 
 // StudyMembers lists a study's members.
 func (c *BrokerClient) StudyMembers(study string) ([]string, error) {
+	return c.StudyMembersCtx(context.Background(), study)
+}
+
+// StudyMembersCtx lists a study's members.
+func (c *BrokerClient) StudyMembersCtx(ctx context.Context, study string) ([]string, error) {
 	var resp studyMembersResp
-	if err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/studies/members", &studyReq{Study: study}, &resp); err != nil {
+	if err := c.call(ctx, "/api/studies/members", false, &studyReq{Study: study}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Members, nil

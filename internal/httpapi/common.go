@@ -18,6 +18,7 @@ import (
 	"sensorsafe/internal/auth"
 	"sensorsafe/internal/broker"
 	"sensorsafe/internal/datastore"
+	"sensorsafe/internal/resilience"
 	"sensorsafe/internal/stream"
 )
 
@@ -62,7 +63,10 @@ func writeError(w http.ResponseWriter, err error) {
 		errors.Is(err, broker.ErrUnknownList),
 		errors.Is(err, broker.ErrUnknownStudy):
 		status = http.StatusNotFound
-	case errors.Is(err, auth.ErrDuplicateUser):
+	case errors.Is(err, auth.ErrDuplicateUser),
+		errors.Is(err, resilience.ErrStaleVersion):
+		// 409 round-trips the stale-version sentinel: the client-side
+		// StatusError unwraps a 409 back to resilience.ErrStaleVersion.
 		status = http.StatusConflict
 	case errors.Is(err, errMethodNotAllowed):
 		status = http.StatusMethodNotAllowed

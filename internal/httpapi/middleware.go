@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"bytes"
 	"io"
 	"net/http"
 	"os"
@@ -8,11 +9,21 @@ import (
 	"time"
 
 	"sensorsafe/internal/obs"
+	"sensorsafe/internal/resilience"
 )
 
 // requestIDHeader carries the correlation ID between SensorSafe services;
 // the middleware generates one when absent and always echoes it back.
 const requestIDHeader = "X-Request-ID"
+
+// idempotencyKeyHeader marks a mutating request as one logical operation:
+// the client keeps the key stable across retries and the server replays
+// the recorded outcome instead of re-executing the mutation.
+const idempotencyKeyHeader = "X-Idempotency-Key"
+
+// idempotencyReplayHeader is set on responses served from the idempotency
+// cache rather than by re-executing the handler.
+const idempotencyReplayHeader = "X-Idempotency-Replay"
 
 // HTTP-layer metrics, shared by both servers and split by component.
 var (
@@ -24,6 +35,9 @@ var (
 		obs.DefBuckets, "component", "route")
 	metricHTTPInFlight = obs.NewGaugeVec("sensorsafe_http_in_flight_requests",
 		"HTTP requests currently being served, by component.", "component")
+	metricIdemReplays = obs.NewCounterVec("sensorsafe_http_idempotent_replays_total",
+		"Mutating requests answered from the idempotency cache, by component.",
+		"component")
 )
 
 // logDest is where request logs are written (test seam; servers log to
@@ -49,14 +63,72 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// withObs wraps a server mux with the observability middleware: method/
-// route/status counters, an in-flight gauge, latency histograms, request
-// logging, and X-Request-ID generation + propagation. Routes are taken
-// from the mux's registered patterns so metric cardinality stays bounded
-// no matter what paths clients probe.
-func withObs(component string, mux *http.ServeMux) http.Handler {
+// recordingWriter tees a handler's status and body so the outcome can be
+// cached for idempotent replay.
+type recordingWriter struct {
+	http.ResponseWriter
+	status int
+	buf    bytes.Buffer
+}
+
+func (w *recordingWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *recordingWriter) Write(p []byte) (int, error) {
+	w.buf.Write(p)
+	return w.ResponseWriter.Write(p)
+}
+
+// withIdempotency dedupes mutating requests that carry an
+// X-Idempotency-Key: the first execution's outcome is recorded in a
+// bounded LRU and replayed byte-for-byte for retries of the same logical
+// call, giving retried mutations exactly-once application. Transient
+// outcomes (5xx, 429) are not cached — a retry after those must
+// re-execute, not replay the failure.
+func withIdempotency(component string, cache *resilience.IdemCache, next http.Handler) http.Handler {
+	replays := metricIdemReplays.With(component)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := r.Header.Get(idempotencyKeyHeader)
+		if key == "" || r.Method != http.MethodPost {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if cached, ok := cache.Get(key); ok {
+			replays.Inc()
+			if cached.ContentType != "" {
+				w.Header().Set("Content-Type", cached.ContentType)
+			}
+			w.Header().Set(idempotencyReplayHeader, "true")
+			w.WriteHeader(cached.Status)
+			w.Write(cached.Body)
+			return
+		}
+		rw := &recordingWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rw, r)
+		if rw.status < 500 && rw.status != http.StatusTooManyRequests {
+			cache.Put(key, resilience.CachedResponse{
+				Status:      rw.status,
+				Body:        append([]byte(nil), rw.buf.Bytes()...),
+				ContentType: rw.Header().Get("Content-Type"),
+			})
+		}
+	})
+}
+
+// withObs wraps a server handler with the observability middleware:
+// method/route/status counters, an in-flight gauge, latency histograms,
+// request logging, and X-Request-ID generation + propagation. Routes are
+// taken from the mux's registered patterns so metric cardinality stays
+// bounded no matter what paths clients probe; inner is the handler
+// actually served (the mux, possibly wrapped in withIdempotency).
+func withObs(component string, mux *http.ServeMux, inner http.Handler) http.Handler {
 	logger := obs.NewLogger(component, logDest)
 	inFlight := metricHTTPInFlight.With(component)
+	if inner == nil {
+		inner = mux
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		id := r.Header.Get(requestIDHeader)
@@ -73,7 +145,7 @@ func withObs(component string, mux *http.ServeMux) http.Handler {
 
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		inFlight.Inc()
-		mux.ServeHTTP(sw, r.WithContext(ctx))
+		inner.ServeHTTP(sw, r.WithContext(ctx))
 		inFlight.Dec()
 
 		elapsed := time.Since(start)

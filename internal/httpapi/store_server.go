@@ -16,6 +16,7 @@ import (
 	"sensorsafe/internal/geo"
 	"sensorsafe/internal/query"
 	"sensorsafe/internal/recommend"
+	"sensorsafe/internal/resilience"
 	"sensorsafe/internal/wavesegment"
 )
 
@@ -322,7 +323,7 @@ func NewStoreHandler(svc *datastore.Service) http.Handler {
 		fmt.Fprintf(w, storeAdminHTML, svc.Name(), svc.SegmentCount(), svc.Users().Len())
 	})
 
-	return withObs("store", mux)
+	return withObs("store", mux, withIdempotency("store", resilience.NewIdemCache(0), mux))
 }
 
 // storeAdminHTML is the minimal web UI of the store (the paper's Fig. 3 UI

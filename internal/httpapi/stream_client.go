@@ -32,31 +32,55 @@ func (c *StoreClient) streamClient(wait time.Duration) *http.Client {
 // channels. The returned SubInfo carries the subscription ID and the
 // durable cursor to resume from.
 func (c *StoreClient) Subscribe(key auth.APIKey, contributor string, channels []string) (stream.SubInfo, error) {
+	return c.SubscribeCtx(context.Background(), key, contributor, channels)
+}
+
+// SubscribeCtx opens (or resumes) a live subscription.
+func (c *StoreClient) SubscribeCtx(ctx context.Context, key auth.APIKey, contributor string, channels []string) (stream.SubInfo, error) {
 	var resp stream.SubInfo
-	err := doJSON(context.Background(), c.hc(), c.BaseURL, "/api/stream/subscribe",
-		&streamSubscribeReq{Key: key, Contributor: contributor, Channels: channels}, &resp)
+	err := c.call(ctx, "/api/stream/subscribe",
+		true, &streamSubscribeReq{Key: key, Contributor: contributor, Channels: channels}, &resp)
 	return resp, err
 }
 
 // Next long-polls for the next batch of stream events, blocking up to wait
 // on the server side. Passing the previous batch's cursor acknowledges it.
 func (c *StoreClient) Next(key auth.APIKey, id, cursor string, wait time.Duration) (stream.Batch, error) {
+	return c.NextCtx(context.Background(), key, id, cursor, wait)
+}
+
+// NextCtx long-polls for the next batch of stream events. Retries are
+// safe without an idempotency key: the cursor makes redelivery
+// all-or-nothing, so a retried poll re-reads from the same position.
+// Note a Policy.PerAttemptTimeout shorter than wait would sever every
+// poll; the default policy sets none.
+func (c *StoreClient) NextCtx(ctx context.Context, key auth.APIKey, id, cursor string, wait time.Duration) (stream.Batch, error) {
 	var resp stream.Batch
-	err := doJSON(context.Background(), c.streamClient(wait), c.BaseURL, "/api/stream/next",
-		&streamNextReq{Key: key, ID: id, Cursor: cursor, WaitMs: int(wait / time.Millisecond)}, &resp)
+	err := doJSON(ctx, c.streamClient(wait), c.Retry, c.BaseURL, "/api/stream/next",
+		false, &streamNextReq{Key: key, ID: id, Cursor: cursor, WaitMs: int(wait / time.Millisecond)}, &resp)
 	return resp, err
 }
 
 // AckStream advances the durable cursor without polling.
 func (c *StoreClient) AckStream(key auth.APIKey, id, cursor string) error {
-	return doJSON(context.Background(), c.hc(), c.BaseURL, "/api/stream/ack",
-		&streamAckReq{Key: key, ID: id, Cursor: cursor}, &okResp{})
+	return c.AckStreamCtx(context.Background(), key, id, cursor)
+}
+
+// AckStreamCtx advances the durable cursor without polling.
+func (c *StoreClient) AckStreamCtx(ctx context.Context, key auth.APIKey, id, cursor string) error {
+	return c.call(ctx, "/api/stream/ack",
+		false, &streamAckReq{Key: key, ID: id, Cursor: cursor}, &okResp{})
 }
 
 // Unsubscribe revokes a live subscription.
 func (c *StoreClient) Unsubscribe(key auth.APIKey, id string) error {
-	return doJSON(context.Background(), c.hc(), c.BaseURL, "/api/stream/unsubscribe",
-		&streamIDReq{Key: key, ID: id}, &okResp{})
+	return c.UnsubscribeCtx(context.Background(), key, id)
+}
+
+// UnsubscribeCtx revokes a live subscription.
+func (c *StoreClient) UnsubscribeCtx(ctx context.Context, key auth.APIKey, id string) error {
+	return c.call(ctx, "/api/stream/unsubscribe",
+		true, &streamIDReq{Key: key, ID: id}, &okResp{})
 }
 
 // Live attaches to the SSE endpoint and calls fn for every event until the

@@ -52,6 +52,11 @@ type Phone struct {
 	// the scenario at scripted wall-clock speed (the caller scales and
 	// sleeps). Nil replays as one burst.
 	Pace func(d time.Duration)
+	// Outbox, when set, makes uploads outage-tolerant: a batch the store
+	// rejects with a transport error is spilled durably instead of
+	// aborting the session, and spilled batches are drained at the start
+	// of the next session (and by explicit DrainOutbox calls).
+	Outbox *Outbox
 }
 
 // Report tallies one collection session.
@@ -76,6 +81,14 @@ type Report struct {
 	// RecordsWritten is how many records the store created (after its
 	// wave-segment optimization).
 	RecordsWritten int
+	// BatchesSpilled / SamplesSpilled count batches the store could not
+	// accept this session that went to the durable outbox instead.
+	// Spilled samples still count as uploaded in the Samples* tallies —
+	// they left the device and will reach the store on drain.
+	BatchesSpilled int
+	SamplesSpilled int
+	// BatchesRecovered counts outbox batches drained at session start.
+	BatchesRecovered int
 }
 
 // UploadFraction is the fraction of samples that reached the store.
@@ -140,6 +153,15 @@ func (p *Phone) Run(sc *sensors.Scenario) (*Report, error) {
 	return p.Process(rec)
 }
 
+// DrainOutbox re-uploads spilled batches immediately (no-op without an
+// outbox). It returns how many batches and store records made it.
+func (p *Phone) DrainOutbox() (batches, records int, err error) {
+	if p.Outbox == nil {
+		return 0, 0, nil
+	}
+	return p.Outbox.Drain(p.Store, p.Key)
+}
+
 // Process runs inference, annotation, rule-aware filtering, and upload over
 // an existing recording.
 func (p *Phone) Process(rec *sensors.Recording) (*Report, error) {
@@ -158,6 +180,16 @@ func (p *Phone) Process(rec *sensors.Recording) (*Report, error) {
 	}
 
 	rep := &Report{}
+
+	// Drain on recovery: anything spilled in an earlier session goes out
+	// first so the store sees data in rough arrival order. A still-down
+	// store is not an error — the spilled batches just wait.
+	if p.Outbox != nil {
+		drained, n, _ := p.Outbox.Drain(p.Store, p.Key)
+		rep.BatchesRecovered = drained
+		rep.RecordsWritten += n
+	}
+
 	batchSize := p.BatchPackets
 	if batchSize <= 0 {
 		batchSize = 16
@@ -169,6 +201,19 @@ func (p *Phone) Process(rec *sensors.Recording) (*Report, error) {
 		}
 		n, err := p.Store.Upload(p.Key, batch)
 		if err != nil {
+			// Spill on failure: with an outbox the session survives a
+			// store outage; the batch is durable and drains later.
+			if p.Outbox != nil {
+				if serr := p.Outbox.Spill(batch); serr != nil {
+					return fmt.Errorf("phone: upload failed (%v) and spill failed: %w", err, serr)
+				}
+				rep.BatchesSpilled++
+				for _, piece := range batch {
+					rep.SamplesSpilled += piece.NumSamples()
+				}
+				batch = nil
+				return nil
+			}
 			return fmt.Errorf("phone: upload: %w", err)
 		}
 		rep.RecordsWritten += n

@@ -1,0 +1,46 @@
+package resilience
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path so that a crash at any instant
+// leaves either the old content or the new content, never a torn mix:
+// write to a temp file in the same directory, fsync it, rename over the
+// target, then fsync the directory so the rename itself is durable. The
+// temp name is deterministic (path + ".tmp") so a crash leaves at most one
+// stray file, which the next write replaces.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return fmt.Errorf("resilience: create %s: %w", tmp, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("resilience: write %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("resilience: fsync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("resilience: close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("resilience: commit %s: %w", path, err)
+	}
+	// Make the rename durable. Directory fsync is advisory on some
+	// filesystems; failure here cannot tear the file, so report nothing.
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+// Package faultnet is a fault-injecting http.RoundTripper for chaos
+// testing SensorSafe's network hops: per-route rules drop requests before
+// they reach the server (partition), delay them, synthesize 5xx/429
+// responses, or tear the response body mid-read after the server has
+// already applied the request — the exact failure the idempotency layer
+// must absorb. All randomness flows from one seed, so a chaos run is
+// reproducible bit for bit.
+package faultnet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sensorsafe/internal/obs"
+)
+
+var metricInjected = obs.NewCounterVec("sensorsafe_faultnet_injected_total",
+	"Faults injected by the chaos transport, by kind.", "kind")
+
+// Rule is one injection profile; the first rule whose Path prefix matches
+// the request applies. Probabilities are independent and checked in order
+// drop → status → torn, so their sum may exceed 1 only if you want earlier
+// modes to shadow later ones.
+type Rule struct {
+	// Path is a URL-path prefix ("" matches everything).
+	Path string
+	// Drop is P(request never reaches the server): a connection error.
+	Drop float64
+	// Status is P(a synthesized error response without touching the
+	// server).
+	Status float64
+	// StatusCode is the synthesized code (503 when zero).
+	StatusCode int
+	// RetryAfter, when set, is attached to synthesized responses as a
+	// Retry-After header.
+	RetryAfter time.Duration
+	// Torn is P(the request reaches the server but the response body is
+	// severed halfway): the server applied the mutation, the client cannot
+	// know.
+	Torn float64
+	// Delay is added latency before the request proceeds (applied to every
+	// matching request that is not dropped).
+	Delay time.Duration
+}
+
+// DroppedError is the connection failure surfaced for dropped requests.
+// http.Client wraps it in *url.Error, which the resilience classifier
+// treats as retryable.
+type DroppedError struct{ Path string }
+
+func (e *DroppedError) Error() string { return "faultnet: connection dropped on " + e.Path }
+
+// Timeout/Temporary make DroppedError satisfy net.Error so callers that
+// sniff interfaces classify it like a real network failure.
+func (e *DroppedError) Timeout() bool   { return false }
+func (e *DroppedError) Temporary() bool { return true }
+
+// Transport injects faults in front of an inner RoundTripper.
+type Transport struct {
+	inner http.RoundTripper
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	rules  []Rule
+	counts map[string]uint64
+}
+
+// New builds a Transport with deterministic randomness from seed. inner
+// nil uses http.DefaultTransport.
+func New(seed int64, inner http.RoundTripper, rules ...Rule) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &Transport{
+		inner:  inner,
+		rng:    rand.New(rand.NewSource(seed)),
+		rules:  rules,
+		counts: make(map[string]uint64),
+	}
+}
+
+// Configure atomically replaces the rule set — tests use this to start a
+// partition (Drop: 1) and later heal it (no rules).
+func (t *Transport) Configure(rules ...Rule) {
+	t.mu.Lock()
+	t.rules = rules
+	t.mu.Unlock()
+}
+
+// Injected reports how many faults of one kind ("drop", "status", "torn",
+// "delay") were injected.
+func (t *Transport) Injected(kind string) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counts[kind]
+}
+
+// TotalInjected sums all injected faults.
+func (t *Transport) TotalInjected() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n uint64
+	for _, c := range t.counts {
+		n += c
+	}
+	return n
+}
+
+func (t *Transport) record(kind string) {
+	t.counts[kind]++ // caller holds t.mu
+	metricInjected.With(kind).Inc()
+}
+
+// decide rolls the dice for one request under the lock and returns the
+// chosen fault kind plus the matched rule.
+func (t *Transport) decide(path string) (string, Rule) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range t.rules {
+		if r.Path != "" && !strings.HasPrefix(path, r.Path) {
+			continue
+		}
+		switch {
+		case r.Drop > 0 && t.rng.Float64() < r.Drop:
+			t.record("drop")
+			return "drop", r
+		case r.Status > 0 && t.rng.Float64() < r.Status:
+			t.record("status")
+			return "status", r
+		case r.Torn > 0 && t.rng.Float64() < r.Torn:
+			t.record("torn")
+			return "torn", r
+		}
+		if r.Delay > 0 {
+			t.record("delay")
+			return "delay", r
+		}
+		return "", r
+	}
+	return "", Rule{}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	kind, rule := t.decide(req.URL.Path)
+	if rule.Delay > 0 && kind != "drop" && kind != "status" {
+		timer := time.NewTimer(rule.Delay)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	switch kind {
+	case "drop":
+		// Consume the body like a real transport would have started to.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, &DroppedError{Path: req.URL.Path}
+	case "status":
+		code := rule.StatusCode
+		if code == 0 {
+			code = http.StatusServiceUnavailable
+		}
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		body := fmt.Sprintf(`{"error":"faultnet: injected HTTP %d"}`, code)
+		h := http.Header{"Content-Type": []string{"application/json"}}
+		if rule.RetryAfter > 0 {
+			secs := int(rule.RetryAfter / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			h.Set("Retry-After", strconv.Itoa(secs))
+		}
+		return &http.Response{
+			Status:        http.StatusText(code),
+			StatusCode:    code,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        h,
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case "torn":
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		resp.Body = &tornBody{r: bytes.NewReader(data[:len(data)/2])}
+		resp.ContentLength = -1
+		resp.Header.Del("Content-Length")
+		return resp, nil
+	default:
+		return t.inner.RoundTrip(req)
+	}
+}
+
+// tornBody yields half the real body and then fails like a severed
+// connection.
+type tornBody struct{ r *bytes.Reader }
+
+func (b *tornBody) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	if err == io.EOF {
+		return n, io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *tornBody) Close() error { return nil }

@@ -1,0 +1,121 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestDropInjection(t *testing.T) {
+	served := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+	}))
+	defer srv.Close()
+	tr := New(1, nil, Rule{Drop: 1})
+	hc := &http.Client{Transport: tr}
+	_, err := hc.Get(srv.URL + "/api/upload")
+	if err == nil {
+		t.Fatal("dropped request should error")
+	}
+	var de *DroppedError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want DroppedError inside url.Error", err)
+	}
+	if served != 0 {
+		t.Fatal("dropped request must not reach the server")
+	}
+	if tr.Injected("drop") != 1 {
+		t.Fatalf("drop count = %d", tr.Injected("drop"))
+	}
+}
+
+func TestStatusInjection(t *testing.T) {
+	served := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+	}))
+	defer srv.Close()
+	tr := New(1, nil, Rule{Status: 1, StatusCode: 503, RetryAfter: 2 * time.Second})
+	hc := &http.Client{Transport: tr}
+	resp, err := hc.Get(srv.URL + "/api/sync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "2" {
+		t.Fatalf("Retry-After = %q, want 2", resp.Header.Get("Retry-After"))
+	}
+	if served != 0 {
+		t.Fatal("synthesized status must not reach the server")
+	}
+}
+
+func TestTornBodyReachesServer(t *testing.T) {
+	served := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		w.Write([]byte(`{"accepted":12,"duplicates":0,"rejected":0}`))
+	}))
+	defer srv.Close()
+	tr := New(1, nil, Rule{Torn: 1})
+	hc := &http.Client{Transport: tr}
+	resp, err := hc.Get(srv.URL + "/api/upload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	_, rerr := io.ReadAll(resp.Body)
+	if !errors.Is(rerr, io.ErrUnexpectedEOF) {
+		t.Fatalf("read err = %v, want ErrUnexpectedEOF", rerr)
+	}
+	if served != 1 {
+		t.Fatal("torn request must still reach the server — that is the point")
+	}
+}
+
+func TestPathScopingAndReconfigure(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	tr := New(1, nil, Rule{Path: "/api/sync", Drop: 1})
+	hc := &http.Client{Transport: tr}
+
+	if _, err := hc.Get(srv.URL + "/api/upload"); err != nil {
+		t.Fatalf("unmatched path should pass through: %v", err)
+	}
+	if _, err := hc.Get(srv.URL + "/api/sync"); err == nil {
+		t.Fatal("matched path should drop")
+	}
+	tr.Configure() // heal the partition
+	resp, err := hc.Get(srv.URL + "/api/sync")
+	if err != nil {
+		t.Fatalf("healed path should pass: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestDeterministicSeeding(t *testing.T) {
+	roll := func(seed int64) []bool {
+		tr := New(seed, nil, Rule{Drop: 0.5})
+		out := make([]bool, 20)
+		for i := range out {
+			kind, _ := tr.decide("/x")
+			out[i] = kind == "drop"
+		}
+		return out
+	}
+	a, b := roll(42), roll(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must produce the same fault sequence")
+		}
+	}
+}

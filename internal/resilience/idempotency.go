@@ -1,0 +1,90 @@
+package resilience
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CachedResponse is the replayable outcome of one idempotent mutation:
+// enough to answer a retried request byte-for-byte without re-executing it.
+type CachedResponse struct {
+	// Status is the HTTP status the first execution produced.
+	Status int
+	// Body is the response body.
+	Body []byte
+	// ContentType is the response Content-Type header.
+	ContentType string
+}
+
+// IdemCache is a bounded LRU of idempotency-key → response. Servers
+// consult it before executing a mutation carrying an X-Idempotency-Key, so
+// a client retry whose first attempt actually reached the server (lost
+// response, torn body) replays the original outcome instead of applying
+// the mutation twice. Bounding by entry count keeps memory finite: a key
+// evicted before its retry arrives degrades to at-least-once for that one
+// request, which the version-checked sync path and the upload merge logic
+// tolerate.
+type IdemCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent
+	items map[string]*list.Element
+}
+
+type idemEntry struct {
+	key  string
+	resp CachedResponse
+}
+
+// DefaultIdemEntries is the default cache bound (per server).
+const DefaultIdemEntries = 4096
+
+// NewIdemCache returns a cache bounded to capacity entries
+// (DefaultIdemEntries when capacity <= 0).
+func NewIdemCache(capacity int) *IdemCache {
+	if capacity <= 0 {
+		capacity = DefaultIdemEntries
+	}
+	return &IdemCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached response for key, refreshing its recency.
+func (c *IdemCache) Get(key string) (CachedResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return CachedResponse{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*idemEntry).resp, true
+}
+
+// Put records the outcome of a completed mutation, evicting the least
+// recently used entry when full. Re-putting an existing key replaces it.
+func (c *IdemCache) Put(key string, resp CachedResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*idemEntry).resp = resp
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&idemEntry{key: key, resp: resp})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*idemEntry).key)
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *IdemCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

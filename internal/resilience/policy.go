@@ -1,0 +1,235 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"sensorsafe/internal/obs"
+)
+
+// Retry metrics, labeled by logical operation (API path) so a dashboard
+// can tell which hop is flapping.
+var (
+	metricRetries = obs.NewCounterVec("sensorsafe_resilience_retries_total",
+		"Retry attempts issued after a retryable failure, by operation.", "op")
+	metricGiveUps = obs.NewCounterVec("sensorsafe_resilience_giveups_total",
+		"Operations abandoned after retries, by operation and reason.", "op", "reason")
+	metricBudgetDenied = obs.NewCounter("sensorsafe_resilience_budget_denied_total",
+		"Retries suppressed because the retry budget was exhausted.")
+)
+
+// Budget is a token-bucket retry budget shared by all operations on one
+// client: every success deposits a fraction of a token, every retry
+// withdraws a whole one, so retries stay a bounded fraction of traffic and
+// a hard outage cannot trigger a retry storm.
+type Budget struct {
+	mu      sync.Mutex
+	tokens  float64
+	max     float64
+	deposit float64
+}
+
+// NewBudget returns a budget allowing roughly perSuccess retries per
+// successful request, with an initial (and maximum) burst allowance.
+func NewBudget(perSuccess, burst float64) *Budget {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Budget{tokens: burst, max: burst, deposit: perSuccess}
+}
+
+// Deposit credits the budget after a success.
+func (b *Budget) Deposit() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.tokens += b.deposit
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+	b.mu.Unlock()
+}
+
+// Withdraw takes one retry token, reporting false when the budget is dry.
+func (b *Budget) Withdraw() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Policy drives retries for one client: capped exponential backoff with
+// jitter, optional per-attempt timeouts, an optional shared budget, and
+// respect for server Retry-After hints. The zero value retries nothing; use
+// Default() for sane production settings. A Policy is safe for concurrent
+// use.
+type Policy struct {
+	// MaxAttempts is the total number of tries (1 = no retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 50ms when
+	// MaxAttempts > 1).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 2s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay per attempt (default 2).
+	Multiplier float64
+	// Jitter is the randomized fraction of each delay in [0,1] (default
+	// 0.2): delay is scaled by 1-Jitter/2+Jitter*rand.
+	Jitter float64
+	// PerAttemptTimeout bounds each individual try (0 = only the caller's
+	// context and the HTTP client timeout apply).
+	PerAttemptTimeout time.Duration
+	// Budget, when set, rate-limits retries across the whole client.
+	Budget *Budget
+	// Seed makes the jitter deterministic for tests (0 = a fixed default
+	// seed; determinism beats entropy here, jitter only needs to decorrelate
+	// concurrent retriers).
+	Seed int64
+	// Sleep is a test seam for the backoff wait; nil uses a real timer that
+	// honors ctx cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+
+	rngOnce sync.Once
+	rngMu   sync.Mutex
+	rng     *rand.Rand
+}
+
+// Default returns the shared production policy: 4 attempts, 50ms backoff
+// doubling to a 2s cap with 20% jitter.
+func Default() *Policy { return defaultPolicy }
+
+var defaultPolicy = &Policy{MaxAttempts: 4}
+
+// attempts resolves the effective attempt count.
+func (p *Policy) attempts() int {
+	if p == nil || p.MaxAttempts <= 0 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// jitterFactor draws a deterministic multiplicative jitter in
+// [1-Jitter/2, 1+Jitter/2].
+func (p *Policy) jitterFactor() float64 {
+	j := p.Jitter
+	if j == 0 {
+		j = 0.2
+	}
+	p.rngOnce.Do(func() {
+		seed := p.Seed
+		if seed == 0 {
+			seed = 0x5e50a4 // "sensoa"-ish; fixed so runs are reproducible
+		}
+		p.rng = rand.New(rand.NewSource(seed))
+	})
+	p.rngMu.Lock()
+	f := p.rng.Float64()
+	p.rngMu.Unlock()
+	return 1 - j/2 + j*f
+}
+
+// backoff computes the delay before retry i (0-based), folding in the
+// server's Retry-After hint when it is larger.
+func (p *Policy) backoff(i int, hint time.Duration) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxD := p.MaxDelay
+	if maxD <= 0 {
+		maxD = 2 * time.Second
+	}
+	mult := p.Multiplier
+	if mult <= 1 {
+		mult = 2
+	}
+	d := float64(base)
+	for k := 0; k < i; k++ {
+		d *= mult
+		if d >= float64(maxD) {
+			break
+		}
+	}
+	delay := time.Duration(d * p.jitterFactor())
+	if delay > maxD {
+		delay = maxD
+	}
+	if hint > delay {
+		delay = hint // the server knows its own recovery horizon best
+	}
+	return delay
+}
+
+// sleep waits out a backoff, aborting early if ctx ends.
+func (p *Policy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Do runs fn under the policy: each attempt gets its own (optionally
+// deadlined) child context; retryable failures back off and try again
+// until the attempts, the budget, or the caller's context run out. op
+// labels the retry metrics.
+func (p *Policy) Do(ctx context.Context, op string, fn func(ctx context.Context) error) error {
+	if p == nil {
+		p = defaultPolicy
+	}
+	attempts := p.attempts()
+	var err error
+	for i := 0; i < attempts; i++ {
+		actx := ctx
+		cancel := context.CancelFunc(func() {})
+		if p.PerAttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, p.PerAttemptTimeout)
+		}
+		err = fn(actx)
+		cancel()
+		if err == nil {
+			p.Budget.Deposit()
+			return nil
+		}
+		if ctx.Err() != nil {
+			metricGiveUps.With(op, "canceled").Inc()
+			return err
+		}
+		if !Retryable(err) {
+			if i > 0 {
+				metricGiveUps.With(op, "terminal").Inc()
+			}
+			return err
+		}
+		if i+1 >= attempts {
+			metricGiveUps.With(op, "attempts").Inc()
+			return fmt.Errorf("resilience: %s failed after %d attempts: %w", op, attempts, err)
+		}
+		if !p.Budget.Withdraw() {
+			metricBudgetDenied.Inc()
+			metricGiveUps.With(op, "budget").Inc()
+			return fmt.Errorf("resilience: %s retry budget exhausted: %w", op, err)
+		}
+		metricRetries.With(op).Inc()
+		if serr := p.sleep(ctx, p.backoff(i, RetryAfterOf(err))); serr != nil {
+			return fmt.Errorf("resilience: %s interrupted during backoff: %w", op, err)
+		}
+	}
+	return err
+}
