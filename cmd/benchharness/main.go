@@ -2,11 +2,12 @@
 // and EXPERIMENTS.md: the Table 1 feature matrix (E1), wave-segment
 // optimization (E2), the broker data-path comparison (E3), rule-evaluation
 // overhead (E4), contributor-search scaling (E5), and privacy-rule-aware
-// collection savings (E6), live-sharing fan-out (E9), and upload
-// resilience under injected network faults (E10). E7 (Fig. 4 JSON round
-// trip) and E8 (dependency closure) are correctness properties covered by
-// the test suite; the harness re-runs their core assertions and reports
-// PASS/FAIL.
+// collection savings (E6), live-sharing fan-out (E9), upload resilience
+// under injected network faults (E10), and federated cohort-query
+// scatter-gather vs the sequential consumer loop (E11). E7 (Fig. 4 JSON
+// round trip) and E8 (dependency closure) are correctness properties
+// covered by the test suite; the harness re-runs their core assertions and
+// reports PASS/FAIL.
 //
 // Usage:
 //
@@ -105,6 +106,14 @@ func main() {
 				cfg.Minutes = 2
 			}
 			return experiments.RunE10(cfg)
+		}},
+		{"E11", func() (*experiments.Table, error) {
+			cfg := experiments.DefaultE11()
+			if *quick {
+				cfg.StoreCounts = []int{1, 10}
+				cfg.Rounds = 1
+			}
+			return experiments.RunE11(cfg)
 		}},
 	}
 

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,7 +24,9 @@ import (
 	"sensorsafe/internal/abstraction"
 	"sensorsafe/internal/auth"
 	"sensorsafe/internal/broker"
+	"sensorsafe/internal/federation"
 	"sensorsafe/internal/httpapi"
+	"sensorsafe/internal/query"
 	"sensorsafe/internal/stream"
 	"sensorsafe/internal/timeutil"
 )
@@ -35,7 +38,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: consumercli [flags] <directory|search|query|follow> [subflags]")
+		fmt.Fprintln(os.Stderr, "usage: consumercli [flags] <directory|search|query|cohort|follow> [subflags]")
 		os.Exit(2)
 	}
 	bc := &httpapi.BrokerClient{BaseURL: *brokerURL}
@@ -157,6 +160,88 @@ func main() {
 				ctxs = append(ctxs, c.Context)
 			}
 			fmt.Printf("[%3d] %s | %s | %s | contexts %v\n", i, span, loc, chans, ctxs)
+		}
+
+	case "cohort":
+		fs := flag.NewFlagSet("cohort", flag.ExitOnError)
+		contributors := fs.String("contributors", "", "comma-separated explicit cohort")
+		list := fs.String("list", "", "saved contributor list name")
+		study := fs.String("study", "", "study whose enrolled contributor roster is the cohort")
+		sensors := fs.String("sensors", "", "search: sensors that must be shared raw")
+		label := fs.String("label", "", "search: contributor-defined location label")
+		contexts := fs.String("while", "", "search: comma-separated active contexts")
+		qtext := fs.String("q", "", "per-store data query in the mini-language (empty = everything)")
+		limit := fs.Int("limit", 0, "releases per page (0 = everything)")
+		cursor := fs.String("cursor", "", "resume cursor from a previous page")
+		par := fs.Int("par", 0, "max concurrent store fetches (0 = default 16)")
+		timeout := fs.Duration("timeout", 10*time.Second, "per-store deadline")
+		hedge := fs.Duration("hedge", 0, "hedge stragglers after this delay (0 = off)")
+		_ = fs.Parse(flag.Args()[1:])
+
+		var cohort federation.Cohort
+		switch {
+		case *contributors != "":
+			cohort.Contributors = strings.Split(*contributors, ",")
+		case *list != "":
+			cohort.List = *list
+		case *study != "":
+			cohort.Study = *study
+		default:
+			sq := &broker.SearchQuery{LocationLabel: *label}
+			if *sensors != "" {
+				sq.Sensors = strings.Split(*sensors, ",")
+			}
+			if *contexts != "" {
+				sq.ActiveContexts = strings.Split(*contexts, ",")
+			}
+			cohort.Search = sq
+		}
+		var dq *query.Query
+		if *qtext != "" {
+			var err error
+			if dq, err = query.Parse(*qtext); err != nil {
+				log.Fatalf("consumercli: %v", err)
+			}
+		}
+		eng := httpapi.NewFederation(bc, apiKey, federation.Options{
+			Concurrency:     *par,
+			PerStoreTimeout: *timeout,
+			HedgeAfter:      *hedge,
+		})
+		res, err := eng.CohortQuery(context.Background(), &federation.Request{
+			Cohort: cohort, Query: dq, Limit: *limit, Cursor: *cursor,
+		})
+		if err != nil {
+			log.Fatalf("consumercli: cohort: %v", err)
+		}
+		for i, rel := range res.Releases {
+			fmt.Printf("%-14s ", rel.Contributor)
+			printRelease(i, rel)
+		}
+		fmt.Printf("\n%d releases from %d stores\n", len(res.Releases), len(res.Reports))
+		for _, rep := range res.Reports {
+			line := fmt.Sprintf("  %-20s %-30s %-11s %3d released  %6.1fms",
+				rep.Contributor, rep.StoreAddr, rep.Outcome, rep.Releases,
+				float64(rep.Latency.Microseconds())/1000)
+			if rep.Remaining > 0 {
+				line += fmt.Sprintf("  +%d behind cursor", rep.Remaining)
+			}
+			if rep.Hedged {
+				line += "  hedged"
+				if rep.HedgeWon {
+					line += " (won)"
+				}
+			}
+			if rep.Error != "" {
+				line += "  " + rep.Error
+			}
+			fmt.Println(line)
+		}
+		if res.Partial {
+			fmt.Println("PARTIAL RESULT: some stores are missing (see outcomes above)")
+		}
+		if res.Cursor != "" {
+			fmt.Printf("next page: -cursor %s\n", res.Cursor)
 		}
 
 	case "follow":

@@ -102,7 +102,8 @@ type Service struct {
 	contributors map[string]*contributorEntry
 	consumers    map[string]*consumerEntry
 	stores       map[string]StoreConn
-	studies      map[string]map[string]bool // study → consumer set
+	studies      map[string]map[string]bool   // study → consumer set
+	rosters      map[string]map[string]string // study → norm contributor → display name
 	dial         func(addr string) StoreConn
 }
 
@@ -115,6 +116,7 @@ func New() *Service {
 		consumers:    make(map[string]*consumerEntry),
 		stores:       make(map[string]StoreConn),
 		studies:      make(map[string]map[string]bool),
+		rosters:      make(map[string]map[string]string),
 	}
 }
 
@@ -483,6 +485,44 @@ func (s *Service) JoinStudy(key auth.APIKey, study string) error {
 	}
 	s.mu.Unlock()
 	return s.saveState()
+}
+
+// EnrollContributor adds a contributor to a study's cohort roster — the
+// fixed participant list a federated cohort query can target with the
+// study selector. The contributor need not be in the directory yet;
+// resolution happens at query time.
+func (s *Service) EnrollContributor(study, contributor string) error {
+	if norm(contributor) == "" {
+		return fmt.Errorf("broker: empty contributor name")
+	}
+	s.mu.Lock()
+	if _, ok := s.studies[norm(study)]; !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownStudy, study)
+	}
+	roster, ok := s.rosters[norm(study)]
+	if !ok {
+		roster = make(map[string]string)
+		s.rosters[norm(study)] = roster
+	}
+	roster[norm(contributor)] = contributor
+	s.mu.Unlock()
+	return s.saveState()
+}
+
+// StudyContributors lists a study's enrolled contributor cohort, sorted.
+func (s *Service) StudyContributors(study string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.studies[norm(study)]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownStudy, study)
+	}
+	out := make([]string, 0, len(s.rosters[norm(study)]))
+	for _, name := range s.rosters[norm(study)] {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
 }
 
 // StudyMembers lists a study's consumers, sorted.

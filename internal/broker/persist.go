@@ -45,6 +45,9 @@ type persistedBrokerState struct {
 	Contributors map[string]*persistedBrokerContributor `json:"contributors"`
 	Consumers    map[string]*persistedBrokerConsumer    `json:"consumers"`
 	Studies      map[string][]string                    `json:"studies"`
+	// StudyRosters holds each study's enrolled contributor cohort (display
+	// names; map keys re-derive by normalization on load).
+	StudyRosters map[string][]string `json:"studyRosters,omitempty"`
 }
 
 // NewPersistent opens a broker whose state survives restarts in dir.
@@ -138,6 +141,17 @@ func (s *Service) snapshotState() (*persistedBrokerState, error) {
 		sort.Strings(out)
 		st.Studies[study] = out
 	}
+	for study, roster := range s.rosters {
+		var out []string
+		for _, name := range roster {
+			out = append(out, name)
+		}
+		sort.Strings(out)
+		if st.StudyRosters == nil {
+			st.StudyRosters = make(map[string][]string)
+		}
+		st.StudyRosters[study] = out
+	}
 	return st, nil
 }
 
@@ -206,6 +220,13 @@ func (s *Service) loadState() error {
 			set[m] = true
 		}
 		s.studies[study] = set
+	}
+	for study, names := range st.StudyRosters {
+		roster := make(map[string]string, len(names))
+		for _, n := range names {
+			roster[norm(n)] = n
+		}
+		s.rosters[study] = roster
 	}
 	return nil
 }

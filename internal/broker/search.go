@@ -68,10 +68,33 @@ func (q *SearchQuery) Validate() error {
 	return nil
 }
 
+// SearchHit pairs a matched contributor with the store holding their
+// data, so a consumer (or the federation engine) can fan out queries to
+// the stores without a Directory round-trip per hit.
+type SearchHit struct {
+	Contributor string `json:"contributor"`
+	StoreAddr   string `json:"storeAddr"`
+}
+
 // Search returns the names of contributors whose replicated rules release
 // everything the query demands to this consumer, sorted. A contributor
 // matches when at least one probe location passes at every probe instant.
 func (s *Service) Search(key auth.APIKey, q *SearchQuery) ([]string, error) {
+	hits, err := s.SearchInfo(key, q)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(hits))
+	for i, h := range hits {
+		names[i] = h.Contributor
+	}
+	return names, nil
+}
+
+// SearchInfo is Search with store addresses: it returns {contributor,
+// storeAddr} pairs sorted by contributor, the one-call resolution path
+// federated cohort queries are built on.
+func (s *Service) SearchInfo(key auth.APIKey, q *SearchQuery) ([]SearchHit, error) {
 	defer obs.Time(context.Background(), "broker.search")()
 	metricSearches.Inc()
 	u, e, err := s.authConsumer(key)
@@ -85,16 +108,16 @@ func (s *Service) Search(key auth.APIKey, q *SearchQuery) ([]string, error) {
 	defer s.mu.RUnlock()
 
 	groups := append([]string(nil), e.groups...)
-	var matched []string
+	var matched []SearchHit
 	for _, ce := range s.contributors {
 		if ce.engine == nil {
 			continue // no rules replicated yet: default deny
 		}
 		if s.contributorMatches(ce, u.Name, groups, q) {
-			matched = append(matched, ce.name)
+			matched = append(matched, SearchHit{Contributor: ce.name, StoreAddr: ce.storeAddr})
 		}
 	}
-	sort.Strings(matched)
+	sort.Slice(matched, func(i, j int) bool { return matched[i].Contributor < matched[j].Contributor })
 	return matched, nil
 }
 

@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"sensorsafe/internal/abstraction"
+	"sensorsafe/internal/auth"
+	"sensorsafe/internal/broker"
+	"sensorsafe/internal/federation"
+	"sensorsafe/internal/query"
+)
+
+// E11Config parameterizes the federated cohort-query experiment: a cohort
+// spread over N simulated stores (fixed per-call latency plus a seeded
+// straggler fraction) is fetched three ways — sequentially (connect+query
+// one store at a time, the naive consumer loop), through the federation
+// engine, and through the engine with hedged requests — and the wall-clock
+// times are compared.
+type E11Config struct {
+	// StoreCounts sweeps the cohort width.
+	StoreCounts []int
+	// PerStoreLatency is the simulated base cost of one store query.
+	PerStoreLatency time.Duration
+	// SlowFraction of store calls straggle at SlowLatency instead.
+	SlowFraction float64
+	// SlowLatency is the straggler's per-call cost.
+	SlowLatency time.Duration
+	// SegmentsPerStore is how many releases each store returns.
+	SegmentsPerStore int
+	// Concurrency bounds the engine's fan-out workers.
+	Concurrency int
+	// HedgeAfter is the hedged variant's duplicate-request delay.
+	HedgeAfter time.Duration
+	// Rounds per cell; the minimum is reported (steady-state cost).
+	Rounds int
+	// Seed drives the straggler coin flips so runs reproduce.
+	Seed int64
+}
+
+// DefaultE11 sweeps 1/10/50 stores at 2ms per call with 10% stragglers at
+// 20ms — small enough for CI, wide enough that fan-out and hedging are
+// both visible.
+func DefaultE11() E11Config {
+	return E11Config{
+		StoreCounts:      []int{1, 10, 50},
+		PerStoreLatency:  2 * time.Millisecond,
+		SlowFraction:     0.1,
+		SlowLatency:      20 * time.Millisecond,
+		SegmentsPerStore: 4,
+		Concurrency:      16,
+		HedgeAfter:       5 * time.Millisecond,
+		Rounds:           3,
+		Seed:             0xE11,
+	}
+}
+
+// e11Store simulates one remote store: every query costs the base latency,
+// or the straggler latency with probability SlowFraction, then returns the
+// store's canned releases. The per-call coin flip means a hedged retry is
+// usually fast — exactly the tail-latency shape hedging exists for.
+type e11Store struct {
+	name string
+	rels []*abstraction.Release
+	base time.Duration
+	slow time.Duration
+	frac float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (s *e11Store) QueryCtx(ctx context.Context, _ auth.APIKey, _ *query.Query) ([]*abstraction.Release, error) {
+	d := s.base
+	s.mu.Lock()
+	if s.frac > 0 && s.rng.Float64() < s.frac {
+		d = s.slow
+	}
+	s.mu.Unlock()
+	select {
+	case <-time.After(d):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return s.rels, nil
+}
+
+// e11Broker resolves the simulated cohort; Connect is instant so the
+// measured difference is purely the query fan-out strategy.
+type e11Broker struct {
+	stores map[string]*e11Store
+}
+
+func (b *e11Broker) SearchInfoCtx(context.Context, auth.APIKey, *broker.SearchQuery) ([]broker.SearchHit, error) {
+	var hits []broker.SearchHit
+	for name := range b.stores {
+		hits = append(hits, broker.SearchHit{Contributor: name, StoreAddr: name})
+	}
+	return hits, nil
+}
+
+func (b *e11Broker) DirectoryCtx(context.Context, auth.APIKey) ([]broker.ContributorInfo, error) {
+	var dir []broker.ContributorInfo
+	for name := range b.stores {
+		dir = append(dir, broker.ContributorInfo{Name: name, StoreAddr: name})
+	}
+	return dir, nil
+}
+
+func (b *e11Broker) ListCtx(context.Context, auth.APIKey, string) ([]string, error) {
+	return nil, fmt.Errorf("e11: no lists")
+}
+
+func (b *e11Broker) StudyContributorsCtx(context.Context, string) ([]string, error) {
+	return nil, fmt.Errorf("e11: no studies")
+}
+
+func (b *e11Broker) ConnectCtx(_ context.Context, _ auth.APIKey, contributor string) (broker.Credential, error) {
+	return broker.Credential{StoreAddr: contributor, Key: auth.APIKey("key-" + contributor)}, nil
+}
+
+// RunE11 measures federated scatter-gather against the naive sequential
+// consumer loop across cohort widths, with and without hedged requests.
+func RunE11(cfg E11Config) (*Table, error) {
+	t := &Table{
+		ID:      "E11",
+		Caption: "federated cohort queries: sequential vs scatter-gather vs hedged scatter-gather",
+		Headers: []string{"stores", "releases", "sequential", "federated", "hedged", "speedup", "verdict"},
+		Notes: []string{
+			fmt.Sprintf("simulated stores: %v per query, %.0f%% stragglers at %v; connect is free so the columns isolate the fan-out strategy",
+				cfg.PerStoreLatency, cfg.SlowFraction*100, cfg.SlowLatency),
+			fmt.Sprintf("federated = engine with %d workers, unhedged; hedged adds a duplicate request after %v", cfg.Concurrency, cfg.HedgeAfter),
+			fmt.Sprintf("best of %d rounds per cell; verdict checks result equality and the >=5x speedup target at the widest cohort", cfg.Rounds),
+		},
+	}
+	for _, n := range cfg.StoreCounts {
+		row, err := e11Cell(cfg, n)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func e11Cell(cfg E11Config, n int) ([]string, error) {
+	stores := make(map[string]*e11Store, n)
+	var names []string
+	base := time.Date(2026, 8, 5, 8, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("c%03d", i)
+		rels := make([]*abstraction.Release, cfg.SegmentsPerStore)
+		for j := range rels {
+			start := base.Add(time.Duration(i)*time.Minute + time.Duration(j)*time.Hour)
+			rels[j] = &abstraction.Release{Contributor: name, Start: start, End: start.Add(time.Minute)}
+		}
+		stores[name] = &e11Store{
+			name: name, rels: rels,
+			base: cfg.PerStoreLatency, slow: cfg.SlowLatency, frac: cfg.SlowFraction,
+			rng: rand.New(rand.NewSource(cfg.Seed + int64(i))),
+		}
+		names = append(names, name)
+	}
+	bk := &e11Broker{stores: stores}
+	ctx := context.Background()
+
+	// Sequential baseline: the pre-federation consumer loop — connect and
+	// query one store at a time, then sort client-side.
+	sequential := func() (int, error) {
+		var all []*abstraction.Release
+		for _, name := range names {
+			cred, err := bk.ConnectCtx(ctx, "k", name)
+			if err != nil {
+				return 0, err
+			}
+			rels, err := stores[cred.StoreAddr].QueryCtx(ctx, cred.Key, &query.Query{Contributor: name})
+			if err != nil {
+				return 0, err
+			}
+			all = append(all, rels...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].Start.Before(all[j].Start) })
+		return len(all), nil
+	}
+
+	engine := func(hedge time.Duration) *federation.Engine {
+		return &federation.Engine{
+			Broker: bk, Key: "k",
+			Dial: func(addr string) federation.Store { return stores[addr] },
+			Options: federation.Options{
+				Concurrency:     cfg.Concurrency,
+				PerStoreTimeout: 10 * time.Second,
+				HedgeAfter:      hedge,
+			},
+		}
+	}
+	federated := func(eng *federation.Engine) (int, bool, error) {
+		res, err := eng.CohortQuery(ctx, &federation.Request{
+			Cohort: federation.Cohort{Contributors: names},
+		})
+		if err != nil {
+			return 0, false, err
+		}
+		return len(res.Releases), res.Partial, nil
+	}
+
+	want := n * cfg.SegmentsPerStore
+	verdict := "PASS"
+	timeIt := func(f func() (int, error)) (time.Duration, error) {
+		best := time.Duration(0)
+		for r := 0; r < cfg.Rounds; r++ {
+			start := time.Now()
+			got, err := f()
+			d := time.Since(start)
+			if err != nil {
+				return 0, err
+			}
+			if got != want {
+				verdict = fmt.Sprintf("FAIL: %d releases, want %d", got, want)
+			}
+			if r == 0 || d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+
+	seqT, err := timeIt(sequential)
+	if err != nil {
+		return nil, err
+	}
+	engPlain, engHedged := engine(0), engine(cfg.HedgeAfter)
+	fedT, err := timeIt(func() (int, error) {
+		got, partial, err := federated(engPlain)
+		if partial {
+			verdict = "FAIL: partial result with all stores up"
+		}
+		return got, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	hedgedT, err := timeIt(func() (int, error) {
+		got, partial, err := federated(engHedged)
+		if partial {
+			verdict = "FAIL: partial result with all stores up"
+		}
+		return got, err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	speedup := float64(seqT) / float64(fedT)
+	// The acceptance bar: at the widest cohort the engine must beat the
+	// sequential loop by >=5x.
+	if n == cfg.StoreCounts[len(cfg.StoreCounts)-1] && n >= 50 && speedup < 5 && verdict == "PASS" {
+		verdict = fmt.Sprintf("FAIL: %.1fx < 5x at %d stores", speedup, n)
+	}
+	return []string{
+		fmt.Sprintf("%d", n),
+		fmt.Sprintf("%d", want),
+		fmtDur(seqT),
+		fmtDur(fedT),
+		fmtDur(hedgedT),
+		fmt.Sprintf("%.1fx", speedup),
+		verdict,
+	}, nil
+}
+
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 // assertAllPass fails on any FAIL verdict cell.
@@ -155,5 +156,34 @@ func TestE5Helpers(t *testing.T) {
 	}
 	if len(got) != 2 { // contributors 0 and 3
 		t.Errorf("matches = %v", got)
+	}
+}
+
+func TestRunE11Shape(t *testing.T) {
+	table, err := RunE11(E11Config{
+		StoreCounts:      []int{1, 5},
+		PerStoreLatency:  time.Millisecond,
+		SlowFraction:     0.2,
+		SlowLatency:      5 * time.Millisecond,
+		SegmentsPerStore: 2,
+		Concurrency:      8,
+		HedgeAfter:       2 * time.Millisecond,
+		Rounds:           1,
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		if row[len(row)-1] != "PASS" {
+			t.Errorf("stores=%s verdict = %q (row %v)", row[0], row[len(row)-1], row)
+		}
+	}
+	// 5 stores × 2 segments: both strategies must agree on the result.
+	if table.Rows[1][1] != "10" {
+		t.Errorf("releases = %s, want 10", table.Rows[1][1])
 	}
 }

@@ -1,0 +1,124 @@
+package federation
+
+import (
+	"container/heap"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"sensorsafe/internal/abstraction"
+)
+
+// Cursor state: a cohort page is resumable because the engine records, per
+// contributor, how many releases have already been delivered. Each store's
+// result is deterministically ordered (start, end, stream position), so
+// "skip the first n" is a stable resume point even though the stores
+// themselves are stateless between pages. The cursor is an opaque
+// base64(JSON) token; consumers round-trip it untouched.
+type cursorState struct {
+	// Consumed maps contributor → releases already delivered.
+	Consumed map[string]int `json:"c"`
+}
+
+func encodeCursor(st *cursorState) string {
+	if st == nil || len(st.Consumed) == 0 {
+		return ""
+	}
+	data, _ := json.Marshal(st)
+	return base64.RawURLEncoding.EncodeToString(data)
+}
+
+func decodeCursor(s string) (*cursorState, error) {
+	st := &cursorState{Consumed: make(map[string]int)}
+	if s == "" {
+		return st, nil
+	}
+	data, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("federation: bad cursor: %w", err)
+	}
+	if err := json.Unmarshal(data, st); err != nil {
+		return nil, fmt.Errorf("federation: bad cursor: %w", err)
+	}
+	if st.Consumed == nil {
+		st.Consumed = make(map[string]int)
+	}
+	return st, nil
+}
+
+// sortReleases orders one store's releases deterministically: by start,
+// then end, then original position (stores already emit scan order; the
+// sort is stable so equal-timestamp spans keep it).
+func sortReleases(rels []*abstraction.Release) {
+	sort.SliceStable(rels, func(i, j int) bool {
+		if !rels[i].Start.Equal(rels[j].Start) {
+			return rels[i].Start.Before(rels[j].Start)
+		}
+		return rels[i].End.Before(rels[j].End)
+	})
+}
+
+// mergeStream is one store's cursor-advanced release slice inside the
+// k-way merge.
+type mergeStream struct {
+	contributor string
+	rels        []*abstraction.Release
+	pos         int
+}
+
+type mergeHeap []*mergeStream
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	a, b := h[i].rels[h[i].pos], h[j].rels[h[j].pos]
+	if !a.Start.Equal(b.Start) {
+		return a.Start.Before(b.Start)
+	}
+	if !a.End.Equal(b.End) {
+		return a.End.Before(b.End)
+	}
+	return h[i].contributor < h[j].contributor
+}
+func (h mergeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)        { *h = append(*h, x.(*mergeStream)) }
+func (h *mergeHeap) Pop() any          { old := *h; n := len(old); s := old[n-1]; *h = old[:n-1]; return s }
+func (h mergeHeap) peek() *mergeStream { return h[0] }
+
+// mergePage runs the streaming k-way merge: it skips each stream past its
+// cursor position, yields up to limit releases in global (start, end,
+// contributor) order, and returns the per-contributor delivered counts for
+// this page plus whether any stream still has releases waiting.
+func mergePage(streams []*mergeStream, cur *cursorState, limit int) (out []*abstraction.Release, delivered map[string]int, more bool) {
+	delivered = make(map[string]int)
+	h := make(mergeHeap, 0, len(streams))
+	for _, s := range streams {
+		sortReleases(s.rels)
+		s.pos = cur.Consumed[s.contributor]
+		if s.pos > len(s.rels) {
+			// The store returned fewer releases than a previous page
+			// consumed (rules tightened between pages): nothing new.
+			s.pos = len(s.rels)
+		}
+		if s.pos < len(s.rels) {
+			h = append(h, s)
+		}
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		if limit > 0 && len(out) >= limit {
+			more = true
+			break
+		}
+		s := h.peek()
+		out = append(out, s.rels[s.pos])
+		delivered[s.contributor]++
+		s.pos++
+		if s.pos < len(s.rels) {
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return out, delivered, more
+}

@@ -78,12 +78,17 @@ type listGetResp struct {
 }
 
 type studyReq struct {
-	Key   auth.APIKey `json:"key"`
-	Study string      `json:"study"`
+	Key         auth.APIKey `json:"key"`
+	Study       string      `json:"study"`
+	Contributor string      `json:"contributor,omitempty"`
 }
 
 type studyMembersResp struct {
 	Members []string `json:"members"`
+}
+
+type studyContributorsResp struct {
+	Contributors []string `json:"contributors"`
 }
 
 // searchWire is the JSON form of broker.SearchQuery (Repeated and Range
@@ -104,6 +109,9 @@ type searchWire struct {
 
 type searchResp struct {
 	Contributors []string `json:"contributors"`
+	// Hits mirrors Contributors with store addresses attached, so a
+	// federated consumer resolves the whole cohort in one call.
+	Hits []broker.SearchHit `json:"hits,omitempty"`
 }
 
 func (w *searchWire) toQuery() (*broker.SearchQuery, error) {
@@ -241,11 +249,15 @@ func NewBrokerHandler(svc *broker.Service) http.Handler {
 		if err != nil {
 			return searchResp{}, err
 		}
-		names, err := svc.Search(r.Key, q)
+		hits, err := svc.SearchInfo(r.Key, q)
 		if err != nil {
 			return searchResp{}, err
 		}
-		return searchResp{Contributors: names}, nil
+		resp := searchResp{Contributors: make([]string, len(hits)), Hits: hits}
+		for i, h := range hits {
+			resp.Contributors[i] = h.Contributor
+		}
+		return resp, nil
 	}))
 
 	mux.HandleFunc("/api/lists/save", post(func(ctx context.Context, r *listSaveReq) (okResp, error) {
@@ -283,6 +295,21 @@ func NewBrokerHandler(svc *broker.Service) http.Handler {
 			return studyMembersResp{}, err
 		}
 		return studyMembersResp{Members: members}, nil
+	}))
+
+	mux.HandleFunc("/api/studies/enroll", post(func(ctx context.Context, r *studyReq) (okResp, error) {
+		if err := svc.EnrollContributor(r.Study, r.Contributor); err != nil {
+			return okResp{}, err
+		}
+		return okResp{OK: true}, nil
+	}))
+
+	mux.HandleFunc("/api/studies/contributors", post(func(ctx context.Context, r *studyReq) (studyContributorsResp, error) {
+		names, err := svc.StudyContributors(r.Study)
+		if err != nil {
+			return studyContributorsResp{}, err
+		}
+		return studyContributorsResp{Contributors: names}, nil
 	}))
 
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -325,7 +352,7 @@ const brokerAdminHTML = `<!DOCTYPE html>
 <li>POST /api/credentials {key}</li>
 <li>POST /api/search {key, sensors, contexts, locationLabel, repeatDay, repeatHourMin, ...}</li>
 <li>POST /api/lists/save | /api/lists/get</li>
-<li>POST /api/studies/create | join | members</li>
+<li>POST /api/studies/create | join | members | enroll | contributors</li>
 </ul>
 </body></html>
 `

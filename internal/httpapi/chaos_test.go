@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -10,6 +11,7 @@ import (
 	"sensorsafe/internal/auth"
 	"sensorsafe/internal/broker"
 	"sensorsafe/internal/datastore"
+	"sensorsafe/internal/federation"
 	"sensorsafe/internal/phone"
 	"sensorsafe/internal/query"
 	"sensorsafe/internal/resilience"
@@ -284,6 +286,140 @@ func TestChaosBrokerOutageConvergence(t *testing.T) {
 		if r.Stale {
 			t.Fatalf("replica %s still stale after convergence: %+v", r.Name, r)
 		}
+	}
+}
+
+// TestChaosFederationPartialFailure fans a cohort query out over twelve
+// stores while every consumer→store hop suffers ~30% injected faults and
+// three stores are fully partitioned. The retry policy must absorb the
+// transient faults — every reachable store's data arrives complete and in
+// global time order — while the partitioned stores surface as explicit
+// unreachable reports, never as silent truncation.
+func TestChaosFederationPartialFailure(t *testing.T) {
+	const (
+		nStores   = 12
+		nDown     = 3
+		segsPerUp = 2
+	)
+	bsvc := broker.New()
+	brokerServer := httptest.NewServer(NewBrokerHandler(bsvc))
+	t.Cleanup(brokerServer.Close)
+	bc := &BrokerClient{BaseURL: brokerServer.URL}
+
+	// Per-store fault transports, keyed by store address so the engine's
+	// dialer picks the right one. The first nDown contributors' stores are
+	// fully partitioned; the rest run at ~30% faults.
+	nets := make(map[string]*faultnet.Transport)
+	var names []string
+	var down []string
+	for i := 0; i < nStores; i++ {
+		name := string(rune('a'+i)) + "-owner"
+		names = append(names, name)
+		var storeURL string
+		svc, err := datastore.New(datastore.Options{Sync: bc, Directory: &lazyDirectory{bc: bc, addr: &storeURL}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { svc.Close() })
+		storeServer := httptest.NewServer(NewStoreHandler(svc))
+		t.Cleanup(storeServer.Close)
+		storeURL = storeServer.URL
+
+		// Setup runs over a clean client; faults start at query time.
+		clean := &StoreClient{BaseURL: storeURL}
+		owner, err := clean.Register(name, "contributor")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := clean.SetRules(owner.Key, []byte(`[{"Action":"Allow"}]`)); err != nil {
+			t.Fatal(err)
+		}
+		segs := make([]*wavesegment.Segment, segsPerUp)
+		for j := range segs {
+			segs[j] = streamPacket(t0.Add(time.Duration(i)*10*time.Minute+time.Duration(j)*6*time.Hour), 4)
+			segs[j].Contributor = name
+		}
+		if _, err := clean.Upload(owner.Key, segs); err != nil {
+			t.Fatal(err)
+		}
+
+		if i < nDown {
+			nets[storeURL] = faultnet.New(chaosSeed+int64(i), nil, faultnet.Rule{Path: "/", Drop: 1})
+			down = append(down, name)
+		} else {
+			nets[storeURL] = faultnet.New(chaosSeed+int64(i), nil,
+				faultnet.Rule{Path: "/api/", Drop: 0.2, Status: 0.1, StatusCode: 503, RetryAfter: time.Millisecond})
+		}
+	}
+
+	bob, err := bc.RegisterConsumer("Bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewFederationDialer(bc, bob.Key, federation.Options{PerStoreTimeout: 5 * time.Second},
+		func(addr string) federation.Store {
+			return &StoreClient{
+				BaseURL: addr,
+				HTTP:    &http.Client{Transport: nets[addr], Timeout: 5 * time.Second},
+				Retry:   chaosPolicy(),
+			}
+		})
+
+	res, err := eng.CohortQuery(context.Background(), &federation.Request{
+		Cohort: federation.Cohort{Contributors: names},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var injected uint64
+	for _, n := range nets {
+		injected += n.TotalInjected()
+	}
+	if injected == 0 {
+		t.Fatal("no faults injected — the chaos run exercised nothing")
+	}
+
+	// Every reachable store's data, complete and globally ordered.
+	wantReleases := (nStores - nDown) * segsPerUp
+	if len(res.Releases) != wantReleases {
+		t.Fatalf("got %d releases, want all %d from reachable stores", len(res.Releases), wantReleases)
+	}
+	for i := 1; i < len(res.Releases); i++ {
+		if res.Releases[i].Start.Before(res.Releases[i-1].Start) {
+			t.Fatalf("release %d breaks global time order", i)
+		}
+	}
+
+	// The partitioned stores are explicit failures, not silent gaps.
+	if !res.Partial {
+		t.Fatal("partitioned stores must flag the result partial")
+	}
+	downSet := map[string]bool{}
+	for _, n := range down {
+		downSet[n] = true
+	}
+	if len(res.Reports) != nStores {
+		t.Fatalf("%d reports, want one per cohort member (%d)", len(res.Reports), nStores)
+	}
+	for _, rep := range res.Reports {
+		if downSet[rep.Contributor] {
+			if rep.Outcome == federation.OutcomeOK || !rep.Missing || rep.Error == "" {
+				t.Errorf("down store %s report = %+v, want explicit failure", rep.Contributor, rep)
+			}
+		} else {
+			if rep.Outcome != federation.OutcomeOK {
+				t.Errorf("reachable store %s outcome = %s (%s) — retries did not absorb 30%% faults",
+					rep.Contributor, rep.Outcome, rep.Error)
+			}
+			if rep.Releases != segsPerUp {
+				t.Errorf("reachable store %s delivered %d releases, want %d", rep.Contributor, rep.Releases, segsPerUp)
+			}
+		}
+	}
+	// A resume cursor survives the partial page so the consumer can pick up
+	// after the partition heals.
+	if res.Cursor == "" {
+		t.Error("partial result must carry a resume cursor")
 	}
 }
 

@@ -602,6 +602,26 @@ func (c *BrokerClient) Search(key auth.APIKey, q *broker.SearchQuery) ([]string,
 
 // SearchCtx runs a contributor search.
 func (c *BrokerClient) SearchCtx(ctx context.Context, key auth.APIKey, q *broker.SearchQuery) ([]string, error) {
+	hits, err := c.SearchInfoCtx(ctx, key, q)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(hits))
+	for i, h := range hits {
+		names[i] = h.Contributor
+	}
+	return names, nil
+}
+
+// SearchInfo runs a contributor search returning {contributor, storeAddr}
+// pairs, saving the per-hit Directory round-trip.
+func (c *BrokerClient) SearchInfo(key auth.APIKey, q *broker.SearchQuery) ([]broker.SearchHit, error) {
+	return c.SearchInfoCtx(context.Background(), key, q)
+}
+
+// SearchInfoCtx runs a contributor search returning {contributor,
+// storeAddr} pairs in one call.
+func (c *BrokerClient) SearchInfoCtx(ctx context.Context, key auth.APIKey, q *broker.SearchQuery) ([]broker.SearchHit, error) {
 	wire := &searchWire{
 		Key:            key,
 		Sensors:        q.Sensors,
@@ -638,7 +658,15 @@ func (c *BrokerClient) SearchCtx(ctx context.Context, key auth.APIKey, q *broker
 	if err := c.call(ctx, "/api/search", false, wire, &resp); err != nil {
 		return nil, err
 	}
-	return resp.Contributors, nil
+	if resp.Hits != nil {
+		return resp.Hits, nil
+	}
+	// Older broker without hits in the response: names only.
+	hits := make([]broker.SearchHit, len(resp.Contributors))
+	for i, n := range resp.Contributors {
+		hits[i] = broker.SearchHit{Contributor: n}
+	}
+	return hits, nil
 }
 
 // SaveList stores a named contributor list.
@@ -697,4 +725,29 @@ func (c *BrokerClient) StudyMembersCtx(ctx context.Context, study string) ([]str
 		return nil, err
 	}
 	return resp.Members, nil
+}
+
+// EnrollContributor adds a contributor to a study's cohort roster.
+func (c *BrokerClient) EnrollContributor(study, contributor string) error {
+	return c.EnrollContributorCtx(context.Background(), study, contributor)
+}
+
+// EnrollContributorCtx adds a contributor to a study's cohort roster.
+func (c *BrokerClient) EnrollContributorCtx(ctx context.Context, study, contributor string) error {
+	return c.call(ctx, "/api/studies/enroll",
+		true, &studyReq{Study: study, Contributor: contributor}, &okResp{})
+}
+
+// StudyContributors lists a study's enrolled contributor cohort.
+func (c *BrokerClient) StudyContributors(study string) ([]string, error) {
+	return c.StudyContributorsCtx(context.Background(), study)
+}
+
+// StudyContributorsCtx lists a study's enrolled contributor cohort.
+func (c *BrokerClient) StudyContributorsCtx(ctx context.Context, study string) ([]string, error) {
+	var resp studyContributorsResp
+	if err := c.call(ctx, "/api/studies/contributors", false, &studyReq{Study: study}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Contributors, nil
 }

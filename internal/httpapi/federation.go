@@ -1,0 +1,31 @@
+package httpapi
+
+import (
+	"sensorsafe/internal/auth"
+	"sensorsafe/internal/federation"
+)
+
+// NewFederation wires a cohort query engine to a broker over HTTP: cohort
+// resolution and Connect go through bc, and each store address is dialed
+// as a StoreClient sharing bc's HTTP client and retry policy (nil fields
+// fall back to the usual defaults). The returned engine caches store
+// credentials and clients, so keep one per consumer session rather than
+// one per query.
+func NewFederation(bc *BrokerClient, key auth.APIKey, opts federation.Options) *federation.Engine {
+	return NewFederationDialer(bc, key, opts, func(addr string) federation.Store {
+		return &StoreClient{BaseURL: addr, HTTP: bc.HTTP, Retry: bc.Retry}
+	})
+}
+
+// NewFederationDialer is NewFederation with a custom store dialer — for
+// per-store transports (tests inject faults per address) or non-HTTP
+// stores.
+func NewFederationDialer(bc *BrokerClient, key auth.APIKey, opts federation.Options, dial func(addr string) federation.Store) *federation.Engine {
+	return &federation.Engine{Broker: bc, Key: key, Options: opts, Dial: dial}
+}
+
+// Ensure the typed clients satisfy the federation interfaces.
+var (
+	_ federation.Broker = (*BrokerClient)(nil)
+	_ federation.Store  = (*StoreClient)(nil)
+)
