@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race cover bench harness chaos fuzz examples clean
+.PHONY: all build vet fmtcheck sslint lint test test-short race cover bench harness chaos fuzz fuzz-seeds examples clean
 
 all: build lint test race
 
@@ -12,12 +12,21 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint = vet + gofmt check (fails when any file needs formatting).
-lint: vet
+# fmtcheck fails when any file needs formatting.
+fmtcheck:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
+
+# sslint runs the repo-local static-analysis suite (internal/lint): the
+# releasepath, atomicwrite, ctxpropagate, mutexguard, and obsnames
+# analyzers over every package. Exit 1 on findings.
+sslint:
+	$(GO) run ./cmd/sslint ./...
+
+# lint = vet + gofmt check + domain analyzers.
+lint: vet fmtcheck sslint
 
 test:
 	$(GO) test ./...
@@ -54,6 +63,11 @@ fuzz:
 	$(GO) test -fuzz=FuzzRuleJSON -fuzztime=30s ./internal/rules/
 	$(GO) test -fuzz=FuzzUnmarshalBinary -fuzztime=30s ./internal/wavesegment/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/query/
+
+# fuzz-seeds replays the checked-in fuzz corpora once (no new inputs) so
+# CI catches regressions on known-tricky parser inputs cheaply.
+fuzz-seeds:
+	$(GO) test -run 'Fuzz' -count=1 ./internal/rules/ ./internal/wavesegment/ ./internal/query/
 
 examples:
 	$(GO) run ./examples/quickstart

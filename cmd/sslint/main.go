@@ -1,0 +1,128 @@
+// Command sslint runs SensorSafe's repo-local static-analysis suite: it
+// type-checks every package in the module using only the standard library
+// and applies the domain analyzers in internal/lint (releasepath,
+// atomicwrite, ctxpropagate, mutexguard, obsnames).
+//
+// Usage:
+//
+//	sslint [-json] [-only a,b] [-skip a,b] [./... | dir ...]
+//
+// Findings print as `file:line: [analyzer] message` (or a JSON array with
+// -json) and the exit status is 1 when anything is found, 2 on load or
+// usage errors, 0 when clean. Suppress a finding in place with
+// `//sslint:ignore <analyzer> <reason>`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sensorsafe/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	only := fs.String("only", "", "comma-separated analyzers to run (default: all)")
+	skip := fs.String("skip", "", "comma-separated analyzers to skip")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: sslint [-json] [-only a,b] [-skip a,b] [./... | dir ...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers, err := lint.Select(lint.Analyzers(), *only, *skip)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	module, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	pkgs, err := selectPackages(module, cwd, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	diags := lint.RunAnalyzers(module, pkgs, analyzers)
+	if *jsonOut {
+		if err := lint.WriteJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		lint.WriteText(stdout, diags)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectPackages maps CLI package arguments onto loaded module packages.
+// No arguments or "./..." means the whole module; "dir/..." selects a
+// subtree; a plain directory selects that one package.
+func selectPackages(m *lint.Module, cwd string, args []string) ([]*lint.Package, error) {
+	if len(args) == 0 {
+		return m.Pkgs, nil
+	}
+	var out []*lint.Package
+	seen := make(map[string]bool)
+	for _, arg := range args {
+		pattern, recursive := strings.CutSuffix(arg, "...")
+		pattern = strings.TrimSuffix(pattern, "/")
+		if pattern == "." || pattern == "" {
+			pattern = cwd
+		}
+		dir, err := filepath.Abs(filepath.Join(cwd, pattern))
+		if err != nil {
+			return nil, err
+		}
+		if filepath.IsAbs(pattern) {
+			dir = filepath.Clean(pattern)
+		}
+		matched := false
+		for _, pkg := range m.Pkgs {
+			ok := pkg.Dir == dir
+			if recursive {
+				ok = pkg.Dir == dir || strings.HasPrefix(pkg.Dir, dir+string(filepath.Separator))
+			}
+			if ok {
+				matched = true
+				if !seen[pkg.Path] {
+					seen[pkg.Path] = true
+					out = append(out, pkg)
+				}
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("sslint: no packages match %q", arg)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The module is clean at HEAD, so running the CLI over it exercises the
+// full load + analyze path and must exit 0 with no findings.
+func TestRunCleanModule(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, stderr.String(), stdout.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run produced output: %s", stdout.String())
+	}
+}
+
+func TestRunJSONCleanModule(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "-only", "obsnames"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	var diags []map[string]any
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(diags) != 0 {
+		t.Errorf("clean module reported %d findings: %v", len(diags), diags)
+	}
+}
+
+func TestRunUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-only", "nosuch"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr missing diagnostic: %s", stderr.String())
+	}
+}
+
+func TestRunUnknownSkip(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-skip", "bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr missing diagnostic: %s", stderr.String())
+	}
+}
+
+func TestRunBadPackagePattern(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./no/such/dir"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "no packages match") {
+		t.Errorf("stderr missing diagnostic: %s", stderr.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

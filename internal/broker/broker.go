@@ -99,12 +99,12 @@ type Service struct {
 	dir   string // persistence directory ("" = in-memory)
 
 	mu           sync.RWMutex
-	contributors map[string]*contributorEntry
-	consumers    map[string]*consumerEntry
-	stores       map[string]StoreConn
-	studies      map[string]map[string]bool   // study → consumer set
-	rosters      map[string]map[string]string // study → norm contributor → display name
-	dial         func(addr string) StoreConn
+	contributors map[string]*contributorEntry // guarded by mu
+	consumers    map[string]*consumerEntry    // guarded by mu
+	stores       map[string]StoreConn         // guarded by mu
+	studies      map[string]map[string]bool   // study → consumer set; guarded by mu
+	rosters      map[string]map[string]string // study → norm contributor → display name; guarded by mu
+	dial         func(addr string) StoreConn  // guarded by mu
 }
 
 // New returns an empty broker.

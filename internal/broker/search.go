@@ -80,7 +80,12 @@ type SearchHit struct {
 // everything the query demands to this consumer, sorted. A contributor
 // matches when at least one probe location passes at every probe instant.
 func (s *Service) Search(key auth.APIKey, q *SearchQuery) ([]string, error) {
-	hits, err := s.SearchInfo(key, q)
+	return s.SearchCtx(context.Background(), key, q)
+}
+
+// SearchCtx is Search carrying the caller's context for span correlation.
+func (s *Service) SearchCtx(ctx context.Context, key auth.APIKey, q *SearchQuery) ([]string, error) {
+	hits, err := s.SearchInfoCtx(ctx, key, q)
 	if err != nil {
 		return nil, err
 	}
@@ -95,7 +100,14 @@ func (s *Service) Search(key auth.APIKey, q *SearchQuery) ([]string, error) {
 // storeAddr} pairs sorted by contributor, the one-call resolution path
 // federated cohort queries are built on.
 func (s *Service) SearchInfo(key auth.APIKey, q *SearchQuery) ([]SearchHit, error) {
-	defer obs.Time(context.Background(), "broker.search")()
+	return s.SearchInfoCtx(context.Background(), key, q)
+}
+
+// SearchInfoCtx is SearchInfo carrying the caller's context, so the
+// broker.search span joins the request trace and HTTP handlers propagate
+// their deadline.
+func (s *Service) SearchInfoCtx(ctx context.Context, key auth.APIKey, q *SearchQuery) ([]SearchHit, error) {
+	defer obs.Time(ctx, "broker.search")()
 	metricSearches.Inc()
 	u, e, err := s.authConsumer(key)
 	if err != nil {

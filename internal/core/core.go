@@ -32,7 +32,7 @@ type Network struct {
 	Broker *broker.Service
 
 	mu     sync.RWMutex
-	stores map[string]*datastore.Service
+	stores map[string]*datastore.Service // guarded by mu
 }
 
 // NewNetwork creates an empty deployment.
@@ -225,7 +225,13 @@ func (c *Consumer) Search(q *broker.SearchQuery) ([]string, error) {
 // Query downloads a contributor's data directly from their store (the
 // broker only brokers the credential).
 func (c *Consumer) Query(contributor string, q *query.Query) ([]*abstraction.Release, error) {
-	cred, err := c.network.Broker.Connect(context.Background(), c.Key, contributor)
+	return c.QueryCtx(context.Background(), contributor, q)
+}
+
+// QueryCtx is Query carrying the caller's context through the credential
+// handshake and the store query, so one deadline bounds the whole hop.
+func (c *Consumer) QueryCtx(ctx context.Context, contributor string, q *query.Query) ([]*abstraction.Release, error) {
+	cred, err := c.network.Broker.Connect(ctx, c.Key, contributor)
 	if err != nil {
 		return nil, err
 	}
@@ -235,7 +241,7 @@ func (c *Consumer) Query(contributor string, q *query.Query) ([]*abstraction.Rel
 	}
 	qq := *q
 	qq.Contributor = contributor
-	return svc.Query(cred.Key, &qq)
+	return svc.QueryCtx(ctx, cred.Key, &qq)
 }
 
 // QueryMany queries a list of contributors and concatenates the releases.

@@ -141,11 +141,12 @@ type Service struct {
 	stream *stream.Hub
 
 	mu           sync.RWMutex
-	contributors map[string]*contributorState
+	contributors map[string]*contributorState // guarded by mu
 	// pending is the durable replica outbox: contributor → rule-set version
 	// queued for push. Entries survive restarts (persisted in the state
 	// file) and are cleared only when the sync target acknowledges the
 	// version (or rejects it as stale, which means it already converged).
+	// Guarded by mu.
 	pending map[string]uint64
 
 	stopSync chan struct{}
@@ -303,7 +304,8 @@ func (s *Service) authenticate(key auth.APIKey, role auth.Role) (auth.User, erro
 
 func normName(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
 
-func (s *Service) state(contributor string) (*contributorState, error) {
+// stateLocked resolves a contributor's rule state; callers must hold s.mu.
+func (s *Service) stateLocked(contributor string) (*contributorState, error) {
 	st, ok := s.contributors[normName(contributor)]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownUser, contributor)
@@ -318,7 +320,13 @@ func (s *Service) state(contributor string) (*contributorState, error) {
 // steady streaming still produces few large records. Returns the number of
 // records written.
 func (s *Service) Upload(key auth.APIKey, segs []*wavesegment.Segment) (int, error) {
-	defer obs.Time(context.Background(), "datastore.upload")()
+	return s.UploadCtx(context.Background(), key, segs)
+}
+
+// UploadCtx is Upload carrying the caller's context, so HTTP ingest spans
+// correlate with the request trace instead of a fresh background context.
+func (s *Service) UploadCtx(ctx context.Context, key auth.APIKey, segs []*wavesegment.Segment) (int, error) {
+	defer obs.Time(ctx, "datastore.upload")()
 	u, err := s.authenticate(key, auth.RoleContributor)
 	if err != nil {
 		return 0, err
@@ -435,7 +443,7 @@ func (s *Service) SetRules(key auth.APIKey, ruleSetJSON []byte) error {
 		return err
 	}
 	s.mu.Lock()
-	st, err := s.state(u.Name)
+	st, err := s.stateLocked(u.Name)
 	if err != nil {
 		s.mu.Unlock()
 		return err
@@ -468,7 +476,7 @@ func (s *Service) Rules(key auth.APIKey) ([]byte, error) {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	st, err := s.state(u.Name)
+	st, err := s.stateLocked(u.Name)
 	if err != nil {
 		return nil, err
 	}
@@ -483,7 +491,7 @@ func (s *Service) DefinePlace(key auth.APIKey, label string, region geo.Region) 
 		return err
 	}
 	s.mu.Lock()
-	st, err := s.state(u.Name)
+	st, err := s.stateLocked(u.Name)
 	if err != nil {
 		s.mu.Unlock()
 		return err
@@ -516,7 +524,7 @@ func (s *Service) Places(key auth.APIKey) ([]geo.Region, error) {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	st, err := s.state(u.Name)
+	st, err := s.stateLocked(u.Name)
 	if err != nil {
 		return nil, err
 	}
@@ -543,7 +551,7 @@ func (s *Service) AssignConsumerGroups(key auth.APIKey, consumer string, groups 
 		return err
 	}
 	s.mu.Lock()
-	st, err := s.state(u.Name)
+	st, err := s.stateLocked(u.Name)
 	if err != nil {
 		s.mu.Unlock()
 		return err
@@ -573,7 +581,7 @@ func (s *Service) pushSync(contributor string) error {
 		return nil
 	}
 	s.mu.RLock()
-	st, err := s.state(contributor)
+	st, err := s.stateLocked(contributor)
 	if err != nil {
 		s.mu.RUnlock()
 		return err
@@ -708,7 +716,14 @@ func (s *Service) syncLoop() {
 // on released rather than raw annotations so the filter cannot leak
 // withheld contexts).
 func (s *Service) Query(key auth.APIKey, q *query.Query) ([]*abstraction.Release, error) {
-	defer obs.Time(context.Background(), "datastore.query")()
+	return s.QueryCtx(context.Background(), key, q)
+}
+
+// QueryCtx is Query carrying the caller's context: enforcement spans land
+// in the request trace, and HTTP handlers must use it so deadlines reach
+// the rule engine.
+func (s *Service) QueryCtx(ctx context.Context, key auth.APIKey, q *query.Query) ([]*abstraction.Release, error) {
+	defer obs.Time(ctx, "datastore.query")()
 	u, err := s.authenticate(key, auth.RoleConsumer)
 	if err != nil {
 		return nil, err
@@ -733,7 +748,7 @@ func (s *Service) Query(key auth.APIKey, q *query.Query) ([]*abstraction.Release
 			}
 		}
 		s.mu.RLock()
-		st, err := s.state(seg.Contributor)
+		st, err := s.stateLocked(seg.Contributor)
 		var engine *rules.Engine
 		var groups []string
 		if err == nil {
@@ -745,7 +760,7 @@ func (s *Service) Query(key auth.APIKey, q *query.Query) ([]*abstraction.Release
 			metricReleases.With("deny").Inc()
 			continue // contributor without rules: default deny
 		}
-		stopEval := obs.Time(context.Background(), "datastore.rule_eval")
+		stopEval := obs.Time(ctx, "datastore.rule_eval")
 		rels, err := abstraction.Enforce(engine, u.Name, groups, seg, s.opts.Geocoder)
 		stopEval()
 		if err != nil {
@@ -889,7 +904,7 @@ func (s *Service) RulesFor(key auth.APIKey) (*rules.Engine, error) {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	st, err := s.state(u.Name)
+	st, err := s.stateLocked(u.Name)
 	if err != nil {
 		return nil, err
 	}
@@ -917,7 +932,7 @@ func (s *Service) Recommend(key auth.APIKey, opts recommend.Options) ([]recommen
 	}
 	if opts.Gazetteer == nil {
 		s.mu.RLock()
-		if st, err := s.state(u.Name); err == nil {
+		if st, err := s.stateLocked(u.Name); err == nil {
 			opts.Gazetteer = st.gazetteer
 		}
 		s.mu.RUnlock()

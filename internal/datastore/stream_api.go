@@ -25,7 +25,7 @@ func (s *Service) Subscribe(key auth.APIKey, contributor string, channels []stri
 		return stream.SubInfo{}, err
 	}
 	s.mu.RLock()
-	_, err = s.state(contributor)
+	_, err = s.stateLocked(contributor)
 	s.mu.RUnlock()
 	if err != nil {
 		return stream.SubInfo{}, err
@@ -67,7 +67,7 @@ func (s *Service) Unsubscribe(key auth.APIKey, id string) error {
 func (s *Service) StreamEngine(contributor string) (*rules.Engine, uint64, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	st, err := s.state(contributor)
+	st, err := s.stateLocked(contributor)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -79,7 +79,7 @@ func (s *Service) StreamEngine(contributor string) (*rules.Engine, uint64, error
 func (s *Service) StreamGroups(contributor, consumer string) []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	st, err := s.state(contributor)
+	st, err := s.stateLocked(contributor)
 	if err != nil {
 		return nil
 	}

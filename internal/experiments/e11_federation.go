@@ -166,6 +166,9 @@ func e11Cell(cfg E11Config, n int) ([]string, error) {
 		names = append(names, name)
 	}
 	bk := &e11Broker{stores: stores}
+	// Offline benchmark harness: this cell IS the call-tree root, so there
+	// is no caller context to thread.
+	//sslint:ignore ctxpropagate experiment harness is the call-tree root
 	ctx := context.Background()
 
 	// Sequential baseline: the pre-federation consumer loop — connect and

@@ -177,9 +177,9 @@ type Engine struct {
 	Options Options
 
 	mu       sync.Mutex
-	creds    map[string]broker.Credential // contributor → store credential
-	inflight map[string]chan struct{}     // contributor → pending Connect
-	stores   map[string]Store             // addr → dialed client
+	creds    map[string]broker.Credential // contributor → store credential; guarded by mu
+	inflight map[string]chan struct{}     // contributor → pending Connect; guarded by mu
+	stores   map[string]Store             // addr → dialed client; guarded by mu
 }
 
 // member is one resolved cohort entry.

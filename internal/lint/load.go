@@ -1,0 +1,331 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Module loading: sslint type-checks the whole module with nothing but
+// the standard library (go/parser + go/types + go/importer), matching the
+// repo's zero-dependency policy. Module-internal imports resolve against
+// packages we have already checked (packages are visited in dependency
+// order); standard-library imports resolve through the compiler's export
+// data via importer.Default, with a source-level importer as fallback so
+// the tool keeps working even when export data is stale.
+
+// Package is one type-checked package of the module.
+type Package struct {
+	// Path is the import path ("sensorsafe/internal/broker").
+	Path string
+	// Dir is the absolute directory holding the package sources.
+	Dir string
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Types and Info carry the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is a fully parsed and type-checked Go module.
+type Module struct {
+	// Root is the absolute directory containing go.mod.
+	Root string
+	// Path is the module path from go.mod ("sensorsafe").
+	Path string
+	// Fset positions every file in the module (and any fixture packages
+	// loaded later through LoadPackage).
+	Fset *token.FileSet
+	// Pkgs lists the module's packages sorted by import path.
+	Pkgs []*Package
+
+	byPath map[string]*types.Package
+	imp    *chainImporter
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadModule parses and type-checks every package under root (the
+// directory containing go.mod), skipping testdata trees, hidden
+// directories, and _test.go files.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, goVersion, err := readGoMod(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Root:   root,
+		Path:   modPath,
+		Fset:   token.NewFileSet(),
+		byPath: make(map[string]*types.Package),
+	}
+	m.imp = &chainImporter{m: m, std: importer.Default()}
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	parsed := make(map[string]*Package, len(dirs)) // import path → package
+	deps := make(map[string][]string, len(dirs))
+	for _, dir := range dirs {
+		pkg, imports, err := m.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no buildable non-test files
+		}
+		parsed[pkg.Path] = pkg
+		for _, imp := range imports {
+			if imp == modPath || strings.HasPrefix(imp, modPath+"/") {
+				deps[pkg.Path] = append(deps[pkg.Path], imp)
+			}
+		}
+	}
+
+	order, err := topoSort(parsed, deps)
+	if err != nil {
+		return nil, err
+	}
+	for _, pkg := range order {
+		if err := m.check(pkg, goVersion); err != nil {
+			return nil, err
+		}
+		m.Pkgs = append(m.Pkgs, pkg)
+	}
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].Path < m.Pkgs[j].Path })
+	return m, nil
+}
+
+// LoadPackage parses and type-checks a single extra directory (fixture
+// packages under testdata) against the already-loaded module, under the
+// given synthetic import path. The module's packages and the standard
+// library are importable from the fixture.
+func (m *Module) LoadPackage(dir, importPath string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg, _, err := m.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	pkg.Path = importPath
+	if err := m.check(pkg, ""); err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// parseDir parses the non-test Go files of one directory. It returns nil
+// (no error) when the directory holds no buildable files.
+func (m *Module) parseDir(dir string) (*Package, []string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	imports := make(map[string]bool)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			imports[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	if len(files) == 0 {
+		return nil, nil, nil
+	}
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	path := m.Path
+	if rel != "." {
+		path = m.Path + "/" + filepath.ToSlash(rel)
+	}
+	var importList []string
+	for imp := range imports {
+		importList = append(importList, imp)
+	}
+	sort.Strings(importList)
+	return &Package{Path: path, Dir: dir, Files: files}, importList, nil
+}
+
+// check type-checks pkg and registers it for import by later packages.
+func (m *Module) check(pkg *Package, goVersion string) error {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	cfg := types.Config{Importer: m.imp, GoVersion: goVersion}
+	tpkg, err := cfg.Check(pkg.Path, m.Fset, pkg.Files, info)
+	if err != nil {
+		return fmt.Errorf("lint: type-check %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	m.byPath[pkg.Path] = tpkg
+	return nil
+}
+
+// chainImporter resolves module-internal imports from the packages
+// type-checked so far and everything else through the toolchain's export
+// data, falling back to source import if export data is unusable.
+type chainImporter struct {
+	m   *Module
+	std types.Importer
+	src types.Importer // lazily-built source importer
+}
+
+func (ci *chainImporter) Import(path string) (*types.Package, error) {
+	if tpkg, ok := ci.m.byPath[path]; ok {
+		return tpkg, nil
+	}
+	if path == ci.m.Path || strings.HasPrefix(path, ci.m.Path+"/") {
+		return nil, fmt.Errorf("lint: module package %s not loaded (import cycle or missing dir?)", path)
+	}
+	tpkg, err := ci.std.Import(path)
+	if err == nil {
+		return tpkg, nil
+	}
+	if ci.src == nil {
+		ci.src = importer.ForCompiler(ci.m.Fset, "source", nil)
+	}
+	tpkg, srcErr := ci.src.Import(path)
+	if srcErr != nil {
+		return nil, fmt.Errorf("lint: import %q: %v (source fallback: %v)", path, err, srcErr)
+	}
+	return tpkg, nil
+}
+
+// packageDirs lists directories under root that may hold Go packages.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	return dirs, err
+}
+
+// topoSort orders packages so every module-internal dependency precedes
+// its importer.
+func topoSort(pkgs map[string]*Package, deps map[string][]string) ([]*Package, error) {
+	paths := make([]string, 0, len(pkgs))
+	for p := range pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int, len(pkgs))
+	var order []*Package
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		}
+		state[path] = visiting
+		for _, dep := range deps[path] {
+			if _, ok := pkgs[dep]; !ok {
+				return fmt.Errorf("lint: %s imports %s, which has no source directory", path, dep)
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = done
+		order = append(order, pkgs[path])
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// readGoMod extracts the module path and (optional) go version directive.
+func readGoMod(path string) (modPath, goVersion string, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if after, ok := strings.CutPrefix(line, "module "); ok && modPath == "" {
+			modPath = strings.TrimSpace(after)
+		}
+		if after, ok := strings.CutPrefix(line, "go "); ok && goVersion == "" {
+			goVersion = "go" + strings.TrimSpace(after)
+		}
+	}
+	if modPath == "" {
+		return "", "", fmt.Errorf("lint: no module directive in %s", path)
+	}
+	return modPath, goVersion, nil
+}

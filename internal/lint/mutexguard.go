@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MutexGuard checks `// guarded by <mu>` field annotations. A struct
+// field carrying the annotation in its doc or line comment may only be
+// read or written inside functions of the declaring package that
+// demonstrably hold the mutex:
+//
+//   - the function body locks it (`x.mu.Lock()` / `x.mu.RLock()` on a
+//     receiver of the owning struct type), or
+//   - the function's name ends in "Locked" (the repo's convention for
+//     helpers that run under a caller's lock), or
+//   - the function's doc comment documents the contract ("callers hold
+//     s.mu", "caller must hold mu", ...).
+//
+// Composite-literal construction (&Service{contributors: ...}) is not a
+// field selector and is intentionally exempt: values being built are not
+// yet shared. The check is per-function and does not model lock flow, so
+// it is a conservative reviewer, not a prover — but it catches the common
+// bug of a new accessor forgetting the lock entirely.
+var MutexGuard = &Analyzer{
+	Name: "mutexguard",
+	Doc:  "fields annotated `// guarded by <mu>` must be accessed under that mutex",
+	Run:  runMutexGuard,
+}
+
+var guardedByRe = regexp.MustCompile(`(?i)guarded by ([A-Za-z_][A-Za-z0-9_.]*)`)
+
+// guardKey identifies one mutex of one struct type.
+type guardKey struct {
+	owner *types.TypeName
+	mu    string
+}
+
+func runMutexGuard(pass *Pass) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGuardedAccesses(pass, guards, fd)
+		}
+	}
+}
+
+// collectGuards maps annotated field objects to their guard.
+func collectGuards(pass *Pass) map[*types.Var]guardKey {
+	guards := make(map[*types.Var]guardKey)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			owner, ok := pass.Pkg.Info.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if fv, ok := pass.Pkg.Info.Defs[name].(*types.Var); ok {
+						guards[fv] = guardKey{owner: owner, mu: mu}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or trailing
+// comment; "guarded by s.mu" and "guarded by mu" both yield "mu".
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			parts := strings.Split(m[1], ".")
+			return strings.TrimSuffix(parts[len(parts)-1], ".")
+		}
+	}
+	return ""
+}
+
+func checkGuardedAccesses(pass *Pass, guards map[*types.Var]guardKey, fd *ast.FuncDecl) {
+	locked := lockedMutexes(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := pass.Pkg.Info.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		fv, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		guard, guarded := guards[fv]
+		if !guarded || locked[guard] {
+			return true
+		}
+		if strings.HasSuffix(fd.Name.Name, "Locked") || docDeclaresHeld(fd, guard.mu) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"%s.%s is guarded by %q but %s neither locks it nor documents the contract (lock %s, add the Locked suffix, or a 'callers hold %s' doc comment)",
+			guard.owner.Name(), fv.Name(), guard.mu, fd.Name.Name, guard.mu, guard.mu)
+		return true
+	})
+}
+
+// lockedMutexes finds every `recv.mu.Lock()` / `recv.mu.RLock()` call in
+// the body and records (owner type, mu) pairs the function acquires
+// somewhere. Deferred unlocks and lock ordering are out of scope.
+func lockedMutexes(pass *Pass, fd *ast.FuncDecl) map[guardKey]bool {
+	locked := make(map[guardKey]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recvType := pass.Pkg.Info.Types[muSel.X].Type
+		if recvType == nil {
+			return true
+		}
+		if ptr, ok := recvType.(*types.Pointer); ok {
+			recvType = ptr.Elem()
+		}
+		named, ok := recvType.(*types.Named)
+		if !ok {
+			return true
+		}
+		locked[guardKey{owner: named.Obj(), mu: muSel.Sel.Name}] = true
+		return true
+	})
+	return locked
+}
+
+var holdRe = regexp.MustCompile(`(?i)callers?\s+(?:must\s+)?hold`)
+
+// docDeclaresHeld reports whether fd's doc comment states the caller-holds
+// contract for the given mutex name.
+func docDeclaresHeld(fd *ast.FuncDecl, mu string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	text := fd.Doc.Text()
+	if !holdRe.MatchString(text) {
+		return false
+	}
+	muRe := regexp.MustCompile(`\b` + regexp.QuoteMeta(mu) + `\b`)
+	return muRe.MatchString(text)
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// ObsNames audits every metric registration against the internal/obs
+// registry: the name argument must be a compile-time string constant (so
+// the metric namespace is greppable and stable), must be snake_case, and
+// must be unique across the whole module — two call sites registering the
+// same family is either a copy-paste bug or hidden coupling, and the obs
+// registry panics at runtime if their schemas ever drift.
+//
+// The obs package itself is exempt: its package-level constructors
+// forward a name parameter to the registry by design.
+var ObsNames = &Analyzer{
+	Name: "obsnames",
+	Doc:  "obs metric names must be literal, snake_case, and unique module-wide",
+	AppliesTo: func(modulePath, pkgPath string) bool {
+		return pkgPath != modulePath+"/internal/obs"
+	},
+	Run: runObsNames,
+}
+
+// obsRegistrars are the obs functions and Registry methods whose first
+// argument is a metric family name.
+var obsRegistrars = map[string]bool{
+	"NewCounter": true, "NewCounterVec": true,
+	"NewGauge": true, "NewGaugeVec": true,
+	"NewHistogram": true, "NewHistogramVec": true,
+	"Counter": true, "CounterVec": true,
+	"Gauge": true, "GaugeVec": true,
+	"Histogram": true, "HistogramVec": true,
+}
+
+var snakeCaseRe = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+func runObsNames(pass *Pass) {
+	seen, ok := pass.State["names"].(map[string]token.Position)
+	if !ok {
+		seen = make(map[string]token.Position)
+		pass.State["names"] = seen
+	}
+	obsPath := pass.Module.Path + "/internal/obs"
+	inspectFuncs(pass.Pkg, func(n ast.Node, _ *ast.FuncDecl) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return
+		}
+		fn, ok := calleeObj(pass.Pkg, call).(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != obsPath || !obsRegistrars[fn.Name()] {
+			return
+		}
+		arg := call.Args[0]
+		tv := pass.Pkg.Info.Types[arg]
+		if tv.Value == nil || tv.Value.Kind() != constant.String {
+			pass.Reportf(arg.Pos(),
+				"metric name passed to obs.%s must be a compile-time string constant", fn.Name())
+			return
+		}
+		name := constant.StringVal(tv.Value)
+		if !snakeCaseRe.MatchString(name) {
+			pass.Reportf(arg.Pos(), "metric name %q is not snake_case", name)
+			return
+		}
+		if first, dup := seen[name]; dup {
+			pass.Reportf(arg.Pos(),
+				"metric name %q already registered at %s; families must have exactly one registration site",
+				name, first)
+			return
+		}
+		seen[name] = pass.Module.Fset.Position(arg.Pos())
+	})
+}

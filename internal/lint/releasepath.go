@@ -1,0 +1,287 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// ReleasePath polices SensorSafe's core guarantee in the consumer-facing
+// layers (internal/httpapi, internal/stream, internal/federation): raw
+// wave segments reach a consumer only through the rule match → dependency
+// closure → abstraction pipeline, i.e. wrapped in abstraction.Release
+// values. Three checks, from coarse to fine:
+//
+//  1. Those packages must not import internal/storage at all — the raw
+//     segment store is the datastore's private substrate.
+//  2. They must not call raw storage accessors (datastore.Service.Storage,
+//     or any method on storage.Store obtained indirectly).
+//  3. Any *wavesegment.Segment value placed into a consumer-facing
+//     response (struct types named *Resp/*Response/*Reply/*Event/*Batch/
+//     *Result, or passed straight to writeJSON) must derive from
+//     abstraction.Release.Segment — intraprocedural provenance tracking
+//     through local assignments. The single sanctioned raw egress, the
+//     owner-only /api/queryown handler, carries an //sslint:ignore
+//     releasepath directive documenting why it is safe.
+var ReleasePath = &Analyzer{
+	Name: "releasepath",
+	Doc:  "consumer-facing layers must ship wave segments only via the abstraction release pipeline",
+	AppliesTo: func(modulePath, pkgPath string) bool {
+		switch pkgPath {
+		case modulePath + "/internal/httpapi",
+			modulePath + "/internal/stream",
+			modulePath + "/internal/federation":
+			return true
+		}
+		return false
+	},
+	Run: runReleasePath,
+}
+
+var responseTypeRe = regexp.MustCompile(`(Resp|Response|Reply|Event|Batch|Result)$`)
+
+func runReleasePath(pass *Pass) {
+	storagePath := pass.Module.Path + "/internal/storage"
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == storagePath {
+				pass.Reportf(imp.Pos(),
+					"consumer-facing package imports %s; raw segment storage is private to the datastore", storagePath)
+			}
+		}
+	}
+	inspectFuncs(pass.Pkg, func(n ast.Node, _ *ast.FuncDecl) {
+		if call, ok := n.(*ast.CallExpr); ok {
+			checkRawAccessor(pass, call, storagePath)
+		}
+	})
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSegmentFlow(pass, fd)
+		}
+	}
+}
+
+// checkRawAccessor flags calls that reach the raw segment substrate.
+func checkRawAccessor(pass *Pass, call *ast.CallExpr, storagePath string) {
+	fn, ok := calleeObj(pass.Pkg, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if fn.Pkg().Path() == storagePath {
+		pass.Reportf(call.Pos(),
+			"call to storage.%s bypasses the abstraction release pipeline", fn.Name())
+		return
+	}
+	if fn.Name() == "Storage" && fn.Pkg().Path() == pass.Module.Path+"/internal/datastore" {
+		pass.Reportf(call.Pos(),
+			"datastore.Storage() exposes the raw segment store; consumer-facing code must use the release pipeline (Query/abstraction.Release)")
+	}
+}
+
+// checkSegmentFlow runs the intraprocedural provenance check of rule 3.
+func checkSegmentFlow(pass *Pass, fd *ast.FuncDecl) {
+	origins := collectOrigins(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CompositeLit:
+			if !isResponseType(pass, pass.Pkg.Info.Types[node].Type) {
+				return true
+			}
+			for _, elt := range node.Elts {
+				val := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				checkSegmentValue(pass, origins, val, pass.Pkg.Info.Types[node].Type)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range node.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok || i >= len(node.Rhs) {
+					continue
+				}
+				owner := pass.Pkg.Info.Types[sel.X].Type
+				if isResponseType(pass, owner) {
+					checkSegmentValue(pass, origins, node.Rhs[i], owner)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkSegmentValue reports expr when it is segment-typed and its
+// provenance is not the release pipeline.
+func checkSegmentValue(pass *Pass, origins map[*types.Var][]ast.Expr, expr ast.Expr, sink types.Type) {
+	t := pass.Pkg.Info.Types[expr].Type
+	if !isSegmentType(pass, t) {
+		return
+	}
+	if provenanceReleased(pass, origins, expr, make(map[*types.Var]bool)) {
+		return
+	}
+	pass.Reportf(expr.Pos(),
+		"raw %s flows into consumer response %s without passing the abstraction release pipeline; derive it from abstraction.Release.Segment",
+		typeShort(t), typeShort(sink))
+}
+
+// collectOrigins maps each local variable to the expressions assigned to
+// it anywhere in the function (:=, =, append, range sources).
+func collectOrigins(pass *Pass, fd *ast.FuncDecl) map[*types.Var][]ast.Expr {
+	origins := make(map[*types.Var][]ast.Expr)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj, _ := pass.Pkg.Info.Defs[id].(*types.Var)
+		if obj == nil {
+			obj, _ = pass.Pkg.Info.Uses[id].(*types.Var)
+		}
+		if obj != nil {
+			origins[obj] = append(origins[obj], rhs)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			if len(node.Lhs) == len(node.Rhs) {
+				for i := range node.Lhs {
+					record(node.Lhs[i], node.Rhs[i])
+				}
+			}
+		case *ast.RangeStmt:
+			if node.Value != nil {
+				record(node.Value, node.X)
+			}
+		}
+		return true
+	})
+	return origins
+}
+
+// provenanceReleased decides whether expr's value came from the
+// abstraction release pipeline. Conservative: anything not provably
+// released (calls, parameters, field reads) counts as raw. visited breaks
+// self-referential assignment chains (x = append(x, ...)); a variable
+// already on the path contributes nothing new and counts as neutral.
+func provenanceReleased(pass *Pass, origins map[*types.Var][]ast.Expr, expr ast.Expr, visited map[*types.Var]bool) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		// rel.Segment on abstraction.Release is the sanctioned source.
+		if e.Sel.Name == "Segment" && isReleaseType(pass, pass.Pkg.Info.Types[e.X].Type) {
+			return true
+		}
+		return false
+	case *ast.Ident:
+		v := identVar(pass, e)
+		if v == nil {
+			return false
+		}
+		if visited[v] {
+			return true
+		}
+		visited[v] = true
+		srcs := origins[v]
+		if len(srcs) == 0 {
+			return false
+		}
+		for _, src := range srcs {
+			if !provenanceReleased(pass, origins, src, visited) {
+				return false
+			}
+		}
+		return true
+	case *ast.IndexExpr:
+		return provenanceReleased(pass, origins, e.X, visited)
+	case *ast.SliceExpr:
+		return provenanceReleased(pass, origins, e.X, visited)
+	case *ast.UnaryExpr:
+		return provenanceReleased(pass, origins, e.X, visited)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if !provenanceReleased(pass, origins, elt, visited) {
+				return false
+			}
+		}
+		return len(e.Elts) > 0
+	case *ast.CallExpr:
+		// append(dst, srcs...) is released iff every appended value is.
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" && len(e.Args) > 0 {
+			for _, arg := range e.Args {
+				if !provenanceReleased(pass, origins, arg, visited) {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+func identVar(pass *Pass, id *ast.Ident) *types.Var {
+	if v, ok := pass.Pkg.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := pass.Pkg.Info.Defs[id].(*types.Var)
+	return v
+}
+
+// isSegmentType reports whether t is *wavesegment.Segment or a slice of
+// (pointers to) it.
+func isSegmentType(pass *Pass, t types.Type) bool {
+	switch tt := t.(type) {
+	case *types.Slice:
+		return isSegmentType(pass, tt.Elem())
+	case *types.Pointer:
+		return isSegmentType(pass, tt.Elem())
+	case *types.Named:
+		obj := tt.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == pass.Module.Path+"/internal/wavesegment" &&
+			obj.Name() == "Segment"
+	}
+	return false
+}
+
+func isReleaseType(pass *Pass, t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pass.Module.Path+"/internal/abstraction" &&
+		obj.Name() == "Release"
+}
+
+// isResponseType reports whether t (or its pointee) is a named struct
+// whose name marks it as a consumer-facing response shape.
+func isResponseType(pass *Pass, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return false
+	}
+	return responseTypeRe.MatchString(named.Obj().Name())
+}
+
+func typeShort(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

@@ -1,0 +1,17 @@
+// Package bad exercises the atomicwrite analyzer: direct os write APIs on
+// durable state paths must be flagged.
+package bad
+
+import "os"
+
+func saveState(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o600) // want "os.WriteFile is not crash-safe"
+}
+
+func createOutbox(path string) error {
+	f, err := os.Create(path) // want "os.Create is not crash-safe"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

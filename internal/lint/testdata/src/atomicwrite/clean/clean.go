@@ -1,0 +1,24 @@
+// Package clean shows the sanctioned persistence shapes the atomicwrite
+// analyzer must accept.
+package clean
+
+import (
+	"os"
+
+	"sensorsafe/internal/resilience"
+)
+
+func saveState(path string, data []byte) error {
+	return resilience.WriteFileAtomic(path, data, 0o600)
+}
+
+// WriteFileAtomic is the one function name allowed to touch the raw API:
+// an atomic-write helper is by definition implemented in terms of it.
+func WriteFileAtomic(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o600)
+}
+
+// appendLog opens for append; only WriteFile and Create are audited.
+func appendLog(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o600)
+}

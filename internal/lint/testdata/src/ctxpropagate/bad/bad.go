@@ -1,0 +1,23 @@
+// Package bad exercises the ctxpropagate analyzer: minting contexts in
+// library code and dropping an in-scope context are both flagged.
+package bad
+
+import "context"
+
+type client struct{}
+
+func (c *client) Fetch(n int) error                         { _ = n; return nil }
+func (c *client) FetchCtx(ctx context.Context, n int) error { _ = ctx; _ = n; return nil }
+
+func mint() context.Context {
+	return context.Background() // want "context.Background() in library code"
+}
+
+func todo() context.Context {
+	return context.TODO() // want "context.TODO() in library code"
+}
+
+func handler(ctx context.Context, c *client) error {
+	_ = ctx
+	return c.Fetch(1) // want "drops the in-scope request context"
+}

@@ -1,0 +1,26 @@
+// Package clean shows the context shapes the ctxpropagate analyzer must
+// accept: the delegating-wrapper convention, proper Ctx call sites, and an
+// explicit ignore directive at a call-tree root.
+package clean
+
+import "context"
+
+type client struct{}
+
+func (c *client) FetchCtx(ctx context.Context, n int) error { _ = ctx; _ = n; return nil }
+
+// Fetch is the sanctioned single-statement wrapper delegating to its own
+// Ctx sibling.
+func (c *client) Fetch(n int) error {
+	return c.FetchCtx(context.Background(), n)
+}
+
+func handler(ctx context.Context, c *client) error {
+	return c.FetchCtx(ctx, 1)
+}
+
+func harness(c *client) error {
+	//sslint:ignore ctxpropagate fixture harness is the call-tree root
+	ctx := context.Background()
+	return c.FetchCtx(ctx, 1)
+}

@@ -1,0 +1,21 @@
+// Package bad exercises the mutexguard analyzer: reading an annotated
+// field without the lock, the Locked suffix, or a caller-holds doc comment
+// is flagged.
+package bad
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) peek() int {
+	return c.n // want "counter.n is guarded"
+}

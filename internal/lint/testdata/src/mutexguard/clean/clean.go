@@ -1,0 +1,30 @@
+// Package clean shows every access shape the mutexguard analyzer must
+// accept: lock held in the body, the Locked-suffix convention, and the
+// documented caller-holds contract.
+package clean
+
+import "sync"
+
+type counter struct {
+	mu sync.RWMutex
+	n  int // guarded by mu
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) get() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+// addLocked follows the Locked-suffix convention for helpers running
+// under a caller's lock.
+func (c *counter) addLocked(d int) { c.n += d }
+
+// sum reports the raw value; callers hold c.mu.
+func (c *counter) sum() int { return c.n }

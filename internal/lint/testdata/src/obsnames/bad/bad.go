@@ -1,0 +1,14 @@
+// Package bad exercises the obsnames analyzer: non-constant names, bad
+// casing, and duplicate registrations are all flagged.
+package bad
+
+import "sensorsafe/internal/obs"
+
+var dynamicName = "sensorsafe_fixture_dynamic_total"
+
+var (
+	_ = obs.NewCounter(dynamicName, "non-constant name")              // want "compile-time string constant"
+	_ = obs.NewCounter("Fixture_CamelCase_Total", "bad case")         // want "not snake_case"
+	_ = obs.NewGauge("sensorsafe_fixture_dup", "first registration")  // unique: accepted
+	_ = obs.NewGauge("sensorsafe_fixture_dup", "second registration") // want "already registered"
+)

@@ -1,0 +1,12 @@
+// Package clean shows metric registrations the obsnames analyzer must
+// accept: literal snake_case names, each registered exactly once.
+package clean
+
+import "sensorsafe/internal/obs"
+
+const histName = "sensorsafe_fixture_lag_seconds" // constants fold, so this is fine
+
+var (
+	fixtureOps = obs.NewCounter("sensorsafe_fixture_ops_total", "Well-named fixture counter.")
+	fixtureLag = obs.NewHistogramVec(histName, "Labeled fixture histogram.", nil, "stage")
+)

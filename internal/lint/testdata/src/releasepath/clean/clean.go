@@ -1,0 +1,28 @@
+// Package clean shows the sanctioned consumer egress the releasepath
+// analyzer must accept: every segment reaching a response derives from
+// abstraction.Release, the output of the enforcement pipeline.
+package clean
+
+import (
+	"sensorsafe/internal/abstraction"
+	"sensorsafe/internal/wavesegment"
+)
+
+type queryResp struct {
+	Releases []*abstraction.Release
+	Segments []*wavesegment.Segment
+}
+
+// released ships the enforcement pipeline's own output.
+func released(rels []*abstraction.Release) queryResp {
+	var segs []*wavesegment.Segment
+	for _, rel := range rels {
+		segs = append(segs, rel.Segment)
+	}
+	return queryResp{Releases: rels, Segments: segs}
+}
+
+// direct indexes straight into a release.
+func direct(rels []*abstraction.Release) queryResp {
+	return queryResp{Segments: []*wavesegment.Segment{rels[0].Segment}}
+}

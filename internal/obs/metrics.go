@@ -131,8 +131,8 @@ type family struct {
 	buckets    []float64
 
 	mu       sync.RWMutex
-	children map[string]any // label-values key → *Counter | *Gauge | *Histogram
-	labels   map[string][]string
+	children map[string]any      // label-values key → *Counter | *Gauge | *Histogram; guarded by mu
+	labels   map[string][]string // guarded by mu
 }
 
 // childKeySep joins label values into a map key; it cannot appear in
@@ -174,7 +174,7 @@ func (f *family) child(values []string) any {
 // is not usable — call NewRegistry.
 type Registry struct {
 	mu       sync.RWMutex
-	families map[string]*family
+	families map[string]*family // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

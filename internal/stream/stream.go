@@ -153,11 +153,11 @@ type sub struct {
 	channels    []string
 
 	mu      sync.Mutex
-	entries []entry // pending segments, ascending seq
-	acked   uint64  // highest acknowledged seq
-	next    uint64  // next seq to assign (next-1 = newest published)
-	lagging bool    // overflow happened since the last delivered gap
-	closed  bool    // terminal: shutdown or revoked
+	entries []entry // pending segments, ascending seq; guarded by mu
+	acked   uint64  // highest acknowledged seq; guarded by mu
+	next    uint64  // next seq to assign (next-1 = newest published); guarded by mu
+	lagging bool    // overflow happened since the last delivered gap; guarded by mu
+	closed  bool    // terminal: shutdown or revoked; guarded by mu
 	notify  chan struct{}
 	done    chan struct{}
 }
@@ -167,10 +167,10 @@ type Hub struct {
 	opts Options
 
 	mu        sync.RWMutex
-	subs      map[string]*sub   // by id
-	byKey     map[string]*sub   // by (consumer, contributor, channels) key
-	byContrib map[string][]*sub // by normalized contributor
-	closed    bool
+	subs      map[string]*sub   // by id; guarded by mu
+	byKey     map[string]*sub   // by (consumer, contributor, channels) key; guarded by mu
+	byContrib map[string][]*sub // by normalized contributor; guarded by mu
+	closed    bool              // guarded by mu
 }
 
 // New builds a hub.
@@ -681,18 +681,19 @@ func (h *Hub) Restore(states []SubscriptionState) {
 		if _, dup := h.byKey[key]; dup {
 			continue
 		}
+		next := st.Next
+		if next < st.Acked {
+			next = st.Acked
+		}
 		s := &sub{
 			id:          st.ID,
 			consumer:    norm(st.Consumer),
 			contributor: norm(st.Contributor),
 			channels:    append([]string(nil), st.Channels...),
 			acked:       st.Acked,
-			next:        st.Next,
+			next:        next,
 			notify:      make(chan struct{}, 1),
 			done:        make(chan struct{}),
-		}
-		if s.next < s.acked {
-			s.next = s.acked
 		}
 		h.subs[s.id] = s
 		h.byKey[key] = s
