@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck sslint lint test test-short race cover bench harness chaos fuzz fuzz-seeds examples clean
+.PHONY: all build vet fmtcheck sslint lint test test-short race cover bench bench-tracing harness chaos fuzz fuzz-seeds examples clean
 
 all: build lint test race
 
@@ -51,6 +51,11 @@ harness:
 
 harness-quick:
 	$(GO) run ./cmd/benchharness -quick
+
+# BENCH_6.json: tracing overhead on the rule-evaluation release path
+# (target: < 5% vs tracing off).
+bench-tracing:
+	$(GO) run ./cmd/benchharness -only BENCH6 -bench6-out BENCH_6.json
 
 # Chaos suite: every network hop through the seeded fault-injecting
 # transport (internal/resilience/faultnet). The seed is fixed in the test

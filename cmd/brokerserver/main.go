@@ -45,6 +45,7 @@ func main() {
 		log.Fatalf("brokerserver: %v", err)
 	}
 	logger := obs.NewLogger("brokerserver", os.Stderr)
+	logger.Info("starting", "version", obs.Version)
 	logger.Info("listening", "listen", *listen, "dir", *dir, "tls", *useTLS, "pprof", *withPprof)
 	handler := mountPprof(httpapi.NewBrokerHandler(svc), *withPprof)
 	server := &http.Server{Addr: *listen, Handler: handler}

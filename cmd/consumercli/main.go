@@ -14,10 +14,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/url"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -26,6 +30,7 @@ import (
 	"sensorsafe/internal/broker"
 	"sensorsafe/internal/federation"
 	"sensorsafe/internal/httpapi"
+	"sensorsafe/internal/obs/trace"
 	"sensorsafe/internal/query"
 	"sensorsafe/internal/stream"
 	"sensorsafe/internal/timeutil"
@@ -38,13 +43,13 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: consumercli [flags] <directory|search|query|cohort|follow> [subflags]")
+		fmt.Fprintln(os.Stderr, "usage: consumercli [flags] <directory|search|query|cohort|follow|trace> [subflags]")
 		os.Exit(2)
 	}
 	bc := &httpapi.BrokerClient{BaseURL: *brokerURL}
 
 	apiKey := auth.APIKey(*key)
-	if apiKey == "" {
+	if apiKey == "" && flag.Arg(0) != "trace" {
 		u, err := bc.RegisterConsumer(*name)
 		if err != nil {
 			log.Fatalf("consumercli: register: %v", err)
@@ -208,11 +213,20 @@ func main() {
 			PerStoreTimeout: *timeout,
 			HedgeAfter:      *hedge,
 		})
-		res, err := eng.CohortQuery(context.Background(), &federation.Request{
+		// Root span for the whole page: broker resolution, every store's
+		// fan-out leg, and the stores' release decisions all join this trace
+		// (inspect with `consumercli trace -from <server> <id>`).
+		ctx, span := trace.Start(context.Background(), "consumer.cohort")
+		res, err := eng.CohortQuery(ctx, &federation.Request{
 			Cohort: cohort, Query: dq, Limit: *limit, Cursor: *cursor,
 		})
+		span.SetError(err)
+		span.End()
 		if err != nil {
 			log.Fatalf("consumercli: cohort: %v", err)
+		}
+		if tid := span.TraceIDString(); tid != "" {
+			fmt.Printf("trace: %s\n", tid)
 		}
 		for i, rel := range res.Releases {
 			fmt.Printf("%-14s ", rel.Contributor)
@@ -294,10 +308,123 @@ func main() {
 			cur = b.Cursor
 		}
 
+	case "trace":
+		fs := flag.NewFlagSet("trace", flag.ExitOnError)
+		from := fs.String("from", "", "server whose /debug/traces to read (default: the broker)")
+		_ = fs.Parse(flag.Args()[1:])
+		if fs.NArg() < 1 {
+			log.Fatal("consumercli: usage: trace [-from http://store:8081] <trace-id>")
+		}
+		base := *from
+		if base == "" {
+			base = *brokerURL
+		}
+		spans, err := fetchTrace(base, fs.Arg(0))
+		if err != nil {
+			log.Fatalf("consumercli: trace: %v", err)
+		}
+		printTraceTree(spans)
+
 	default:
 		fmt.Fprintf(os.Stderr, "consumercli: unknown command %q\n", flag.Arg(0))
 		os.Exit(2)
 	}
+}
+
+// fetchTrace downloads one completed trace from a server's /debug/traces
+// endpoint. Traces are per-process: a cohort query's broker spans live on
+// the broker, each store's enforcement spans on that store — all under the
+// same trace ID.
+func fetchTrace(base, id string) ([]*trace.SpanData, error) {
+	u := strings.TrimRight(base, "/") + "/debug/traces?id=" + url.QueryEscape(id)
+	resp, err := http.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: HTTP %d (trace evicted or never sampled?)", u, resp.StatusCode)
+	}
+	var body struct {
+		TraceID string            `json:"traceId"`
+		Spans   []*trace.SpanData `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Spans, nil
+}
+
+// printTraceTree renders the span tree, children indented under parents.
+// Spans whose parent never reported to this server (it lives in another
+// process) print as roots.
+func printTraceTree(spans []*trace.SpanData) {
+	byID := make(map[string]*trace.SpanData, len(spans))
+	for _, s := range spans {
+		byID[s.SpanID] = s
+	}
+	children := map[string][]*trace.SpanData{}
+	var roots []*trace.SpanData
+	for _, s := range spans {
+		if s.ParentID != "" && byID[s.ParentID] != nil {
+			children[s.ParentID] = append(children[s.ParentID], s)
+			continue
+		}
+		roots = append(roots, s)
+	}
+	order := func(ss []*trace.SpanData) {
+		sort.Slice(ss, func(i, j int) bool {
+			if !ss[i].Start.Equal(ss[j].Start) {
+				return ss[i].Start.Before(ss[j].Start)
+			}
+			return ss[i].SpanID < ss[j].SpanID
+		})
+	}
+	var walk func(s *trace.SpanData, depth int)
+	walk = func(s *trace.SpanData, depth int) {
+		pad := strings.Repeat("  ", depth)
+		line := fmt.Sprintf("%s%-*s %8.2fms", pad, 30-2*depth, s.Name, s.DurationMS)
+		if s.Status != "ok" {
+			line += "  " + s.Status
+			if s.Error != "" {
+				line += ": " + s.Error
+			}
+		}
+		if len(s.Attrs) > 0 {
+			line += "  " + formatAttrs(s.Attrs)
+		}
+		fmt.Println(line)
+		for _, ev := range s.Events {
+			evLine := fmt.Sprintf("%s  · %s", pad, ev.Name)
+			if len(ev.Attrs) > 0 {
+				evLine += "  " + formatAttrs(ev.Attrs)
+			}
+			fmt.Println(evLine)
+		}
+		kids := children[s.SpanID]
+		order(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	order(roots)
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}
+
+// formatAttrs renders span attributes deterministically (sorted keys).
+func formatAttrs(attrs map[string]any) string {
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%v", k, attrs[k])
+	}
+	return strings.Join(parts, " ")
 }
 
 // printRelease renders one released span like the query output.

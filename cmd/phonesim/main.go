@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +21,7 @@ import (
 	"sensorsafe/internal/auth"
 	"sensorsafe/internal/geo"
 	"sensorsafe/internal/httpapi"
+	"sensorsafe/internal/obs/trace"
 	"sensorsafe/internal/phone"
 	"sensorsafe/internal/sensors"
 )
@@ -85,11 +87,17 @@ func main() {
 		}
 		fmt.Printf("live replay at %gx\n", *speedup)
 	}
-	rep, err := p.Run(sc)
+	// Root span for the whole session: every upload's traceparent descends
+	// from it, so the store's /debug/traces shows the session as one tree.
+	ctx, span := trace.Start(context.Background(), "phone.session",
+		trace.String("contributor", *contributor))
+	rep, err := p.RunCtx(ctx, sc)
+	span.SetError(err)
+	span.End()
 	if err != nil {
 		log.Fatalf("phonesim: %v", err)
 	}
-	fmt.Printf("day simulated: %v of data\n", sc.Duration())
+	fmt.Printf("day simulated: %v of data (trace %s)\n", sc.Duration(), span.TraceIDString())
 	fmt.Printf("packets: %d total, %d uploaded, %d skipped (sensors off), %d discarded (context)\n",
 		rep.PacketsTotal, rep.PacketsUploaded, rep.PacketsSkipped, rep.PacketsDiscarded)
 	fmt.Printf("samples uploaded: %d/%d (%.0f%%), %d bytes, %d store records\n",

@@ -74,6 +74,7 @@ func main() {
 	defer svc.Close()
 
 	logger := obs.NewLogger("storeserver", os.Stderr)
+	logger.Info("starting", "version", obs.Version)
 	logger.Info("listening", "name", *name, "listen", *listen,
 		"dir", *dir, "broker", *brokerURL, "sync_interval", syncInterval.String(),
 		"tls", *useTLS, "pprof", *withPprof)

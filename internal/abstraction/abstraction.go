@@ -164,16 +164,27 @@ func shiftSegment(s *wavesegment.Segment, d time.Duration) {
 // evaluates the rule engine for each span, and transforms each span under
 // its decision. Spans that release nothing are dropped.
 func Enforce(e *rules.Engine, consumer string, consumerGroups []string, seg *wavesegment.Segment, gc geo.Geocoder) ([]*Release, error) {
+	rels, _, err := EnforceExplained(e, consumer, consumerGroups, seg, gc)
+	return rels, err
+}
+
+// EnforceExplained is Enforce that also returns the engine decision
+// behind each release, index-aligned with the releases. The decisions
+// are provenance for traces and audit trails (matched rule IDs, granted
+// granularities); they stay out of the Release shape on purpose so
+// policy structure cannot leak into consumer-facing payloads.
+func EnforceExplained(e *rules.Engine, consumer string, consumerGroups []string, seg *wavesegment.Segment, gc geo.Geocoder) ([]*Release, []*rules.Decision, error) {
 	if seg == nil {
-		return nil, fmt.Errorf("abstraction: nil segment")
+		return nil, nil, fmt.Errorf("abstraction: nil segment")
 	}
 	if err := seg.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	start, end := seg.StartTime(), seg.EndTime()
 	cuts := spanCuts(e, seg, start, end)
 
 	var out []*Release
+	var decisions []*rules.Decision
 	for i := 0; i+1 < len(cuts); i++ {
 		from, to := cuts[i], cuts[i+1]
 		piece := seg.Slice(from, to)
@@ -190,13 +201,14 @@ func Enforce(e *rules.Engine, consumer string, consumerGroups []string, seg *wav
 		d := e.Decide(req)
 		rel, err := Apply(d, piece, gc)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if rel != nil {
 			out = append(out, rel)
+			decisions = append(decisions, d)
 		}
 	}
-	return out, nil
+	return out, decisions, nil
 }
 
 // spanCuts returns the sorted cut instants delimiting spans of constant

@@ -62,6 +62,11 @@ type Event struct {
 	Channels []string `json:"channels,omitempty"`
 	// Contexts released (possibly abstracted labels).
 	Contexts []string `json:"contexts,omitempty"`
+	// TraceID cross-references the distributed trace of the query that
+	// caused this access (32 hex chars, empty when the query carried no
+	// trace): the trail answers *what* was released, /debug/traces?id=
+	// answers *why* — which rules matched and at what granularity.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // Trail is an append-only, bounded audit log. Safe for concurrent use.

@@ -21,6 +21,7 @@ import (
 	"sensorsafe/internal/auth"
 	"sensorsafe/internal/geo"
 	"sensorsafe/internal/obs"
+	"sensorsafe/internal/obs/trace"
 	"sensorsafe/internal/resilience"
 	"sensorsafe/internal/rules"
 )
@@ -353,9 +354,16 @@ func (s *Service) Directory(key auth.APIKey) ([]ContributorInfo, error) {
 
 // Connect provisions (or returns the vaulted) API key for the consumer on
 // the contributor's store, automating the per-store registration the paper
-// describes in §5.4. The context's request ID travels with the
-// provisioning call to the store.
-func (s *Service) Connect(ctx context.Context, key auth.APIKey, contributor string) (Credential, error) {
+// describes in §5.4. The context's request ID and trace travel with the
+// provisioning call to the store, so broker→store provisioning shows up
+// as one subtree of the consumer's trace.
+func (s *Service) Connect(ctx context.Context, key auth.APIKey, contributor string) (cred Credential, err error) {
+	ctx, cspan, stopConnect := obs.Span(ctx, "broker.connect")
+	cspan.SetAttr(trace.String("contributor", contributor))
+	defer func() {
+		cspan.SetAttr(trace.String("store", cred.StoreAddr))
+		stopConnect(err)
+	}()
 	u, e, err := s.authConsumer(key)
 	if err != nil {
 		return Credential{}, err
@@ -371,6 +379,7 @@ func (s *Service) Connect(ctx context.Context, key auth.APIKey, contributor stri
 	if ok {
 		if k, vaulted := e.keys[addr]; vaulted {
 			s.mu.RUnlock()
+			cspan.SetAttr(trace.Bool("vaulted", true))
 			return Credential{StoreAddr: addr, Key: k}, nil
 		}
 	}
@@ -397,6 +406,7 @@ func (s *Service) Connect(ctx context.Context, key auth.APIKey, contributor stri
 		return Credential{}, fmt.Errorf("broker: provisioning %s on %s: %w", u.Name, addr, err)
 	}
 	metricProvisions.With("ok").Inc()
+	cspan.SetAttr(trace.Bool("vaulted", false))
 	s.mu.Lock()
 	e.keys[addr] = storeKey
 	s.mu.Unlock()

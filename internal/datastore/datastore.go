@@ -21,6 +21,7 @@ import (
 	"sensorsafe/internal/auth"
 	"sensorsafe/internal/geo"
 	"sensorsafe/internal/obs"
+	"sensorsafe/internal/obs/trace"
 	"sensorsafe/internal/query"
 	"sensorsafe/internal/recommend"
 	"sensorsafe/internal/resilience"
@@ -325,8 +326,12 @@ func (s *Service) Upload(key auth.APIKey, segs []*wavesegment.Segment) (int, err
 
 // UploadCtx is Upload carrying the caller's context, so HTTP ingest spans
 // correlate with the request trace instead of a fresh background context.
-func (s *Service) UploadCtx(ctx context.Context, key auth.APIKey, segs []*wavesegment.Segment) (int, error) {
-	defer obs.Time(ctx, "datastore.upload")()
+func (s *Service) UploadCtx(ctx context.Context, key auth.APIKey, segs []*wavesegment.Segment) (written int, err error) {
+	ctx, uspan, stopUpload := obs.Span(ctx, "datastore.upload")
+	defer func() {
+		uspan.SetAttr(trace.Int("segments", len(segs)), trace.Int("records", written))
+		stopUpload(err)
+	}()
 	u, err := s.authenticate(key, auth.RoleContributor)
 	if err != nil {
 		return 0, err
@@ -349,7 +354,6 @@ func (s *Service) UploadCtx(ctx context.Context, key auth.APIKey, segs []*wavese
 	// (chest band vs phone); the optimizer merges only within one stream,
 	// so group by channel signature first, preserving arrival order per
 	// group.
-	written := 0
 	for _, group := range groupByStream(segs) {
 		merged, err := wavesegment.OptimizeAll(group, s.opts.MaxSegmentSamples)
 		if err != nil {
@@ -722,8 +726,15 @@ func (s *Service) Query(key auth.APIKey, q *query.Query) ([]*abstraction.Release
 // QueryCtx is Query carrying the caller's context: enforcement spans land
 // in the request trace, and HTTP handlers must use it so deadlines reach
 // the rule engine.
-func (s *Service) QueryCtx(ctx context.Context, key auth.APIKey, q *query.Query) ([]*abstraction.Release, error) {
-	defer obs.Time(ctx, "datastore.query")()
+func (s *Service) QueryCtx(ctx context.Context, key auth.APIKey, q *query.Query) (out []*abstraction.Release, err error) {
+	ctx, qspan, stopQuery := obs.Span(ctx, "datastore.query")
+	defer func() {
+		qspan.SetAttr(trace.Int("releases", len(out)))
+		stopQuery(err)
+	}()
+	// Audit events cross-reference the query's trace: the trail answers
+	// what was released, the trace answers why.
+	traceID := trace.IDFromContext(ctx)
 	u, err := s.authenticate(key, auth.RoleConsumer)
 	if err != nil {
 		return nil, err
@@ -737,7 +748,6 @@ func (s *Service) QueryCtx(ctx context.Context, key auth.APIKey, q *query.Query)
 	}
 	metricSegmentsScanned.Add(float64(len(results)))
 
-	var out []*abstraction.Release
 	for _, res := range results {
 		seg := res.Segment
 		// Clip to the requested window: the scan matches any overlapping
@@ -751,32 +761,55 @@ func (s *Service) QueryCtx(ctx context.Context, key auth.APIKey, q *query.Query)
 		st, err := s.stateLocked(seg.Contributor)
 		var engine *rules.Engine
 		var groups []string
+		var ruleVersion uint64
 		if err == nil {
 			engine = st.engine
 			groups = st.groups[normName(u.Name)]
+			ruleVersion = st.ruleVersion
 		}
 		s.mu.RUnlock()
 		if err != nil || engine == nil {
 			metricReleases.With("deny").Inc()
 			continue // contributor without rules: default deny
 		}
-		stopEval := obs.Time(ctx, "datastore.rule_eval")
-		rels, err := abstraction.Enforce(engine, u.Name, groups, seg, s.opts.Geocoder)
-		stopEval()
+		// The rule-eval span carries decision provenance: matched rule
+		// IDs, the rule-set version they came from, the effective
+		// allow/abstract/deny class, and per-release granted granularity
+		// events — every release below is explainable from the trace.
+		_, espan, stopEval := obs.Span(ctx, "datastore.rule_eval")
+		espan.SetAttr(trace.String("contributor", seg.Contributor),
+			trace.Int64("rule_version", int64(ruleVersion)))
+		rels, decisions, err := abstraction.EnforceExplained(engine, u.Name, groups, seg, s.opts.Geocoder)
 		if err != nil {
+			stopEval(err)
 			return nil, err
 		}
 		delivered := 0
-		for _, rel := range rels {
+		decisionClass := "deny"
+		matched := make(map[string]bool)
+		for i, rel := range rels {
 			if rel = postFilter(rel, q); rel != nil {
 				out = append(out, rel)
 				delivered++
 				ev := auditEvent(u.Name, q, rel, seg)
+				ev.TraceID = traceID
 				if ev.Outcome == audit.OutcomeRaw {
 					metricReleases.With("allow").Inc()
+					decisionClass = "allow"
 				} else {
 					metricReleases.With("abstract").Inc()
+					if decisionClass != "allow" {
+						decisionClass = "abstract"
+					}
 				}
+				for _, id := range decisions[i].Matched {
+					matched[id] = true
+				}
+				espan.AddEvent("release.decision",
+					trace.String("outcome", ev.Outcome.String()),
+					trace.String("rules", strings.Join(decisions[i].Matched, ",")),
+					trace.String("location_granularity", rel.Location.Granularity.String()),
+					trace.String("time_granularity", rel.TimeGranularity.String()))
 				s.trail.Record(ev)
 			}
 		}
@@ -785,9 +818,18 @@ func (s *Service) QueryCtx(ctx context.Context, key auth.APIKey, q *query.Query)
 			s.trail.Record(audit.Event{
 				Contributor: seg.Contributor, Consumer: u.Name, Query: q.String(),
 				SpanStart: seg.StartTime(), SpanEnd: seg.EndTime(),
-				Outcome: audit.OutcomeWithheld,
+				Outcome: audit.OutcomeWithheld, TraceID: traceID,
 			})
 		}
+		matchedIDs := make([]string, 0, len(matched))
+		for id := range matched {
+			matchedIDs = append(matchedIDs, id)
+		}
+		sort.Strings(matchedIDs)
+		espan.SetAttr(trace.String("decision", decisionClass),
+			trace.String("rules_matched", strings.Join(matchedIDs, ",")),
+			trace.Int("releases", delivered))
+		stopEval(nil)
 	}
 	return out, nil
 }

@@ -29,6 +29,7 @@ import (
 	"sensorsafe/internal/auth"
 	"sensorsafe/internal/broker"
 	"sensorsafe/internal/obs"
+	"sensorsafe/internal/obs/trace"
 	"sensorsafe/internal/query"
 )
 
@@ -202,7 +203,15 @@ type fetchResult struct {
 // and returns one merged, paginated, failure-annotated page. The error
 // return is reserved for request-level failures (bad cohort, broker
 // unreachable, bad cursor); per-store failures land in Result.Reports.
-func (e *Engine) CohortQuery(ctx context.Context, req *Request) (*Result, error) {
+func (e *Engine) CohortQuery(ctx context.Context, req *Request) (result *Result, err error) {
+	ctx, qspan, stopQuery := obs.Span(ctx, "federation.cohort_query")
+	defer func() {
+		if result != nil {
+			qspan.SetAttr(trace.Int("releases", len(result.Releases)),
+				trace.Bool("partial", result.Partial))
+		}
+		stopQuery(err)
+	}()
 	if err := req.Cohort.validate(); err != nil {
 		return nil, err
 	}
@@ -214,6 +223,7 @@ func (e *Engine) CohortQuery(ctx context.Context, req *Request) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
+	qspan.SetAttr(trace.Int("stores", len(members)))
 	metricCohortQueries.Inc()
 	metricFanout.Observe(float64(len(members)))
 
@@ -281,20 +291,24 @@ func (e *Engine) CohortQuery(ctx context.Context, req *Request) (*Result, error)
 // resolve through one Directory call. Members the directory does not know
 // keep an empty address and surface later as explicit unreachable reports
 // rather than being silently dropped.
-func (e *Engine) resolve(ctx context.Context, c *Cohort) ([]member, error) {
+func (e *Engine) resolve(ctx context.Context, c *Cohort) (members []member, err error) {
+	ctx, rspan, stopResolve := obs.Span(ctx, "federation.resolve")
+	defer func() {
+		rspan.SetAttr(trace.Int("members", len(members)))
+		stopResolve(err)
+	}()
 	if c.Search != nil {
 		hits, err := e.Broker.SearchInfoCtx(ctx, e.Key, c.Search)
 		if err != nil {
 			return nil, fmt.Errorf("federation: search: %w", err)
 		}
-		members := make([]member, len(hits))
+		out := make([]member, len(hits))
 		for i, h := range hits {
-			members[i] = member{contributor: h.Contributor, storeAddr: h.StoreAddr}
+			out[i] = member{contributor: h.Contributor, storeAddr: h.StoreAddr}
 		}
-		return members, nil
+		return out, nil
 	}
 	var names []string
-	var err error
 	switch {
 	case len(c.Contributors) > 0:
 		names = c.Contributors
@@ -316,16 +330,16 @@ func (e *Engine) resolve(ctx context.Context, c *Cohort) ([]member, error) {
 		addrs[strings.ToLower(strings.TrimSpace(d.Name))] = d.StoreAddr
 	}
 	seen := make(map[string]bool, len(names))
-	var members []member
+	var out []member
 	for _, n := range names {
 		key := strings.ToLower(strings.TrimSpace(n))
 		if key == "" || seen[key] {
 			continue
 		}
 		seen[key] = true
-		members = append(members, member{contributor: n, storeAddr: addrs[key]})
+		out = append(out, member{contributor: n, storeAddr: addrs[key]})
 	}
-	return members, nil
+	return out, nil
 }
 
 // scatter fans the per-store fetches out under the concurrency bound and
@@ -358,7 +372,14 @@ func (e *Engine) scatter(ctx context.Context, members []member, req *Request) []
 // fetchMember runs one store's leg: credential (cached), then the
 // deadlined, optionally hedged query.
 func (e *Engine) fetchMember(ctx context.Context, m member, req *Request) fetchResult {
+	ctx, mspan, stopFetch := obs.Span(ctx, "federation.store_query")
+	mspan.SetAttr(trace.String("contributor", m.contributor))
 	res := fetchResult{member: m}
+	defer func() {
+		mspan.SetAttr(trace.String("store", res.storeAddr),
+			trace.Bool("hedged", res.hedged), trace.Bool("hedge_won", res.hedgeWon))
+		stopFetch(res.err)
+	}()
 	if m.storeAddr == "" {
 		res.err = fmt.Errorf("federation: %s is not in the broker directory", m.contributor)
 		return res
@@ -420,7 +441,15 @@ func fetch(ctx context.Context, st Store, key auth.APIKey, q *query.Query, timeo
 	ch := make(chan attempt, 2)
 	launch := func(isHedge bool) {
 		go func() {
-			r, err := st.QueryCtx(fctx, key, q)
+			actx := fctx
+			stop := func(error) {}
+			if isHedge {
+				// A hedge is its own child span so duplicate requests fired
+				// for stragglers stay visible in the trace tree.
+				actx, _, stop = obs.Span(fctx, "federation.hedge")
+			}
+			r, err := st.QueryCtx(actx, key, q)
+			stop(err)
 			ch <- attempt{rels: r, err: err, hedge: isHedge}
 		}()
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sensorsafe/internal/obs"
+	"sensorsafe/internal/obs/trace"
 
 	"sensorsafe/internal/auth"
 	"sensorsafe/internal/broker"
@@ -322,6 +323,11 @@ func NewBrokerHandler(svc *broker.Service) http.Handler {
 	})
 
 	mux.Handle("/metrics", obs.Handler())
+
+	// Completed traces (sampled: errored or slow spans, bounded ring). The
+	// payload carries span metadata only — names, IDs, rule provenance —
+	// never sensor data.
+	mux.Handle("/debug/traces", trace.Handler())
 
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {

@@ -17,6 +17,7 @@ import (
 	"sensorsafe/internal/broker"
 	"sensorsafe/internal/geo"
 	"sensorsafe/internal/obs"
+	"sensorsafe/internal/obs/trace"
 	"sensorsafe/internal/query"
 	"sensorsafe/internal/recommend"
 	"sensorsafe/internal/resilience"
@@ -54,8 +55,18 @@ func doJSON(ctx context.Context, hc *http.Client, pol *resilience.Policy, baseUR
 
 // postOnce executes one HTTP attempt, classifying failures for the retry
 // engine: transport errors and torn bodies are retryable, 5xx/429 carry
-// the server's Retry-After hint, and other statuses are terminal.
+// the server's Retry-After hint, and other statuses are terminal. Each
+// attempt is its own client span (so hedges and retries are separately
+// visible in the trace) and propagates it over the wire via traceparent.
 func postOnce(ctx context.Context, hc *http.Client, url, path, id, idem string, body []byte, resp any) error {
+	ctx, span, stop := obs.Span(ctx, "http.client")
+	span.SetAttr(trace.String("path", path))
+	err := postAttempt(ctx, hc, url, path, id, idem, body, resp)
+	stop(err)
+	return err
+}
+
+func postAttempt(ctx context.Context, hc *http.Client, url, path, id, idem string, body []byte, resp any) error {
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return resilience.MarkTerminal(fmt.Errorf("httpapi: build request: %w", err))
@@ -64,6 +75,9 @@ func postOnce(ctx context.Context, hc *http.Client, url, path, id, idem string, 
 	httpReq.Header.Set(requestIDHeader, id)
 	if idem != "" {
 		httpReq.Header.Set(idempotencyKeyHeader, idem)
+	}
+	if tp := trace.Traceparent(ctx); tp != "" {
+		httpReq.Header.Set(trace.Header, tp)
 	}
 	httpResp, err := hc.Do(httpReq)
 	if err != nil {
@@ -127,6 +141,9 @@ func getHealth(ctx context.Context, hc *http.Client, baseURL string) (Health, er
 		id = obs.NewRequestID()
 	}
 	req.Header.Set(requestIDHeader, id)
+	if tp := trace.Traceparent(ctx); tp != "" {
+		req.Header.Set(trace.Header, tp)
+	}
 	resp, err := hc.Do(req)
 	if err != nil {
 		return Health{}, fmt.Errorf("httpapi: GET %s: %w", url, err)

@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"sensorsafe/internal/obs"
+	"sensorsafe/internal/obs/trace"
 	"sensorsafe/internal/resilience"
 )
 
@@ -143,19 +145,39 @@ func withObs(component string, mux *http.ServeMux, inner http.Handler) http.Hand
 			route = pattern
 		}
 
+		// Join the caller's trace when the request carries a traceparent
+		// header, then open this hop's server span; handlers see the span
+		// through the request context, so their child spans nest under it.
+		ctx = trace.WithRemoteParent(ctx, r.Header.Get(trace.Header))
+		ctx, span := trace.Start(ctx, "http.server",
+			trace.String("component", component),
+			trace.String("method", r.Method),
+			trace.String("route", route))
+
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		inFlight.Inc()
 		inner.ServeHTTP(sw, r.WithContext(ctx))
 		inFlight.Dec()
 
+		span.SetAttr(trace.Int("status", sw.status))
+		if sw.status >= http.StatusInternalServerError {
+			span.SetError(fmt.Errorf("HTTP %d", sw.status))
+		}
+		span.End()
+
 		elapsed := time.Since(start)
 		metricHTTPRequests.With(component, r.Method, route, strconv.Itoa(sw.status)).Inc()
 		metricHTTPLatency.With(component, route).Observe(elapsed.Seconds())
-		logger.Info("request",
+		logArgs := []any{
 			"request_id", id,
 			"method", r.Method,
 			"route", route,
 			"status", sw.status,
-			"duration_ms", float64(elapsed.Microseconds())/1000)
+			"duration_ms", float64(elapsed.Microseconds()) / 1000,
+		}
+		if tid := span.TraceIDString(); tid != "" {
+			logArgs = append(logArgs, "trace_id", tid)
+		}
+		logger.Info("request", logArgs...)
 	})
 }

@@ -9,6 +9,8 @@ import (
 
 	"sensorsafe/internal/auth"
 	"sensorsafe/internal/datastore"
+	"sensorsafe/internal/obs"
+	"sensorsafe/internal/obs/trace"
 	"sensorsafe/internal/stream"
 )
 
@@ -67,7 +69,11 @@ func registerStreamAPI(mux *http.ServeMux, svc *datastore.Service) {
 	}))
 
 	mux.HandleFunc("/api/stream/next", post(func(ctx context.Context, r *streamNextReq) (stream.Batch, error) {
-		return svc.StreamNext(r.Key, r.ID, r.Cursor, clampWait(r.WaitMs))
+		_, span, stop := obs.Span(ctx, "stream.deliver")
+		batch, err := svc.StreamNext(r.Key, r.ID, r.Cursor, clampWait(r.WaitMs))
+		span.SetAttr(trace.Int("events", len(batch.Events)))
+		stop(err)
+		return batch, err
 	}))
 
 	mux.HandleFunc("/api/stream/ack", post(func(ctx context.Context, r *streamAckReq) (okResp, error) {

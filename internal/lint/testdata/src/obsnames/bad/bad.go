@@ -1,8 +1,14 @@
 // Package bad exercises the obsnames analyzer: non-constant names, bad
-// casing, and duplicate registrations are all flagged.
+// casing, and duplicate registrations are all flagged — for metric
+// families and for trace span names alike.
 package bad
 
-import "sensorsafe/internal/obs"
+import (
+	"context"
+
+	"sensorsafe/internal/obs"
+	"sensorsafe/internal/obs/trace"
+)
 
 var dynamicName = "sensorsafe_fixture_dynamic_total"
 
@@ -12,3 +18,16 @@ var (
 	_ = obs.NewGauge("sensorsafe_fixture_dup", "first registration")  // unique: accepted
 	_ = obs.NewGauge("sensorsafe_fixture_dup", "second registration") // want "already registered"
 )
+
+var dynamicSpan = "fixture.dynamic"
+
+func badSpans(ctx context.Context) {
+	defer obs.Time(ctx, dynamicSpan)()    // want "compile-time string constant"
+	defer obs.Time(ctx, "nodot")()        // want "not dot-separated lowercase"
+	defer obs.Time(ctx, "Fixture.Eval")() // want "not dot-separated lowercase"
+
+	stop := obs.TimeErr(ctx, "fixture.dup_span") // unique: accepted
+	stop(nil)
+	_, span := trace.Start(ctx, "fixture.dup_span") // want "already instrumented"
+	span.End()
+}

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Version is the build's version string, stamped at link time:
+//
+//	go build -ldflags "-X sensorsafe/internal/obs.Version=v1.2.3" ./cmd/...
+//
+// It defaults to "dev" for plain `go build`/`go test` binaries.
+var Version = "dev"
+
+var (
+	buildInfo = NewGaugeVec("sensorsafe_build_info",
+		"Constant 1, labeled with the build's version and Go toolchain — join "+
+			"other series against it to slice dashboards by deployed version.",
+		"version", "go_version")
+	uptimeSeconds = NewGauge("sensorsafe_process_uptime_seconds",
+		"Seconds since this process registered its build info (scrape-time).")
+)
+
+var (
+	processStart  time.Time
+	buildInfoOnce sync.Once
+)
+
+// stampBuildInfo publishes the build-info gauge and starts the uptime
+// clock; first call wins, later calls only refresh uptime. It is invoked
+// from every /metrics render, so scrapes always see a fresh uptime
+// without a background ticker.
+func stampBuildInfo() {
+	buildInfoOnce.Do(func() {
+		processStart = time.Now()
+		buildInfo.With(Version, runtime.Version()).Set(1)
+	})
+	uptimeSeconds.Set(time.Since(processStart).Seconds())
+}

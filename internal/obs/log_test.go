@@ -45,10 +45,10 @@ func TestLoggerTagsComponentAndRequestID(t *testing.T) {
 }
 
 func TestTimeFeedsSpanHistogram(t *testing.T) {
-	before := spanSeconds.With("obs.test_span").Count()
+	before := spanSeconds.With("obs.test_span", "ok").Count()
 	done := Time(context.Background(), "obs.test_span")
 	done()
-	if got := spanSeconds.With("obs.test_span").Count(); got != before+1 {
+	if got := spanSeconds.With("obs.test_span", "ok").Count(); got != before+1 {
 		t.Errorf("span count = %d, want %d", got, before+1)
 	}
 }

@@ -1,0 +1,360 @@
+package trace
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Collector retention defaults: enough traces for a debugging session,
+// bounded hard so a busy server cannot grow without limit.
+const (
+	defaultMaxTraces  = 256
+	defaultMaxSpans   = 512
+	defaultSlowSpan   = 250 * time.Millisecond
+	defaultListTraces = 100
+)
+
+// SpanData is the JSON form of one completed span.
+type SpanData struct {
+	TraceID    string         `json:"traceId"`
+	SpanID     string         `json:"spanId"`
+	ParentID   string         `json:"parentId,omitempty"`
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationMS float64        `json:"durationMs"`
+	Status     string         `json:"status"`
+	Error      string         `json:"error,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Events     []EventData    `json:"events,omitempty"`
+}
+
+// EventData is the JSON form of one span event.
+type EventData struct {
+	Time  time.Time      `json:"time"`
+	Name  string         `json:"name"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Summary describes one retained trace for the /debug/traces listing.
+type Summary struct {
+	TraceID string `json:"traceId"`
+	// Root is the name of the trace's root span (parentless span with the
+	// earliest start; a span whose parent never reported counts too).
+	Root string `json:"root"`
+	// Spans retained, and how many more were dropped by the per-trace cap.
+	Spans     int `json:"spans"`
+	Truncated int `json:"truncated,omitempty"`
+	// DurationMS covers the earliest span start to the latest span end.
+	DurationMS float64 `json:"durationMs"`
+	// Errors counts spans that ended with status "error".
+	Errors int `json:"errors"`
+	// Interesting traces (an error or a slow span) survive eviction
+	// longest — the collector always samples them.
+	Interesting bool `json:"interesting"`
+}
+
+// bucket accumulates the spans of one trace as they complete. It holds
+// the ended *Span values themselves — serialization to SpanData is
+// deferred to the read path (/debug/traces, Trace, Traces), which keeps
+// the per-span cost on the record hot path to a map lookup and an
+// append.
+type bucket struct {
+	spans       []*Span
+	truncated   int
+	errors      int
+	interesting bool
+}
+
+// Collector retains completed spans grouped by trace in a bounded ring:
+// when full, the oldest *boring* trace is evicted first — traces with an
+// errored span or a span at/over the slow threshold are always sampled
+// and only fall out when everything retained is interesting. Spans
+// report here on End; a Collector is safe for concurrent use.
+type Collector struct {
+	maxTraces int
+	maxSpans  int
+	slow      time.Duration
+
+	mu sync.Mutex
+	// guarded by mu
+	traces map[TraceID]*bucket
+	// guarded by mu
+	order []TraceID // trace IDs, first-seen order
+	// guarded by mu
+	evicted uint64
+}
+
+// NewCollector builds a collector retaining up to maxTraces traces of up
+// to maxSpans spans each, marking spans of slow or worse duration (and
+// errored spans) as always-sample. Non-positive arguments pick the
+// defaults (256 traces, 512 spans, 250ms).
+func NewCollector(maxTraces, maxSpans int, slow time.Duration) *Collector {
+	if maxTraces <= 0 {
+		maxTraces = defaultMaxTraces
+	}
+	if maxSpans <= 0 {
+		maxSpans = defaultMaxSpans
+	}
+	if slow <= 0 {
+		slow = defaultSlowSpan
+	}
+	return &Collector{
+		maxTraces: maxTraces,
+		maxSpans:  maxSpans,
+		slow:      slow,
+		traces:    make(map[TraceID]*bucket),
+	}
+}
+
+// record files one ended span under its trace, evicting if needed. The
+// span's outcome is passed in (End computed it under the span's lock),
+// so the hot path never serializes or re-locks the span — everything a
+// span allocated while live is reused as-is until a reader snapshots it.
+func (c *Collector) record(s *Span, d time.Duration, failed bool) {
+	interesting := failed || d >= c.slow
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.traces[s.sc.Trace]
+	if b == nil {
+		b = &bucket{}
+		c.traces[s.sc.Trace] = b
+		c.order = append(c.order, s.sc.Trace)
+	}
+	if len(b.spans) >= c.maxSpans {
+		b.truncated++
+	} else {
+		b.spans = append(b.spans, s)
+	}
+	if failed {
+		b.errors++
+	}
+	if interesting {
+		b.interesting = true
+	}
+	for len(c.order) > c.maxTraces {
+		c.evictLocked()
+	}
+}
+
+// evictLocked drops the oldest boring trace, or the oldest trace
+// outright when every retained trace is interesting. Callers hold mu.
+func (c *Collector) evictLocked() {
+	victim := 0
+	for i, id := range c.order {
+		if !c.traces[id].interesting {
+			victim = i
+			break
+		}
+	}
+	id := c.order[victim]
+	if victim == 0 {
+		// The common case (the head is boring, or everything retained is
+		// interesting): advance the head instead of shifting the slice.
+		// append reclaims the dead prefix when the backing array fills.
+		c.order = c.order[1:]
+	} else {
+		c.order = append(c.order[:victim], c.order[victim+1:]...)
+	}
+	delete(c.traces, id)
+	c.evicted++
+}
+
+// spansLocked copies one bucket's span pointers. Callers hold mu.
+func (b *bucket) spansLocked() []*Span {
+	out := make([]*Span, len(b.spans))
+	copy(out, b.spans)
+	return out
+}
+
+// Trace returns JSON snapshots of the retained spans of one trace (id in
+// 32-hex form), sorted by start time, nil when the trace is unknown.
+func (c *Collector) Trace(id string) []*SpanData {
+	var tid TraceID
+	if len(id) != hex.EncodedLen(len(tid)) {
+		return nil
+	}
+	if _, err := hex.Decode(tid[:], []byte(id)); err != nil {
+		return nil
+	}
+	c.mu.Lock()
+	b := c.traces[tid]
+	var spans []*Span
+	if b != nil {
+		spans = b.spansLocked()
+	}
+	c.mu.Unlock()
+	if spans == nil {
+		return nil
+	}
+	out := make([]*SpanData, len(spans))
+	for i, s := range spans {
+		out[i] = s.snapshot()
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Traces summarizes the retained traces, newest-first.
+func (c *Collector) Traces() []Summary {
+	type snap struct {
+		id TraceID
+		b  bucket
+	}
+	c.mu.Lock()
+	snaps := make([]snap, 0, len(c.order))
+	for i := len(c.order) - 1; i >= 0; i-- {
+		id := c.order[i]
+		b := c.traces[id]
+		snaps = append(snaps, snap{id: id, b: bucket{
+			spans:       b.spansLocked(),
+			truncated:   b.truncated,
+			errors:      b.errors,
+			interesting: b.interesting,
+		}})
+	}
+	c.mu.Unlock()
+	out := make([]Summary, 0, len(snaps))
+	for i := range snaps {
+		out = append(out, summarize(snaps[i].id, &snaps[i].b))
+	}
+	return out
+}
+
+// Evicted reports how many traces were dropped by the retention policy.
+func (c *Collector) Evicted() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicted
+}
+
+// Reset drops every retained trace (tests and benchmarks).
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.traces = make(map[TraceID]*bucket)
+	c.order = nil
+	c.evicted = 0
+	c.mu.Unlock()
+}
+
+// summarize condenses one (copied) bucket. Span clocks are one
+// process's, so the min-start/max-end window is meaningful within a test
+// or a single server and approximate across machines.
+func summarize(id TraceID, b *bucket) Summary {
+	s := Summary{
+		TraceID:     id.String(),
+		Spans:       len(b.spans),
+		Truncated:   b.truncated,
+		Errors:      b.errors,
+		Interesting: b.interesting,
+	}
+	var minStart, maxEnd time.Time
+	var rootStart time.Time
+	known := make(map[SpanID]bool, len(b.spans))
+	for _, sp := range b.spans {
+		known[sp.sc.Span] = true
+	}
+	for _, sp := range b.spans {
+		start, end := sp.window()
+		if minStart.IsZero() || start.Before(minStart) {
+			minStart = start
+		}
+		if maxEnd.IsZero() || end.After(maxEnd) {
+			maxEnd = end
+		}
+		// Root candidate: no parent, or a parent that never reported here.
+		if sp.parent.IsZero() || !known[sp.parent] {
+			if rootStart.IsZero() || start.Before(rootStart) {
+				rootStart = start
+				s.Root = sp.name
+			}
+		}
+	}
+	if !minStart.IsZero() {
+		s.DurationMS = float64(maxEnd.Sub(minStart).Microseconds()) / 1000
+	}
+	return s
+}
+
+// Handler serves the collector as JSON: GET /debug/traces lists trace
+// summaries (newest first, capped at 100); ?id=<32 hex> returns the full
+// span set of one trace. Only trace metadata crosses this endpoint —
+// span attributes carry rule IDs and decision classes, never sensor
+// payloads — and it is meant for operator/loopback exposure like
+// /metrics and /debug/pprof.
+func (c *Collector) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, `{"error":"method not allowed"}`, http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if id := r.URL.Query().Get("id"); id != "" {
+			spans := c.Trace(id)
+			if spans == nil {
+				http.Error(w, `{"error":"unknown trace"}`, http.StatusNotFound)
+				return
+			}
+			_ = json.NewEncoder(w).Encode(struct {
+				TraceID string      `json:"traceId"`
+				Spans   []*SpanData `json:"spans"`
+			}{TraceID: id, Spans: spans})
+			return
+		}
+		sums := c.Traces()
+		if len(sums) > defaultListTraces {
+			sums = sums[:defaultListTraces]
+		}
+		_ = json.NewEncoder(w).Encode(struct {
+			Traces []Summary `json:"traces"`
+		}{Traces: sums})
+	})
+}
+
+// defCollector is the process default every Start reports to unless the
+// context overrides it; one default means an in-process test harness
+// (client + broker + stores in one binary) sees whole cross-hop trees.
+var defCollector atomic.Pointer[Collector]
+
+func init() { defCollector.Store(NewCollector(0, 0, 0)) }
+
+// Default returns the process-wide collector.
+func Default() *Collector { return defCollector.Load() }
+
+// SetDefault swaps the process-wide collector (tests).
+func SetDefault(c *Collector) {
+	if c != nil {
+		defCollector.Store(c)
+	}
+}
+
+// collectorKey overrides the collector for a context subtree.
+type collectorKey struct{}
+
+// WithCollector returns ctx routing spans started under it to c.
+func WithCollector(ctx context.Context, c *Collector) context.Context {
+	if c == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, collectorKey{}, c)
+}
+
+func collectorFrom(ctx context.Context) *Collector {
+	if c, ok := ctx.Value(collectorKey{}).(*Collector); ok {
+		return c
+	}
+	return Default()
+}
+
+// Handler serves the default collector's /debug/traces endpoint.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		Default().Handler().ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,265 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// endSpan records one synthetic completed span under a chosen trace ID
+// (installed as a remote parent so Start joins it).
+func endSpan(c *Collector, traceID, name string, fail bool, d time.Duration) {
+	ctx := WithCollector(context.Background(), c)
+	ctx = WithRemoteParent(ctx, "00-"+traceID+"-00000000000000ab-01")
+	_, sp := Start(ctx, name)
+	if fail {
+		sp.SetError(errors.New("induced"))
+	}
+	// Backdate the start so the recorded duration is deterministic-ish:
+	// only the >= slow comparison matters, and d is either 0 or huge.
+	sp.start = sp.start.Add(-d)
+	sp.End()
+}
+
+func id32(i int) string { return fmt.Sprintf("%032x", i+1) }
+
+// TestEvictionPolicyTable is the sampling/eviction unit table: boring
+// traces are evicted oldest-first, while slow or errored traces are
+// always sampled until only interesting traces remain.
+func TestEvictionPolicyTable(t *testing.T) {
+	const slow = 100 * time.Millisecond
+	cases := []struct {
+		name string
+		max  int
+		// add is applied in order: (fail, duration) per trace.
+		add []struct {
+			fail bool
+			d    time.Duration
+		}
+		wantKept    []int // indices into add expected to survive
+		wantEvicted uint64
+	}{
+		{
+			name: "under capacity keeps everything",
+			max:  4,
+			add: []struct {
+				fail bool
+				d    time.Duration
+			}{{false, 0}, {false, 0}, {true, 0}},
+			wantKept:    []int{0, 1, 2},
+			wantEvicted: 0,
+		},
+		{
+			name: "boring overflow evicts oldest first",
+			max:  3,
+			add: []struct {
+				fail bool
+				d    time.Duration
+			}{{false, 0}, {false, 0}, {false, 0}, {false, 0}, {false, 0}},
+			wantKept:    []int{2, 3, 4},
+			wantEvicted: 2,
+		},
+		{
+			name: "errored trace outlives younger boring traces",
+			max:  3,
+			add: []struct {
+				fail bool
+				d    time.Duration
+			}{{true, 0}, {false, 0}, {false, 0}, {false, 0}, {false, 0}},
+			wantKept:    []int{0, 3, 4},
+			wantEvicted: 2,
+		},
+		{
+			name: "slow trace outlives younger boring traces",
+			max:  3,
+			add: []struct {
+				fail bool
+				d    time.Duration
+			}{{false, time.Second}, {false, 0}, {false, 0}, {false, 0}, {false, 0}},
+			wantKept:    []int{0, 3, 4},
+			wantEvicted: 2,
+		},
+		{
+			name: "all interesting falls back to oldest-first",
+			max:  2,
+			add: []struct {
+				fail bool
+				d    time.Duration
+			}{{true, 0}, {true, 0}, {true, 0}},
+			wantKept:    []int{1, 2},
+			wantEvicted: 1,
+		},
+		{
+			name: "boring evicted before older interesting, then interesting ages out",
+			max:  2,
+			add: []struct {
+				fail bool
+				d    time.Duration
+			}{{true, 0}, {false, 0}, {true, 0}, {true, 0}},
+			wantKept:    []int{2, 3},
+			wantEvicted: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewCollector(tc.max, 16, slow)
+			for i, a := range tc.add {
+				endSpan(c, id32(i), "test.evict", a.fail, a.d)
+			}
+			kept := make(map[string]bool)
+			for _, s := range c.Traces() {
+				kept[s.TraceID] = true
+			}
+			if len(kept) != len(tc.wantKept) {
+				t.Fatalf("kept %d traces, want %d", len(kept), len(tc.wantKept))
+			}
+			for _, i := range tc.wantKept {
+				if !kept[id32(i)] {
+					t.Errorf("trace %d (%s) was evicted, want kept", i, id32(i))
+				}
+			}
+			if got := c.Evicted(); got != tc.wantEvicted {
+				t.Errorf("evicted = %d, want %d", got, tc.wantEvicted)
+			}
+		})
+	}
+}
+
+func TestPerTraceSpanCapTruncates(t *testing.T) {
+	c := NewCollector(4, 3, time.Hour)
+	for i := 0; i < 5; i++ {
+		endSpan(c, id32(0), "test.cap", false, 0)
+	}
+	sums := c.Traces()
+	if len(sums) != 1 {
+		t.Fatalf("traces = %d, want 1", len(sums))
+	}
+	if sums[0].Spans != 3 || sums[0].Truncated != 2 {
+		t.Errorf("spans=%d truncated=%d, want 3/2", sums[0].Spans, sums[0].Truncated)
+	}
+	if got := len(c.Trace(id32(0))); got != 3 {
+		t.Errorf("retained %d spans, want 3", got)
+	}
+}
+
+func TestSummaryRootAndErrors(t *testing.T) {
+	c := NewCollector(4, 16, time.Hour)
+	ctx := WithCollector(context.Background(), c)
+	rctx, root := Start(ctx, "test.summary_root")
+	_, child := Start(rctx, "test.summary_child")
+	child.SetError(errors.New("boom"))
+	child.End()
+	root.End()
+	sums := c.Traces()
+	if len(sums) != 1 {
+		t.Fatalf("traces = %d, want 1", len(sums))
+	}
+	s := sums[0]
+	if s.Root != "test.summary_root" {
+		t.Errorf("root = %q", s.Root)
+	}
+	if s.Errors != 1 || !s.Interesting || s.Spans != 2 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestHandlerServesListAndTrace(t *testing.T) {
+	c := NewCollector(4, 16, time.Hour)
+	ctx := WithCollector(context.Background(), c)
+	rctx, root := Start(ctx, "test.handler_root")
+	_, child := Start(rctx, "test.handler_child")
+	child.End()
+	root.End()
+
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var list struct {
+		Traces []Summary `json:"traces"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) != 1 || list.Traces[0].TraceID != root.TraceIDString() {
+		t.Fatalf("list = %+v", list)
+	}
+
+	res2, err := srv.Client().Get(srv.URL + "/debug/traces?id=" + root.TraceIDString())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Body.Close()
+	var full struct {
+		TraceID string      `json:"traceId"`
+		Spans   []*SpanData `json:"spans"`
+	}
+	if err := json.NewDecoder(res2.Body).Decode(&full); err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(full.Spans))
+	}
+	if full.Spans[1].ParentID != full.Spans[0].SpanID {
+		t.Errorf("child parent %q != root span %q", full.Spans[1].ParentID, full.Spans[0].SpanID)
+	}
+
+	res3, err := srv.Client().Get(srv.URL + "/debug/traces?id=" + "deadbeefdeadbeefdeadbeefdeadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3.Body.Close()
+	if res3.StatusCode != 404 {
+		t.Errorf("unknown trace status = %d, want 404", res3.StatusCode)
+	}
+}
+
+// TestCollectorConcurrency hammers one collector from many goroutines —
+// recorders, readers, and evictions racing — and relies on `go test
+// -race` to flag unsynchronized access.
+func TestCollectorConcurrency(t *testing.T) {
+	c := NewCollector(8, 4, time.Hour)
+	ctx := WithCollector(context.Background(), c)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rctx, root := Start(ctx, "test.race_root")
+				_, child := Start(rctx, "test.race_child")
+				child.SetAttr(Int("i", i))
+				if i%3 == 0 {
+					child.SetError(errors.New("induced"))
+				}
+				child.End()
+				root.End()
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				for _, s := range c.Traces() {
+					c.Trace(s.TraceID)
+				}
+				c.Evicted()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(c.Traces()); got > 8 {
+		t.Errorf("retained %d traces, cap is 8", got)
+	}
+}

@@ -1,0 +1,446 @@
+// Package trace is SensorSafe's stdlib-only distributed-tracing layer.
+// Spans form real trees — a 128-bit trace ID shared by every span of one
+// logical request, a 64-bit span ID per operation, and a parent link —
+// and a W3C-style `traceparent` header carries the active span across
+// process boundaries (consumer→broker, broker→store provisioning,
+// phone→store upload, federated scatter-gather, stream delivery).
+// Completed spans land in a bounded in-process Collector that always
+// keeps slow and failed traces (see collector.go) and serves them as
+// JSON from /debug/traces.
+//
+// The privacy twist over a generic tracer: the datastore's release path
+// annotates its spans with decision provenance (matched rule IDs, rule
+// version, allow/abstract/deny, granted abstraction level), so every
+// release in a query result is explainable from its trace, and audit
+// records carry the trace ID as a cross-reference.
+//
+// The package deliberately imports nothing from the rest of the module:
+// internal/obs layers its span timers on top of it, and everything else
+// reaches tracing through obs.Span or this package directly.
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Header is the wire header carrying trace context between services:
+// "00-<32 hex trace id>-<16 hex span id>-<2 hex flags>" (W3C Trace
+// Context shape; only version 00 is understood).
+const Header = "traceparent"
+
+// TraceID identifies one end-to-end request tree.
+type TraceID [16]byte
+
+// SpanID identifies one operation within a trace.
+type SpanID [8]byte
+
+// String returns the 32-hex-character form of the trace ID.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String returns the 16-hex-character form of the span ID.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// SpanContext is the propagated part of a span: enough to parent remote
+// children and to format a traceparent header.
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether both IDs are non-zero.
+func (sc SpanContext) Valid() bool { return !sc.Trace.IsZero() && !sc.Span.IsZero() }
+
+// Traceparent formats the context as a traceparent header value.
+func (sc SpanContext) Traceparent() string {
+	return fmt.Sprintf("00-%s-%s-01", sc.Trace, sc.Span)
+}
+
+// ParseTraceparent parses a traceparent header. It accepts only version
+// 00 and rejects all-zero IDs, as the W3C spec requires.
+func ParseTraceparent(h string) (SpanContext, bool) {
+	// "00-" + 32 + "-" + 16 + "-" + 2
+	if len(h) != 55 || h[0] != '0' || h[1] != '0' || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	if _, err := hex.Decode(sc.Trace[:], []byte(h[3:35])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.Span[:], []byte(h[36:52])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.DecodeString(h[53:55]); err != nil {
+		return SpanContext{}, false
+	}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// idSeq backs ID generation when the entropy source fails; mixed with
+// distinct constants so trace and span IDs stay distinguishable.
+var idSeq atomic.Uint64
+
+func newTraceID() TraceID {
+	var t TraceID
+	if _, err := rand.Read(t[:]); err != nil {
+		n := idSeq.Add(1)
+		for i := 0; i < 8; i++ {
+			t[15-i] = byte(n >> (8 * i))
+		}
+		t[0] = 0x5e // keep the fallback non-zero
+	}
+	return t
+}
+
+func newSpanID() SpanID {
+	var s SpanID
+	if _, err := rand.Read(s[:]); err != nil {
+		n := idSeq.Add(1)
+		for i := 0; i < 7; i++ {
+			s[7-i] = byte(n >> (8 * i))
+		}
+		s[0] = 0x5a
+	}
+	return s
+}
+
+// attrKind discriminates the typed payload of an Attr.
+type attrKind uint8
+
+const (
+	kindString attrKind = iota
+	kindInt64
+	kindBool
+	kindFloat64
+)
+
+// Attr is one typed key/value annotation on a span or event. The value
+// lives in a typed field rather than an `any` (à la slog.Value), so
+// building an attribute never boxes — annotating a span on the hot path
+// costs no per-attribute allocation. Values are restricted to the
+// JSON-friendly types the constructors below produce.
+type Attr struct {
+	Key  string
+	kind attrKind
+	str  string
+	i64  int64
+	f64  float64
+}
+
+// Value returns the attribute's payload as the JSON-friendly `any` the
+// snapshot path serializes (strings, int64, bool, float64).
+func (a Attr) Value() any {
+	switch a.kind {
+	case kindInt64:
+		return a.i64
+	case kindBool:
+		return a.i64 != 0
+	case kindFloat64:
+		return a.f64
+	default:
+		return a.str
+	}
+}
+
+// String makes a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, kind: kindString, str: v} }
+
+// Int makes an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, kind: kindInt64, i64: int64(v)} }
+
+// Int64 makes a 64-bit integer attribute.
+func Int64(k string, v int64) Attr { return Attr{Key: k, kind: kindInt64, i64: v} }
+
+// Bool makes a boolean attribute.
+func Bool(k string, v bool) Attr {
+	a := Attr{Key: k, kind: kindBool}
+	if v {
+		a.i64 = 1
+	}
+	return a
+}
+
+// Float64 makes a float attribute.
+func Float64(k string, v float64) Attr { return Attr{Key: k, kind: kindFloat64, f64: v} }
+
+// Duration records a duration attribute in fractional milliseconds.
+func Duration(k string, v time.Duration) Attr {
+	return Float64(k, float64(v.Microseconds())/1000)
+}
+
+// spanAttrsInline sizes a span's inline attribute buffer; typical spans
+// carry a handful of attrs, so they never allocate a separate slice.
+const spanAttrsInline = 8
+
+// Span is one timed operation in a trace tree. The zero of *Span is nil,
+// and every method is nil-safe, so disabled tracing costs one branch.
+type Span struct {
+	sc     SpanContext
+	parent SpanID
+	name   string
+	start  time.Time
+	col    *Collector
+
+	mu sync.Mutex
+	// guarded by mu
+	attrs []Attr
+	// attrsBuf backs attrs until it outgrows the inline capacity;
+	// guarded by mu
+	attrsBuf [spanAttrsInline]Attr
+	// guarded by mu
+	events []Event
+	// guarded by mu
+	errMsg string
+	// guarded by mu
+	failed bool
+	// guarded by mu
+	ended bool
+	// end is the End timestamp, meaningful once ended; guarded by mu
+	end time.Time
+}
+
+// Event is a point-in-time annotation inside a span (e.g. a retry).
+type Event struct {
+	Time  time.Time
+	Name  string
+	Attrs []Attr
+}
+
+// Context returns the span's propagation context (zero for nil spans).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// TraceIDString returns the span's 32-hex trace ID, "" for nil spans.
+func (s *Span) TraceIDString() string {
+	if s == nil {
+		return ""
+	}
+	return s.sc.Trace.String()
+}
+
+// SetAttr appends attributes to the span.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil || len(attrs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.attrs = append(s.attrs, attrs...)
+	}
+	s.mu.Unlock()
+}
+
+// AddEvent records a timestamped event on the span.
+func (s *Span) AddEvent(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.events = append(s.events, Event{Time: time.Now(), Name: name, Attrs: attrs})
+	}
+	s.mu.Unlock()
+}
+
+// SetError marks the span failed with the error's message. A nil error
+// is a no-op, so call sites can pass their outcome unconditionally.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.failed = true
+		s.errMsg = err.Error()
+	}
+	s.mu.Unlock()
+}
+
+// End completes the span and hands it to the collector. Second and later
+// calls are no-ops. The span is stored as-is — serialization to JSON is
+// deferred until a reader asks — so ending a span costs no encoding.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := time.Now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.end = end
+	failed := s.failed
+	col := s.col
+	s.mu.Unlock()
+	if col != nil {
+		col.record(s, end.Sub(s.start), failed)
+	}
+}
+
+// window returns the span's start and end instants (read path; the span
+// is already ended when a collector bucket holds it).
+func (s *Span) window() (time.Time, time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.start, s.end
+}
+
+// snapshot freezes the span into its JSON form (read path).
+func (s *Span) snapshot() *SpanData {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sd := &SpanData{
+		TraceID:    s.sc.Trace.String(),
+		SpanID:     s.sc.Span.String(),
+		Name:       s.name,
+		Start:      s.start,
+		DurationMS: float64(s.end.Sub(s.start).Microseconds()) / 1000,
+		Status:     "ok",
+		Error:      s.errMsg,
+	}
+	if s.failed {
+		sd.Status = "error"
+	}
+	if !s.parent.IsZero() {
+		sd.ParentID = s.parent.String()
+	}
+	if len(s.attrs) > 0 {
+		sd.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			sd.Attrs[a.Key] = a.Value()
+		}
+	}
+	for _, e := range s.events {
+		ed := EventData{Name: e.Name, Time: e.Time}
+		if len(e.Attrs) > 0 {
+			ed.Attrs = make(map[string]any, len(e.Attrs))
+			for _, a := range e.Attrs {
+				ed.Attrs[a.Key] = a.Value()
+			}
+		}
+		sd.Events = append(sd.Events, ed)
+	}
+	return sd
+}
+
+// disabled flips the whole subsystem off (benchmarking the no-trace
+// baseline); the zero value means enabled.
+var disabled atomic.Bool
+
+// SetEnabled turns span creation on or off process-wide.
+func SetEnabled(v bool) { disabled.Store(!v) }
+
+// Enabled reports whether spans are being created.
+func Enabled() bool { return !disabled.Load() }
+
+// parentKey stores the active span (or remote parent) in a context.
+type parentKey struct{}
+
+// parentRef is what a context carries: the propagated IDs plus the local
+// span when the parent lives in this process (nil for remote parents).
+type parentRef struct {
+	sc   SpanContext
+	span *Span
+}
+
+// ContextWith returns ctx carrying s as the active span.
+func ContextWith(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, parentKey{}, parentRef{sc: s.sc, span: s})
+}
+
+// FromContext returns the context's active local span, nil when the
+// parent is remote or absent.
+func FromContext(ctx context.Context) *Span {
+	ref, _ := ctx.Value(parentKey{}).(parentRef)
+	return ref.span
+}
+
+// SpanContextOf returns the propagated span context active in ctx,
+// whether its span is local or remote (zero when absent).
+func SpanContextOf(ctx context.Context) SpanContext {
+	ref, _ := ctx.Value(parentKey{}).(parentRef)
+	return ref.sc
+}
+
+// IDFromContext returns the 32-hex trace ID active in ctx, or "".
+func IDFromContext(ctx context.Context) string {
+	sc := SpanContextOf(ctx)
+	if !sc.Valid() {
+		return ""
+	}
+	return sc.Trace.String()
+}
+
+// Traceparent formats the context's active span as a traceparent header
+// value, "" when no span is active.
+func Traceparent(ctx context.Context) string {
+	sc := SpanContextOf(ctx)
+	if !sc.Valid() {
+		return ""
+	}
+	return sc.Traceparent()
+}
+
+// WithRemoteParent installs the parsed traceparent header as the
+// context's parent, so the next Start joins the caller's trace. Invalid
+// or empty headers leave ctx unchanged.
+func WithRemoteParent(ctx context.Context, header string) context.Context {
+	sc, ok := ParseTraceparent(header)
+	if !ok {
+		return ctx
+	}
+	return context.WithValue(ctx, parentKey{}, parentRef{sc: sc})
+}
+
+// Start begins a span named name: a child of the context's active span
+// (local or remote) when one exists, a new root otherwise. It returns
+// the context carrying the new span plus the span itself; the caller
+// must End it. When tracing is disabled it returns (ctx, nil) — all
+// *Span methods tolerate nil.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	if disabled.Load() {
+		return ctx, nil
+	}
+	sc := SpanContext{Span: newSpanID()}
+	var parent SpanID
+	if ref, ok := ctx.Value(parentKey{}).(parentRef); ok && ref.sc.Valid() {
+		sc.Trace = ref.sc.Trace
+		parent = ref.sc.Span
+	} else {
+		sc.Trace = newTraceID()
+	}
+	s := &Span{
+		sc:     sc,
+		parent: parent,
+		name:   name,
+		start:  time.Now(),
+		col:    collectorFrom(ctx),
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrsBuf[:0], attrs...)
+	s.mu.Unlock()
+	return context.WithValue(ctx, parentKey{}, parentRef{sc: sc, span: s}), s
+}

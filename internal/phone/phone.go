@@ -9,6 +9,7 @@
 package phone
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -28,6 +29,23 @@ type Store interface {
 	// RulesFor returns the owner's compiled rule engine (nil when the
 	// owner has not defined rules yet).
 	RulesFor(key auth.APIKey) (*rules.Engine, error)
+}
+
+// CtxStore is an optional Store capability: stores that accept a context
+// get the phone session's trace propagated into each upload, so
+// phone→store hops join the session's trace tree. *datastore.Service and
+// the HTTP client both implement it.
+type CtxStore interface {
+	UploadCtx(ctx context.Context, key auth.APIKey, segs []*wavesegment.Segment) (int, error)
+}
+
+// upload sends one batch, using the context-aware path when the store
+// supports it.
+func upload(ctx context.Context, st Store, key auth.APIKey, segs []*wavesegment.Segment) (int, error) {
+	if cs, ok := st.(CtxStore); ok {
+		return cs.UploadCtx(ctx, key, segs)
+	}
+	return st.Upload(key, segs)
 }
 
 // Phone is one simulated device.
@@ -143,6 +161,12 @@ func (m EnergyModel) Estimate(r *Report) Energy {
 // Run executes a scripted scenario end to end and reports what was
 // collected and uploaded.
 func (p *Phone) Run(sc *sensors.Scenario) (*Report, error) {
+	return p.RunCtx(context.Background(), sc)
+}
+
+// RunCtx is Run with a caller context; the context's trace follows every
+// upload to the store.
+func (p *Phone) RunCtx(ctx context.Context, sc *sensors.Scenario) (*Report, error) {
 	if p.Store == nil {
 		return nil, fmt.Errorf("phone: no store configured")
 	}
@@ -150,7 +174,7 @@ func (p *Phone) Run(sc *sensors.Scenario) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.Process(rec)
+	return p.ProcessCtx(ctx, rec)
 }
 
 // DrainOutbox re-uploads spilled batches immediately (no-op without an
@@ -165,6 +189,11 @@ func (p *Phone) DrainOutbox() (batches, records int, err error) {
 // Process runs inference, annotation, rule-aware filtering, and upload over
 // an existing recording.
 func (p *Phone) Process(rec *sensors.Recording) (*Report, error) {
+	return p.ProcessCtx(context.Background(), rec)
+}
+
+// ProcessCtx is Process with a caller context (see RunCtx).
+func (p *Phone) ProcessCtx(ctx context.Context, rec *sensors.Recording) (*Report, error) {
 	ann := &inference.Annotator{Window: p.Window}
 	all := rec.AllSegments()
 	spans := ann.Annotate(all)
@@ -199,7 +228,7 @@ func (p *Phone) Process(rec *sensors.Recording) (*Report, error) {
 		if len(batch) == 0 {
 			return nil
 		}
-		n, err := p.Store.Upload(p.Key, batch)
+		n, err := upload(ctx, p.Store, p.Key, batch)
 		if err != nil {
 			// Spill on failure: with an outbox the session survives a
 			// store outage; the batch is durable and drains later.

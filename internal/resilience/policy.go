@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sensorsafe/internal/obs"
+	"sensorsafe/internal/obs/trace"
 )
 
 // Retry metrics, labeled by logical operation (API path) so a dashboard
@@ -227,7 +228,17 @@ func (p *Policy) Do(ctx context.Context, op string, fn func(ctx context.Context)
 			return fmt.Errorf("resilience: %s retry budget exhausted: %w", op, err)
 		}
 		metricRetries.With(op).Inc()
-		if serr := p.sleep(ctx, p.backoff(i, RetryAfterOf(err))); serr != nil {
+		delay := p.backoff(i, RetryAfterOf(err))
+		// The retry is an event on the caller's active span (not a span of
+		// its own): the trace shows when each attempt gave up and how long
+		// the backoff held the operation, without fabricating extra tree
+		// nodes for waits.
+		trace.FromContext(ctx).AddEvent("retry",
+			trace.String("op", op),
+			trace.Int("attempt", i+1),
+			trace.String("cause", err.Error()),
+			trace.Duration("backoff_ms", delay))
+		if serr := p.sleep(ctx, delay); serr != nil {
 			return fmt.Errorf("resilience: %s interrupted during backoff: %w", op, err)
 		}
 	}

@@ -43,6 +43,12 @@ type Decision struct {
 	Time timeutil.Granularity
 	// Contexts maps category → granted level (LevelNotShared when absent).
 	Contexts map[Category]Level
+	// Matched lists the IDs of the rules whose conditions held for the
+	// request, in rule-set order (rules without an ID are not listed).
+	// This is decision provenance for traces and audit — "why was this
+	// span abstracted?" — and must never reach consumer-facing payloads:
+	// rule IDs reveal the structure of a contributor's policy.
+	Matched []string
 }
 
 // SharesAnything reports whether the decision releases any information.
@@ -226,6 +232,9 @@ func (e *Engine) Decide(req *Request) *Decision {
 	for _, r := range e.rules {
 		if !e.matches(r, req) {
 			continue
+		}
+		if r.ID != "" {
+			d.Matched = append(d.Matched, r.ID)
 		}
 		switch r.Action.Kind {
 		case ActionAllow:
