@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck sslint lint test test-short race cover bench bench-tracing harness chaos fuzz fuzz-seeds examples clean
+.PHONY: all build vet fmtcheck sslint lint test test-short race cover bench bench-tracing bench-storage harness chaos fuzz fuzz-seeds examples clean
 
 all: build lint test race
 
@@ -56,6 +56,13 @@ harness-quick:
 # (target: < 5% vs tracing off).
 bench-tracing:
 	$(GO) run ./cmd/benchharness -only BENCH6 -bench6-out BENCH_6.json
+
+# BENCH_7.json: persistent segment store vs the in-memory engine —
+# cold-restart time, full-range scan throughput (budget: 2x in-memory),
+# and kill-during-compaction chaos. -quick keeps it CI-sized; run
+# without -quick locally for the paper-scale 100k-record numbers.
+bench-storage:
+	$(GO) run ./cmd/benchharness -only E12 -quick -e12-out BENCH_7.json
 
 # Chaos suite: every network hop through the seeded fault-injecting
 # transport (internal/resilience/faultnet). The seed is fixed in the test

@@ -7,7 +7,9 @@
 // scatter-gather vs the sequential consumer loop (E11). E7 (Fig. 4 JSON
 // round trip) and E8 (dependency closure) are correctness properties
 // covered by the test suite; the harness re-runs their core assertions and
-// reports PASS/FAIL.
+// reports PASS/FAIL. E12 benchmarks the persistent columnar segment store
+// (cold-restart time, scan throughput vs the in-memory engine, and
+// kill-during-compaction chaos) and writes BENCH_7.json.
 //
 // Usage:
 //
@@ -36,6 +38,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E2,E4)")
 	metrics := flag.Bool("metrics", false, "print the accumulated obs metrics after each experiment")
 	bench6Out := flag.String("bench6-out", "BENCH_6.json", "where BENCH6 writes its machine-readable tracing-overhead result")
+	e12Out := flag.String("e12-out", "BENCH_7.json", "where E12 writes its machine-readable storage-engine result")
 	flag.Parse()
 
 	selected := map[string]bool{}
@@ -117,6 +120,27 @@ func main() {
 				cfg.Rounds = 1
 			}
 			return experiments.RunE11(cfg)
+		}},
+		{"E12", func() (*experiments.Table, error) {
+			cfg := experiments.DefaultE12()
+			if *quick {
+				cfg.Records = 20_000
+				cfg.ChaosRecords = 600
+			}
+			res, table, err := experiments.RunE12(cfg)
+			if err != nil {
+				return nil, err
+			}
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return nil, err
+			}
+			if err := resilience.WriteFileAtomic(*e12Out, append(data, '\n'), 0o644); err != nil {
+				return nil, err
+			}
+			fmt.Printf("wrote %s (restart %.0fms, scan ratio %.2fx, chaos %d/%d)\n\n",
+				*e12Out, res.RestartSegstMS, res.ScanRatio, res.ChaosSurvived, res.ChaosKills)
+			return table, nil
 		}},
 		{"BENCH6", func() (*experiments.Table, error) {
 			// No -quick shrink: the full configuration runs in about a

@@ -32,6 +32,7 @@ import (
 	"sensorsafe/internal/httpapi"
 	"sensorsafe/internal/obs/trace"
 	"sensorsafe/internal/query"
+	"sensorsafe/internal/segstore"
 	"sensorsafe/internal/stream"
 	"sensorsafe/internal/timeutil"
 )
@@ -43,13 +44,13 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: consumercli [flags] <directory|search|query|cohort|follow|trace> [subflags]")
+		fmt.Fprintln(os.Stderr, "usage: consumercli [flags] <directory|search|query|cohort|follow|trace|storestats> [subflags]")
 		os.Exit(2)
 	}
 	bc := &httpapi.BrokerClient{BaseURL: *brokerURL}
 
 	apiKey := auth.APIKey(*key)
-	if apiKey == "" && flag.Arg(0) != "trace" {
+	if apiKey == "" && flag.Arg(0) != "trace" && flag.Arg(0) != "storestats" {
 		u, err := bc.RegisterConsumer(*name)
 		if err != nil {
 			log.Fatalf("consumercli: register: %v", err)
@@ -325,10 +326,74 @@ func main() {
 		}
 		printTraceTree(spans)
 
+	case "storestats":
+		fs := flag.NewFlagSet("storestats", flag.ExitOnError)
+		storeURL := fs.String("store", "", "store base URL whose /debug/segstore to read")
+		_ = fs.Parse(flag.Args()[1:])
+		if *storeURL == "" {
+			log.Fatal("consumercli: usage: storestats -store http://store:8081")
+		}
+		if err := printStoreStats(*storeURL); err != nil {
+			log.Fatalf("consumercli: storestats: %v", err)
+		}
+
 	default:
 		fmt.Fprintf(os.Stderr, "consumercli: unknown command %q\n", flag.Arg(0))
 		os.Exit(2)
 	}
+}
+
+// printStoreStats renders a store's segment-engine internals from its
+// /debug/segstore endpoint: per-level file counts, live/dead records,
+// WAL size, and last compaction.
+func printStoreStats(base string) error {
+	u := strings.TrimRight(base, "/") + "/debug/segstore"
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("%s: store runs the in-memory engine (no segstore stats)", u)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", u, resp.StatusCode)
+	}
+	var st segstore.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	fmt.Printf("segstore %s\n", st.Dir)
+	fmt.Printf("  live records      %d (%d on disk, %d in memtable, %d tombstoned)\n",
+		st.LiveRecords, st.DiskRecords, st.MemtableRecords, st.Tombstones)
+	fmt.Printf("  memtable          %d bytes (%d sealed awaiting flush)\n", st.MemtableBytes, st.SealedMemtables)
+	fmt.Printf("  wal               %d files, %d bytes (%d records replayed at open)\n",
+		st.WALFiles, st.WALBytes, st.WALReplayed)
+	for _, l := range st.Levels {
+		dead := ""
+		if l.RawBytes > 0 {
+			dead = fmt.Sprintf(", %.1fx raw", float64(l.RawBytes)/float64(max64(l.Bytes, 1)))
+		}
+		fmt.Printf("  L%d                %d files, %d records, %d bytes%s\n",
+			l.Level, l.Files, l.Records, l.Bytes, dead)
+	}
+	fmt.Printf("  flushes           %d\n", st.Flushes)
+	fmt.Printf("  compactions       %d (%d wave-merged, %d reclaimed)\n",
+		st.Compactions, st.MergedRecords, st.ReclaimedTombs)
+	if !st.LastCompaction.IsZero() {
+		fmt.Printf("  last compaction   %s (%d ms)\n", st.LastCompaction.Format(time.RFC3339), st.LastCompactMS)
+	}
+	if st.LastError != "" {
+		fmt.Printf("  last error        %s\n", st.LastError)
+	}
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // fetchTrace downloads one completed trace from a server's /debug/traces

@@ -13,6 +13,11 @@
 // -sync-interval 30s to run periodic anti-entropy so rule replicas converge
 // even after a broker outage outlasts the push retries.
 //
+// With -dir set, segments live in the persistent columnar engine
+// (internal/segstore) under <dir>/segstore; tune it with -segstore-dir,
+// -memtable-bytes, and -compact-interval, and inspect it at
+// /debug/segstore (or `consumercli storestats`).
+//
 // The store exposes Prometheus metrics at /metrics and a JSON health report
 // at /healthz; pass -pprof to additionally mount net/http/pprof profiling
 // handlers under /debug/pprof/.
@@ -47,6 +52,9 @@ func main() {
 	brokerURL := flag.String("broker", "", "broker base URL for rule sync and contributor registration")
 	syncInterval := flag.Duration("sync-interval", 0, "anti-entropy period for broker rule replicas (0 = disabled; only meaningful with -broker)")
 	maxSamples := flag.Int("max-segment-samples", 0, "wave-segment size cap (0 = default)")
+	segstoreDir := flag.String("segstore-dir", "", "segment-engine directory (default <dir>/segstore; only meaningful with -dir)")
+	memtableBytes := flag.Int64("memtable-bytes", 0, "segment-engine hot-tail budget before flushing to disk (0 = default 4MiB)")
+	compactInterval := flag.Duration("compact-interval", 30*time.Second, "segment-engine background compaction period (0 = disabled)")
 	useTLS := flag.Bool("tls", false, "serve HTTPS with a self-signed certificate")
 	withPprof := flag.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
@@ -59,6 +67,9 @@ func main() {
 		Name:              *name,
 		Dir:               *dir,
 		MaxSegmentSamples: *maxSamples,
+		SegstoreDir:       *segstoreDir,
+		MemtableBytes:     *memtableBytes,
+		CompactInterval:   *compactInterval,
 	}
 	if *brokerURL != "" {
 		bc := &httpapi.BrokerClient{BaseURL: *brokerURL}
@@ -77,6 +88,7 @@ func main() {
 	logger.Info("starting", "version", obs.Version)
 	logger.Info("listening", "name", *name, "listen", *listen,
 		"dir", *dir, "broker", *brokerURL, "sync_interval", syncInterval.String(),
+		"compact_interval", compactInterval.String(),
 		"tls", *useTLS, "pprof", *withPprof)
 	handler := mountPprof(httpapi.NewStoreHandler(svc), *withPprof)
 	server := &http.Server{Addr: *listen, Handler: handler}

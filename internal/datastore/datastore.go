@@ -26,6 +26,7 @@ import (
 	"sensorsafe/internal/recommend"
 	"sensorsafe/internal/resilience"
 	"sensorsafe/internal/rules"
+	"sensorsafe/internal/segstore"
 	"sensorsafe/internal/storage"
 	"sensorsafe/internal/stream"
 	"sensorsafe/internal/timeutil"
@@ -115,6 +116,18 @@ type Options struct {
 	// means reconciliation only happens on explicit AntiEntropy/ResyncAll
 	// calls (the pre-existing behavior; tests rely on it).
 	SyncInterval time.Duration
+	// SegstoreDir overrides where the persistent segment engine keeps
+	// its files (default Dir/segstore). Ignored for in-memory stores.
+	SegstoreDir string
+	// MemtableBytes bounds the segment engine's hot tail before a
+	// flush to disk (segstore default if zero).
+	MemtableBytes int64
+	// CompactInterval is the segment engine's background compaction
+	// period (0 disables background compaction).
+	CompactInterval time.Duration
+	// LegacyStorage forces the old in-memory index + flat WAL engine
+	// even when Dir is set (kept for comparison benchmarks).
+	LegacyStorage bool
 }
 
 // contributorState is the per-contributor slice of an (institutional)
@@ -135,7 +148,7 @@ type contributorState struct {
 // Service is one remote data store.
 type Service struct {
 	opts   Options
-	store  *storage.Store
+	store  storage.Engine
 	users  *auth.Registry
 	web    *auth.Passwords
 	trail  *audit.Trail
@@ -162,7 +175,7 @@ func New(opts Options) (*Service, error) {
 	if opts.MaxSegmentSamples <= 0 {
 		opts.MaxSegmentSamples = wavesegment.DefaultMaxSamples
 	}
-	st, err := storage.Open(opts.Dir)
+	st, err := openEngine(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -219,9 +232,19 @@ func (s *Service) Users() *auth.Registry { return s.users }
 // Web exposes the password/session store for the web UI layer.
 func (s *Service) Web() *auth.Passwords { return s.web }
 
-// Storage exposes the underlying segment store (read-mostly; used by
+// Storage exposes the underlying segment engine (read-mostly; used by
 // maintenance tooling and benchmarks).
-func (s *Service) Storage() *storage.Store { return s.store }
+func (s *Service) Storage() storage.Engine { return s.store }
+
+// SegmentStoreStats reports the persistent segment engine's internals
+// (file counts, levels, live/dead bytes, last compaction); ok is false
+// when the service runs the in-memory legacy engine.
+func (s *Service) SegmentStoreStats() (segstore.Stats, bool) {
+	if eng, ok := s.store.(*segstore.Store); ok {
+		return eng.Stats(), true
+	}
+	return segstore.Stats{}, false
+}
 
 // RegisterContributor creates a contributor account with a fresh API key
 // and an empty (deny-everything) rule set.

@@ -1,0 +1,78 @@
+package datastore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sensorsafe/internal/segstore"
+	"sensorsafe/internal/storage"
+)
+
+// openEngine picks the segment backend: persistent services get the
+// columnar LSM engine (internal/segstore); in-memory services (and
+// callers explicitly pinning LegacyStorage for comparison) keep the
+// flat in-memory index.
+func openEngine(opts Options) (storage.Engine, error) {
+	if opts.Dir == "" || opts.LegacyStorage {
+		return storage.Open(opts.Dir)
+	}
+	dir := opts.SegstoreDir
+	if dir == "" {
+		dir = filepath.Join(opts.Dir, "segstore")
+	}
+	eng, err := segstore.Open(segstore.Options{
+		Dir:               dir,
+		MemtableBytes:     opts.MemtableBytes,
+		CompactInterval:   opts.CompactInterval,
+		MaxSegmentSamples: opts.MaxSegmentSamples,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := migrateLegacyWAL(opts.Dir, eng); err != nil {
+		eng.Close()
+		return nil, err
+	}
+	return eng, nil
+}
+
+// migrateLegacyWAL is the one-time upgrade path: a directory created by
+// the old engine holds every segment in a flat segments.wal. Replay it
+// into the segstore, flush, and rename the old log aside so segments
+// are never held in two places (the bugfix half of the engine swap —
+// previously the monolithic WAL duplicated everything in memory).
+func migrateLegacyWAL(dir string, eng *segstore.Store) error {
+	legacy := filepath.Join(dir, "segments.wal")
+	if _, err := os.Stat(legacy); errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	old, err := storage.Open(dir)
+	if err != nil {
+		return fmt.Errorf("datastore: open legacy store for migration: %w", err)
+	}
+	results, err := old.ScanRefs(storage.Query{})
+	if err != nil {
+		old.Close()
+		return err
+	}
+	for _, r := range results {
+		if _, err := eng.Put(r.Segment); err != nil {
+			old.Close()
+			return fmt.Errorf("datastore: migrate segment %d: %w", r.ID, err)
+		}
+	}
+	if err := old.Close(); err != nil {
+		return err
+	}
+	// Land the migrated records in segment files before retiring the
+	// legacy log, so a crash in between leaves one authoritative copy.
+	if err := eng.Flush(); err != nil {
+		return err
+	}
+	if err := os.Rename(legacy, legacy+".migrated"); err != nil {
+		return fmt.Errorf("datastore: retire legacy wal: %w", err)
+	}
+	return nil
+}

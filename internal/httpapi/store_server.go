@@ -324,6 +324,18 @@ func NewStoreHandler(svc *datastore.Service) http.Handler {
 	// never sensor data.
 	mux.Handle("/debug/traces", trace.Handler())
 
+	// Segment-engine internals: file counts per level, live/dead
+	// records, WAL size, last compaction. Metadata only, no sensor
+	// data. 404 when the service runs the in-memory legacy engine.
+	mux.HandleFunc("/debug/segstore", func(w http.ResponseWriter, r *http.Request) {
+		stats, ok := svc.SegmentStoreStats()
+		if !ok {
+			http.Error(w, "segment engine stats unavailable (in-memory store)", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, stats)
+	})
+
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)

@@ -15,3 +15,15 @@ func createOutbox(path string) error {
 	}
 	return f.Close()
 }
+
+// saveManifest mirrors the segstore manifest-commit shape done wrong: the
+// manifest IS the commit point, so tearing it loses the whole generation.
+func saveManifest(dir string, gen uint64, data []byte) error {
+	return os.WriteFile(dir+"/MANIFEST", data, 0o600) // want "os.WriteFile is not crash-safe"
+}
+
+// newSegmentFile creates a segment file in place instead of writing a
+// temp name and renaming after fsync.
+func newSegmentFile(path string) (*os.File, error) {
+	return os.Create(path) // want "os.Create is not crash-safe"
+}

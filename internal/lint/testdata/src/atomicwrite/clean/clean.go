@@ -22,3 +22,25 @@ func WriteFileAtomic(path string, data []byte) error {
 func appendLog(path string) (*os.File, error) {
 	return os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o600)
 }
+
+// flushSegment is the segstore segment-writer discipline: stream into a
+// .tmp name (OpenFile is not audited — append logs and temp files need
+// it), fsync, then rename into place.
+func flushSegment(path string, data []byte) error {
+	f, err := os.OpenFile(path+".tmp", os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path)
+}

@@ -19,3 +19,18 @@ func (c *counter) inc() {
 func (c *counter) peek() int {
 	return c.n // want "counter.n is guarded"
 }
+
+// store mirrors the segstore reader-set shape: compaction swaps the
+// reader slice under mu, so an unlocked read can see a half-swapped set.
+type store struct {
+	mu      sync.Mutex
+	readers []int // guarded by mu
+}
+
+func (s *store) scanAll() int {
+	n := 0
+	for _, r := range s.readers { // want "store.readers is guarded"
+		n += r
+	}
+	return n
+}

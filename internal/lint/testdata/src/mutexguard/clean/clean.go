@@ -28,3 +28,22 @@ func (c *counter) addLocked(d int) { c.n += d }
 
 // sum reports the raw value; callers hold c.mu.
 func (c *counter) sum() int { return c.n }
+
+// store is the segstore reader-set shape done right: snapshot under the
+// lock, iterate outside it.
+type store struct {
+	mu      sync.Mutex
+	readers []int // guarded by mu
+}
+
+func (s *store) snapshot() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, len(s.readers))
+	copy(out, s.readers)
+	return out
+}
+
+// swapLocked replaces the reader set; callers hold s.mu (the compaction
+// commit path).
+func (s *store) swapLocked(next []int) { s.readers = next }

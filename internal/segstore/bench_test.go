@@ -1,0 +1,72 @@
+package segstore
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sensorsafe/internal/storage"
+)
+
+// benchStore builds a compacted store with 20 contributors x 1000
+// records (4 samples each, 10s stride so wave-merge cannot collapse
+// the population).
+func benchStore(b *testing.B) *Store {
+	b.Helper()
+	s, err := Open(Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for c := 0; c < 20; c++ {
+		for i := 0; i < 1000; i++ {
+			seg := mkSeg(fmt.Sprintf("c%d", c), time.Duration(i*10)*time.Second, 4)
+			if _, err := s.Put(seg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := s.Compact(); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkDiskScan is the E12 scan-throughput shape: a full-range scan
+// decoding every block. The 2x-of-in-memory budget in the benchharness
+// is won or lost here.
+func BenchmarkDiskScan(b *testing.B) {
+	s := benchStore(b)
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Scan(storage.Query{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != 20000 {
+			b.Fatal(len(res))
+		}
+	}
+}
+
+// BenchmarkDiskPointQuery measures a narrow time-window read for one
+// contributor: the sparse index should keep this at one or two block
+// decodes regardless of store size.
+func BenchmarkDiskPointQuery(b *testing.B) {
+	s := benchStore(b)
+	defer s.Close()
+	from := t0.Add(5000 * time.Second)
+	to := t0.Add(5050 * time.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Scan(storage.Query{Contributor: "c7", From: from, To: to})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) == 0 {
+			b.Fatal("point query returned nothing")
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package segstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Low-level byte codec shared by the WAL, segment-file blocks, and the
+// file footer: little-endian fixed ints, uvarint/zigzag varint framing,
+// and a cursor reader that latches the first error so decode paths stay
+// straight-line.
+
+func putUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
+
+func putVarint(dst []byte, v int64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
+
+func putUint32(dst []byte, v uint32) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	return append(dst, tmp[:]...)
+}
+
+func putUint64(dst []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	return append(dst, tmp[:]...)
+}
+
+func putFloat64(dst []byte, v float64) []byte {
+	return putUint64(dst, math.Float64bits(v))
+}
+
+func putString(dst []byte, s string) []byte {
+	dst = putUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// byteReader is a cursor over encoded bytes; the first failure latches
+// and every later read returns zero values, so callers check err once.
+type byteReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *byteReader) fail(msg string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("segstore: %s at offset %d", msg, r.off)
+	}
+}
+
+func (r *byteReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *byteReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("bad varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *byteReader) uint32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.data) {
+		r.fail("short uint32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *byteReader) uint64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.data) {
+		r.fail("short uint64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *byteReader) float64() float64 {
+	return math.Float64frombits(r.uint64())
+}
+
+func (r *byteReader) string() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.data)-r.off) {
+		r.fail("short string")
+		return ""
+	}
+	s := string(r.data[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}

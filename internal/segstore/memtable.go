@@ -1,0 +1,85 @@
+package segstore
+
+import (
+	"sort"
+
+	"sensorsafe/internal/storage"
+	"sensorsafe/internal/wavesegment"
+)
+
+// memtable is the bounded hot tail: recent writes absorbed from the WAL,
+// held sorted so flushes and scans stream it in (start, id) order.
+// Not safe for concurrent use; the Store guards it with its mutex.
+type memtable struct {
+	byID    map[storage.ID]*wavesegment.Segment
+	byStart []rec // sorted by (StartTime, id)
+	bytes   int64 // approximate encoded size of held segments
+
+	firstSeq uint64 // WAL seq of the first record absorbed (0 when empty)
+	lastSeq  uint64 // WAL seq of the latest record absorbed
+}
+
+func newMemtable() *memtable {
+	return &memtable{byID: make(map[storage.ID]*wavesegment.Segment)}
+}
+
+func (m *memtable) len() int { return len(m.byID) }
+
+// search returns the insertion index for (start, id) in byStart.
+func (m *memtable) search(start int64, id storage.ID) int {
+	return sort.Search(len(m.byStart), func(i int) bool {
+		si := m.byStart[i].seg.StartTime().UnixNano()
+		if si != start {
+			return si > start
+		}
+		return m.byStart[i].id >= id
+	})
+}
+
+// put inserts or replaces a record and tracks the WAL sequence that
+// produced it.
+func (m *memtable) put(id storage.ID, seg *wavesegment.Segment, seq uint64, encodedLen int) {
+	if old, ok := m.byID[id]; ok {
+		m.removeFromIndex(id, old)
+	}
+	m.byID[id] = seg
+	i := m.search(seg.StartTime().UnixNano(), id)
+	m.byStart = append(m.byStart, rec{})
+	copy(m.byStart[i+1:], m.byStart[i:])
+	m.byStart[i] = rec{id: id, seg: seg}
+	m.bytes += int64(encodedLen)
+	if m.firstSeq == 0 {
+		m.firstSeq = seq
+	}
+	if seq > m.lastSeq {
+		m.lastSeq = seq
+	}
+}
+
+// delete removes a record if present; returns whether it was held here.
+func (m *memtable) delete(id storage.ID, seq uint64) bool {
+	seg, ok := m.byID[id]
+	if !ok {
+		return false
+	}
+	delete(m.byID, id)
+	m.removeFromIndex(id, seg)
+	if m.firstSeq == 0 {
+		m.firstSeq = seq
+	}
+	if seq > m.lastSeq {
+		m.lastSeq = seq
+	}
+	return true
+}
+
+func (m *memtable) removeFromIndex(id storage.ID, seg *wavesegment.Segment) {
+	i := m.search(seg.StartTime().UnixNano(), id)
+	if i < len(m.byStart) && m.byStart[i].id == id {
+		m.byStart = append(m.byStart[:i], m.byStart[i+1:]...)
+	}
+}
+
+// sorted returns the underlying (start, id)-ordered records. Callers
+// must not mutate the slice; copy before releasing the Store lock.
+func (m *memtable) sorted() []rec { return m.byStart }

@@ -1,0 +1,272 @@
+package segstore
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sensorsafe/internal/storage"
+	"sensorsafe/internal/wavesegment"
+)
+
+// Write-ahead log. Ingest appends to the active WAL file before touching
+// the memtable; a flush seals the active file (rotating to a new one) and,
+// once the sealed records are durable in a segment file and the manifest
+// records the flushed sequence number, sealed files are garbage-collected.
+//
+// Files are named wal-%016x.log by the sequence number of their first
+// record, so replay order is lexical order. Each record is framed
+//
+//	u32 bodyLen | u32 crc32(body) | body
+//	body = typ byte | seq u64 | id u64 | payload
+//
+// where payload is the segment's MarshalBinary blob for puts and empty
+// for deletes. Replay stops at the first torn or corrupt frame in the
+// newest file (a crash mid-append) but treats corruption in older files
+// as an error, since those were fsynced before the manifest advanced.
+
+const (
+	walRecPut    = 1
+	walRecDelete = 2
+)
+
+// walRecord is one replayed WAL entry.
+type walRecord struct {
+	typ byte
+	seq uint64
+	id  storage.ID
+	seg *wavesegment.Segment // nil for deletes
+}
+
+type walFile struct {
+	name     string
+	firstSeq uint64
+	maxSeq   uint64 // highest sequence appended (0 when empty)
+	bytes    int64
+}
+
+// wal manages the directory's log files. Not safe for concurrent use;
+// the Store serializes access under its mutex.
+type wal struct {
+	dir    string
+	f      *os.File // active file
+	active walFile
+	sealed []walFile
+	sync   bool // fsync after every append
+}
+
+func walName(firstSeq uint64) string {
+	return fmt.Sprintf("wal-%016x.log", firstSeq)
+}
+
+func parseWALName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// listWALFiles returns the directory's log files sorted by first
+// sequence; replay walks them in this order.
+func listWALFiles(dir string) ([]walFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var existing []walFile
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		first, ok := parseWALName(e.Name())
+		if !ok {
+			continue
+		}
+		wf := walFile{name: e.Name(), firstSeq: first}
+		if fi, err := e.Info(); err == nil {
+			wf.bytes = fi.Size()
+		}
+		existing = append(existing, wf)
+	}
+	sort.Slice(existing, func(i, j int) bool { return existing[i].firstSeq < existing[j].firstSeq })
+	return existing, nil
+}
+
+// newWAL opens a fresh active file starting at nextSeq; replayed files
+// (already applied) are handed over as sealed so gc can reclaim them
+// once a flush covers their sequences.
+func newWAL(dir string, nextSeq uint64, syncEvery bool, sealed []walFile) (*wal, error) {
+	w := &wal{dir: dir, sync: syncEvery, sealed: sealed}
+	if err := w.rotate(nextSeq); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// rotate seals the active file (if any) and starts a new one whose first
+// record will carry firstSeq.
+func (w *wal) rotate(firstSeq uint64) error {
+	if w.f != nil {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("segstore: seal wal: %w", err)
+		}
+		if err := w.f.Close(); err != nil {
+			return fmt.Errorf("segstore: seal wal: %w", err)
+		}
+		w.sealed = append(w.sealed, w.active)
+	}
+	name := walName(firstSeq)
+	f, err := os.OpenFile(filepath.Join(w.dir, name), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o600)
+	if err != nil {
+		return fmt.Errorf("segstore: open wal %s: %w", name, err)
+	}
+	w.f = f
+	w.active = walFile{name: name, firstSeq: firstSeq}
+	syncDir(w.dir)
+	return nil
+}
+
+// append durably logs one record. The frame is written in one Write call
+// so a crash tears at most the final frame.
+func (w *wal) append(typ byte, seq uint64, id storage.ID, payload []byte) error {
+	body := make([]byte, 0, 1+8+8+len(payload))
+	body = append(body, typ)
+	body = putUint64(body, seq)
+	body = putUint64(body, uint64(id))
+	body = append(body, payload...)
+	frame := make([]byte, 0, 8+len(body))
+	frame = putUint32(frame, uint32(len(body)))
+	frame = putUint32(frame, crc32.ChecksumIEEE(body))
+	frame = append(frame, body...)
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("segstore: wal append: %w", err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("segstore: wal sync: %w", err)
+		}
+	}
+	w.active.maxSeq = seq
+	w.active.bytes += int64(len(frame))
+	return nil
+}
+
+func (w *wal) fsync() error {
+	if w.f == nil {
+		return nil
+	}
+	return w.f.Sync()
+}
+
+// gc removes sealed files whose newest record is already covered by the
+// manifest's flushed sequence. Returns how many files were removed.
+func (w *wal) gc(flushedSeq uint64) int {
+	kept := w.sealed[:0]
+	removed := 0
+	for _, wf := range w.sealed {
+		if wf.maxSeq != 0 && wf.maxSeq <= flushedSeq {
+			if err := os.Remove(filepath.Join(w.dir, wf.name)); err == nil || errors.Is(err, os.ErrNotExist) {
+				removed++
+				continue
+			}
+		}
+		kept = append(kept, wf)
+	}
+	w.sealed = kept
+	if removed > 0 {
+		syncDir(w.dir)
+	}
+	return removed
+}
+
+func (w *wal) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// replayWALFile streams one log file's records through fn. last marks
+// the newest file: a torn tail there is a clean crash point and replay
+// just stops; anywhere else it is corruption and an error.
+func replayWALFile(dir string, wf *walFile, last bool, fn func(walRecord) error) error {
+	path := filepath.Join(dir, wf.name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("segstore: read wal %s: %w", wf.name, err)
+	}
+	wf.bytes = int64(len(data))
+	off := 0
+	for off < len(data) {
+		if off+8 > len(data) {
+			if last {
+				return nil
+			}
+			return fmt.Errorf("segstore: wal %s: torn frame header at %d", wf.name, off)
+		}
+		r := &byteReader{data: data, off: off}
+		bodyLen := r.uint32()
+		sum := r.uint32()
+		if bodyLen < 1+8+8 || r.off+int(bodyLen) > len(data) {
+			if last {
+				return nil
+			}
+			return fmt.Errorf("segstore: wal %s: torn frame at %d", wf.name, off)
+		}
+		body := data[r.off : r.off+int(bodyLen)]
+		if crc32.ChecksumIEEE(body) != sum {
+			if last {
+				return nil
+			}
+			return fmt.Errorf("segstore: wal %s: CRC mismatch at %d", wf.name, off)
+		}
+		br := &byteReader{data: body}
+		var recd walRecord
+		if len(body) > 0 {
+			recd.typ = body[0]
+			br.off = 1
+		}
+		recd.seq = br.uint64()
+		recd.id = storage.ID(br.uint64())
+		switch recd.typ {
+		case walRecPut:
+			seg, err := wavesegment.UnmarshalBinary(body[br.off:])
+			if err != nil {
+				return fmt.Errorf("segstore: wal %s: bad segment payload at %d: %w", wf.name, off, err)
+			}
+			recd.seg = seg
+		case walRecDelete:
+		default:
+			return fmt.Errorf("segstore: wal %s: unknown record type %d at %d", wf.name, recd.typ, off)
+		}
+		if br.err != nil {
+			return fmt.Errorf("segstore: wal %s: %w", wf.name, br.err)
+		}
+		if recd.seq > wf.maxSeq {
+			wf.maxSeq = recd.seq
+		}
+		if err := fn(recd); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		off = r.off + int(bodyLen)
+	}
+	return nil
+}

@@ -39,6 +39,28 @@ var (
 	ErrClosed   = errors.New("storage: store is closed")
 )
 
+// Engine is the contract a segment storage backend provides to the
+// datastore layer. Two implementations exist: this package's in-memory
+// index + flat WAL (the legacy engine, still the in-memory default for
+// tests and benchmarks) and internal/segstore's persistent columnar
+// LSM engine. The differential tests in segstore hold the two to
+// identical observable behavior.
+type Engine interface {
+	Put(seg *wavesegment.Segment) (ID, error)
+	Get(id ID) (*wavesegment.Segment, error)
+	Delete(id ID) error
+	Count() int
+	Scan(q Query) ([]Result, error)
+	ScanRefs(q Query) ([]Result, error)
+	LatestBefore(contributor string, t time.Time) (Result, bool)
+	LatestBeforeFunc(contributor string, t time.Time, pred func(*wavesegment.Segment) bool) (Result, bool)
+	TimeBounds() (min, max time.Time, ok bool)
+	Contributors() []string
+	Compact() error
+	Sync() error
+	Close() error
+}
+
 // record is one live entry in the index.
 type record struct {
 	id  ID
@@ -297,6 +319,11 @@ type Query struct {
 	Limit int
 }
 
+// Matches reports whether the segment satisfies every filter in q.
+// Alternative engines (internal/segstore) apply the same predicate so
+// all backends agree on query semantics.
+func (q *Query) Matches(seg *wavesegment.Segment) bool { return q.matches(seg) }
+
 func (q *Query) matches(seg *wavesegment.Segment) bool {
 	if q.Contributor != "" && seg.Contributor != q.Contributor {
 		return false
@@ -515,6 +542,8 @@ func (s *Store) TimeBounds() (min, max time.Time, ok bool) {
 	}
 	return min, max, true
 }
+
+var _ Engine = (*Store)(nil)
 
 // Contributors returns the distinct contributor names present, sorted.
 func (s *Store) Contributors() []string {
