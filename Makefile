@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck sslint lint test test-short race cover bench bench-tracing bench-storage harness chaos fuzz fuzz-seeds examples clean
+.PHONY: all build vet fmtcheck sslint lint test test-short race cover bench bench-tracing bench-storage bench-overload harness chaos fuzz fuzz-seeds examples clean
 
 all: build lint test race
 
@@ -63,6 +63,13 @@ bench-tracing:
 # without -quick locally for the paper-scale 100k-record numbers.
 bench-storage:
 	$(GO) run ./cmd/benchharness -only E12 -quick -e12-out BENCH_7.json
+
+# BENCH_8.json: overload protection — goodput and p99 at 1x/2x/5x
+# capacity with admission control on vs off (bar: >= 80% of peak goodput
+# at 5x), plus the circuit breaker's retry-storm bound against a downed
+# store. -quick keeps it CI-sized.
+bench-overload:
+	$(GO) run ./cmd/benchharness -only E13 -quick -e13-out BENCH_8.json
 
 # Chaos suite: every network hop through the seeded fault-injecting
 # transport (internal/resilience/faultnet). The seed is fixed in the test

@@ -9,7 +9,10 @@
 // covered by the test suite; the harness re-runs their core assertions and
 // reports PASS/FAIL. E12 benchmarks the persistent columnar segment store
 // (cold-restart time, scan throughput vs the in-memory engine, and
-// kill-during-compaction chaos) and writes BENCH_7.json.
+// kill-during-compaction chaos) and writes BENCH_7.json. E13 benchmarks
+// overload protection (goodput and p99 at 1x/2x/5x capacity with admission
+// control on vs off, plus the circuit breaker's retry-storm bound) and
+// writes BENCH_8.json.
 //
 // Usage:
 //
@@ -26,6 +29,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"sensorsafe/internal/experiments"
 	"sensorsafe/internal/obs"
@@ -39,6 +43,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the accumulated obs metrics after each experiment")
 	bench6Out := flag.String("bench6-out", "BENCH_6.json", "where BENCH6 writes its machine-readable tracing-overhead result")
 	e12Out := flag.String("e12-out", "BENCH_7.json", "where E12 writes its machine-readable storage-engine result")
+	e13Out := flag.String("e13-out", "BENCH_8.json", "where E13 writes its machine-readable overload-protection result")
 	flag.Parse()
 
 	selected := map[string]bool{}
@@ -140,6 +145,30 @@ func main() {
 			}
 			fmt.Printf("wrote %s (restart %.0fms, scan ratio %.2fx, chaos %d/%d)\n\n",
 				*e12Out, res.RestartSegstMS, res.ScanRatio, res.ChaosSurvived, res.ChaosKills)
+			return table, nil
+		}},
+		{"E13", func() (*experiments.Table, error) {
+			cfg := experiments.DefaultE13()
+			if *quick {
+				cfg.Workers = 4
+				cfg.Service = 2 * time.Millisecond
+				cfg.Window = 400 * time.Millisecond
+				cfg.Drain = time.Second
+			}
+			res, table, err := experiments.RunE13(cfg)
+			if err != nil {
+				return nil, err
+			}
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return nil, err
+			}
+			if err := resilience.WriteFileAtomic(*e13Out, append(data, '\n'), 0o644); err != nil {
+				return nil, err
+			}
+			fmt.Printf("wrote %s (goodput@%gx %.0f%% of peak, breaker %d vs %d attempts)\n\n",
+				*e13Out, cfg.Multipliers[len(cfg.Multipliers)-1], 100*res.GoodputTopFrac,
+				res.BreakerAttempts, res.BaselineAtts)
 			return table, nil
 		}},
 		{"BENCH6", func() (*experiments.Table, error) {

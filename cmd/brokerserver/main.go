@@ -27,6 +27,7 @@ import (
 	"sensorsafe/internal/broker"
 	"sensorsafe/internal/httpapi"
 	"sensorsafe/internal/obs"
+	"sensorsafe/internal/overload"
 )
 
 // shutdownGrace bounds how long in-flight requests may run after SIGINT/
@@ -47,8 +48,18 @@ func main() {
 	logger := obs.NewLogger("brokerserver", os.Stderr)
 	logger.Info("starting", "version", obs.Version)
 	logger.Info("listening", "listen", *listen, "dir", *dir, "tls", *useTLS, "pprof", *withPprof)
-	handler := mountPprof(httpapi.NewBrokerHandler(svc), *withPprof)
-	server := &http.Server{Addr: *listen, Handler: handler}
+	ctrl := overload.NewController(overload.BrokerDefaults())
+	handler := mountPprof(httpapi.NewBrokerHandlerOverload(svc, ctrl), *withPprof)
+	// Slowloris hardening: bound header/body reads and idle keep-alives.
+	// No WriteTimeout — the overload middleware sets per-request write
+	// deadlines instead, so nothing long-lived is capped globally.
+	server := &http.Server{
+		Addr:              *listen,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	if *useTLS {
 		tlsCfg, err := httpapi.SelfSignedTLS([]string{"localhost", "127.0.0.1"}, 0)
 		if err != nil {

@@ -31,6 +31,7 @@ import (
 	"sensorsafe/internal/federation"
 	"sensorsafe/internal/httpapi"
 	"sensorsafe/internal/obs/trace"
+	"sensorsafe/internal/overload"
 	"sensorsafe/internal/query"
 	"sensorsafe/internal/segstore"
 	"sensorsafe/internal/stream"
@@ -44,13 +45,16 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: consumercli [flags] <directory|search|query|cohort|follow|trace|storestats> [subflags]")
+		fmt.Fprintln(os.Stderr, "usage: consumercli [flags] <directory|search|query|cohort|follow|trace|storestats|health> [subflags]")
 		os.Exit(2)
 	}
 	bc := &httpapi.BrokerClient{BaseURL: *brokerURL}
 
+	// Diagnostic commands must not mutate server state, so they skip the
+	// consumer auto-registration (health still uses -key when given, to
+	// enumerate the per-store fleet through the directory).
 	apiKey := auth.APIKey(*key)
-	if apiKey == "" && flag.Arg(0) != "trace" && flag.Arg(0) != "storestats" {
+	if apiKey == "" && flag.Arg(0) != "trace" && flag.Arg(0) != "storestats" && flag.Arg(0) != "health" {
 		u, err := bc.RegisterConsumer(*name)
 		if err != nil {
 			log.Fatalf("consumercli: register: %v", err)
@@ -337,10 +341,69 @@ func main() {
 			log.Fatalf("consumercli: storestats: %v", err)
 		}
 
+	case "health":
+		fs := flag.NewFlagSet("health", flag.ExitOnError)
+		_ = fs.Parse(flag.Args()[1:])
+		if err := printHealth(bc, apiKey); err != nil {
+			log.Fatalf("consumercli: health: %v", err)
+		}
+
 	default:
 		fmt.Fprintf(os.Stderr, "consumercli: unknown command %q\n", flag.Arg(0))
 		os.Exit(2)
 	}
+}
+
+// printHealth surveys the fleet: the broker's /healthz plus, when a key
+// allows reading the directory, every store's — showing each server's
+// degradation state and pressure alongside a probe circuit breaker
+// (the same BreakerSet federation uses; one failed probe trips it, so an
+// unreachable store renders as open).
+func printHealth(bc *httpapi.BrokerClient, key auth.APIKey) error {
+	breakers := overload.NewBreakerSet(overload.BreakerConfig{FailureThreshold: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	probe := func(kind, name, base string, fetch func() (httpapi.Health, error)) {
+		br := breakers.For(base)
+		var h httpapi.Health
+		err := br.Allow()
+		if err == nil {
+			h, err = fetch()
+			br.Report(err)
+		}
+		if err != nil {
+			fmt.Printf("%-8s %-20s %-30s unreachable (%v); breaker %s\n", kind, name, base, err, br.State())
+			return
+		}
+		deg := h.Degradation
+		if deg == "" {
+			deg = "unknown"
+		}
+		fmt.Printf("%-8s %-20s %-30s %s, %s (pressure %.2f), up %s; breaker %s\n",
+			kind, name, base, h.Status, deg, h.Pressure,
+			(time.Duration(h.UptimeS) * time.Second).Round(time.Second), br.State())
+	}
+
+	probe("broker", "-", bc.BaseURL, func() (httpapi.Health, error) { return bc.HealthCtx(ctx) })
+	if key == "" {
+		fmt.Println("(no -key: stores not enumerated; pass a broker API key to survey the fleet)")
+		return nil
+	}
+	dir, err := bc.Directory(key)
+	if err != nil {
+		return fmt.Errorf("directory: %w", err)
+	}
+	seen := make(map[string]bool)
+	for _, e := range dir {
+		if e.StoreAddr == "" || seen[e.StoreAddr] {
+			continue
+		}
+		seen[e.StoreAddr] = true
+		sc := &httpapi.StoreClient{BaseURL: e.StoreAddr}
+		probe("store", e.Name, e.StoreAddr, func() (httpapi.Health, error) { return sc.HealthCtx(ctx) })
+	}
+	return nil
 }
 
 // printStoreStats renders a store's segment-engine internals from its

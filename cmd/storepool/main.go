@@ -19,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"sensorsafe/internal/datastore"
 	"sensorsafe/internal/httpapi"
@@ -57,12 +58,20 @@ func main() {
 		defer svc.Close()
 
 		addr := fmt.Sprintf(":%d", port)
-		handler := httpapi.NewStoreHandler(svc)
+		// Each pool slot gets its own admission controller: one tenant's
+		// storm browns out only that tenant's store.
+		server := &http.Server{
+			Addr:              addr,
+			Handler:           httpapi.NewStoreHandler(svc),
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       2 * time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			log.Printf("pool store %d (%s) listening on %s", i, name, addr)
-			if err := http.ListenAndServe(addr, handler); err != nil {
+			if err := server.ListenAndServe(); err != nil {
 				log.Printf("storepool: store %d: %v", i, err)
 			}
 		}(i)

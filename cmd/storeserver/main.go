@@ -39,6 +39,7 @@ import (
 	"sensorsafe/internal/datastore"
 	"sensorsafe/internal/httpapi"
 	"sensorsafe/internal/obs"
+	"sensorsafe/internal/overload"
 )
 
 // shutdownGrace bounds how long in-flight requests may run after SIGINT/
@@ -90,8 +91,19 @@ func main() {
 		"dir", *dir, "broker", *brokerURL, "sync_interval", syncInterval.String(),
 		"compact_interval", compactInterval.String(),
 		"tls", *useTLS, "pprof", *withPprof)
-	handler := mountPprof(httpapi.NewStoreHandler(svc), *withPprof)
-	server := &http.Server{Addr: *listen, Handler: handler}
+	ctrl := overload.NewController(overload.StoreDefaults())
+	handler := mountPprof(httpapi.NewStoreHandlerOverload(svc, ctrl), *withPprof)
+	// Slowloris hardening: bound header/body reads and idle keep-alives.
+	// Deliberately no WriteTimeout — it would cap every SSE stream's
+	// lifetime; the overload middleware sets per-request write deadlines
+	// and serveSSE rolls its own per frame.
+	server := &http.Server{
+		Addr:              *listen,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	if *useTLS {
 		tlsCfg, err := httpapi.SelfSignedTLS([]string{"localhost", "127.0.0.1"}, 0)
 		if err != nil {

@@ -1,0 +1,332 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sensorsafe/internal/overload"
+	"sensorsafe/internal/resilience"
+)
+
+// E13 measures the overload-protection machinery (internal/overload) on
+// the property the subsystem promises: goodput under saturation. A
+// simulated worker pool with a fixed per-request service time is offered
+// open-loop load at 1x, 2x, and 5x its capacity, with the admission
+// controller in front (shedding on) and with a plain unbounded queue
+// (shedding off). Goodput counts only responses that complete within the
+// SLO — a response that arrives after the client gave up is wasted work.
+// The acceptance bar: with shedding on, goodput at 5x offered load stays
+// at >= 80% of the peak observed goodput. A second leg checks the circuit
+// breaker bounds the retry storm against a downed store.
+
+// E13Config parameterizes the overload benchmark.
+type E13Config struct {
+	// Workers is the simulated server's concurrency (gate capacity).
+	Workers int
+	// Service is the per-request service time.
+	Service time.Duration
+	// Window is how long each load level is offered.
+	Window time.Duration
+	// SLO is the client's patience; later completions are not goodput.
+	SLO time.Duration
+	// QueueWait is the admission gate's queue deadline (shedding on).
+	QueueWait time.Duration
+	// Drain bounds how long shedding-off stragglers may keep running
+	// after the window before being abandoned.
+	Drain time.Duration
+	// Multipliers are the offered-load levels relative to capacity.
+	Multipliers []float64
+	// BreakerOps is the number of operations aimed at the downed store
+	// in the retry-storm leg.
+	BreakerOps int
+	// BreakerThreshold trips the breaker after this many consecutive
+	// failures.
+	BreakerThreshold int
+	// TargetFrac is the acceptance bar for goodput at the highest load,
+	// as a fraction of peak goodput.
+	TargetFrac float64
+}
+
+// DefaultE13 matches the documented E13 configuration.
+func DefaultE13() E13Config {
+	// 2ms service keeps the simulated pool's effective service time close
+	// to nominal even with tens of thousands of in-flight goroutines at
+	// 5x load; sub-millisecond sleeps are dominated by timer granularity.
+	return E13Config{
+		Workers:          8,
+		Service:          2 * time.Millisecond,
+		Window:           time.Second,
+		SLO:              100 * time.Millisecond,
+		QueueWait:        10 * time.Millisecond,
+		Drain:            2 * time.Second,
+		Multipliers:      []float64{1, 2, 5},
+		BreakerOps:       100,
+		BreakerThreshold: 5,
+		TargetFrac:       0.8,
+	}
+}
+
+// E13Load is one offered-load level's measurements.
+type E13Load struct {
+	Multiplier    float64 `json:"multiplier"`
+	Offered       int     `json:"offered"`
+	GoodputOnRPS  float64 `json:"goodput_on_rps"`
+	P99OnMS       float64 `json:"p99_on_ms"`
+	ShedOn        int     `json:"shed_on"`
+	State         string  `json:"state"`
+	GoodputOffRPS float64 `json:"goodput_off_rps"`
+	P99OffMS      float64 `json:"p99_off_ms"`
+	AbandonedOff  int     `json:"abandoned_off"`
+}
+
+// E13Result is the BENCH_8.json shape CI archives.
+type E13Result struct {
+	Experiment      string    `json:"experiment"`
+	Description     string    `json:"description"`
+	Workers         int       `json:"workers"`
+	ServiceMS       float64   `json:"service_ms"`
+	WindowMS        float64   `json:"window_ms"`
+	SLOMS           float64   `json:"slo_ms"`
+	CapacityRPS     float64   `json:"capacity_rps"`
+	Loads           []E13Load `json:"loads"`
+	PeakGoodputRPS  float64   `json:"peak_goodput_rps"`
+	GoodputTopFrac  float64   `json:"goodput_top_frac"`
+	TargetFrac      float64   `json:"target_frac"`
+	BreakerAttempts int       `json:"breaker_attempts"`
+	BaselineAtts    int       `json:"baseline_attempts"`
+	Pass            bool      `json:"pass"`
+}
+
+// e13Stats is one run's raw outcome.
+type e13Stats struct {
+	good      int
+	shed      int
+	abandoned int
+	p99       time.Duration
+}
+
+// e13Run offers n requests spread uniformly over the window. With ctrl
+// set, each request passes through Admit (ingest class — the never-shed
+// tier, so only the capacity gate and queue deadline act); with ctrl nil,
+// requests wait on a plain unbounded semaphore until the drain deadline.
+func e13Run(cfg E13Config, n int, ctrl *overload.Controller) e13Stats {
+	latencies := make([]time.Duration, n)
+	completed := make([]bool, n)
+	shed := make([]bool, n)
+	workers := make(chan struct{}, cfg.Workers)
+	//sslint:ignore ctxpropagate experiment harness is the call-tree root
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Window+cfg.Drain)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	const tick = time.Millisecond
+	ticks := int(cfg.Window / tick)
+	if ticks < 1 {
+		ticks = 1
+	}
+	idx := 0
+	for tk := 0; tk < ticks && idx < n; tk++ {
+		if d := time.Until(start.Add(time.Duration(tk) * tick)); d > 0 {
+			time.Sleep(d)
+		}
+		batchEnd := (tk + 1) * n / ticks
+		for ; idx < batchEnd; idx++ {
+			i := idx
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				issued := time.Now()
+				if ctrl != nil {
+					release, rej := ctrl.Admit(ctx, overload.ClassIngest, "e13")
+					if rej != nil {
+						shed[i] = true
+						return
+					}
+					time.Sleep(cfg.Service)
+					release()
+				} else {
+					select {
+					case workers <- struct{}{}:
+					case <-ctx.Done():
+						return // client abandoned in the queue
+					}
+					time.Sleep(cfg.Service)
+					<-workers
+				}
+				latencies[i] = time.Since(issued)
+				completed[i] = true
+			}()
+		}
+	}
+	wg.Wait()
+
+	var st e13Stats
+	var done []time.Duration
+	for i := 0; i < n; i++ {
+		switch {
+		case completed[i]:
+			done = append(done, latencies[i])
+			if latencies[i] <= cfg.SLO {
+				st.good++
+			}
+		case shed[i]:
+			st.shed++
+		default:
+			st.abandoned++
+		}
+	}
+	st.p99 = e13Percentile(done, 0.99)
+	return st
+}
+
+func e13Percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[int(p*float64(len(ds)-1))].Round(time.Microsecond)
+}
+
+// e13Controller builds a fresh admission controller sized to the
+// simulated pool: the ingest gate IS the worker pool, the other classes
+// are minimized so gate utilization reflects the tier under test.
+func e13Controller(cfg E13Config) *overload.Controller {
+	oc := overload.Config{Component: "e13"}
+	for i := 0; i < overload.NumClasses; i++ {
+		oc.Capacity[i] = 1
+	}
+	oc.Capacity[overload.ClassIngest] = cfg.Workers
+	oc.QueueWait[overload.ClassIngest] = cfg.QueueWait
+	return overload.NewController(oc)
+}
+
+// e13Breaker counts real attempts against a permanently failing store,
+// with and without the circuit breaker in the retry policy.
+func e13Breaker(cfg E13Config) (withBreaker, baseline int) {
+	run := func(br *overload.Breaker) int {
+		attempts := 0
+		pol := &resilience.Policy{
+			MaxAttempts: 4,
+			BaseDelay:   10 * time.Microsecond,
+			MaxDelay:    100 * time.Microsecond,
+		}
+		if br != nil {
+			pol.Breaker = br
+		}
+		for op := 0; op < cfg.BreakerOps; op++ {
+			//sslint:ignore ctxpropagate experiment harness is the call-tree root
+			_ = pol.Do(context.Background(), "e13_downed_store", func(context.Context) error {
+				attempts++
+				return resilience.Status(503, 0, "store down")
+			})
+		}
+		return attempts
+	}
+	br := overload.NewBreaker("e13-downed-store", overload.BreakerConfig{
+		FailureThreshold: cfg.BreakerThreshold,
+		OpenFor:          time.Hour, // never half-opens within the run
+	})
+	return run(br), run(nil)
+}
+
+// RunE13 runs the overload benchmark and the retry-storm leg.
+func RunE13(cfg E13Config) (*E13Result, *Table, error) {
+	capacity := float64(cfg.Workers) / cfg.Service.Seconds()
+	res := &E13Result{
+		Experiment:  "E13",
+		Description: "overload protection: goodput and p99 at 1x/2x/5x capacity with admission control on vs off; circuit breaker bounding the retry storm against a downed store",
+		Workers:     cfg.Workers,
+		ServiceMS:   float64(cfg.Service.Microseconds()) / 1000,
+		WindowMS:    float64(cfg.Window.Milliseconds()),
+		SLOMS:       float64(cfg.SLO.Milliseconds()),
+		CapacityRPS: capacity,
+		TargetFrac:  cfg.TargetFrac,
+	}
+
+	t := &Table{
+		ID: "E13",
+		Caption: fmt.Sprintf("goodput under overload (%d workers x %s service, %s window, SLO %s)",
+			cfg.Workers, cfg.Service, cfg.Window, cfg.SLO),
+		Headers: []string{"offered load", "goodput on (rps)", "p99 on", "state", "goodput off (rps)", "p99 off", "verdict"},
+		Notes: []string{
+			"on: requests pass the admission controller's ingest gate (capacity = workers, bounded queue wait); off: plain unbounded FIFO on the same pool",
+			"goodput counts completions within the SLO; shed requests fail fast and are not goodput, queued stragglers are abandoned at the drain deadline",
+			fmt.Sprintf("bar: goodput at %gx offered load >= %.0f%% of peak goodput", cfg.Multipliers[len(cfg.Multipliers)-1], 100*cfg.TargetFrac),
+		},
+	}
+
+	window := cfg.Window.Seconds()
+	for _, mult := range cfg.Multipliers {
+		offered := int(mult * capacity * window)
+		ctrl := e13Controller(cfg)
+		on := e13Run(cfg, offered, ctrl)
+		state := ctrl.State().String()
+		off := e13Run(cfg, offered, nil)
+		res.Loads = append(res.Loads, E13Load{
+			Multiplier:    mult,
+			Offered:       offered,
+			GoodputOnRPS:  float64(on.good) / window,
+			P99OnMS:       float64(on.p99.Microseconds()) / 1000,
+			ShedOn:        on.shed,
+			State:         state,
+			GoodputOffRPS: float64(off.good) / window,
+			P99OffMS:      float64(off.p99.Microseconds()) / 1000,
+			AbandonedOff:  off.abandoned,
+		})
+	}
+
+	for _, l := range res.Loads {
+		if l.GoodputOnRPS > res.PeakGoodputRPS {
+			res.PeakGoodputRPS = l.GoodputOnRPS
+		}
+	}
+	top := res.Loads[len(res.Loads)-1]
+	if res.PeakGoodputRPS > 0 {
+		res.GoodputTopFrac = top.GoodputOnRPS / res.PeakGoodputRPS
+	}
+	res.BreakerAttempts, res.BaselineAtts = e13Breaker(cfg)
+
+	goodputPass := res.GoodputTopFrac >= cfg.TargetFrac
+	// The breaker must cut the storm to roughly the trip threshold: the
+	// consecutive failures that trip it, plus one short-circuited op's
+	// worth of slack for scheduling.
+	breakerPass := res.BreakerAttempts <= cfg.BreakerThreshold+1 &&
+		res.BreakerAttempts < res.BaselineAtts/10
+	res.Pass = goodputPass && breakerPass
+
+	for i, l := range res.Loads {
+		verdict := "-"
+		if i == len(res.Loads)-1 {
+			verdict = "PASS"
+			if !goodputPass {
+				verdict = fmt.Sprintf("FAIL: %.0f%% of peak < %.0f%%", 100*res.GoodputTopFrac, 100*cfg.TargetFrac)
+			}
+		}
+		t.AddRow(
+			fmt.Sprintf("%gx (%d reqs)", l.Multiplier, l.Offered),
+			fmt.Sprintf("%.0f", l.GoodputOnRPS),
+			fmt.Sprintf("%.1f ms", l.P99OnMS),
+			l.State,
+			fmt.Sprintf("%.0f", l.GoodputOffRPS),
+			fmt.Sprintf("%.1f ms", l.P99OffMS),
+			verdict,
+		)
+	}
+	breakerVerdict := "PASS"
+	if !breakerPass {
+		breakerVerdict = fmt.Sprintf("FAIL: %d attempts", res.BreakerAttempts)
+	}
+	t.AddRow(
+		fmt.Sprintf("downed store, %d ops x 4 retries", cfg.BreakerOps),
+		fmt.Sprintf("%d attempts (breaker)", res.BreakerAttempts),
+		"-", "-",
+		fmt.Sprintf("%d attempts (no breaker)", res.BaselineAtts),
+		"-",
+		breakerVerdict,
+	)
+	return res, t, nil
+}

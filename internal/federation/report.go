@@ -29,6 +29,12 @@ const (
 	// OutcomeUnreachable: transport failure or persistent 5xx; the store
 	// may hold data this result is missing.
 	OutcomeUnreachable Outcome = "unreachable"
+	// OutcomeShed: the store is alive but shedding load (429 with a
+	// Retry-After), or this member's circuit breaker is open and the fetch
+	// was skipped entirely. Distinct from unreachable: the data exists and
+	// a later, politer retry will get it — "store down" and "store
+	// protecting itself" must never be confused.
+	OutcomeShed Outcome = "shed"
 	// OutcomeError: anything else (malformed response, bad query).
 	OutcomeError Outcome = "error"
 )
@@ -69,6 +75,9 @@ func classify(err error) Outcome {
 	if errors.Is(err, context.DeadlineExceeded) {
 		return OutcomeTimeout
 	}
+	if errors.Is(err, resilience.ErrCircuitOpen) {
+		return OutcomeShed
+	}
 	var se *resilience.StatusError
 	if errors.As(err, &se) {
 		switch se.Code {
@@ -78,8 +87,10 @@ func classify(err error) Outcome {
 			// The store does not know this consumer or contributor — the
 			// credential path is broken, not the network.
 			return OutcomeDenied
+		case http.StatusTooManyRequests:
+			return OutcomeShed
 		}
-		if se.Code >= 500 || se.Code == http.StatusTooManyRequests {
+		if se.Code >= 500 {
 			return OutcomeUnreachable
 		}
 		return OutcomeError

@@ -10,6 +10,7 @@ import (
 
 	"sensorsafe/internal/obs"
 	"sensorsafe/internal/obs/trace"
+	"sensorsafe/internal/overload"
 
 	"sensorsafe/internal/auth"
 	"sensorsafe/internal/broker"
@@ -177,11 +178,17 @@ func (w *searchWire) toQuery() (*broker.SearchQuery, error) {
 	return q, nil
 }
 
-// NewBrokerHandler builds the HTTP API for the broker. Stores whose
-// directory address is an http(s) URL are dialed on demand, so consumer
-// provisioning works without explicit store registration (and across
-// broker restarts).
+// NewBrokerHandler builds the HTTP API for the broker with a default
+// admission controller (see NewBrokerHandlerOverload).
 func NewBrokerHandler(svc *broker.Service) http.Handler {
+	return NewBrokerHandlerOverload(svc, overload.NewController(overload.BrokerDefaults()))
+}
+
+// NewBrokerHandlerOverload builds the broker API around an explicit
+// admission controller. Stores whose directory address is an http(s) URL
+// are dialed on demand, so consumer provisioning works without explicit
+// store registration (and across broker restarts).
+func NewBrokerHandlerOverload(svc *broker.Service, ctrl *overload.Controller) http.Handler {
 	start := time.Now()
 	svc.SetStoreDialer(func(addr string) broker.StoreConn {
 		if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
@@ -319,6 +326,8 @@ func NewBrokerHandler(svc *broker.Service) http.Handler {
 			UptimeS:      time.Since(start).Seconds(),
 			Contributors: svc.ContributorCount(),
 			Consumers:    svc.Users().Len(),
+			Degradation:  ctrl.State().String(),
+			Pressure:     ctrl.Pressure(),
 		})
 	})
 
@@ -338,7 +347,9 @@ func NewBrokerHandler(svc *broker.Service) http.Handler {
 		fmt.Fprintf(w, brokerAdminHTML, svc.ContributorCount(), svc.Users().Len())
 	})
 
-	return withObs("broker", mux, withIdempotency("broker", resilience.NewIdemCache(0), mux))
+	inner := withOverload(ctrl, brokerRouteClass, mux,
+		withIdempotency("broker", resilience.NewIdemCache(0), mux))
+	return withObs("broker", mux, inner)
 }
 
 const brokerAdminHTML = `<!DOCTYPE html>

@@ -123,4 +123,9 @@ type Health struct {
 	Users        int     `json:"users,omitempty"`
 	Contributors int     `json:"contributors,omitempty"`
 	Consumers    int     `json:"consumers,omitempty"`
+	// Degradation is the overload controller's state ("healthy",
+	// "degraded", "overloaded") and Pressure its composite signal in
+	// [0,1+]; load balancers and `consumercli health` read these.
+	Degradation string  `json:"degradation,omitempty"`
+	Pressure    float64 `json:"pressure,omitempty"`
 }

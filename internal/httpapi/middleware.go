@@ -65,6 +65,10 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// Unwrap lets http.ResponseController reach the connection through the
+// middleware stack (per-request write deadlines in withOverload).
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // recordingWriter tees a handler's status and body so the outcome can be
 // cached for idempotent replay.
 type recordingWriter struct {
@@ -82,6 +86,9 @@ func (w *recordingWriter) Write(p []byte) (int, error) {
 	w.buf.Write(p)
 	return w.ResponseWriter.Write(p)
 }
+
+// Unwrap: see (*statusWriter).Unwrap.
+func (w *recordingWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // withIdempotency dedupes mutating requests that carry an
 // X-Idempotency-Key: the first execution's outcome is recorded in a

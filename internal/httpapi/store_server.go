@@ -9,6 +9,7 @@ import (
 
 	"sensorsafe/internal/obs"
 	"sensorsafe/internal/obs/trace"
+	"sensorsafe/internal/overload"
 
 	"sensorsafe/internal/abstraction"
 	"sensorsafe/internal/audit"
@@ -137,12 +138,22 @@ func (q *queryReq) resolve() (*query.Query, error) {
 	return &query.Query{}, nil
 }
 
-// NewStoreHandler builds the HTTP API for one remote data store,
-// wrapped in the observability middleware (metrics, request logging,
-// X-Request-ID propagation).
+// NewStoreHandler builds the HTTP API for one remote data store with a
+// default admission controller (see NewStoreHandlerOverload).
 func NewStoreHandler(svc *datastore.Service) http.Handler {
+	return NewStoreHandlerOverload(svc, overload.NewController(overload.StoreDefaults()))
+}
+
+// NewStoreHandlerOverload builds the store API around an explicit
+// admission controller, wrapped in the observability and overload
+// middleware (metrics, request logging, X-Request-ID propagation,
+// class-ordered load shedding). The controller is fed the segment
+// engine's live backlog as pressure signals, so a struggling storage
+// layer browns out stream delivery and queries before ingest suffers.
+func NewStoreHandlerOverload(svc *datastore.Service, ctrl *overload.Controller) http.Handler {
 	start := time.Now()
 	mux := http.NewServeMux()
+	registerStorePressure(ctrl, svc)
 
 	mux.HandleFunc("/api/register", post(func(ctx context.Context, r *registerReq) (registerResp, error) {
 		var u auth.User
@@ -309,11 +320,13 @@ func NewStoreHandler(svc *datastore.Service) http.Handler {
 
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, Health{
-			Status:   "ok",
-			UptimeS:  time.Since(start).Seconds(),
-			Name:     svc.Name(),
-			Segments: svc.SegmentCount(),
-			Users:    svc.Users().Len(),
+			Status:      "ok",
+			UptimeS:     time.Since(start).Seconds(),
+			Name:        svc.Name(),
+			Segments:    svc.SegmentCount(),
+			Users:       svc.Users().Len(),
+			Degradation: ctrl.State().String(),
+			Pressure:    ctrl.Pressure(),
 		})
 	})
 
@@ -345,7 +358,55 @@ func NewStoreHandler(svc *datastore.Service) http.Handler {
 		fmt.Fprintf(w, storeAdminHTML, svc.Name(), svc.SegmentCount(), svc.Users().Len())
 	})
 
-	return withObs("store", mux, withIdempotency("store", resilience.NewIdemCache(0), mux))
+	inner := withOverload(ctrl, storeRouteClass, mux,
+		withIdempotency("store", resilience.NewIdemCache(0), mux))
+	return withObs("store", mux, inner)
+}
+
+// registerStorePressure feeds the segment engine's live backlog into the
+// admission controller: memtable fill, WAL growth, sealed-memtable queue,
+// and L0 compaction debt each normalize to 1.0 at "the flush/compaction
+// machinery is saturated". Services on the legacy in-memory engine report
+// no storage pressure (Stats returns ok=false).
+func registerStorePressure(ctrl *overload.Controller, svc *datastore.Service) {
+	ctrl.AddSource("segstore_memtable", func() float64 {
+		st, ok := svc.SegmentStoreStats()
+		if !ok || st.MemtableBudget <= 0 {
+			return 0
+		}
+		return float64(st.MemtableBytes) / float64(st.MemtableBudget)
+	})
+	ctrl.AddSource("segstore_wal", func() float64 {
+		st, ok := svc.SegmentStoreStats()
+		if !ok || st.MemtableBudget <= 0 {
+			return 0
+		}
+		// The WAL holds the active memtable plus any sealed ones awaiting
+		// flush; 4 budgets of WAL means flushing has fallen well behind.
+		return float64(st.WALBytes) / float64(4*st.MemtableBudget)
+	})
+	ctrl.AddSource("segstore_sealed", func() float64 {
+		st, ok := svc.SegmentStoreStats()
+		if !ok {
+			return 0
+		}
+		return float64(st.SealedMemtables) / 4
+	})
+	ctrl.AddSource("segstore_l0_debt", func() float64 {
+		st, ok := svc.SegmentStoreStats()
+		if !ok || st.L0Threshold <= 0 {
+			return 0
+		}
+		l0 := 0
+		for _, lv := range st.Levels {
+			if lv.Level == 0 {
+				l0 = lv.Files
+			}
+		}
+		// Saturate at twice the compaction trigger: L0 at the threshold is
+		// normal duty cycle, twice it is real debt.
+		return float64(l0) / float64(2*st.L0Threshold)
+	})
 }
 
 // storeAdminHTML is the minimal web UI of the store (the paper's Fig. 3 UI

@@ -133,9 +133,17 @@ func serveSSE(w http.ResponseWriter, r *http.Request, svc *datastore.Service) {
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 
+	// The servers deliberately run without a global WriteTimeout (it
+	// would cap every SSE stream's lifetime); instead each poll iteration
+	// rolls a per-frame write deadline forward, so a client that stops
+	// reading is disconnected within one deadline instead of pinning the
+	// connection forever. SetWriteDeadline errors are ignored: test
+	// recorders don't implement it, real server connections do.
+	rc := http.NewResponseController(w)
 	ctx := r.Context()
 	batch := first
 	for {
+		_ = rc.SetWriteDeadline(time.Now().Add(sseWriteTimeout))
 		for _, ev := range batch.Events {
 			if err := writeSSEEvent(w, ev); err != nil {
 				return

@@ -38,6 +38,12 @@ type tracedStore struct {
 // server-side services reachable (for audit-trail assertions).
 func deployTraced(t *testing.T, members map[string]tracedMember) (*BrokerClient, map[string]*tracedStore) {
 	t.Helper()
+	// A fresh collector per test: earlier tests in this package (chaos
+	// suites especially) fill the process default with error/slow traces,
+	// which the retention policy keeps at the expense of new boring ones.
+	prev := trace.Default()
+	trace.SetDefault(trace.NewCollector(0, 0, 0))
+	t.Cleanup(func() { trace.SetDefault(prev) })
 	bsvc := broker.New()
 	brokerServer := httptest.NewServer(NewBrokerHandler(bsvc))
 	t.Cleanup(brokerServer.Close)

@@ -79,6 +79,7 @@ func Analyzers() []*Analyzer {
 		MutexGuard,
 		ObsNames,
 		ReleasePath,
+		ServerTimeouts,
 	}
 }
 

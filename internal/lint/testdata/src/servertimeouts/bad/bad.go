@@ -1,0 +1,35 @@
+// Package bad exercises the servertimeouts analyzer: http.Server
+// literals without ReadHeaderTimeout and bare ListenAndServe calls must
+// be flagged.
+package bad
+
+import (
+	"net/http"
+	"time"
+)
+
+func bareLiteral(addr string, h http.Handler) *http.Server {
+	return &http.Server{Addr: addr, Handler: h} // want "without ReadHeaderTimeout"
+}
+
+func valueLiteral(h http.Handler) http.Server {
+	return http.Server{Handler: h} // want "without ReadHeaderTimeout"
+}
+
+// otherTimeoutsOnly sets deadlines but not the one that stops slowloris
+// header dribble.
+func otherTimeoutsOnly(addr string) *http.Server {
+	return &http.Server{ // want "without ReadHeaderTimeout"
+		Addr:        addr,
+		ReadTimeout: time.Minute,
+		IdleTimeout: time.Minute,
+	}
+}
+
+func bareListen(addr string, h http.Handler) error {
+	return http.ListenAndServe(addr, h) // want "http.ListenAndServe builds a Server with no timeouts"
+}
+
+func bareListenTLS(addr, cert, key string, h http.Handler) error {
+	return http.ListenAndServeTLS(addr, cert, key, h) // want "http.ListenAndServeTLS builds a Server with no timeouts"
+}

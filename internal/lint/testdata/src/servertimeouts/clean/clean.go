@@ -1,0 +1,39 @@
+// Package clean holds servertimeouts-conforming servers: every
+// http.Server literal bounds header reads, and listeners start through a
+// configured Server's methods.
+package clean
+
+import (
+	"net/http"
+	"time"
+)
+
+func hardened(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+func minimal(h http.Handler) http.Server {
+	return http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+}
+
+// methodListen is fine: the receiver carries its own timeouts.
+func methodListen(addr string, h http.Handler) error {
+	srv := hardened(addr, h)
+	return srv.ListenAndServe()
+}
+
+// otherServer is a different package's Server type; the analyzer must key
+// off net/http specifically.
+type otherServer struct {
+	Addr string
+}
+
+func notHTTP(addr string) otherServer {
+	return otherServer{Addr: addr}
+}

@@ -1,0 +1,259 @@
+package overload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"sensorsafe/internal/obs"
+	"sensorsafe/internal/resilience"
+)
+
+// Breaker metrics (README catalog: Overload protection).
+var (
+	metricBreakerState = obs.NewGaugeVec("sensorsafe_breaker_state",
+		"Circuit breaker state (0 closed, 1 open, 2 half-open), by target.",
+		"target")
+	metricBreakerTransitions = obs.NewCounterVec("sensorsafe_breaker_transitions_total",
+		"Circuit breaker state transitions, by target and new state.",
+		"target", "to")
+	metricBreakerShortCircuits = obs.NewCounterVec("sensorsafe_breaker_short_circuits_total",
+		"Attempts rejected without touching the network because the breaker was open, by target.",
+		"target")
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed passes all traffic, counting consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects all traffic until OpenFor elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits exactly one probe; its outcome decides
+	// whether the breaker closes again or re-opens.
+	BreakerHalfOpen
+)
+
+// String names the state for metrics and the health CLI.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("breaker(%d)", int(s))
+}
+
+// BreakerConfig tunes a Breaker; zero values take the defaults.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that trips the
+	// breaker (default 5).
+	FailureThreshold int
+	// OpenFor is how long a tripped breaker rejects before allowing a
+	// half-open probe (default 5s).
+	OpenFor time.Duration
+	// Now is a test seam for the clock (default time.Now).
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 5 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a three-state (closed → open → half-open) circuit breaker
+// for one target store. It implements resilience.CircuitBreaker, so it
+// plugs straight into Policy.Do and federation's per-member fetch. Safe
+// for concurrent use.
+type Breaker struct {
+	cfg    BreakerConfig
+	target string
+
+	mu       sync.Mutex
+	state    BreakerState // guarded by mu
+	failures int          // consecutive failures while closed; guarded by mu
+	openedAt time.Time    // when the breaker last tripped; guarded by mu
+	probing  bool         // a half-open probe is in flight; guarded by mu
+}
+
+// NewBreaker builds a breaker for one target (an address or store name,
+// used as the metric label).
+func NewBreaker(target string, cfg BreakerConfig) *Breaker {
+	b := &Breaker{cfg: cfg.withDefaults(), target: target}
+	metricBreakerState.With(target).Set(float64(BreakerClosed))
+	return b
+}
+
+// State returns the breaker's current state, applying the open→half-open
+// timer transition first so callers see the effective state.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenFor {
+		b.setStateLocked(BreakerHalfOpen)
+	}
+	return b.state
+}
+
+// Allow reports whether an attempt may proceed. It returns nil when the
+// breaker is closed, or when it is half-open and this caller wins the
+// single probe slot; otherwise it returns an error wrapping
+// resilience.ErrCircuitOpen, carrying the time left until the next probe
+// as a retry hint.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		remain := b.cfg.OpenFor - b.cfg.Now().Sub(b.openedAt)
+		if remain > 0 {
+			metricBreakerShortCircuits.With(b.target).Inc()
+			return fmt.Errorf("overload: %s tripped for %s: %w", b.target, remain.Round(time.Millisecond), resilience.ErrCircuitOpen)
+		}
+		b.setStateLocked(BreakerHalfOpen)
+		fallthrough
+	case BreakerHalfOpen:
+		if b.probing {
+			metricBreakerShortCircuits.With(b.target).Inc()
+			return fmt.Errorf("overload: %s half-open, probe in flight: %w", b.target, resilience.ErrCircuitOpen)
+		}
+		b.probing = true
+		return nil
+	}
+	return nil
+}
+
+// Report feeds one attempt's outcome back. Neutral outcomes — success
+// classification aside, a caller-side cancellation or the target's own
+// orderly 429 shed — neither trip nor heal the breaker: a shedding store
+// is alive, and Retry-After already paces the client.
+func (b *Breaker) Report(err error) {
+	failure := err != nil && !neutralOutcome(err)
+	success := err == nil
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if success {
+			b.failures = 0
+		} else if failure {
+			b.failures++
+			if b.failures >= b.cfg.FailureThreshold {
+				b.setStateLocked(BreakerOpen)
+			}
+		}
+	case BreakerHalfOpen:
+		if !b.probing {
+			// A stale report from before the trip; the probe's verdict is
+			// the only one that matters here.
+			return
+		}
+		b.probing = false
+		if success {
+			b.setStateLocked(BreakerClosed)
+		} else if failure {
+			b.setStateLocked(BreakerOpen)
+		}
+		// A neutral probe outcome releases the slot for the next caller.
+	case BreakerOpen:
+		// Late reports from attempts that started before the trip carry no
+		// new information.
+	}
+}
+
+// setStateLocked transitions the breaker, updating metrics and the trip
+// clock. Callers hold mu.
+func (b *Breaker) setStateLocked(next BreakerState) {
+	if next == b.state {
+		return
+	}
+	b.state = next
+	switch next {
+	case BreakerOpen:
+		b.openedAt = b.cfg.Now()
+		b.probing = false
+	case BreakerClosed:
+		b.failures = 0
+		b.probing = false
+	}
+	metricBreakerState.With(b.target).Set(float64(next))
+	metricBreakerTransitions.With(b.target, next.String()).Inc()
+}
+
+// neutralOutcome reports whether err says nothing about target health.
+func neutralOutcome(err error) bool {
+	if errors.Is(err, context.Canceled) {
+		return true
+	}
+	if errors.Is(err, resilience.ErrCircuitOpen) {
+		return true
+	}
+	var se *resilience.StatusError
+	if errors.As(err, &se) {
+		// 429 is the target *protecting itself*, not failing; 4xx are the
+		// caller's bug. Only 5xx indict the target.
+		return se.Code < http.StatusInternalServerError
+	}
+	return false
+}
+
+// BreakerSet lazily builds one Breaker per target, so federation and the
+// CLI can key breakers by store address without pre-registration.
+type BreakerSet struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	breakers map[string]*Breaker // guarded by mu
+}
+
+// NewBreakerSet builds a set whose members share cfg.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	return &BreakerSet{cfg: cfg, breakers: make(map[string]*Breaker)}
+}
+
+// For returns the breaker for target, creating it on first use. A nil set
+// returns nil, which callers treat as "no breaking".
+func (s *BreakerSet) For(target string) *Breaker {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.breakers[target]
+	if b == nil {
+		b = NewBreaker(target, s.cfg)
+		s.breakers[target] = b
+	}
+	return b
+}
+
+// States snapshots every member's state, keyed by target.
+func (s *BreakerSet) States() map[string]BreakerState {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]BreakerState, len(s.breakers))
+	for t, b := range s.breakers {
+		out[t] = b.State()
+	}
+	return out
+}

@@ -1,0 +1,285 @@
+package overload
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sensorsafe/internal/resilience"
+)
+
+// clock is a lockable fake time source.
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newClock() *clock { return &clock{t: time.Unix(1000, 0)} }
+
+func (c *clock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *clock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func failErr() error { return resilience.Status(http.StatusInternalServerError, 0, "boom") }
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	clk := newClock()
+	b := NewBreaker("s1", BreakerConfig{FailureThreshold: 3, OpenFor: 5 * time.Second, Now: clk.now})
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker denied attempt %d: %v", i, err)
+		}
+		b.Report(failErr())
+	}
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after threshold failures = %s, want open", got)
+	}
+	err := b.Allow()
+	if err == nil {
+		t.Fatal("open breaker allowed an attempt")
+	}
+	if !errors.Is(err, resilience.ErrCircuitOpen) {
+		t.Fatalf("open-breaker error does not wrap ErrCircuitOpen: %v", err)
+	}
+	if resilience.Retryable(err) {
+		t.Fatal("ErrCircuitOpen must classify as terminal for the retry loop")
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	clk := newClock()
+	b := NewBreaker("s2", BreakerConfig{FailureThreshold: 3, Now: clk.now})
+	b.Report(failErr())
+	b.Report(failErr())
+	b.Report(nil) // success wipes the streak
+	b.Report(failErr())
+	b.Report(failErr())
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("non-consecutive failures tripped the breaker: %s", got)
+	}
+	b.Report(failErr())
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("third consecutive failure should trip: %s", got)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := newClock()
+	b := NewBreaker("s3", BreakerConfig{FailureThreshold: 1, OpenFor: 5 * time.Second, Now: clk.now})
+	b.Report(failErr())
+	if b.State() != BreakerOpen {
+		t.Fatal("did not trip")
+	}
+	if err := b.Allow(); err == nil {
+		t.Fatal("open breaker allowed before OpenFor elapsed")
+	}
+	clk.advance(5 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open denied the single probe: %v", err)
+	}
+	// The probe slot is exclusive.
+	if err := b.Allow(); err == nil {
+		t.Fatal("second caller stole the half-open probe slot")
+	}
+	// Failed probe → back to open for a full OpenFor.
+	b.Report(failErr())
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("failed probe should reopen, got %s", got)
+	}
+	clk.advance(5 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe denied: %v", err)
+	}
+	b.Report(nil)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("successful probe should close, got %s", got)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker denied traffic: %v", err)
+	}
+}
+
+func TestBreakerNeutralOutcomes(t *testing.T) {
+	clk := newClock()
+	b := NewBreaker("s4", BreakerConfig{FailureThreshold: 2, Now: clk.now})
+	// A 429 is the target shedding, not failing — must not trip.
+	for i := 0; i < 10; i++ {
+		b.Report(resilience.Status(http.StatusTooManyRequests, time.Second, "shed"))
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("429s tripped the breaker: %s", got)
+	}
+	// Caller-side cancellation says nothing about the target.
+	for i := 0; i < 10; i++ {
+		b.Report(context.Canceled)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("cancellations tripped the breaker: %s", got)
+	}
+	// 4xx is the caller's bug.
+	for i := 0; i < 10; i++ {
+		b.Report(resilience.Status(http.StatusForbidden, 0, "denied"))
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("4xx tripped the breaker: %s", got)
+	}
+}
+
+// TestBreakerStateMachineRace hammers one breaker from many goroutines
+// through trip/recover cycles; the race detector plus the invariant that
+// at most one probe runs per half-open window are the assertions.
+func TestBreakerStateMachineRace(t *testing.T) {
+	clk := newClock()
+	b := NewBreaker("s5", BreakerConfig{FailureThreshold: 3, OpenFor: time.Millisecond, Now: clk.now})
+	var wg sync.WaitGroup
+	var admitted, denied atomic.Int64
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := b.Allow(); err != nil {
+					denied.Add(1)
+					continue
+				}
+				admitted.Add(1)
+				// Alternate failure and success so the breaker keeps
+				// cycling through all three states.
+				if (g+i)%3 == 0 {
+					b.Report(nil)
+				} else {
+					b.Report(failErr())
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		clk.advance(time.Millisecond)
+		b.State()
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(stop)
+	wg.Wait()
+	if admitted.Load() == 0 {
+		t.Fatal("no attempts admitted across the whole run")
+	}
+	// The breaker must end in a coherent state, reachable for traffic
+	// after enough quiet time.
+	clk.advance(time.Second)
+	b.Allow()
+	b.Report(nil)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("breaker did not settle closed after a quiet success: %s", got)
+	}
+}
+
+// TestRetryStormBounded proves the breaker turns an unbounded retry storm
+// against a downed store into a bounded trickle: without a breaker, N ops
+// × MaxAttempts requests all hit the dead target; with one, attempts stop
+// at the trip threshold plus the per-window probes.
+func TestRetryStormBounded(t *testing.T) {
+	clk := newClock()
+	b := NewBreaker("dead-store", BreakerConfig{FailureThreshold: 5, OpenFor: time.Hour, Now: clk.now})
+	var attempts atomic.Int64
+	p := &resilience.Policy{
+		MaxAttempts: 4,
+		Breaker:     b,
+		Sleep:       func(ctx context.Context, d time.Duration) error { return nil },
+	}
+	const ops = 50
+	var failedFast int
+	for i := 0; i < ops; i++ {
+		err := p.Do(context.Background(), "storm", func(ctx context.Context) error {
+			attempts.Add(1)
+			return failErr()
+		})
+		if err == nil {
+			t.Fatal("dead target reported success")
+		}
+		if errors.Is(err, resilience.ErrCircuitOpen) {
+			failedFast++
+		}
+	}
+	// Unbounded would be ops*MaxAttempts = 200. The breaker caps real
+	// attempts at the trip threshold (5); everything after short-circuits.
+	if got := attempts.Load(); got != 5 {
+		t.Fatalf("dead store saw %d attempts, want exactly the trip threshold 5 (unbounded would be %d)", got, ops*4)
+	}
+	if failedFast != ops-1 {
+		// The first op spends 4 attempts and reports exhaustion; the
+		// second trips the breaker on its first attempt and returns the
+		// short-circuit; ops 3..50 never touch the network at all.
+		t.Fatalf("%d ops failed fast, want %d", failedFast, ops-1)
+	}
+}
+
+// TestRetryStormBoundedConcurrent is the concurrent variant: total
+// attempts against the dead store stay bounded by threshold + in-flight
+// racers, never by ops × MaxAttempts.
+func TestRetryStormBoundedConcurrent(t *testing.T) {
+	clk := newClock()
+	b := NewBreaker("dead-store-2", BreakerConfig{FailureThreshold: 5, OpenFor: time.Hour, Now: clk.now})
+	var attempts atomic.Int64
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := &resilience.Policy{
+				MaxAttempts: 4,
+				Breaker:     b,
+				Sleep:       func(ctx context.Context, d time.Duration) error { return nil },
+			}
+			for i := 0; i < 20; i++ {
+				p.Do(context.Background(), "storm", func(ctx context.Context) error {
+					attempts.Add(1)
+					return failErr()
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	// Races can let each in-flight worker land one extra attempt before
+	// observing the trip, so the bound is threshold + workers*MaxAttempts
+	// — far below the unbounded 16*20*4 = 1280.
+	if got := attempts.Load(); got > 5+workers*4 {
+		t.Fatalf("dead store saw %d attempts, want ≤ %d (unbounded would be 1280)", got, 5+workers*4)
+	}
+}
+
+func TestBreakerSet(t *testing.T) {
+	var s *BreakerSet
+	if s.For("x") != nil {
+		t.Fatal("nil set must return nil breaker")
+	}
+	set := NewBreakerSet(BreakerConfig{FailureThreshold: 1})
+	a := set.For("store-a")
+	if a == nil || set.For("store-a") != a {
+		t.Fatal("For must memoize per target")
+	}
+	a.Report(failErr())
+	set.For("store-b")
+	states := set.States()
+	if states["store-a"] != BreakerOpen || states["store-b"] != BreakerClosed {
+		t.Fatalf("states = %v", states)
+	}
+}

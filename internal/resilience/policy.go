@@ -92,6 +92,11 @@ type Policy struct {
 	PerAttemptTimeout time.Duration
 	// Budget, when set, rate-limits retries across the whole client.
 	Budget *Budget
+	// Breaker, when set, is consulted before every attempt and fed every
+	// outcome: once the target trips, further attempts short-circuit with
+	// ErrCircuitOpen instead of touching the network, so a retry loop
+	// cannot storm a downed or shedding server.
+	Breaker CircuitBreaker
 	// Seed makes the jitter deterministic for tests (0 = a fixed default
 	// seed; determinism beats entropy here, jitter only needs to decorrelate
 	// concurrent retriers).
@@ -197,6 +202,12 @@ func (p *Policy) Do(ctx context.Context, op string, fn func(ctx context.Context)
 	attempts := p.attempts()
 	var err error
 	for i := 0; i < attempts; i++ {
+		if p.Breaker != nil {
+			if berr := p.Breaker.Allow(); berr != nil {
+				metricGiveUps.With(op, "breaker").Inc()
+				return fmt.Errorf("resilience: %s short-circuited: %w", op, berr)
+			}
+		}
 		actx := ctx
 		cancel := context.CancelFunc(func() {})
 		if p.PerAttemptTimeout > 0 {
@@ -204,6 +215,11 @@ func (p *Policy) Do(ctx context.Context, op string, fn func(ctx context.Context)
 		}
 		err = fn(actx)
 		cancel()
+		if p.Breaker != nil && ctx.Err() == nil {
+			// A canceled caller says nothing about the target's health, so
+			// only attempts that ran to their own verdict feed the breaker.
+			p.Breaker.Report(err)
+		}
 		if err == nil {
 			p.Budget.Deposit()
 			return nil

@@ -25,6 +25,22 @@ import (
 // The HTTP layer maps it to 409 Conflict and back.
 var ErrStaleVersion = errors.New("stale replica version")
 
+// ErrCircuitOpen marks an operation short-circuited by a tripped circuit
+// breaker: the target is known-bad and no request was sent. It is
+// terminal for the current call — the breaker, not the retry loop, owns
+// the recovery schedule — so Retryable reports false for it.
+var ErrCircuitOpen = errors.New("circuit breaker open")
+
+// CircuitBreaker gates attempts against one target. Allow reports nil
+// when an attempt may proceed (or an error wrapping ErrCircuitOpen when
+// the target is tripped); Report feeds the attempt's outcome back so the
+// breaker can trip and recover. internal/overload provides the
+// implementation; the interface lives here so Policy need not import it.
+type CircuitBreaker interface {
+	Allow() error
+	Report(err error)
+}
+
 // retryableError and terminalError force a classification on errors whose
 // dynamic type says nothing about transience.
 type retryableError struct{ err error }

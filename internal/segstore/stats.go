@@ -15,24 +15,31 @@ type LevelStats struct {
 // Stats is a point-in-time snapshot of the engine, served by the
 // store's /debug/segstore endpoint and `consumercli storestats`.
 type Stats struct {
-	Dir             string       `json:"dir"`
-	MemtableRecords int          `json:"memtableRecords"`
-	MemtableBytes   int64        `json:"memtableBytes"`
-	SealedMemtables int          `json:"sealedMemtables"`
-	WALFiles        int          `json:"walFiles"`
-	WALBytes        int64        `json:"walBytes"`
-	WALReplayed     int          `json:"walReplayed"` // records replayed at open
-	Levels          []LevelStats `json:"levels"`
-	LiveRecords     int          `json:"liveRecords"`
-	DiskRecords     int          `json:"diskRecords"`
-	Tombstones      int          `json:"tombstones"` // dead records awaiting reclamation
-	Flushes         uint64       `json:"flushes"`
-	Compactions     uint64       `json:"compactions"`
-	MergedRecords   uint64       `json:"mergedRecords"`    // wave-merged away, lifetime
-	ReclaimedTombs  uint64       `json:"reclaimedRecords"` // tombstones purged, lifetime
-	LastCompaction  time.Time    `json:"lastCompaction,omitempty"`
-	LastCompactMS   int64        `json:"lastCompactionMillis"`
-	LastError       string       `json:"lastError,omitempty"`
+	Dir             string `json:"dir"`
+	MemtableRecords int    `json:"memtableRecords"`
+	MemtableBytes   int64  `json:"memtableBytes"`
+	// MemtableBudget is Options.MemtableBytes — the flush trigger — so
+	// backlog consumers (the overload controller's pressure sources) can
+	// normalize MemtableBytes without knowing the engine's configuration.
+	MemtableBudget  int64 `json:"memtableBudget"`
+	SealedMemtables int   `json:"sealedMemtables"`
+	// L0Threshold is Options.L0CompactThreshold, the L0 file count that
+	// triggers compaction; L0 files beyond it are compaction debt.
+	L0Threshold    int          `json:"l0Threshold"`
+	WALFiles       int          `json:"walFiles"`
+	WALBytes       int64        `json:"walBytes"`
+	WALReplayed    int          `json:"walReplayed"` // records replayed at open
+	Levels         []LevelStats `json:"levels"`
+	LiveRecords    int          `json:"liveRecords"`
+	DiskRecords    int          `json:"diskRecords"`
+	Tombstones     int          `json:"tombstones"` // dead records awaiting reclamation
+	Flushes        uint64       `json:"flushes"`
+	Compactions    uint64       `json:"compactions"`
+	MergedRecords  uint64       `json:"mergedRecords"`    // wave-merged away, lifetime
+	ReclaimedTombs uint64       `json:"reclaimedRecords"` // tombstones purged, lifetime
+	LastCompaction time.Time    `json:"lastCompaction,omitempty"`
+	LastCompactMS  int64        `json:"lastCompactionMillis"`
+	LastError      string       `json:"lastError,omitempty"`
 }
 
 // Stats snapshots the engine.
@@ -42,7 +49,9 @@ func (s *Store) Stats() Stats {
 		Dir:             s.dir,
 		MemtableRecords: s.active.len(),
 		MemtableBytes:   s.active.bytes,
+		MemtableBudget:  s.opts.MemtableBytes,
 		SealedMemtables: len(s.sealed),
+		L0Threshold:     s.opts.L0CompactThreshold,
 		LiveRecords:     s.liveCount,
 		Tombstones:      len(s.tombstones),
 	}
