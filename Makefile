@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck sslint lint test test-short race cover bench bench-tracing bench-storage bench-overload harness chaos fuzz fuzz-seeds examples clean
+.PHONY: all build vet fmtcheck sslint lint test test-short race cover bench bench-tracing bench-storage bench-overload bench-rules harness chaos fuzz fuzz-seeds examples clean
 
 all: build lint test race
 
@@ -70,6 +70,14 @@ bench-storage:
 # store. -quick keeps it CI-sized.
 bench-overload:
 	$(GO) run ./cmd/benchharness -only E13 -quick -e13-out BENCH_8.json
+
+# BENCH_9.json: compiled rule index vs the linear engine — decision
+# latency at 1..10k rules (cold and warm decision cache; target: >= 10x
+# over linear at 10k, near-flat indexed latency) plus the enforcement
+# and federated fan-out kernel deltas. -quick keeps it CI-sized; run
+# without -quick locally for the 10k-rule sweep.
+bench-rules:
+	$(GO) run ./cmd/benchharness -only E14 -e14-out BENCH_9.json
 
 # Chaos suite: every network hop through the seeded fault-injecting
 # transport (internal/resilience/faultnet). The seed is fixed in the test

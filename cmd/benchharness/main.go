@@ -12,7 +12,9 @@
 // kill-during-compaction chaos) and writes BENCH_7.json. E13 benchmarks
 // overload protection (goodput and p99 at 1x/2x/5x capacity with admission
 // control on vs off, plus the circuit breaker's retry-storm bound) and
-// writes BENCH_8.json.
+// writes BENCH_8.json. E14 benchmarks the compiled rule index (decision
+// latency at 1..10k rules, indexed vs linear, cold vs warm cache, plus the
+// enforcement and federated fan-out kernels) and writes BENCH_9.json.
 //
 // Usage:
 //
@@ -44,6 +46,7 @@ func main() {
 	bench6Out := flag.String("bench6-out", "BENCH_6.json", "where BENCH6 writes its machine-readable tracing-overhead result")
 	e12Out := flag.String("e12-out", "BENCH_7.json", "where E12 writes its machine-readable storage-engine result")
 	e13Out := flag.String("e13-out", "BENCH_8.json", "where E13 writes its machine-readable overload-protection result")
+	e14Out := flag.String("e14-out", "BENCH_9.json", "where E14 writes its machine-readable rule-index result")
 	flag.Parse()
 
 	selected := map[string]bool{}
@@ -169,6 +172,30 @@ func main() {
 			fmt.Printf("wrote %s (goodput@%gx %.0f%% of peak, breaker %d vs %d attempts)\n\n",
 				*e13Out, cfg.Multipliers[len(cfg.Multipliers)-1], 100*res.GoodputTopFrac,
 				res.BreakerAttempts, res.BaselineAtts)
+			return table, nil
+		}},
+		{"E14", func() (*experiments.Table, error) {
+			cfg := experiments.DefaultE14()
+			if *quick {
+				cfg.RuleCounts = []int{1, 100, 1000}
+				cfg.Evaluations = 400
+				cfg.Contributors = 10
+				cfg.Searches = 5
+			}
+			res, table, err := experiments.RunE14(cfg)
+			if err != nil {
+				return nil, err
+			}
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return nil, err
+			}
+			if err := resilience.WriteFileAtomic(*e14Out, append(data, '\n'), 0o644); err != nil {
+				return nil, err
+			}
+			fmt.Printf("wrote %s (warm speedup %.1fx at %d rules, enforce %.1fx, fan-out %.1fx)\n\n",
+				*e14Out, res.SpeedupAtMax, cfg.RuleCounts[len(cfg.RuleCounts)-1],
+				res.EnforceSpeedup, res.FanoutSpeedup)
 			return table, nil
 		}},
 		{"BENCH6", func() (*experiments.Table, error) {

@@ -33,6 +33,7 @@ import (
 	"sensorsafe/internal/obs/trace"
 	"sensorsafe/internal/overload"
 	"sensorsafe/internal/query"
+	"sensorsafe/internal/ruleindex"
 	"sensorsafe/internal/segstore"
 	"sensorsafe/internal/stream"
 	"sensorsafe/internal/timeutil"
@@ -45,7 +46,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: consumercli [flags] <directory|search|query|cohort|follow|trace|storestats|health> [subflags]")
+		fmt.Fprintln(os.Stderr, "usage: consumercli [flags] <directory|search|query|cohort|follow|trace|storestats|rulestats|health> [subflags]")
 		os.Exit(2)
 	}
 	bc := &httpapi.BrokerClient{BaseURL: *brokerURL}
@@ -54,7 +55,7 @@ func main() {
 	// consumer auto-registration (health still uses -key when given, to
 	// enumerate the per-store fleet through the directory).
 	apiKey := auth.APIKey(*key)
-	if apiKey == "" && flag.Arg(0) != "trace" && flag.Arg(0) != "storestats" && flag.Arg(0) != "health" {
+	if apiKey == "" && flag.Arg(0) != "trace" && flag.Arg(0) != "storestats" && flag.Arg(0) != "rulestats" && flag.Arg(0) != "health" {
 		u, err := bc.RegisterConsumer(*name)
 		if err != nil {
 			log.Fatalf("consumercli: register: %v", err)
@@ -341,6 +342,17 @@ func main() {
 			log.Fatalf("consumercli: storestats: %v", err)
 		}
 
+	case "rulestats":
+		fs := flag.NewFlagSet("rulestats", flag.ExitOnError)
+		storeURL := fs.String("store", "", "store base URL whose /debug/ruleindex to read")
+		_ = fs.Parse(flag.Args()[1:])
+		if *storeURL == "" {
+			log.Fatal("consumercli: usage: rulestats -store http://store:8081")
+		}
+		if err := printRuleStats(*storeURL); err != nil {
+			log.Fatalf("consumercli: rulestats: %v", err)
+		}
+
 	case "health":
 		fs := flag.NewFlagSet("health", flag.ExitOnError)
 		_ = fs.Parse(flag.Args()[1:])
@@ -457,6 +469,46 @@ func max64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// printRuleStats renders a store's per-contributor compiled rule-index
+// state from its /debug/ruleindex endpoint: rule count, compile time,
+// decision-cache effectiveness, and index shape.
+func printRuleStats(base string) error {
+	u := strings.TrimRight(base, "/") + "/debug/ruleindex"
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", u, resp.StatusCode)
+	}
+	var stats map[string]ruleindex.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return err
+	}
+	if len(stats) == 0 {
+		fmt.Println("no contributors with compiled rule indexes")
+		return nil
+	}
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := stats[name]
+		fmt.Printf("%s (rule version %d)\n", name, st.Version)
+		fmt.Printf("  rules             %d (compiled in %s)\n",
+			st.Rules, (time.Duration(st.CompileMicros) * time.Microsecond).String())
+		fmt.Printf("  decision cache    %d/%d entries, %.1f%% hit ratio (%d hits, %d misses, %d evictions)\n",
+			st.CacheEntries, st.CacheCapacity, 100*st.HitRatio,
+			st.CacheHits, st.CacheMisses, st.CacheEvictions)
+		fmt.Printf("  index shape       %d regions over %d grid cells, %d intervals, %d recurring rules\n",
+			st.Regions, st.GridCells, st.Intervals, st.RepeatRules)
+	}
+	return nil
 }
 
 // fetchTrace downloads one completed trace from a server's /debug/traces

@@ -163,7 +163,7 @@ func shiftSegment(s *wavesegment.Segment, d time.Duration) {
 // change — rule time-condition boundaries and context annotation edges —
 // evaluates the rule engine for each span, and transforms each span under
 // its decision. Spans that release nothing are dropped.
-func Enforce(e *rules.Engine, consumer string, consumerGroups []string, seg *wavesegment.Segment, gc geo.Geocoder) ([]*Release, error) {
+func Enforce(e rules.Decider, consumer string, consumerGroups []string, seg *wavesegment.Segment, gc geo.Geocoder) ([]*Release, error) {
 	rels, _, err := EnforceExplained(e, consumer, consumerGroups, seg, gc)
 	return rels, err
 }
@@ -173,7 +173,7 @@ func Enforce(e *rules.Engine, consumer string, consumerGroups []string, seg *wav
 // are provenance for traces and audit trails (matched rule IDs, granted
 // granularities); they stay out of the Release shape on purpose so
 // policy structure cannot leak into consumer-facing payloads.
-func EnforceExplained(e *rules.Engine, consumer string, consumerGroups []string, seg *wavesegment.Segment, gc geo.Geocoder) ([]*Release, []*rules.Decision, error) {
+func EnforceExplained(e rules.Decider, consumer string, consumerGroups []string, seg *wavesegment.Segment, gc geo.Geocoder) ([]*Release, []*rules.Decision, error) {
 	if seg == nil {
 		return nil, nil, fmt.Errorf("abstraction: nil segment")
 	}
@@ -213,7 +213,7 @@ func EnforceExplained(e *rules.Engine, consumer string, consumerGroups []string,
 
 // spanCuts returns the sorted cut instants delimiting spans of constant
 // decision: segment start/end, rule time boundaries, and annotation edges.
-func spanCuts(e *rules.Engine, seg *wavesegment.Segment, start, end time.Time) []time.Time {
+func spanCuts(e rules.Decider, seg *wavesegment.Segment, start, end time.Time) []time.Time {
 	cuts := []time.Time{start, end}
 	cuts = append(cuts, e.BoundariesWithin(start, end)...)
 	for _, a := range seg.Annotations {
@@ -235,7 +235,7 @@ func spanCuts(e *rules.Engine, seg *wavesegment.Segment, start, end time.Time) [
 }
 
 // EnforceAll enforces a batch of segments, concatenating the releases.
-func EnforceAll(e *rules.Engine, consumer string, consumerGroups []string, segs []*wavesegment.Segment, gc geo.Geocoder) ([]*Release, error) {
+func EnforceAll(e rules.Decider, consumer string, consumerGroups []string, segs []*wavesegment.Segment, gc geo.Geocoder) ([]*Release, error) {
 	var out []*Release
 	for _, s := range segs {
 		rels, err := Enforce(e, consumer, consumerGroups, s, gc)

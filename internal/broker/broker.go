@@ -23,6 +23,7 @@ import (
 	"sensorsafe/internal/obs"
 	"sensorsafe/internal/obs/trace"
 	"sensorsafe/internal/resilience"
+	"sensorsafe/internal/ruleindex"
 	"sensorsafe/internal/rules"
 )
 
@@ -77,6 +78,10 @@ type contributorEntry struct {
 	rules     []*rules.Rule
 	gazetteer *geo.Gazetteer
 	engine    *rules.Engine
+	// index is the compiled evaluation plan over the replica, rebuilt on
+	// every applied sync; federated search fan-out probes it instead of
+	// scanning the linear engine.
+	index *ruleindex.Index
 
 	// version is the rule-set version of the replica the broker has
 	// applied; storeVersion is the highest version the contributor's store
@@ -85,6 +90,19 @@ type contributorEntry struct {
 	version      uint64
 	storeVersion uint64
 	syncedAt     time.Time
+}
+
+// decider returns the evaluation seam for this replica: the compiled index
+// when built, else the linear engine counted as a fallback; nil when no
+// rules have replicated yet (default deny).
+func (e *contributorEntry) decider() rules.Decider {
+	if e.index != nil {
+		return e.index
+	}
+	if e.engine != nil {
+		return ruleindex.Fallback(e.engine)
+	}
+	return nil
 }
 
 type consumerEntry struct {
@@ -217,6 +235,7 @@ func (s *Service) SyncRules(contributor string, version uint64, ruleSetJSON []by
 	e.gazetteer = gaz
 	e.engine = engine
 	e.version = version
+	e.index = ruleindex.FromEngine(engine, ruleindex.Options{Version: version})
 	if version > e.storeVersion {
 		e.storeVersion = version
 	}

@@ -11,6 +11,7 @@ import (
 	"sensorsafe/internal/auth"
 	"sensorsafe/internal/geo"
 	"sensorsafe/internal/resilience"
+	"sensorsafe/internal/ruleindex"
 	"sensorsafe/internal/rules"
 )
 
@@ -195,6 +196,7 @@ func (s *Service) loadState() error {
 			}
 			ce.rules = rs
 			ce.engine = engine
+			ce.index = ruleindex.FromEngine(engine, ruleindex.Options{Version: ce.version})
 		}
 		s.contributors[key] = ce
 	}

@@ -122,7 +122,7 @@ func (s *Service) SearchInfoCtx(ctx context.Context, key auth.APIKey, q *SearchQ
 	groups := append([]string(nil), e.groups...)
 	var matched []SearchHit
 	for _, ce := range s.contributors {
-		if ce.engine == nil {
+		if ce.decider() == nil {
 			continue // no rules replicated yet: default deny
 		}
 		if s.contributorMatches(ce, u.Name, groups, q) {
@@ -133,7 +133,9 @@ func (s *Service) SearchInfoCtx(ctx context.Context, key auth.APIKey, q *SearchQ
 	return matched, nil
 }
 
-// contributorMatches probes one contributor's rule engine.
+// contributorMatches probes one contributor's replicated rule set via its
+// compiled index — cohort fan-out evaluates every contributor at several
+// probe points, so the memoized cache pays off across repeated searches.
 func (s *Service) contributorMatches(ce *contributorEntry, consumer string, groups []string, q *SearchQuery) bool {
 	locations := probeLocations(ce, q)
 	if len(locations) == 0 {
@@ -143,11 +145,12 @@ func (s *Service) contributorMatches(ce *contributorEntry, consumer string, grou
 	if len(instants) == 0 {
 		return false
 	}
+	decider := ce.decider()
 	sensors := rules.ExpandSensorNames(q.Sensors)
 	for _, loc := range locations {
 		allOK := true
 		for _, at := range instants {
-			d := ce.engine.Decide(&rules.Request{
+			d := decider.Decide(&rules.Request{
 				Consumer:       consumer,
 				ConsumerGroups: groups,
 				At:             at,

@@ -25,6 +25,7 @@ import (
 	"sensorsafe/internal/query"
 	"sensorsafe/internal/recommend"
 	"sensorsafe/internal/resilience"
+	"sensorsafe/internal/ruleindex"
 	"sensorsafe/internal/rules"
 	"sensorsafe/internal/segstore"
 	"sensorsafe/internal/storage"
@@ -131,11 +132,16 @@ type Options struct {
 }
 
 // contributorState is the per-contributor slice of an (institutional)
-// store: rules, labeled places, and the compiled engine.
+// store: rules, labeled places, and the compiled engine plus its indexed
+// evaluation plan.
 type contributorState struct {
 	rules     []*rules.Rule
 	gazetteer *geo.Gazetteer
 	engine    *rules.Engine
+	// index is the compiled evaluation plan over engine's rules, rebuilt
+	// (with a fresh decision cache) on every rule or place mutation so a
+	// version bump can never serve a stale memoized decision.
+	index *ruleindex.Index
 	// groups maps consumer name → group/study names, as assigned by this
 	// contributor (used by group-scoped rules).
 	groups map[string][]string
@@ -143,6 +149,30 @@ type contributorState struct {
 	// deliveries are stamped with it so a consumer can see exactly which
 	// rule set filtered each segment.
 	ruleVersion uint64
+}
+
+// decider returns the evaluation seam release paths must use: the indexed
+// plan when compiled, else the linear engine counted as a fallback. Nil
+// when the contributor has no rules (default deny).
+func (st *contributorState) decider() rules.Decider {
+	if st.index != nil {
+		return st.index
+	}
+	if st.engine != nil {
+		return ruleindex.Fallback(st.engine)
+	}
+	return nil
+}
+
+// recompileIndex rebuilds the contributor's indexed evaluation plan from
+// the current engine, stamped with the current rule version. Callers must
+// hold the service write lock and must have bumped ruleVersion first.
+func (st *contributorState) recompileIndex() {
+	if st.engine == nil {
+		st.index = nil
+		return
+	}
+	st.index = ruleindex.FromEngine(st.engine, ruleindex.Options{Version: st.ruleVersion})
 }
 
 // Service is one remote data store.
@@ -483,6 +513,7 @@ func (s *Service) SetRules(key auth.APIKey, ruleSetJSON []byte) error {
 	st.rules = rs
 	st.engine = engine
 	st.ruleVersion++
+	st.recompileIndex()
 	s.enqueueSyncLocked(u.Name, st.ruleVersion)
 	s.mu.Unlock()
 	if err := s.saveState(); err != nil {
@@ -534,6 +565,7 @@ func (s *Service) DefinePlace(key auth.APIKey, label string, region geo.Region) 
 	}
 	st.engine = engine
 	st.ruleVersion++
+	st.recompileIndex()
 	s.enqueueSyncLocked(u.Name, st.ruleVersion)
 	s.mu.Unlock()
 	if err := s.saveState(); err != nil {
@@ -782,16 +814,16 @@ func (s *Service) QueryCtx(ctx context.Context, key auth.APIKey, q *query.Query)
 		}
 		s.mu.RLock()
 		st, err := s.stateLocked(seg.Contributor)
-		var engine *rules.Engine
+		var decider rules.Decider
 		var groups []string
 		var ruleVersion uint64
 		if err == nil {
-			engine = st.engine
+			decider = st.decider()
 			groups = st.groups[normName(u.Name)]
 			ruleVersion = st.ruleVersion
 		}
 		s.mu.RUnlock()
-		if err != nil || engine == nil {
+		if err != nil || decider == nil {
 			metricReleases.With("deny").Inc()
 			continue // contributor without rules: default deny
 		}
@@ -802,7 +834,7 @@ func (s *Service) QueryCtx(ctx context.Context, key auth.APIKey, q *query.Query)
 		_, espan, stopEval := obs.Span(ctx, "datastore.rule_eval")
 		espan.SetAttr(trace.String("contributor", seg.Contributor),
 			trace.Int64("rule_version", int64(ruleVersion)))
-		rels, decisions, err := abstraction.EnforceExplained(engine, u.Name, groups, seg, s.opts.Geocoder)
+		rels, decisions, err := abstraction.EnforceExplained(decider, u.Name, groups, seg, s.opts.Geocoder)
 		if err != nil {
 			stopEval(err)
 			return nil, err
@@ -831,6 +863,7 @@ func (s *Service) QueryCtx(ctx context.Context, key auth.APIKey, q *query.Query)
 				espan.AddEvent("release.decision",
 					trace.String("outcome", ev.Outcome.String()),
 					trace.String("rules", strings.Join(decisions[i].Matched, ",")),
+					trace.Bool("cached", decisions[i].Cached),
 					trace.String("location_granularity", rel.Location.Granularity.String()),
 					trace.String("time_granularity", rel.TimeGranularity.String()))
 				s.trail.Record(ev)
@@ -974,6 +1007,21 @@ func (s *Service) RulesFor(key auth.APIKey) (*rules.Engine, error) {
 		return nil, err
 	}
 	return st.engine, nil
+}
+
+// RuleIndexStats reports every contributor's compiled-index state, keyed
+// by contributor name, for the /debug/ruleindex endpoint and consumercli
+// rulestats. Contributors without rules are omitted.
+func (s *Service) RuleIndexStats() map[string]ruleindex.Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]ruleindex.Stats)
+	for name, st := range s.contributors {
+		if st.index != nil {
+			out[name] = st.index.Stats()
+		}
+	}
+	return out
 }
 
 // SegmentCount reports the number of stored records (benchmark support).

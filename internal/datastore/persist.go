@@ -162,6 +162,7 @@ func (s *Service) loadState() error {
 			}
 			cs.rules = rs
 			cs.engine = engine
+			cs.recompileIndex()
 		}
 		for consumer, groups := range pc.Groups {
 			cs.groups[consumer] = groups

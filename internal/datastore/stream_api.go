@@ -63,15 +63,16 @@ func (s *Service) Unsubscribe(key auth.APIKey, id string) error {
 }
 
 // StreamEngine implements stream.RuleSource: the contributor's compiled
-// engine and current rule version. A nil engine denies everything.
-func (s *Service) StreamEngine(contributor string) (*rules.Engine, uint64, error) {
+// rule index (falling back to the linear engine if no index is built) and
+// current rule version. A nil decider denies everything.
+func (s *Service) StreamEngine(contributor string) (rules.Decider, uint64, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	st, err := s.stateLocked(contributor)
 	if err != nil {
 		return nil, 0, err
 	}
-	return st.engine, st.ruleVersion, nil
+	return st.decider(), st.ruleVersion, nil
 }
 
 // StreamGroups implements stream.RuleSource: the groups this contributor

@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"sensorsafe/internal/abstraction"
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/ruleindex"
+	"sensorsafe/internal/rules"
+)
+
+// E14Config parameterizes the compiled rule-index experiment: decision
+// latency vs rule-set size through the linear engine, the cold index
+// (memoization disabled), and the warm index (decision cache hot), plus
+// the two release-path kernels the index feeds — segment enforcement
+// (the stream-delivery / query span loop) and broker-style federated
+// search fan-out.
+type E14Config struct {
+	// RuleCounts sweeps the contributor's rule-set size.
+	RuleCounts []int
+	// Evaluations per measurement point.
+	Evaluations int
+	// Requests is how many distinct probe requests the sweep cycles
+	// through (distinct consumers/instants, so the cold path cannot
+	// degenerate into one cache line).
+	Requests int
+	// SegmentSeconds sizes the enforcement-path segment.
+	SegmentSeconds int
+	// Contributors is the federated fan-out width (replicas probed per
+	// search).
+	Contributors int
+	// Searches is how many cohort searches the fan-out timing averages.
+	Searches int
+}
+
+// DefaultE14 sweeps 1..10k rules: the shape target is near-flat indexed
+// latency where the linear engine grows linearly.
+func DefaultE14() E14Config {
+	return E14Config{
+		RuleCounts:     []int{1, 100, 1000, 10000},
+		Evaluations:    2000,
+		Requests:       64,
+		SegmentSeconds: 60,
+		Contributors:   40,
+		Searches:       20,
+	}
+}
+
+// E14Point is one rule-count measurement.
+type E14Point struct {
+	Rules         int     `json:"rules"`
+	LinearNs      int64   `json:"linear_ns"`
+	IndexColdNs   int64   `json:"index_cold_ns"`
+	IndexWarmNs   int64   `json:"index_warm_ns"`
+	CompileMicros int64   `json:"compile_micros"`
+	SpeedupCold   float64 `json:"speedup_cold"`
+	SpeedupWarm   float64 `json:"speedup_warm"`
+}
+
+// E14Result is the machine-readable output (BENCH_9.json).
+type E14Result struct {
+	Points []E14Point `json:"points"`
+	// SpeedupAtMax is linear/warm at the largest rule count — the
+	// acceptance target is >= 10 at 10k rules.
+	SpeedupAtMax float64 `json:"speedup_at_max"`
+	// Enforce* time one full segment-enforcement pass (the stream
+	// delivery and query kernels) at the largest rule count.
+	EnforceLinearUs int64   `json:"enforce_linear_us"`
+	EnforceIndexUs  int64   `json:"enforce_index_us"`
+	EnforceSpeedup  float64 `json:"enforce_speedup"`
+	// Fanout* time one federated cohort search across Contributors
+	// replicas at the largest rule count.
+	FanoutLinearUs int64   `json:"fanout_linear_us"`
+	FanoutIndexUs  int64   `json:"fanout_index_us"`
+	FanoutSpeedup  float64 `json:"fanout_speedup"`
+}
+
+// e14Requests builds the probe mix: distinct consumers and instants so
+// consecutive evaluations traverse different index partitions and cache
+// keys, inside and outside the e4 rule set's recurring work window.
+func e14Requests(n, ruleCount int) []*rules.Request {
+	base := time.Date(2011, 2, 16, 10, 0, 0, 0, time.UTC) // a Wednesday
+	out := make([]*rules.Request, n)
+	for i := range out {
+		consumer := fmt.Sprintf("consumer-%d", i%max(ruleCount, 1))
+		out[i] = &rules.Request{
+			Consumer:       consumer,
+			At:             base.Add(time.Duration(i) * 3 * time.Hour),
+			Location:       geo.Point{Lat: 34.0689, Lon: -118.4452},
+			ActiveContexts: []string{rules.CtxWalk, rules.CtxConversation},
+		}
+	}
+	return out
+}
+
+// timeDecides runs the probe cycle through one decider and returns the
+// per-decision latency.
+func timeDecides(d rules.Decider, reqs []*rules.Request, evals int) time.Duration {
+	begin := time.Now()
+	for i := 0; i < evals; i++ {
+		_ = d.Decide(reqs[i%len(reqs)])
+	}
+	return time.Since(begin) / time.Duration(evals)
+}
+
+// RunE14 measures indexed vs linear decision latency across rule counts
+// and the end-to-end effect on the enforcement and fan-out kernels.
+func RunE14(cfg E14Config) (*E14Result, *Table, error) {
+	t := &Table{
+		ID: "E14",
+		Caption: fmt.Sprintf("compiled rule index vs linear engine (%d evals/point, %d distinct probes)",
+			cfg.Evaluations, cfg.Requests),
+		Headers: []string{"rules", "linear", "index cold", "index warm", "compile", "speedup(warm)"},
+		Notes: []string{
+			"cold = memoized decision cache disabled; warm = cache populated by a first pass",
+			"expected shape: linear engine grows with rule count, indexed latency stays near-flat",
+		},
+	}
+	res := &E14Result{}
+	maxRules := 0
+	for _, n := range cfg.RuleCounts {
+		if n > maxRules {
+			maxRules = n
+		}
+		gaz := geo.NewGazetteer()
+		rect, err := geo.NewRect(geo.Point{Lat: 34.05, Lon: -118.46}, geo.Point{Lat: 34.08, Lon: -118.43})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := gaz.Define("work", geo.Region{Rect: rect}); err != nil {
+			return nil, nil, err
+		}
+		rs := e4Rules(n)
+		eng, err := rules.NewEngine(rs, gaz)
+		if err != nil {
+			return nil, nil, err
+		}
+		reqs := e14Requests(cfg.Requests, n)
+
+		linear := timeDecides(eng, reqs, cfg.Evaluations)
+
+		cold := ruleindex.FromEngine(eng, ruleindex.Options{CacheEntries: -1})
+		coldLat := timeDecides(cold, reqs, cfg.Evaluations)
+
+		warm := ruleindex.FromEngine(eng, ruleindex.Options{})
+		timeDecides(warm, reqs, len(reqs)) // populate the cache
+		warmLat := timeDecides(warm, reqs, cfg.Evaluations)
+
+		p := E14Point{
+			Rules:         n,
+			LinearNs:      linear.Nanoseconds(),
+			IndexColdNs:   coldLat.Nanoseconds(),
+			IndexWarmNs:   warmLat.Nanoseconds(),
+			CompileMicros: warm.Stats().CompileMicros,
+		}
+		if coldLat > 0 {
+			p.SpeedupCold = float64(linear) / float64(coldLat)
+		}
+		if warmLat > 0 {
+			p.SpeedupWarm = float64(linear) / float64(warmLat)
+		}
+		res.Points = append(res.Points, p)
+		t.AddRow(fmt.Sprintf("%d", n), linear.String(), coldLat.String(), warmLat.String(),
+			(time.Duration(p.CompileMicros) * time.Microsecond).String(),
+			fmt.Sprintf("%.1fx", p.SpeedupWarm))
+	}
+	if len(res.Points) > 0 {
+		res.SpeedupAtMax = res.Points[len(res.Points)-1].SpeedupWarm
+	}
+
+	// Stream-delivery / query kernel: full segment enforcement (span cuts +
+	// one decision per span + transform) at the largest rule count. This is
+	// exactly what Hub.enforce and QueryCtx run per delivered segment.
+	gaz := geo.NewGazetteer()
+	rect, _ := geo.NewRect(geo.Point{Lat: 34.05, Lon: -118.46}, geo.Point{Lat: 34.08, Lon: -118.43})
+	_ = gaz.Define("work", geo.Region{Rect: rect})
+	eng, err := rules.NewEngine(e4Rules(maxRules), gaz)
+	if err != nil {
+		return nil, nil, err
+	}
+	ix := ruleindex.FromEngine(eng, ruleindex.Options{})
+	seg := E4Segment(cfg.SegmentSeconds)
+	gc := geo.GridGeocoder{}
+	const enforceRounds = 20
+	timeEnforce := func(d rules.Decider) (time.Duration, error) {
+		begin := time.Now()
+		for i := 0; i < enforceRounds; i++ {
+			if _, err := abstraction.Enforce(d, "consumer-0", nil, seg, gc); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(begin) / enforceRounds, nil
+	}
+	linEnf, err := timeEnforce(eng)
+	if err != nil {
+		return nil, nil, err
+	}
+	ixEnf, err := timeEnforce(ix)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.EnforceLinearUs = linEnf.Microseconds()
+	res.EnforceIndexUs = ixEnf.Microseconds()
+	if ixEnf > 0 {
+		res.EnforceSpeedup = float64(linEnf) / float64(ixEnf)
+	}
+	t.AddRow(fmt.Sprintf("enforce %ds seg @%d", cfg.SegmentSeconds, maxRules),
+		linEnf.String(), "-", ixEnf.String(), "-", fmt.Sprintf("%.1fx", res.EnforceSpeedup))
+
+	// Federated fan-out kernel: one cohort search probes every replica at
+	// several instants (the broker's contributorMatches loop) — repeated
+	// searches hit the same probe signatures, so the warm cache carries it.
+	probes := e14Requests(6, maxRules)
+	timeFanout := func(mk func() rules.Decider) time.Duration {
+		deciders := make([]rules.Decider, cfg.Contributors)
+		for i := range deciders {
+			deciders[i] = mk()
+		}
+		begin := time.Now()
+		for s := 0; s < cfg.Searches; s++ {
+			for _, d := range deciders {
+				for _, req := range probes {
+					_ = d.Decide(req)
+				}
+			}
+		}
+		return time.Since(begin) / time.Duration(cfg.Searches)
+	}
+	linFan := timeFanout(func() rules.Decider { return eng })
+	ixFan := timeFanout(func() rules.Decider {
+		return ruleindex.FromEngine(eng, ruleindex.Options{})
+	})
+	res.FanoutLinearUs = linFan.Microseconds()
+	res.FanoutIndexUs = ixFan.Microseconds()
+	if ixFan > 0 {
+		res.FanoutSpeedup = float64(linFan) / float64(ixFan)
+	}
+	t.AddRow(fmt.Sprintf("fan-out %d stores @%d", cfg.Contributors, maxRules),
+		linFan.String(), "-", ixFan.String(), "-", fmt.Sprintf("%.1fx", res.FanoutSpeedup))
+	return res, t, nil
+}

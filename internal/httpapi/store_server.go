@@ -349,6 +349,13 @@ func NewStoreHandlerOverload(svc *datastore.Service, ctrl *overload.Controller) 
 		writeJSON(w, stats)
 	})
 
+	// Compiled rule-index internals per contributor: rule count, compile
+	// time, decision-cache hit ratio and evictions, index shape. Metadata
+	// only — rule conditions and sensor data never appear.
+	mux.HandleFunc("/debug/ruleindex", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, svc.RuleIndexStats())
+	})
+
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)

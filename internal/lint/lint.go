@@ -3,8 +3,9 @@
 // that enforce SensorSafe's privacy and concurrency invariants — raw wave
 // segments only leave through the abstraction release pipeline, state files
 // are written atomically, request contexts propagate below cmd/, annotated
-// struct fields are touched only under their mutex, and metric names stay
-// literal, snake_case, and unique.
+// struct fields are touched only under their mutex, metric names stay
+// literal, snake_case, and unique, and release paths evaluate privacy
+// rules through the compiled rule-index facade.
 //
 // Findings are suppressed per line with a directive comment:
 //
@@ -79,6 +80,7 @@ func Analyzers() []*Analyzer {
 		MutexGuard,
 		ObsNames,
 		ReleasePath,
+		RuleIndexUse,
 		ServerTimeouts,
 	}
 }

@@ -161,10 +161,10 @@ func TestSelect(t *testing.T) {
 		want       string
 		wantErr    bool
 	}{
-		{"", "", "atomicwrite,ctxpropagate,mutexguard,obsnames,releasepath,servertimeouts", false},
+		{"", "", "atomicwrite,ctxpropagate,mutexguard,obsnames,releasepath,ruleindexuse,servertimeouts", false},
 		{"mutexguard", "", "mutexguard", false},
 		{"obsnames, atomicwrite", "", "atomicwrite,obsnames", false},
-		{"", "releasepath,ctxpropagate", "atomicwrite,mutexguard,obsnames,servertimeouts", false},
+		{"", "releasepath,ctxpropagate", "atomicwrite,mutexguard,obsnames,ruleindexuse,servertimeouts", false},
 		{"mutexguard,obsnames", "obsnames", "mutexguard", false},
 		{"nosuch", "", "", true},
 		{"", "nosuch", "", true},

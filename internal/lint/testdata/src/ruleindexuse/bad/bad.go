@@ -1,0 +1,21 @@
+// Package bad exercises the ruleindexuse analyzer: calling
+// rules.Engine.Decide directly on a release path bypasses the compiled
+// index and its decision cache.
+package bad
+
+import (
+	"sensorsafe/internal/rules"
+)
+
+func decideDirect(e *rules.Engine, req *rules.Request) *rules.Decision {
+	return e.Decide(req) // want "rules.Engine.Decide called directly"
+}
+
+type holder struct {
+	engine *rules.Engine
+}
+
+func decideField(h *holder, req *rules.Request) bool {
+	d := h.engine.Decide(req) // want "rules.Engine.Decide called directly"
+	return d.SharesAnything()
+}

@@ -1,0 +1,59 @@
+package ruleindex
+
+import "math/bits"
+
+// bitset is a fixed-width bit vector over rule positions (rule-set order).
+// All bitsets in one index share the same width, so the binary operations
+// never bounds-check against each other.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int32) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+func (b bitset) has(i int32) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// and intersects o into b.
+func (b bitset) and(o bitset) {
+	for i := range b {
+		b[i] &= o[i]
+	}
+}
+
+// or unions o into b.
+func (b bitset) or(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+// copyFrom overwrites b with o (same width).
+func (b bitset) copyFrom(o bitset) { copy(b, o) }
+
+func (b bitset) clone() bitset {
+	out := make(bitset, len(b))
+	copy(out, b)
+	return out
+}
+
+// count returns the number of set bits.
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// forEach visits the set bit positions in ascending order — rule-set
+// order, which is what keeps the combiner's Matched list identical to the
+// linear engine's.
+func (b bitset) forEach(fn func(i int32)) {
+	for wi, w := range b {
+		base := int32(wi) << 6
+		for w != 0 {
+			fn(base + int32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+}

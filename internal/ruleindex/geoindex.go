@@ -1,0 +1,160 @@
+package ruleindex
+
+import (
+	"math"
+	"strconv"
+
+	"sensorsafe/internal/geo"
+	"sensorsafe/internal/rules"
+)
+
+// cellDeg is the geo-grid cell edge in degrees (~5.5 km of latitude):
+// small enough that place-sized rule regions cover a handful of cells,
+// large enough that a city-sized region stays under the covering cap.
+const cellDeg = 0.05
+
+// maxRegionCells caps how many grid cells one region may be posted to.
+// Regions larger than that (country-scale rectangles) go to the
+// always-candidate list instead — checked on every query, which is exactly
+// as expensive as the linear engine treats them.
+const maxRegionCells = 4096
+
+// regionEntry is one DISTINCT resolved geometry: rule-literal regions and
+// compile-time-resolved gazetteer labels with identical geometry share one
+// entry (a whole study cohort scoping rules to the same labeled place
+// costs one containment test per decision, not one per rule). rules marks
+// every rule conditioned on this geometry.
+type regionEntry struct {
+	rg    geo.Region
+	rules bitset
+}
+
+type cellKey struct{ lat, lon int32 }
+
+func cellOf(p geo.Point) cellKey {
+	return cellKey{
+		lat: int32(math.Floor(p.Lat / cellDeg)),
+		lon: int32(math.Floor(p.Lon / cellDeg)),
+	}
+}
+
+// geoIndex answers "which rules location-match this point" by pruning the
+// candidate regions through a uniform grid, then verifying each candidate
+// with the exact Region.Contains test the linear engine uses.
+type geoIndex struct {
+	noLoc   bitset // rules with no location condition
+	regions []regionEntry
+	byKey   map[string]int32    // canonical geometry → regions index
+	cells   map[cellKey][]int32 // cell → region indices, ascending
+	always  []int32             // regions too large to grid, ascending
+}
+
+func newGeoIndex(rs []*rules.Rule, gaz *geo.Gazetteer) *geoIndex {
+	gi := &geoIndex{
+		noLoc: newBitset(len(rs)),
+		byKey: make(map[string]int32),
+		cells: make(map[cellKey][]int32),
+	}
+	for i, r := range rs {
+		id := int32(i)
+		if len(r.LocationLabels) == 0 && len(r.Regions) == 0 {
+			gi.noLoc.set(id)
+			continue
+		}
+		for _, label := range r.LocationLabels {
+			if gaz == nil {
+				continue // matches the engine: labels without a gazetteer never match
+			}
+			if rg, ok := gaz.Lookup(label); ok {
+				gi.add(rg, id, len(rs))
+			}
+		}
+		for _, rg := range r.Regions {
+			gi.add(rg, id, len(rs))
+		}
+	}
+	return gi
+}
+
+// add posts one rule's region condition, deduplicating by geometry.
+func (gi *geoIndex) add(rg geo.Region, rule int32, n int) {
+	key := regionKey(rg)
+	ri, ok := gi.byKey[key]
+	if !ok {
+		ri = gi.post(rg, n)
+		gi.byKey[key] = ri
+	}
+	gi.regions[ri].rules.set(rule)
+}
+
+// regionKey canonically encodes a region's geometry (shortest-round-trip
+// float formatting is injective on float64, so distinct geometries cannot
+// collide). Labels are ignored: Contains depends only on geometry.
+func regionKey(rg geo.Region) string {
+	buf := make([]byte, 0, 64)
+	f := func(v float64) {
+		buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+		buf = append(buf, ',')
+	}
+	f(rg.Rect.MinLat)
+	f(rg.Rect.MinLon)
+	f(rg.Rect.MaxLat)
+	f(rg.Rect.MaxLon)
+	buf = append(buf, '|')
+	for _, p := range rg.Polygon {
+		f(p.Lat)
+		f(p.Lon)
+	}
+	return string(buf)
+}
+
+// post registers a new distinct region and grids its bounding box.
+func (gi *geoIndex) post(rg geo.Region, n int) int32 {
+	ri := int32(len(gi.regions))
+	gi.regions = append(gi.regions, regionEntry{rg: rg, rules: newBitset(n)})
+	b := rg.Bounds()
+	if b.IsZero() && !rg.HasGeometry() {
+		return ri // contains nothing; never a candidate
+	}
+	minLat := int64(math.Floor(b.MinLat / cellDeg))
+	maxLat := int64(math.Floor(b.MaxLat / cellDeg))
+	minLon := int64(math.Floor(b.MinLon / cellDeg))
+	maxLon := int64(math.Floor(b.MaxLon / cellDeg))
+	if (maxLat-minLat+1)*(maxLon-minLon+1) > maxRegionCells {
+		gi.always = append(gi.always, ri)
+		return ri
+	}
+	for la := minLat; la <= maxLat; la++ {
+		for lo := minLon; lo <= maxLon; lo++ {
+			k := cellKey{lat: int32(la), lon: int32(lo)}
+			gi.cells[k] = append(gi.cells[k], ri)
+		}
+	}
+	return ri
+}
+
+// query marks the rules whose location condition holds at p and appends
+// the indices of the containing distinct regions to sig — the point's
+// location signature. Two points with equal signatures produce identical
+// location outcomes for every rule, which is what makes the signature a
+// sound cache-key component.
+func (gi *geoIndex) query(p geo.Point, out bitset, sig []int32) []int32 {
+	out.copyFrom(gi.noLoc)
+	check := func(ri int32) {
+		e := &gi.regions[ri]
+		if e.rg.Contains(p) {
+			sig = append(sig, ri)
+			out.or(e.rules)
+		}
+	}
+	// Both lists are ascending and disjoint (a region is posted either to
+	// cells or to always), so visiting cells first then always keeps sig
+	// deterministic for equal points.
+	for _, ri := range gi.cells[cellOf(p)] {
+		check(ri)
+	}
+	for _, ri := range gi.always {
+		check(ri)
+	}
+	return sig
+}

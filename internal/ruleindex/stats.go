@@ -1,0 +1,52 @@
+package ruleindex
+
+// Stats is an index's point-in-time self-description, surfaced through
+// the store's /debug/ruleindex endpoint and consumercli rulestats.
+type Stats struct {
+	// Rules is the compiled rule count.
+	Rules int `json:"rules"`
+	// Version is the contributor's rule-set version the index was
+	// compiled at.
+	Version uint64 `json:"version"`
+	// CompileMicros is how long compilation took.
+	CompileMicros int64 `json:"compile_micros"`
+
+	// Decision-cache state and lifetime counters.
+	CacheEntries   int     `json:"cache_entries"`
+	CacheCapacity  int     `json:"cache_capacity"`
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheEvictions uint64  `json:"cache_evictions"`
+	HitRatio       float64 `json:"hit_ratio"`
+
+	// Index-shape counters: posted regions and grid cells, absolute
+	// intervals in the tree, and rules with recurring windows on the wheel.
+	Regions     int `json:"regions"`
+	GridCells   int `json:"grid_cells"`
+	Intervals   int `json:"intervals"`
+	RepeatRules int `json:"repeat_rules"`
+}
+
+// Stats snapshots the index.
+func (ix *Index) Stats() Stats {
+	s := Stats{
+		Rules:         len(ix.rs),
+		Version:       ix.version,
+		CompileMicros: ix.compile.Microseconds(),
+		Regions:       len(ix.geoIdx.regions),
+		GridCells:     len(ix.geoIdx.cells),
+		Intervals:     len(ix.timeIdx.tree.nodes),
+		RepeatRules:   len(ix.timeIdx.reps),
+	}
+	if c := ix.cache; c != nil {
+		s.CacheEntries = c.len()
+		s.CacheCapacity = c.capacity()
+		s.CacheHits = c.hits.Load()
+		s.CacheMisses = c.misses.Load()
+		s.CacheEvictions = c.evictions.Load()
+		if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
+			s.HitRatio = float64(s.CacheHits) / float64(lookups)
+		}
+	}
+	return s
+}

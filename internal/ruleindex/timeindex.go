@@ -1,0 +1,262 @@
+package ruleindex
+
+import (
+	"sort"
+	"time"
+
+	"sensorsafe/internal/rules"
+	"sensorsafe/internal/timeutil"
+)
+
+// hoursPerWeek is the size of the recurring-window wheel: one bucket per
+// hour of the week (day-of-week × hour-of-day).
+const hoursPerWeek = 7 * 24
+
+// interval is one absolute rule time range. Zero Start/End mean unbounded,
+// exactly as in timeutil.Range.
+type interval struct {
+	start time.Time
+	end   time.Time
+	rule  int32
+}
+
+// containsAt mirrors timeutil.Range.Contains for the half-open [start, end)
+// with unbounded zero sides.
+func (iv interval) containsAt(t time.Time) bool {
+	if !iv.start.IsZero() && t.Before(iv.start) {
+		return false
+	}
+	if !iv.end.IsZero() && !t.Before(iv.end) {
+		return false
+	}
+	return true
+}
+
+// subMax is the maximum interval end inside an implicit-BST subtree;
+// unbounded dominates every bounded end.
+type subMax struct {
+	unbounded bool
+	end       time.Time
+}
+
+func (m subMax) after(t time.Time) bool { return m.unbounded || t.Before(m.end) }
+
+// intervalTree is a static stab-query structure over the rule set's
+// absolute time ranges: the intervals sorted by start form an implicit
+// balanced BST (midpoint recursion), each node annotated with its
+// subtree's maximum end. A stab descends only into subtrees that can still
+// contain the instant, so sparse queries skip most of the ranges.
+type intervalTree struct {
+	nodes []interval // sorted by start, unbounded starts first
+	max   []subMax   // max[i] = subtree max end for the node at index i
+}
+
+func newIntervalTree(ivs []interval) *intervalTree {
+	if len(ivs) == 0 {
+		return &intervalTree{}
+	}
+	sort.SliceStable(ivs, func(i, j int) bool {
+		a, b := ivs[i].start, ivs[j].start
+		if a.IsZero() || b.IsZero() {
+			return a.IsZero() && !b.IsZero()
+		}
+		return a.Before(b)
+	})
+	t := &intervalTree{nodes: ivs, max: make([]subMax, len(ivs))}
+	t.build(0, len(ivs))
+	return t
+}
+
+// build computes subtree max-ends over the implicit BST rooted at the
+// midpoint of [lo, hi).
+func (t *intervalTree) build(lo, hi int) subMax {
+	if lo >= hi {
+		return subMax{end: time.Time{}}
+	}
+	mid := (lo + hi) / 2
+	m := subMax{unbounded: t.nodes[mid].end.IsZero(), end: t.nodes[mid].end}
+	for _, side := range [2]subMax{t.build(lo, mid), t.build(mid+1, hi)} {
+		if side.unbounded {
+			m.unbounded = true
+		} else if !m.unbounded && side.end.After(m.end) {
+			m.end = side.end
+		}
+	}
+	t.max[mid] = m
+	return t.max[mid]
+}
+
+// stab marks every interval containing at.
+func (t *intervalTree) stab(at time.Time, out bitset) {
+	t.stabRange(0, len(t.nodes), at, out)
+}
+
+func (t *intervalTree) stabRange(lo, hi int, at time.Time, out bitset) {
+	if lo >= hi {
+		return
+	}
+	mid := (lo + hi) / 2
+	if !t.max[mid].after(at) {
+		// No interval in this subtree ends after at.
+		return
+	}
+	t.stabRange(lo, mid, at, out)
+	n := t.nodes[mid]
+	if !n.start.IsZero() && at.Before(n.start) {
+		// Everything right of mid starts even later.
+		return
+	}
+	if n.containsAt(at) {
+		out.set(n.rule)
+	}
+	t.stabRange(mid+1, hi, at, out)
+}
+
+// repEntry ties a rule to its recurring windows for the precise check
+// behind the wheel's candidate buckets.
+type repEntry struct {
+	rule int32
+	reps []timeutil.Repeated
+}
+
+// timeIndex answers "which rules time-match instant t" and assigns every
+// instant a cache bucket within which no rule's time outcome can change.
+type timeIndex struct {
+	always bitset        // rules with no time condition
+	tree   *intervalTree // absolute TimeRanges
+	wheel  [hoursPerWeek][]int32
+	reps   []repEntry // indexed via repPos
+	repPos map[int32]int32
+
+	// absBounds are the sorted distinct absolute range endpoints; the
+	// cache's absolute time bucket is the binary-search index of the
+	// instant among them. Within one bucket every Range.Contains outcome
+	// is constant.
+	absBounds []time.Time
+	// weekBounds are sorted distinct minute-of-week values at which some
+	// recurring window can flip, plus all day boundaries. Within one
+	// bucket every Repeated.Contains outcome is constant.
+	weekBounds []int
+}
+
+func newTimeIndex(rs []*rules.Rule) *timeIndex {
+	ti := &timeIndex{always: newBitset(len(rs)), repPos: make(map[int32]int32)}
+	var ivs []interval
+	var absB []time.Time
+	weekSet := make(map[int]struct{})
+	for i, r := range rs {
+		id := int32(i)
+		if len(r.TimeRanges) == 0 && len(r.RepeatTimes) == 0 {
+			ti.always.set(id)
+			continue
+		}
+		for _, rng := range r.TimeRanges {
+			ivs = append(ivs, interval{start: rng.Start, end: rng.End, rule: id})
+			if !rng.Start.IsZero() {
+				absB = append(absB, rng.Start)
+			}
+			if !rng.End.IsZero() {
+				absB = append(absB, rng.End)
+			}
+		}
+		if len(r.RepeatTimes) == 0 {
+			continue
+		}
+		ti.repPos[id] = int32(len(ti.reps))
+		ti.reps = append(ti.reps, repEntry{rule: id, reps: r.RepeatTimes})
+		inWheel := make(map[int]bool)
+		for _, rep := range r.RepeatTimes {
+			for _, h := range wheelHours(rep) {
+				if !inWheel[h] {
+					inWheel[h] = true
+					ti.wheel[h] = append(ti.wheel[h], id)
+				}
+			}
+			from, to := rep.Window()
+			for d := 0; d < 7; d++ {
+				weekSet[d*timeutil.MinutesPerDay] = struct{}{}
+				weekSet[d*timeutil.MinutesPerDay+int(from)] = struct{}{}
+				weekSet[d*timeutil.MinutesPerDay+int(to)] = struct{}{}
+			}
+		}
+	}
+	ti.tree = newIntervalTree(ivs)
+
+	sort.Slice(absB, func(i, j int) bool { return absB[i].Before(absB[j]) })
+	for _, t := range absB {
+		if n := len(ti.absBounds); n == 0 || !t.Equal(ti.absBounds[n-1]) {
+			ti.absBounds = append(ti.absBounds, t)
+		}
+	}
+	for m := range weekSet {
+		ti.weekBounds = append(ti.weekBounds, m)
+	}
+	sort.Ints(ti.weekBounds)
+	return ti
+}
+
+// wheelHours returns the hour-of-week buckets a recurring window can be
+// active in — a superset: candidates are verified with Repeated.Contains.
+func wheelHours(rep timeutil.Repeated) []int {
+	if rep.IsZero() {
+		return nil
+	}
+	from, to := rep.Window()
+	var out []int
+	addMinutes := func(day, fromMin, toMin int) {
+		if fromMin >= toMin {
+			return
+		}
+		for h := fromMin / 60; h <= (toMin-1)/60 && h < 24; h++ {
+			out = append(out, day*24+h)
+		}
+	}
+	for _, wd := range rep.Days() {
+		d := int(wd)
+		switch {
+		case from == to: // whole day
+			addMinutes(d, 0, timeutil.MinutesPerDay)
+		case from < to: // same-day window
+			addMinutes(d, int(from), int(to))
+		default: // wraps midnight: evening of d, morning of d+1
+			addMinutes(d, int(from), timeutil.MinutesPerDay)
+			addMinutes((d+1)%7, 0, int(to))
+		}
+	}
+	return out
+}
+
+// minuteOfWeek positions an instant on the weekly wheel (the instant's own
+// wall clock, matching timeutil.ClockTimeOf and Weekday).
+func minuteOfWeek(t time.Time) int {
+	return int(t.Weekday())*timeutil.MinutesPerDay + int(timeutil.ClockTimeOf(t))
+}
+
+// bits marks the rules whose time condition holds at the instant.
+func (ti *timeIndex) bits(at time.Time, out bitset) {
+	out.copyFrom(ti.always)
+	ti.tree.stab(at, out)
+	bucket := minuteOfWeek(at) / 60
+	for _, id := range ti.wheel[bucket] {
+		if out.has(id) {
+			continue
+		}
+		for _, rep := range ti.reps[ti.repPos[id]].reps {
+			if rep.Contains(at) {
+				out.set(id)
+				break
+			}
+		}
+	}
+}
+
+// buckets returns the cache's (absolute, weekly) time-bucket pair for an
+// instant. Two instants in the same pair produce identical time-match
+// outcomes for every rule: all Range endpoints and all minutes at which a
+// recurring window can flip are bucket boundaries.
+func (ti *timeIndex) buckets(at time.Time) (absIdx, weekIdx int) {
+	absIdx = sort.Search(len(ti.absBounds), func(i int) bool { return at.Before(ti.absBounds[i]) })
+	m := minuteOfWeek(at)
+	weekIdx = sort.SearchInts(ti.weekBounds, m+1)
+	return absIdx, weekIdx
+}

@@ -49,6 +49,34 @@ type Decision struct {
 	// span abstracted?" — and must never reach consumer-facing payloads:
 	// rule IDs reveal the structure of a contributor's policy.
 	Matched []string
+	// Cached reports whether the decision was served from a memoized
+	// decision cache (ruleindex) instead of being evaluated. It is trace
+	// provenance, not decision semantics: two decisions differing only in
+	// Cached are the same decision.
+	Cached bool `json:"-"`
+}
+
+// Clone deep-copies the decision, preserving the nil-vs-empty shape of
+// its maps and slices so a cached copy is indistinguishable from a fresh
+// evaluation.
+func (d *Decision) Clone() *Decision {
+	out := *d
+	if d.Channels != nil {
+		out.Channels = make(map[string]bool, len(d.Channels))
+		for k, v := range d.Channels {
+			out.Channels[k] = v
+		}
+	}
+	if d.Contexts != nil {
+		out.Contexts = make(map[Category]Level, len(d.Contexts))
+		for k, v := range d.Contexts {
+			out.Contexts[k] = v
+		}
+	}
+	if d.Matched != nil {
+		out.Matched = append(make([]string, 0, len(d.Matched)), d.Matched...)
+	}
+	return &out
 }
 
 // SharesAnything reports whether the decision releases any information.
@@ -97,6 +125,18 @@ func denyAll() *Decision {
 	}
 }
 
+// Decider is the rule-evaluation seam shared by the linear Engine and the
+// compiled index (internal/ruleindex): enforcement and delivery paths
+// accept either, so the index can slot in behind every release path
+// without changing decision semantics.
+type Decider interface {
+	// Decide evaluates the rule set for one request.
+	Decide(req *Request) *Decision
+	// BoundariesWithin returns the sorted instants inside (from, to) at
+	// which the rule set's time conditions can change a decision.
+	BoundariesWithin(from, to time.Time) []time.Time
+}
+
 // Engine evaluates a contributor's rule set. It resolves location labels
 // through the contributor's gazetteer. Engines are cheap to construct and
 // safe for concurrent use once built.
@@ -107,6 +147,9 @@ type Engine struct {
 
 // NewEngine builds an engine over a rule set. gaz may be nil when no rule
 // uses location labels. Rules are validated; the first invalid rule aborts.
+// The engine's private clones are compiled: string conditions are
+// case-fold-canonicalized once here so per-request matching is map lookups
+// instead of EqualFold scans.
 func NewEngine(rs []*Rule, gaz *geo.Gazetteer) (*Engine, error) {
 	for _, r := range rs {
 		if err := r.Validate(); err != nil {
@@ -116,6 +159,7 @@ func NewEngine(rs []*Rule, gaz *geo.Gazetteer) (*Engine, error) {
 	cloned := make([]*Rule, len(rs))
 	for i, r := range rs {
 		cloned[i] = r.Clone()
+		cloned[i].compile()
 	}
 	return &Engine{rules: cloned, gazetteer: gaz}, nil
 }
@@ -129,32 +173,79 @@ func (e *Engine) Rules() []*Rule {
 	return out
 }
 
-// matches reports whether the rule's conditions hold for the request. The
-// sensor condition does not participate in matching — it scopes the action.
-func (e *Engine) matches(r *Rule, req *Request) bool {
-	if !e.consumerMatches(r, req) {
-		return false
-	}
-	if !e.locationMatches(r, req.Location) {
-		return false
-	}
-	if !timeMatches(r, req.At) {
-		return false
-	}
-	return contextMatches(r, req.ActiveContexts)
+// CompiledRules exposes the engine's internal compiled rule slice for the
+// rule index (internal/ruleindex), which must evaluate the exact same rule
+// objects — including their compile-time memos — the linear engine uses.
+// The slice and the rules are shared and MUST be treated as read-only.
+func (e *Engine) CompiledRules() []*Rule { return e.rules }
+
+// Gazetteer returns the place dictionary the engine resolves location
+// labels against; nil when the engine was built without one.
+func (e *Engine) Gazetteer() *geo.Gazetteer { return e.gazetteer }
+
+// foldedRequest is a request with its string dimensions fold-canonicalized
+// once, so matching N rules costs N map lookups, not N folds.
+type foldedRequest struct {
+	req      *Request
+	consumer string
+	groups   []string
+	contexts []string
 }
 
-func (e *Engine) consumerMatches(r *Rule, req *Request) bool {
+func foldRequest(req *Request) foldedRequest {
+	f := foldedRequest{req: req, consumer: Fold(req.Consumer)}
+	if len(req.ConsumerGroups) > 0 {
+		f.groups = make([]string, len(req.ConsumerGroups))
+		for i, g := range req.ConsumerGroups {
+			f.groups[i] = Fold(g)
+		}
+	}
+	if len(req.ActiveContexts) > 0 {
+		f.contexts = make([]string, len(req.ActiveContexts))
+		for i, c := range req.ActiveContexts {
+			f.contexts[i] = Fold(c)
+		}
+	}
+	return f
+}
+
+// matches reports whether the rule's conditions hold for the request. The
+// sensor condition does not participate in matching — it scopes the action.
+func (e *Engine) matches(r *Rule, f *foldedRequest) bool {
+	if !consumerMatches(r, f) {
+		return false
+	}
+	if !e.locationMatches(r, f.req.Location) {
+		return false
+	}
+	if !timeMatches(r, f.req.At) {
+		return false
+	}
+	return contextMatches(r, f)
+}
+
+func consumerMatches(r *Rule, f *foldedRequest) bool {
 	if len(r.Consumers) == 0 && len(r.Groups) == 0 {
 		return true
 	}
+	if m := r.memo; m != nil {
+		if _, ok := m.consumers[f.consumer]; ok {
+			return true
+		}
+		for _, g := range f.groups {
+			if _, ok := m.groups[g]; ok {
+				return true
+			}
+		}
+		return false
+	}
 	for _, c := range r.Consumers {
-		if strings.EqualFold(c, req.Consumer) {
+		if strings.EqualFold(c, f.req.Consumer) {
 			return true
 		}
 	}
 	for _, g := range r.Groups {
-		for _, cg := range req.ConsumerGroups {
+		for _, cg := range f.req.ConsumerGroups {
 			if strings.EqualFold(g, cg) {
 				return true
 			}
@@ -200,12 +291,20 @@ func timeMatches(r *Rule, at time.Time) bool {
 	return false
 }
 
-func contextMatches(r *Rule, active []string) bool {
+func contextMatches(r *Rule, f *foldedRequest) bool {
 	if len(r.Contexts) == 0 {
 		return true
 	}
+	if m := r.memo; m != nil {
+		for _, have := range f.contexts {
+			if _, ok := m.contexts[have]; ok {
+				return true
+			}
+		}
+		return false
+	}
 	for _, want := range r.Contexts {
-		for _, have := range active {
+		for _, have := range f.req.ActiveContexts {
 			if strings.EqualFold(want, have) {
 				return true
 			}
@@ -217,6 +316,24 @@ func contextMatches(r *Rule, active []string) bool {
 // Decide evaluates the rule set for one request and returns the effective
 // decision, including the dependency closure.
 func (e *Engine) Decide(req *Request) *Decision {
+	f := foldRequest(req)
+	var matched []*Rule
+	for _, r := range e.rules {
+		if e.matches(r, &f) {
+			matched = append(matched, r)
+		}
+	}
+	return Combine(matched)
+}
+
+// Combine folds an ordered list of matching rules into the effective
+// decision — grants union, clamps combine most-restrictively, denies
+// override, then the dependency closure runs. It is the single combiner
+// behind both the linear engine and the compiled index
+// (internal/ruleindex): the index computes the matched set differently but
+// MUST produce byte-identical decisions, which holds by construction when
+// both feed the same rules (in rule-set order) through this function.
+func Combine(matched []*Rule) *Decision {
 	d := denyAll()
 
 	grantedChannels := map[string]bool{} // channel → granted by some rule
@@ -229,10 +346,7 @@ func (e *Engine) Decide(req *Request) *Decision {
 	locClamp := geo.LocCoordinates
 	timeClamp := timeutil.GranMillisecond
 
-	for _, r := range e.rules {
-		if !e.matches(r, req) {
-			continue
-		}
+	for _, r := range matched {
 		if r.ID != "" {
 			d.Matched = append(d.Matched, r.ID)
 		}
@@ -245,7 +359,7 @@ func (e *Engine) Decide(req *Request) *Decision {
 					grantedChannels[s] = true
 				}
 			}
-			for _, cat := range r.GovernedCategories() {
+			for _, cat := range r.governedCategories() {
 				grantedCats[cat] = true
 			}
 		case ActionAbstract:
@@ -323,14 +437,14 @@ func (e *Engine) Decide(req *Request) *Decision {
 		d.Channels[ch] = false
 	}
 
-	e.applyClosure(d)
+	applyClosure(d)
 	return d
 }
 
 // applyClosure enforces the sensor/context dependency graph: raw data of a
 // channel flows only if every category inferable from it is granted at
 // LevelRaw, and GPS channels only at Coordinates location granularity.
-func (e *Engine) applyClosure(d *Decision) {
+func applyClosure(d *Decision) {
 	blockIfRisky := func(ch string) {
 		for _, cat := range SensorCategories(ch) {
 			if d.ContextLevel(cat) != LevelRaw {

@@ -1,0 +1,80 @@
+package rules
+
+import (
+	"unicode"
+	"unicode/utf8"
+)
+
+// Fold returns a canonical case-folded form of s with the property that
+// Fold(a) == Fold(b) exactly when strings.EqualFold(a, b). It exists so
+// rule conditions can be canonicalized once at compile time and matched
+// with a map lookup instead of an EqualFold scan per request.
+//
+// strings.ToLower is NOT such a canonical form: EqualFold equates runes
+// through their full simple-fold orbit (e.g. 'ſ' U+017F folds to 's',
+// 'K' U+212A folds to 'k') while ToLower leaves them distinct. Fold maps
+// every rune to the smallest rune in its SimpleFold orbit — the same
+// representative for any two runes EqualFold considers equal — lowercased
+// when that representative is an ASCII capital, so the slow path lands on
+// the same bytes as the allocation-free ASCII fast path.
+func Fold(s string) string {
+	// ASCII fast path: no allocation when the string is already folded.
+	lower := -1
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= utf8.RuneSelf {
+			return foldSlow(s)
+		}
+		if c >= 'A' && c <= 'Z' && lower < 0 {
+			lower = i
+		}
+	}
+	if lower < 0 {
+		return s
+	}
+	b := []byte(s)
+	for i := lower; i < len(b); i++ {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+func foldSlow(s string) string {
+	var b []rune
+	for _, r := range s {
+		b = append(b, foldRune(r))
+	}
+	return string(b)
+}
+
+// foldRune returns the minimum rune in r's simple case-folding orbit,
+// lowercased when that minimum is an ASCII capital. Any orbit containing
+// an ASCII letter contains both its cases, so its minimum is the capital;
+// mapping it to the lowercase keeps the representative unique per orbit
+// while agreeing with Fold's ASCII fast path ('ſ' → 'S' → 's').
+func foldRune(r rune) rune {
+	min := r
+	for c := unicode.SimpleFold(r); c != r; c = unicode.SimpleFold(c) {
+		if c < min {
+			min = c
+		}
+	}
+	if min >= 'A' && min <= 'Z' {
+		min += 'a' - 'A'
+	}
+	return min
+}
+
+// foldSet canonicalizes a condition list into a fold-keyed set.
+func foldSet(vals []string) map[string]struct{} {
+	if len(vals) == 0 {
+		return nil
+	}
+	out := make(map[string]struct{}, len(vals))
+	for _, v := range vals {
+		out[Fold(v)] = struct{}{}
+	}
+	return out
+}

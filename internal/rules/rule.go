@@ -121,6 +121,46 @@ type Rule struct {
 
 	// Action is what the rule does when it matches.
 	Action Action
+
+	// memo caches compile-time canonicalized conditions (see compile).
+	// Only rules installed in an Engine carry one; Clone drops it so a
+	// cloned-and-mutated rule can never match against stale conditions.
+	memo *ruleMemo
+}
+
+// ruleMemo is the compile-time canonical form of a rule's conditions:
+// fold-canonical sets for the string dimensions (so matching is a map
+// lookup instead of an EqualFold scan) and the precomputed derived facts
+// Combine needs per matching rule (governed categories, category
+// coverage). It is immutable after compile and shared freely by Clone
+// inside the engine/index.
+type ruleMemo struct {
+	consumers map[string]struct{}
+	groups    map[string]struct{}
+	contexts  map[string]struct{}
+	sensors   map[string]struct{}
+	governed  []Category
+	coversAll map[Category]bool
+}
+
+// compile builds the rule's memo. The engine calls it once on its private
+// clones; it must not run on rules callers may still mutate.
+func (r *Rule) compile() {
+	m := &ruleMemo{
+		consumers: foldSet(r.Consumers),
+		groups:    foldSet(r.Groups),
+		contexts:  foldSet(r.Contexts),
+		sensors:   foldSet(r.Sensors),
+		coversAll: make(map[Category]bool, 4),
+	}
+	r.memo = nil // compute the derived facts through the slow paths
+	m.governed = r.GovernedCategories()
+	for _, cat := range Categories() {
+		if r.CoversAllSensorsOf(cat) {
+			m.coversAll[cat] = true
+		}
+	}
+	r.memo = m
 }
 
 // Validate checks structural well-formedness: known context labels, known
@@ -186,6 +226,7 @@ func (r *Rule) Clone() *Rule {
 	out.Sensors = append([]string(nil), r.Sensors...)
 	out.Contexts = append([]string(nil), r.Contexts...)
 	out.Action.Abstraction = r.Action.Abstraction.Clone()
+	out.memo = nil // clones are mutable; stale memos must not survive
 	return &out
 }
 
@@ -197,6 +238,10 @@ func (r *Rule) GovernsAllChannels() bool { return len(r.Sensors) == 0 }
 func (r *Rule) GovernsChannel(channel string) bool {
 	if len(r.Sensors) == 0 {
 		return true
+	}
+	if m := r.memo; m != nil {
+		_, ok := m.sensors[Fold(channel)]
+		return ok
 	}
 	for _, s := range r.Sensors {
 		if strings.EqualFold(s, channel) {
@@ -210,6 +255,9 @@ func (r *Rule) GovernsChannel(channel string) bool {
 // channels the rule governs. With no sensor condition that is every
 // category.
 func (r *Rule) GovernedCategories() []Category {
+	if m := r.memo; m != nil {
+		return append([]Category(nil), m.governed...)
+	}
 	if len(r.Sensors) == 0 {
 		return Categories()
 	}
@@ -226,10 +274,22 @@ func (r *Rule) GovernedCategories() []Category {
 	return out
 }
 
+// governedCategories is GovernedCategories without the defensive copy,
+// for the combiner's read-only hot path.
+func (r *Rule) governedCategories() []Category {
+	if m := r.memo; m != nil {
+		return m.governed
+	}
+	return r.GovernedCategories()
+}
+
 // CoversAllSensorsOf reports whether the rule's sensor scope includes every
 // channel the category can be inferred from — the condition under which a
 // Deny rule revokes the category's annotations as well.
 func (r *Rule) CoversAllSensorsOf(cat Category) bool {
+	if m := r.memo; m != nil {
+		return m.coversAll[cat]
+	}
 	if len(r.Sensors) == 0 {
 		return true
 	}

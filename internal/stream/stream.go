@@ -110,10 +110,11 @@ type SubInfo struct {
 }
 
 // RuleSource resolves the privacy-rule state used to filter deliveries;
-// *datastore.Service implements it. StreamEngine may return a nil engine
-// (contributor has no rules yet), which denies everything.
+// *datastore.Service implements it. StreamEngine may return a nil decider
+// (contributor has no rules yet), which denies everything; the datastore
+// returns the contributor's compiled rule index.
 type RuleSource interface {
-	StreamEngine(contributor string) (*rules.Engine, uint64, error)
+	StreamEngine(contributor string) (rules.Decider, uint64, error)
 	StreamGroups(contributor, consumer string) []string
 }
 
@@ -584,7 +585,7 @@ func (h *Hub) collect(s *sub, cur uint64) ([]Event, uint64) {
 // enforce runs the full rule pipeline over one buffered segment for one
 // subscriber and applies the subscription's channel projection. A missing
 // or failing engine denies (privacy-safe default).
-func (h *Hub) enforce(engine *rules.Engine, engineErr error, s *sub, seg *wavesegment.Segment, groups []string) []*abstraction.Release {
+func (h *Hub) enforce(engine rules.Decider, engineErr error, s *sub, seg *wavesegment.Segment, groups []string) []*abstraction.Release {
 	if engineErr != nil || engine == nil {
 		return nil
 	}

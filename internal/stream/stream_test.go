@@ -20,9 +20,12 @@ type fakeRules struct {
 	version uint64
 }
 
-func (f *fakeRules) StreamEngine(string) (*rules.Engine, uint64, error) {
+func (f *fakeRules) StreamEngine(string) (rules.Decider, uint64, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.engine == nil {
+		return nil, f.version, nil
+	}
 	return f.engine, f.version, nil
 }
 
