@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck sslint lint test test-short race cover bench bench-tracing bench-storage bench-overload bench-rules harness chaos fuzz fuzz-seeds examples clean
+.PHONY: all build vet fmtcheck sslint sslint-sarif lint test test-short race cover bench bench-tracing bench-storage bench-overload bench-rules harness chaos fuzz fuzz-seeds examples clean
 
 all: build lint test race
 
@@ -20,10 +20,16 @@ fmtcheck:
 	fi
 
 # sslint runs the repo-local static-analysis suite (internal/lint): the
-# releasepath, atomicwrite, ctxpropagate, mutexguard, and obsnames
-# analyzers over every package. Exit 1 on findings.
+# interprocedural privacyflow and lockorder analyzers plus atomicwrite,
+# ctxpropagate, mutexguard, obsnames, ruleindexuse, and servertimeouts
+# over every package. Exit 1 on findings.
 sslint:
 	$(GO) run ./cmd/sslint ./...
+
+# sslint-sarif writes the suite's findings as SARIF 2.1.0 (sslint.sarif)
+# for code-scanning upload; the target itself always succeeds.
+sslint-sarif:
+	$(GO) run ./cmd/sslint -sarif ./... > sslint.sarif || true
 
 # lint = vet + gofmt check + domain analyzers.
 lint: vet fmtcheck sslint

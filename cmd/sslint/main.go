@@ -1,16 +1,19 @@
 // Command sslint runs SensorSafe's repo-local static-analysis suite: it
 // type-checks every package in the module using only the standard library
-// and applies the domain analyzers in internal/lint (releasepath,
-// atomicwrite, ctxpropagate, mutexguard, obsnames).
+// and applies the domain analyzers in internal/lint (privacyflow,
+// lockorder, atomicwrite, ctxpropagate, mutexguard, obsnames,
+// ruleindexuse, servertimeouts).
 //
 // Usage:
 //
-//	sslint [-json] [-only a,b] [-skip a,b] [./... | dir ...]
+//	sslint [-json | -sarif] [-baseline file] [-only a,b] [-skip a,b] [./... | dir ...]
 //
-// Findings print as `file:line: [analyzer] message` (or a JSON array with
-// -json) and the exit status is 1 when anything is found, 2 on load or
-// usage errors, 0 when clean. Suppress a finding in place with
-// `//sslint:ignore <analyzer> <reason>`.
+// Findings print as `file:line: [analyzer] message` (a JSON array with
+// -json, a SARIF 2.1.0 log with -sarif) and the exit status is 1 when
+// anything is found, 2 on load or usage errors, 0 when clean. Suppress a
+// finding in place with `//sslint:ignore <analyzer> <reason>`, or accept
+// a set of historical findings wholesale with -baseline pointed at a
+// previous `sslint -json` capture.
 package main
 
 import (
@@ -32,13 +35,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sslint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+	baselinePath := fs.String("baseline", "", "suppress findings recorded in this file (a previous `sslint -json` capture)")
 	only := fs.String("only", "", "comma-separated analyzers to run (default: all)")
 	skip := fs.String("skip", "", "comma-separated analyzers to skip")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: sslint [-json] [-only a,b] [-skip a,b] [./... | dir ...]")
+		fmt.Fprintln(stderr, "usage: sslint [-json | -sarif] [-baseline file] [-only a,b] [-skip a,b] [./... | dir ...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "sslint: -json and -sarif are mutually exclusive")
 		return 2
 	}
 
@@ -46,6 +55,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
+	}
+
+	var baseline *lint.Baseline
+	if *baselinePath != "" {
+		baseline, err = lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
 	}
 
 	cwd, err := os.Getwd()
@@ -70,12 +88,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	diags := lint.RunAnalyzers(module, pkgs, analyzers)
-	if *jsonOut {
+	diags = baseline.Filter(diags)
+	switch {
+	case *jsonOut:
 		if err := lint.WriteJSON(stdout, diags); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-	} else {
+	case *sarifOut:
+		if err := lint.WriteSARIF(stdout, diags, analyzers); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	default:
 		lint.WriteText(stdout, diags)
 	}
 	if len(diags) > 0 {

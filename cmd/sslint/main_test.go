@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -30,6 +32,73 @@ func TestRunJSONCleanModule(t *testing.T) {
 	}
 	if len(diags) != 0 {
 		t.Errorf("clean module reported %d findings: %v", len(diags), diags)
+	}
+}
+
+func TestRunSARIFCleanModule(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-sarif", "-only", "privacyflow,lockorder"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []any  `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("-sarif output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected SARIF shape: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	if log.Runs[0].Tool.Driver.Name != "sslint" {
+		t.Errorf("driver name = %q", log.Runs[0].Tool.Driver.Name)
+	}
+	if len(log.Runs[0].Tool.Driver.Rules) != 2 {
+		t.Errorf("got %d rules, want 2 (the -only selection)", len(log.Runs[0].Tool.Driver.Rules))
+	}
+	if len(log.Runs[0].Results) != 0 {
+		t.Errorf("clean module reported results: %v", log.Runs[0].Results)
+	}
+}
+
+func TestRunJSONAndSARIFExclusive(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "-sarif"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "mutually exclusive") {
+		t.Errorf("stderr missing diagnostic: %s", stderr.String())
+	}
+}
+
+func TestRunBaseline(t *testing.T) {
+	// An empty baseline (a clean -json capture) changes nothing.
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte("[]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-baseline", path, "-only", "obsnames"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+}
+
+func TestRunBaselineMissingFile(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	path := filepath.Join(t.TempDir(), "nope.json")
+	if code := run([]string{"-baseline", path}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "baseline") {
+		t.Errorf("stderr missing diagnostic: %s", stderr.String())
 	}
 }
 

@@ -407,14 +407,25 @@ func (s *Service) Connect(ctx context.Context, key auth.APIKey, contributor stri
 		return Credential{}, fmt.Errorf("%w: %s", ErrUnknownContributor, contributor)
 	}
 	if conn == nil && addr != "" {
-		s.mu.Lock()
-		if s.dial != nil {
-			if c := s.dial(addr); c != nil {
-				s.stores[addr] = c
-				conn = c
+		// Snapshot the dial hook and re-check the cache under the lock, but
+		// run the dial itself unlocked: a slow or hung connect must not
+		// stall every other broker operation behind mu.
+		s.mu.RLock()
+		dial := s.dial
+		conn = s.stores[addr]
+		s.mu.RUnlock()
+		if conn == nil && dial != nil {
+			if c := dial(addr); c != nil {
+				s.mu.Lock()
+				if cached := s.stores[addr]; cached != nil {
+					conn = cached // lost the race; keep the first connection
+				} else {
+					s.stores[addr] = c
+					conn = c
+				}
+				s.mu.Unlock()
 			}
 		}
-		s.mu.Unlock()
 	}
 	if conn == nil {
 		return Credential{}, fmt.Errorf("%w: %s", ErrUnknownStore, addr)

@@ -48,10 +48,14 @@ func NewNetwork() *Network {
 // the broker directory. dir may be empty for an in-memory store.
 func (n *Network) AddStore(name, dir string) (*datastore.Service, error) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if _, dup := n.stores[name]; dup {
+		n.mu.Unlock()
 		return nil, fmt.Errorf("core: store %q already exists", name)
 	}
+	n.mu.Unlock()
+	// Open the store outside the lock: engine open replays segment files
+	// and may run (and on failure unwind) the legacy-WAL migration, and
+	// the deployment mutex must stay responsive meanwhile.
 	svc, err := datastore.New(datastore.Options{
 		Name:      name,
 		Dir:       dir,
@@ -61,8 +65,15 @@ func (n *Network) AddStore(name, dir string) (*datastore.Service, error) {
 	if err != nil {
 		return nil, err
 	}
-	n.Broker.RegisterStore(svc)
+	n.mu.Lock()
+	if _, dup := n.stores[name]; dup {
+		n.mu.Unlock()
+		svc.Close()
+		return nil, fmt.Errorf("core: store %q already exists", name)
+	}
 	n.stores[name] = svc
+	n.mu.Unlock()
+	n.Broker.RegisterStore(svc)
 	return svc, nil
 }
 
@@ -86,12 +97,20 @@ func (n *Network) StoreNames() []string {
 	return out
 }
 
-// Close shuts every store down.
+// Close shuts every store down. The store set is snapshotted and cleared
+// under the lock, but the shutdowns run outside it: each store Close
+// waits for its flusher goroutine, and the deployment mutex must not be
+// held across that wait.
 func (n *Network) Close() error {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	var first error
+	stores := make([]*datastore.Service, 0, len(n.stores))
 	for _, svc := range n.stores {
+		stores = append(stores, svc)
+	}
+	n.stores = make(map[string]*datastore.Service)
+	n.mu.Unlock()
+	var first error
+	for _, svc := range stores {
 		if err := svc.Close(); err != nil && first == nil {
 			first = err
 		}

@@ -566,16 +566,25 @@ func (e *Engine) credential(ctx context.Context, contributor string) (broker.Cre
 }
 
 // store returns the dialed client for an address, caching per engine.
+// The dial itself runs outside the lock: a slow peer connect must not
+// block concurrent queries to other stores (or credential lookups)
+// behind mu.
 func (e *Engine) store(addr string) Store {
 	e.mu.Lock()
+	if st, ok := e.stores[addr]; ok {
+		e.mu.Unlock()
+		return st
+	}
+	e.mu.Unlock()
+	st := e.Dial(addr)
+	e.mu.Lock()
 	defer e.mu.Unlock()
+	if cached, ok := e.stores[addr]; ok {
+		return cached // lost the race; keep the first connection
+	}
 	if e.stores == nil {
 		e.stores = make(map[string]Store)
 	}
-	if st, ok := e.stores[addr]; ok {
-		return st
-	}
-	st := e.Dial(addr)
 	e.stores[addr] = st
 	return st
 }

@@ -204,7 +204,7 @@ func NewStoreHandlerOverload(svc *datastore.Service, ctrl *overload.Controller) 
 		// The owner-review endpoint is the one sanctioned raw egress:
 		// QueryOwn authenticates the contributor role and scopes the scan to
 		// the key owner's records, so no third party's data can flow here.
-		//sslint:ignore releasepath owner-only endpoint; QueryOwn is scoped to the authenticated contributor
+		//sslint:ignore privacyflow owner-only endpoint; QueryOwn is scoped to the authenticated contributor
 		return queryOwnResp{Segments: segs}, nil
 	}))
 

@@ -1,0 +1,290 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Module-wide call graph. Nodes are the functions and methods declared in
+// the analysis universe (normally every package of the module; a single
+// fixture package in tests). Edges are resolved call sites: static calls
+// bind directly, calls through an interface method resolve to every
+// concrete type in the universe whose method set satisfies the interface
+// (method-set matching). Interface methods of packages outside the module
+// (io.Writer, error, ...) are left unresolved — expanding them would wire
+// unrelated subsystems together through stdlib plumbing and drown the
+// interprocedural analyzers in phantom edges.
+//
+// The graph is the substrate both interprocedural analyzers share:
+// privacyflow propagates per-function taint summaries over it and
+// lockorder propagates lock-acquisition summaries, each running a
+// cycle-safe fixpoint over its strongly connected components.
+
+// CGNode is one declared function or method of the universe.
+type CGNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Sites are the node's call sites in source order.
+	Sites []CallSite
+}
+
+// CallSite is one resolved call expression inside a node's body.
+type CallSite struct {
+	Call *ast.CallExpr
+	Pos  token.Pos
+	// Static is the callee the type-checker resolved: a concrete function,
+	// an interface method, or an external function. Nil for calls through
+	// function values and built-ins.
+	Static *types.Func
+	// Targets are the universe-declared functions this call may reach:
+	// the static callee itself when it is declared here, or every concrete
+	// implementation when Static is a module interface method.
+	Targets []*CGNode
+}
+
+// CallGraph indexes the universe's declarations and resolved call sites.
+type CallGraph struct {
+	Module *Module
+	Pkgs   []*Package
+	// Nodes maps each declared function object to its node.
+	Nodes map[*types.Func]*CGNode
+
+	concrete []types.Type              // named non-interface types, for method-set matching
+	implMemo map[*types.Func][]*CGNode // interface method → implementations
+}
+
+// CallGraphFor builds (or returns the cached) call graph over the given
+// universe. The full-module graph (universe == m.Pkgs) is built once and
+// shared by every analyzer of a run; ad-hoc universes (fixtures) build a
+// fresh small graph.
+func (m *Module) CallGraphFor(universe []*Package) *CallGraph {
+	if len(universe) == len(m.Pkgs) {
+		same := true
+		for i := range universe {
+			if universe[i] != m.Pkgs[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			m.cgOnce.Do(func() { m.cg = buildCallGraph(m, m.Pkgs) })
+			return m.cg
+		}
+	}
+	return buildCallGraph(m, universe)
+}
+
+func buildCallGraph(m *Module, pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		Module:   m,
+		Pkgs:     pkgs,
+		Nodes:    make(map[*types.Func]*CGNode),
+		implMemo: make(map[*types.Func][]*CGNode),
+	}
+	// Pass 1: declarations and the concrete-type catalog.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					g.Nodes[fn] = &CGNode{Fn: fn, Decl: fd, Pkg: pkg}
+				}
+			}
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if !types.IsInterface(tn.Type()) {
+				g.concrete = append(g.concrete, tn.Type())
+			}
+		}
+	}
+	// Pass 2: call sites.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := g.Nodes[fn]
+				if node == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					node.Sites = append(node.Sites, g.resolve(pkg, call))
+					return true
+				})
+			}
+		}
+	}
+	return g
+}
+
+// resolve classifies one call expression.
+func (g *CallGraph) resolve(pkg *Package, call *ast.CallExpr) CallSite {
+	site := CallSite{Call: call, Pos: call.Pos()}
+	fn, _ := calleeObj(pkg, call).(*types.Func)
+	if fn == nil {
+		return site
+	}
+	site.Static = fn
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+		if g.universeInterface(fn) {
+			site.Targets = g.implementations(fn)
+		}
+		return site
+	}
+	if node := g.Nodes[fn]; node != nil {
+		site.Targets = []*CGNode{node}
+	}
+	return site
+}
+
+// universeInterface reports whether an interface method belongs to the
+// module (or a fixture package) rather than the standard library.
+func (g *CallGraph) universeInterface(fn *types.Func) bool {
+	p := fn.Pkg()
+	if p == nil {
+		return false // error.Error and other universe-scope methods
+	}
+	path := p.Path()
+	mod := g.Module.Path
+	return path == mod || strings.HasPrefix(path, mod+"/") || strings.HasPrefix(path, "fixture/")
+}
+
+// implementations resolves an interface method to the universe methods
+// that satisfy it, by method-set matching over the concrete-type catalog.
+func (g *CallGraph) implementations(ifaceMethod *types.Func) []*CGNode {
+	if impls, ok := g.implMemo[ifaceMethod]; ok {
+		return impls
+	}
+	iface, _ := ifaceMethod.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface)
+	var impls []*CGNode
+	if iface != nil {
+		for _, t := range g.concrete {
+			if !types.Implements(t, iface) && !types.Implements(types.NewPointer(t), iface) {
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), true, ifaceMethod.Pkg(), ifaceMethod.Name())
+			m, ok := obj.(*types.Func)
+			if !ok {
+				continue
+			}
+			if node := g.Nodes[m]; node != nil {
+				impls = append(impls, node)
+			}
+		}
+	}
+	sort.Slice(impls, func(i, j int) bool { return impls[i].Fn.FullName() < impls[j].Fn.FullName() })
+	g.implMemo[ifaceMethod] = impls
+	return impls
+}
+
+// callees returns the universe nodes a node may call, deduplicated.
+func (g *CallGraph) callees(n *CGNode) []*CGNode {
+	seen := make(map[*CGNode]bool)
+	var out []*CGNode
+	for _, site := range n.Sites {
+		for _, t := range site.Targets {
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// SCCs returns the graph's strongly connected components in callee-first
+// (reverse topological) order, so a bottom-up fixpoint can process each
+// component after everything it calls. Tarjan's algorithm emits components
+// in exactly this order.
+func (g *CallGraph) SCCs() [][]*CGNode {
+	// Deterministic node order keeps summaries and diagnostics stable.
+	nodes := make([]*CGNode, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Decl.Pos() < nodes[j].Decl.Pos() })
+
+	index := make(map[*CGNode]int, len(nodes))
+	low := make(map[*CGNode]int, len(nodes))
+	onStack := make(map[*CGNode]bool)
+	var stack []*CGNode
+	var sccs [][]*CGNode
+	next := 0
+
+	var strongconnect func(n *CGNode)
+	strongconnect = func(n *CGNode) {
+		index[n] = next
+		low[n] = next
+		next++
+		stack = append(stack, n)
+		onStack[n] = true
+		for _, c := range g.callees(n) {
+			if _, seen := index[c]; !seen {
+				strongconnect(c)
+				if low[c] < low[n] {
+					low[n] = low[c]
+				}
+			} else if onStack[c] && index[c] < low[n] {
+				low[n] = index[c]
+			}
+		}
+		if low[n] == index[n] {
+			var comp []*CGNode
+			for {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[top] = false
+				comp = append(comp, top)
+				if top == n {
+					break
+				}
+			}
+			sccs = append(sccs, comp)
+		}
+	}
+	for _, n := range nodes {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return sccs
+}
+
+// Fixpoint runs update over every node, callee-first, iterating each
+// strongly connected component until no summary changes — the cycle-safe
+// bottom-up propagation both interprocedural analyzers build on. update
+// returns whether the node's summary changed.
+func (g *CallGraph) Fixpoint(update func(n *CGNode) bool) {
+	for _, comp := range g.SCCs() {
+		for changed := true; changed; {
+			changed = false
+			for _, n := range comp {
+				if update(n) {
+					changed = true
+				}
+			}
+		}
+	}
+}

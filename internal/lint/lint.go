@@ -1,11 +1,14 @@
 // Package lint is sslint's analysis engine: a stdlib-only static-analysis
 // framework (go/parser + go/types + go/importer) plus the domain analyzers
 // that enforce SensorSafe's privacy and concurrency invariants — raw wave
-// segments only leave through the abstraction release pipeline, state files
-// are written atomically, request contexts propagate below cmd/, annotated
-// struct fields are touched only under their mutex, metric names stay
-// literal, snake_case, and unique, and release paths evaluate privacy
-// rules through the compiled rule-index facade.
+// segments only leave through the abstraction release pipeline (proved
+// interprocedurally over the module call graph by privacyflow), lock
+// acquisition order stays acyclic and locks are not held across blocking
+// calls (lockorder), state files are written atomically, request contexts
+// propagate below cmd/, annotated struct fields are touched only under
+// their mutex, metric names stay literal, snake_case, and unique, and
+// release paths evaluate privacy rules through the compiled rule-index
+// facade.
 //
 // Findings are suppressed per line with a directive comment:
 //
@@ -55,8 +58,15 @@ type Analyzer struct {
 type Pass struct {
 	Module *Module
 	Pkg    *Package
+	// Universe is the full set of packages the run analyzes, independent
+	// of which packages were selected for reporting. Interprocedural
+	// analyzers (privacyflow, lockorder) build their call graph over it;
+	// RunAnalyzers sets it to the whole module, fixture tests to the
+	// single fixture package.
+	Universe []*Package
 	// State is shared by all packages of one analyzer run, for module-wide
-	// invariants (obsnames uses it to enforce global uniqueness).
+	// invariants (obsnames uses it to enforce global uniqueness, the
+	// interprocedural analyzers cache their engines in it).
 	State map[string]any
 
 	analyzer *Analyzer
@@ -77,9 +87,10 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		AtomicWrite,
 		CtxPropagate,
+		LockOrder,
 		MutexGuard,
 		ObsNames,
-		ReleasePath,
+		PrivacyFlow,
 		RuleIndexUse,
 		ServerTimeouts,
 	}
@@ -149,7 +160,7 @@ func RunAnalyzers(m *Module, pkgs []*Package, analyzers []*Analyzer) []Diagnosti
 			if a.AppliesTo != nil && !a.AppliesTo(m.Path, pkg.Path) {
 				continue
 			}
-			pass := &Pass{Module: m, Pkg: pkg, State: state, analyzer: a, diags: &diags}
+			pass := &Pass{Module: m, Pkg: pkg, Universe: m.Pkgs, State: state, analyzer: a, diags: &diags}
 			a.Run(pass)
 		}
 	}

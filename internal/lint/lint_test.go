@@ -47,7 +47,7 @@ func runFixture(t *testing.T, a *Analyzer, fixture string) []Diagnostic {
 		t.Fatalf("loading fixture %s: %v", fixture, err)
 	}
 	var diags []Diagnostic
-	pass := &Pass{Module: m, Pkg: pkg, State: make(map[string]any), analyzer: a, diags: &diags}
+	pass := &Pass{Module: m, Pkg: pkg, Universe: []*Package{pkg}, State: make(map[string]any), analyzer: a, diags: &diags}
 	a.Run(pass)
 	diags = FilterIgnored(m, []*Package{pkg}, diags)
 	sort.Slice(diags, func(i, j int) bool {
@@ -90,6 +90,36 @@ func parseWants(t *testing.T, fixture string) []wantDiag {
 	return wants
 }
 
+// matchWants asserts a one-to-one correspondence between want
+// annotations and diagnostics: every want is matched by a diagnostic on
+// its line containing the substring, and no diagnostic goes unmatched.
+func matchWants(t *testing.T, wants []wantDiag, diags []Diagnostic) {
+	t.Helper()
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line {
+				continue
+			}
+			if !strings.Contains(d.Message, w.substr) {
+				continue
+			}
+			matched[i] = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.substr)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
 // TestAnalyzerFixtures is the golden-diagnostic suite: every analyzer must
 // flag exactly the `// want`-annotated lines of its bad fixture and stay
 // silent on its clean fixture.
@@ -103,29 +133,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 				t.Fatalf("fixture %s has no // want comments", fixture)
 			}
 			diags := runFixture(t, a, fixture)
-			matched := make([]bool, len(diags))
-			for _, w := range wants {
-				found := false
-				for i, d := range diags {
-					if matched[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line {
-						continue
-					}
-					if !strings.Contains(d.Message, w.substr) {
-						continue
-					}
-					matched[i] = true
-					found = true
-					break
-				}
-				if !found {
-					t.Errorf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.substr)
-				}
-			}
-			for i, d := range diags {
-				if !matched[i] {
-					t.Errorf("unexpected diagnostic: %s", d)
-				}
-			}
+			matchWants(t, wants, diags)
 		})
 		t.Run(a.Name+"/clean", func(t *testing.T) {
 			diags := runFixture(t, a, a.Name+"/clean")
@@ -133,6 +141,22 @@ func TestAnalyzerFixtures(t *testing.T) {
 				t.Errorf("clean fixture flagged: %s", d)
 			}
 		})
+	}
+}
+
+// TestPrivacyFlowSubsumesReleasePath is the differential check for the
+// releasepath → privacyflow migration: the retired intraprocedural
+// analyzer's fixtures stay on disk, and the interprocedural engine must
+// still flag every violation it caught (same lines, compatible
+// messages) while accepting its clean fixture.
+func TestPrivacyFlowSubsumesReleasePath(t *testing.T) {
+	wants := parseWants(t, "releasepath/bad")
+	if len(wants) == 0 {
+		t.Fatal("releasepath bad fixture has no // want comments")
+	}
+	matchWants(t, wants, runFixture(t, PrivacyFlow, "releasepath/bad"))
+	for _, d := range runFixture(t, PrivacyFlow, "releasepath/clean") {
+		t.Errorf("releasepath clean fixture flagged: %s", d)
 	}
 }
 
@@ -161,10 +185,11 @@ func TestSelect(t *testing.T) {
 		want       string
 		wantErr    bool
 	}{
-		{"", "", "atomicwrite,ctxpropagate,mutexguard,obsnames,releasepath,ruleindexuse,servertimeouts", false},
+		{"", "", "atomicwrite,ctxpropagate,lockorder,mutexguard,obsnames,privacyflow,ruleindexuse,servertimeouts", false},
 		{"mutexguard", "", "mutexguard", false},
 		{"obsnames, atomicwrite", "", "atomicwrite,obsnames", false},
-		{"", "releasepath,ctxpropagate", "atomicwrite,mutexguard,obsnames,ruleindexuse,servertimeouts", false},
+		{"privacyflow,lockorder", "", "lockorder,privacyflow", false},
+		{"", "privacyflow,ctxpropagate", "atomicwrite,lockorder,mutexguard,obsnames,ruleindexuse,servertimeouts", false},
 		{"mutexguard,obsnames", "obsnames", "mutexguard", false},
 		{"nosuch", "", "", true},
 		{"", "nosuch", "", true},

@@ -9,17 +9,28 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Module loading: sslint type-checks the whole module with nothing but
 // the standard library (go/parser + go/types + go/importer), matching the
 // repo's zero-dependency policy. Module-internal imports resolve against
-// packages we have already checked (packages are visited in dependency
-// order); standard-library imports resolve through the compiler's export
-// data via importer.Default, with a source-level importer as fallback so
-// the tool keeps working even when export data is stale.
+// packages we have already checked; standard-library imports resolve
+// through the compiler's export data via importer.Default, with a
+// source-level importer as fallback so the tool keeps working even when
+// export data is stale.
+//
+// Parsing and type-checking are parallel: files parse under a bounded
+// worker pool (token.FileSet is safe for concurrent use), and packages
+// type-check under bounded workers scheduled over the import DAG — a
+// package becomes ready the moment its last module-internal dependency
+// finishes, so independent subtrees (cmd/*, internal leaf packages) check
+// concurrently. All importer lookups go through one shared, mutex-guarded
+// cache, so each stdlib package's export data is read exactly once per
+// load no matter how many packages import it.
 
 // Package is one type-checked package of the module.
 type Package struct {
@@ -46,8 +57,15 @@ type Module struct {
 	// Pkgs lists the module's packages sorted by import path.
 	Pkgs []*Package
 
-	byPath map[string]*types.Package
-	imp    *chainImporter
+	goVersion string
+	mu        sync.RWMutex // guards byPath during parallel type-checking
+	byPath    map[string]*types.Package
+	imp       *chainImporter
+
+	// cgOnce/cg cache the full-module call graph so every interprocedural
+	// analyzer of a run shares one build (see callgraph.go).
+	cgOnce sync.Once
+	cg     *CallGraph
 }
 
 // FindModuleRoot walks up from dir to the nearest directory containing
@@ -71,8 +89,19 @@ func FindModuleRoot(dir string) (string, error) {
 
 // LoadModule parses and type-checks every package under root (the
 // directory containing go.mod), skipping testdata trees, hidden
-// directories, and _test.go files.
+// directories, and _test.go files. Work is spread over one worker per CPU;
+// use LoadModuleWorkers to pin the width (the lint benchmarks pin 1 to
+// measure the serial baseline).
 func LoadModule(root string) (*Module, error) {
+	return LoadModuleWorkers(root, 0)
+}
+
+// LoadModuleWorkers is LoadModule with an explicit type-checking worker
+// bound; workers <= 0 means one per CPU.
+func LoadModuleWorkers(root string, workers int) (*Module, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
@@ -82,47 +111,146 @@ func LoadModule(root string) (*Module, error) {
 		return nil, err
 	}
 	m := &Module{
-		Root:   root,
-		Path:   modPath,
-		Fset:   token.NewFileSet(),
-		byPath: make(map[string]*types.Package),
+		Root:      root,
+		Path:      modPath,
+		Fset:      token.NewFileSet(),
+		goVersion: goVersion,
+		byPath:    make(map[string]*types.Package),
 	}
-	m.imp = &chainImporter{m: m, std: importer.Default()}
+	m.imp = &chainImporter{m: m, std: importer.Default(), cache: make(map[string]*types.Package)}
 
 	dirs, err := packageDirs(root)
 	if err != nil {
 		return nil, err
 	}
-	parsed := make(map[string]*Package, len(dirs)) // import path → package
-	deps := make(map[string][]string, len(dirs))
-	for _, dir := range dirs {
-		pkg, imports, err := m.parseDir(dir)
-		if err != nil {
-			return nil, err
-		}
-		if pkg == nil {
-			continue // no buildable non-test files
-		}
-		parsed[pkg.Path] = pkg
-		for _, imp := range imports {
-			if imp == modPath || strings.HasPrefix(imp, modPath+"/") {
-				deps[pkg.Path] = append(deps[pkg.Path], imp)
-			}
-		}
-	}
-
-	order, err := topoSort(parsed, deps)
+	parsed, deps, err := m.parseDirs(dirs, workers)
 	if err != nil {
 		return nil, err
 	}
-	for _, pkg := range order {
-		if err := m.check(pkg, goVersion); err != nil {
-			return nil, err
-		}
+	if err := m.checkAll(parsed, deps, workers); err != nil {
+		return nil, err
+	}
+	for _, pkg := range parsed {
 		m.Pkgs = append(m.Pkgs, pkg)
 	}
 	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].Path < m.Pkgs[j].Path })
 	return m, nil
+}
+
+// parseDirs parses every candidate directory under a bounded worker pool.
+func (m *Module) parseDirs(dirs []string, workers int) (map[string]*Package, map[string][]string, error) {
+	type parseResult struct {
+		pkg     *Package
+		imports []string
+		err     error
+	}
+	results := make([]parseResult, len(dirs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, dir := range dirs {
+		wg.Add(1)
+		go func(i int, dir string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pkg, imports, err := m.parseDir(dir)
+			results[i] = parseResult{pkg, imports, err}
+		}(i, dir)
+	}
+	wg.Wait()
+
+	parsed := make(map[string]*Package, len(dirs))
+	deps := make(map[string][]string, len(dirs))
+	for _, r := range results {
+		if r.err != nil {
+			return nil, nil, r.err
+		}
+		if r.pkg == nil {
+			continue // no buildable non-test files
+		}
+		parsed[r.pkg.Path] = r.pkg
+		for _, imp := range r.imports {
+			if imp == m.Path || strings.HasPrefix(imp, m.Path+"/") {
+				deps[r.pkg.Path] = append(deps[r.pkg.Path], imp)
+			}
+		}
+	}
+	return parsed, deps, nil
+}
+
+// checkAll type-checks the parsed packages with bounded workers scheduled
+// over the import DAG: a package is dispatched once every module-internal
+// dependency has finished. topoSort runs first purely to reject cycles and
+// missing directories with a precise error.
+func (m *Module) checkAll(parsed map[string]*Package, deps map[string][]string, workers int) error {
+	if _, err := topoSort(parsed, deps); err != nil {
+		return err
+	}
+	remaining := make(map[string]int, len(parsed)) // unchecked dependency count
+	dependents := make(map[string][]string)
+	for path := range parsed {
+		remaining[path] = len(deps[path])
+		for _, dep := range deps[path] {
+			dependents[dep] = append(dependents[dep], path)
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		ready    []string
+		inflight int
+		firstErr error
+	)
+	for path, n := range remaining {
+		if n == 0 {
+			ready = append(ready, path)
+		}
+	}
+	sort.Strings(ready)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for len(ready) == 0 && inflight > 0 && firstErr == nil {
+					cond.Wait()
+				}
+				if len(ready) == 0 || firstErr != nil {
+					mu.Unlock()
+					cond.Broadcast()
+					return
+				}
+				path := ready[0]
+				ready = ready[1:]
+				inflight++
+				mu.Unlock()
+
+				err := m.check(parsed[path], m.goVersion)
+
+				mu.Lock()
+				inflight--
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if err == nil {
+					for _, dep := range dependents[path] {
+						remaining[dep]--
+						if remaining[dep] == 0 {
+							ready = append(ready, dep)
+						}
+					}
+				}
+				mu.Unlock()
+				cond.Broadcast()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // LoadPackage parses and type-checks a single extra directory (fixture
@@ -209,37 +337,54 @@ func (m *Module) check(pkg *Package, goVersion string) error {
 	}
 	pkg.Types = tpkg
 	pkg.Info = info
+	m.mu.Lock()
 	m.byPath[pkg.Path] = tpkg
+	m.mu.Unlock()
 	return nil
 }
 
 // chainImporter resolves module-internal imports from the packages
 // type-checked so far and everything else through the toolchain's export
-// data, falling back to source import if export data is unusable.
+// data, falling back to source import if export data is unusable. The
+// external-package cache is shared by every concurrent type-check worker;
+// its mutex also serializes the underlying importers, which are not
+// documented as concurrency-safe.
 type chainImporter struct {
 	m   *Module
 	std types.Importer
-	src types.Importer // lazily-built source importer
+
+	mu    sync.Mutex
+	cache map[string]*types.Package // external packages; guarded by mu
+	src   types.Importer            // lazily-built source importer; guarded by mu
 }
 
 func (ci *chainImporter) Import(path string) (*types.Package, error) {
-	if tpkg, ok := ci.m.byPath[path]; ok {
+	ci.m.mu.RLock()
+	tpkg, ok := ci.m.byPath[path]
+	ci.m.mu.RUnlock()
+	if ok {
 		return tpkg, nil
 	}
 	if path == ci.m.Path || strings.HasPrefix(path, ci.m.Path+"/") {
 		return nil, fmt.Errorf("lint: module package %s not loaded (import cycle or missing dir?)", path)
 	}
-	tpkg, err := ci.std.Import(path)
-	if err == nil {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	if tpkg, ok := ci.cache[path]; ok {
 		return tpkg, nil
 	}
-	if ci.src == nil {
-		ci.src = importer.ForCompiler(ci.m.Fset, "source", nil)
+	tpkg, err := ci.std.Import(path)
+	if err != nil {
+		if ci.src == nil {
+			ci.src = importer.ForCompiler(ci.m.Fset, "source", nil)
+		}
+		var srcErr error
+		tpkg, srcErr = ci.src.Import(path)
+		if srcErr != nil {
+			return nil, fmt.Errorf("lint: import %q: %v (source fallback: %v)", path, err, srcErr)
+		}
 	}
-	tpkg, srcErr := ci.src.Import(path)
-	if srcErr != nil {
-		return nil, fmt.Errorf("lint: import %q: %v (source fallback: %v)", path, err, srcErr)
-	}
+	ci.cache[path] = tpkg
 	return tpkg, nil
 }
 

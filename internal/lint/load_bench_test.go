@@ -1,0 +1,35 @@
+package lint
+
+import "testing"
+
+// BenchmarkLintModule measures the full lint pipeline — module load
+// (parse + type-check across worker goroutines scheduled over the import
+// DAG) plus the complete analyzer suite. BenchmarkLintModuleSerial pins
+// the loader to a single worker: the delta between the two is the
+// parallel loader's wall-time win, which is the point of the
+// LoadModuleWorkers scheduler.
+func BenchmarkLintModule(b *testing.B) {
+	benchLintModule(b, 0) // 0 = GOMAXPROCS workers
+}
+
+func BenchmarkLintModuleSerial(b *testing.B) {
+	benchLintModule(b, 1)
+}
+
+func benchLintModule(b *testing.B, workers int) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		b.Fatalf("finding module root: %v", err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := LoadModuleWorkers(root, workers)
+		if err != nil {
+			b.Fatalf("loading module: %v", err)
+		}
+		diags := RunAnalyzers(m, m.Pkgs, Analyzers())
+		if len(diags) != 0 {
+			b.Fatalf("module not clean under benchmark: %v", diags[0])
+		}
+	}
+}

@@ -1,0 +1,810 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// LockOrder extends mutexguard's per-function lock discipline to the
+// whole module. It identifies every mutex by (owning type, field) — the
+// same `mu`-field convention the `// guarded by <mu>` annotations use —
+// or by (package, var) for package-level mutexes, then:
+//
+//  1. Summarizes, bottom-up over the call graph (fixpoint over SCCs),
+//     which locks each function may acquire and whether it may block
+//     (channel send/receive, select without default, time.Sleep,
+//     sync.WaitGroup.Wait, net dials, net/http requests, or a call
+//     through a dial-named function value).
+//  2. Walks each function in statement order tracking the held-lock set
+//     (Lock/RLock add, Unlock/RUnlock remove, deferred unlocks keep the
+//     lock held to the end, branches fork a copy), recording an
+//     acquisition-order edge A→B whenever B is acquired — directly or
+//     via a callee — while A is held.
+//  3. Reports: cycles in the acquisition-order graph (AB/BA deadlock
+//     risk), locks held across blocking operations, and re-acquisition
+//     of a mutex the same receiver already holds (self-deadlock).
+//
+// Goroutine bodies (`go func(){...}`) are walked with an empty held set:
+// they run concurrently, not under the spawner's locks. A send or
+// receive inside `select { ...; default: }` never blocks and is exempt.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "lock acquisition order must be acyclic and locks must not be held across blocking operations",
+	Run:  runLockOrder,
+}
+
+func runLockOrder(pass *Pass) {
+	eng := loEngineFor(pass)
+	for _, f := range eng.findings[pass.Pkg] {
+		pass.Reportf(f.pos, "%s", f.msg)
+	}
+}
+
+// lockID names one mutex: a struct field ("pkgpath.Type", "mu") or a
+// package-level variable ("pkgpath", "mu").
+type lockID struct {
+	owner string
+	name  string
+}
+
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opLock
+	opRLock
+	opUnlock
+	opRUnlock
+)
+
+// loAcquire records that a function may acquire a lock, with the call
+// hops leading to the Lock site (first entry is in the summarized
+// function's own body for direct acquisitions).
+type loAcquire struct {
+	steps []token.Pos
+	read  bool
+}
+
+// loBlock records that a function may block, with hops to the operation.
+type loBlock struct {
+	steps []token.Pos
+	what  string
+}
+
+// loSummary is one function's lock summary.
+type loSummary struct {
+	acquires map[lockID]*loAcquire
+	block    *loBlock
+}
+
+// loHeld is one lock in the walker's held set.
+type loHeld struct {
+	pos  token.Pos
+	read bool
+	recv string // receiver expression text, for instance matching
+}
+
+// loEdge is evidence for one acquisition-order edge.
+type loEdge struct {
+	from, to lockID
+	pos      token.Pos   // where `to` is acquired while `from` is held
+	heldAt   token.Pos   // where `from` was locked
+	chain    []token.Pos // hops from the acquisition site to the Lock call
+	pkg      *Package
+}
+
+type loEngine struct {
+	m *Module
+	g *CallGraph
+
+	summaries map[*types.Func]*loSummary
+	excluded  map[*CGNode]map[*ast.CallExpr]bool
+	display   map[lockID]string
+	edges     map[[2]lockID]*loEdge
+	findings  map[*Package][]engFinding
+	seen      map[string]bool
+}
+
+func loEngineFor(pass *Pass) *loEngine {
+	if eng, ok := pass.State["lockorder.engine"].(*loEngine); ok {
+		return eng
+	}
+	universe := pass.Universe
+	if len(universe) == 0 {
+		universe = []*Package{pass.Pkg}
+	}
+	eng := &loEngine{
+		m:         pass.Module,
+		g:         pass.Module.CallGraphFor(universe),
+		summaries: make(map[*types.Func]*loSummary),
+		excluded:  make(map[*CGNode]map[*ast.CallExpr]bool),
+		display:   make(map[lockID]string),
+		edges:     make(map[[2]lockID]*loEdge),
+		findings:  make(map[*Package][]engFinding),
+		seen:      make(map[string]bool),
+	}
+	eng.g.Fixpoint(eng.summarize)
+	eng.walkAll()
+	eng.reportCycles()
+	pass.State["lockorder.engine"] = eng
+	return eng
+}
+
+// excludedFor marks call expressions that do not run as part of the
+// function's own locked execution: bodies of function literals, `go`
+// statements, and deferred calls.
+func (eng *loEngine) excludedFor(node *CGNode) map[*ast.CallExpr]bool {
+	if ex, ok := eng.excluded[node]; ok {
+		return ex
+	}
+	ex := make(map[*ast.CallExpr]bool)
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			ast.Inspect(x.Body, func(n ast.Node) bool {
+				if c, ok := n.(*ast.CallExpr); ok {
+					ex[c] = true
+				}
+				return true
+			})
+			return false
+		case *ast.GoStmt:
+			ex[x.Call] = true
+		case *ast.DeferStmt:
+			ex[x.Call] = true
+		}
+		return true
+	})
+	eng.excluded[node] = ex
+	return ex
+}
+
+// summarize is the fixpoint update for one node's lock summary.
+func (eng *loEngine) summarize(node *CGNode) bool {
+	if node.Decl.Body == nil {
+		return false
+	}
+	sum := eng.summaries[node.Fn]
+	if sum == nil {
+		sum = &loSummary{acquires: make(map[lockID]*loAcquire)}
+		eng.summaries[node.Fn] = sum
+	}
+	before := len(sum.acquires)
+	blockedBefore := sum.block != nil
+	excluded := eng.excludedFor(node)
+
+	for i := range node.Sites {
+		site := &node.Sites[i]
+		if excluded[site.Call] {
+			continue
+		}
+		if id, kind, _, ok := eng.lockAt(node.Pkg, site.Call); ok {
+			if kind == opLock || kind == opRLock {
+				if sum.acquires[id] == nil {
+					sum.acquires[id] = &loAcquire{steps: []token.Pos{site.Pos}, read: kind == opRLock}
+				}
+			}
+			continue
+		}
+		if what, ok := eng.blockingCall(node.Pkg, site.Call); ok {
+			if sum.block == nil {
+				sum.block = &loBlock{steps: []token.Pos{site.Pos}, what: what}
+			}
+			continue
+		}
+		for _, tgt := range site.Targets {
+			tsum := eng.summaries[tgt.Fn]
+			if tsum == nil {
+				continue
+			}
+			for id, acq := range tsum.acquires {
+				if sum.acquires[id] == nil {
+					steps := append([]token.Pos{site.Pos}, acq.steps...)
+					sum.acquires[id] = &loAcquire{steps: steps, read: acq.read}
+				}
+			}
+			if tsum.block != nil && sum.block == nil {
+				steps := append([]token.Pos{site.Pos}, tsum.block.steps...)
+				sum.block = &loBlock{steps: steps, what: tsum.block.what}
+			}
+		}
+	}
+	if sum.block == nil {
+		if pos, what, ok := chanBlockScan(node.Pkg, node.Decl.Body); ok {
+			sum.block = &loBlock{steps: []token.Pos{pos}, what: what}
+		}
+	}
+	return len(sum.acquires) > before || (sum.block != nil) != blockedBefore
+}
+
+// chanBlockScan finds the first potentially-blocking channel operation in
+// the function's own execution: sends, receives, selects without a
+// default case, and ranges over channels. Function literals, go
+// statements, and the non-blocking select-with-default idiom are skipped.
+func chanBlockScan(pkg *Package, body *ast.BlockStmt) (token.Pos, string, bool) {
+	var pos token.Pos
+	var what string
+	var scanStmt func(ast.Stmt) bool
+	scanExpr := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					pos, what, found = x.Pos(), "channel receive", true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+	scanStmts := func(list []ast.Stmt) bool {
+		for _, s := range list {
+			if scanStmt(s) {
+				return true
+			}
+		}
+		return false
+	}
+	scanStmt = func(stmt ast.Stmt) bool {
+		switch s := stmt.(type) {
+		case nil:
+			return false
+		case *ast.SendStmt:
+			pos, what = s.Arrow, "channel send"
+			return true
+		case *ast.ExprStmt:
+			return scanExpr(s.X)
+		case *ast.AssignStmt:
+			for _, r := range s.Rhs {
+				if scanExpr(r) {
+					return true
+				}
+			}
+		case *ast.IfStmt:
+			if scanStmt(s.Init) || scanExpr(s.Cond) || scanStmts(s.Body.List) {
+				return true
+			}
+			return scanStmt(s.Else)
+		case *ast.ForStmt:
+			if scanStmt(s.Init) {
+				return true
+			}
+			if s.Cond != nil && scanExpr(s.Cond) {
+				return true
+			}
+			return scanStmts(s.Body.List)
+		case *ast.RangeStmt:
+			if _, ok := pkg.Info.Types[s.X].Type.Underlying().(*types.Chan); ok {
+				pos, what = s.For, "range over channel"
+				return true
+			}
+			return scanStmts(s.Body.List)
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				pos, what = s.Select, "select without default"
+				return true
+			}
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && scanStmts(cc.Body) {
+					return true
+				}
+			}
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok && scanStmts(cc.Body) {
+					return true
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok && scanStmts(cc.Body) {
+					return true
+				}
+			}
+		case *ast.BlockStmt:
+			return scanStmts(s.List)
+		case *ast.LabeledStmt:
+			return scanStmt(s.Stmt)
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if scanExpr(r) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return pos, what, scanStmts(body.List)
+}
+
+// lockAt recognizes mutex operations: recv.mu.Lock(), pkgMu.RLock(),
+// embedded s.Lock(). Local mutex variables have no cross-function
+// identity and are skipped.
+func (eng *loEngine) lockAt(pkg *Package, call *ast.CallExpr) (lockID, lockOpKind, string, bool) {
+	var zero lockID
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return zero, opNone, "", false
+	}
+	fn, ok := calleeObj(pkg, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return zero, opNone, "", false
+	}
+	var kind lockOpKind
+	switch fn.Name() {
+	case "Lock":
+		kind = opLock
+	case "RLock":
+		kind = opRLock
+	case "Unlock":
+		kind = opUnlock
+	case "RUnlock":
+		kind = opRUnlock
+	default:
+		return zero, opNone, "", false
+	}
+	switch mux := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr: // recv.mu.Lock()
+		base := derefType(pkg.Info.Types[mux.X].Type)
+		if named, ok := base.(*types.Named); ok && named.Obj().Pkg() != nil {
+			obj := named.Obj()
+			id := lockID{owner: obj.Pkg().Path() + "." + obj.Name(), name: mux.Sel.Name}
+			eng.display[id] = obj.Pkg().Name() + "." + obj.Name() + "." + mux.Sel.Name
+			return id, kind, types.ExprString(mux.X), true
+		}
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[mux].(*types.Var); ok && v.Pkg() != nil {
+			if v.Parent() == v.Pkg().Scope() { // package-level mutex
+				id := lockID{owner: v.Pkg().Path(), name: mux.Name}
+				eng.display[id] = v.Pkg().Name() + "." + mux.Name
+				return id, kind, "", true
+			}
+			// Embedded mutex: s.Lock() on a struct embedding sync.Mutex.
+			if named, ok := derefType(v.Type()).(*types.Named); ok &&
+				named.Obj().Pkg() != nil && named.Obj().Pkg().Path() != "sync" {
+				obj := named.Obj()
+				id := lockID{owner: obj.Pkg().Path() + "." + obj.Name(), name: "(embedded)"}
+				eng.display[id] = obj.Pkg().Name() + "." + obj.Name()
+				return id, kind, mux.Name, true
+			}
+		}
+	}
+	return zero, opNone, "", false
+}
+
+func derefType(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}
+
+var dialNameRe = regexp.MustCompile(`(?i)^dial`)
+
+// blockingCall recognizes calls that can block indefinitely on I/O or
+// scheduling: timers, waitgroups, network dials and requests, and calls
+// through dial-named function values (connection factories).
+func (eng *loEngine) blockingCall(pkg *Package, call *ast.CallExpr) (string, bool) {
+	switch o := calleeObj(pkg, call).(type) {
+	case *types.Func:
+		if o.Pkg() == nil {
+			return "", false
+		}
+		switch o.Pkg().Path() {
+		case "time":
+			if o.Name() == "Sleep" {
+				return "time.Sleep", true
+			}
+		case "sync":
+			if o.Name() == "Wait" {
+				if recv := o.Type().(*types.Signature).Recv(); recv != nil &&
+					strings.Contains(recv.Type().String(), "WaitGroup") {
+					return "sync.WaitGroup.Wait", true
+				}
+			}
+		case "net":
+			if strings.HasPrefix(o.Name(), "Dial") {
+				return "net." + o.Name(), true
+			}
+		case "net/http":
+			switch o.Name() {
+			case "Do", "Get", "Post", "PostForm", "Head":
+				return "net/http." + o.Name(), true
+			}
+		}
+	case *types.Var:
+		if _, ok := o.Type().Underlying().(*types.Signature); ok && dialNameRe.MatchString(o.Name()) {
+			return "network dial through " + o.Name() + " func value", true
+		}
+	}
+	return "", false
+}
+
+// --- phase 2: held-set walk -------------------------------------------
+
+func (eng *loEngine) walkAll() {
+	nodes := make([]*CGNode, 0, len(eng.g.Nodes))
+	for _, n := range eng.g.Nodes {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Decl.Pos() < nodes[j].Decl.Pos() })
+	for _, node := range nodes {
+		if node.Decl.Body == nil {
+			continue
+		}
+		sites := make(map[*ast.CallExpr]*CallSite, len(node.Sites))
+		for i := range node.Sites {
+			sites[node.Sites[i].Call] = &node.Sites[i]
+		}
+		eng.walkStmts(node, sites, node.Decl.Body.List, make(map[lockID]*loHeld))
+	}
+}
+
+func copyHeld(held map[lockID]*loHeld) map[lockID]*loHeld {
+	out := make(map[lockID]*loHeld, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func (eng *loEngine) walkStmts(node *CGNode, sites map[*ast.CallExpr]*CallSite, stmts []ast.Stmt, held map[lockID]*loHeld) {
+	for _, s := range stmts {
+		eng.walkStmt(node, sites, s, held)
+	}
+}
+
+func (eng *loEngine) walkStmt(node *CGNode, sites map[*ast.CallExpr]*CallSite, stmt ast.Stmt, held map[lockID]*loHeld) {
+	switch s := stmt.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		eng.checkExpr(node, sites, s.X, held)
+	case *ast.SendStmt:
+		eng.checkExpr(node, sites, s.Chan, held)
+		eng.checkExpr(node, sites, s.Value, held)
+		eng.blockWhileHeld(node, held, s.Arrow, "channel send", nil)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			eng.checkExpr(node, sites, r, held)
+		}
+		for _, l := range s.Lhs {
+			eng.checkExpr(node, sites, l, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						eng.checkExpr(node, sites, v, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			eng.checkExpr(node, sites, r, held)
+		}
+	case *ast.IncDecStmt:
+		eng.checkExpr(node, sites, s.X, held)
+	case *ast.IfStmt:
+		eng.walkStmt(node, sites, s.Init, held)
+		eng.checkExpr(node, sites, s.Cond, held)
+		eng.walkStmts(node, sites, s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			eng.walkStmt(node, sites, s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		eng.walkStmt(node, sites, s.Init, held)
+		if s.Cond != nil {
+			eng.checkExpr(node, sites, s.Cond, held)
+		}
+		body := copyHeld(held)
+		eng.walkStmts(node, sites, s.Body.List, body)
+		eng.walkStmt(node, sites, s.Post, body)
+	case *ast.RangeStmt:
+		eng.checkExpr(node, sites, s.X, held)
+		if t := node.Pkg.Info.Types[s.X].Type; t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				eng.blockWhileHeld(node, held, s.For, "range over channel", nil)
+			}
+		}
+		eng.walkStmts(node, sites, s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		eng.walkStmt(node, sites, s.Init, held)
+		if s.Tag != nil {
+			eng.checkExpr(node, sites, s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				eng.walkStmts(node, sites, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		eng.walkStmt(node, sites, s.Init, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				eng.walkStmts(node, sites, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			eng.blockWhileHeld(node, held, s.Select, "select without default", nil)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				eng.walkStmts(node, sites, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.GoStmt:
+		// Spawned goroutines run without the spawner's locks.
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			eng.walkStmts(node, sites, fl.Body.List, make(map[lockID]*loHeld))
+		}
+	case *ast.DeferStmt:
+		// Deferred unlocks keep the lock held to the end of the walk;
+		// other deferred work runs after the body and is not modeled.
+	case *ast.BlockStmt:
+		eng.walkStmts(node, sites, s.List, held)
+	case *ast.LabeledStmt:
+		eng.walkStmt(node, sites, s.Stmt, held)
+	}
+}
+
+// checkExpr scans an expression for calls and channel receives under the
+// current held set. Function literals are skipped (walked separately when
+// spawned).
+func (eng *loEngine) checkExpr(node *CGNode, sites map[*ast.CallExpr]*CallSite, expr ast.Expr, held map[lockID]*loHeld) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				eng.blockWhileHeld(node, held, x.Pos(), "channel receive", nil)
+			}
+		case *ast.CallExpr:
+			eng.handleCall(node, sites, x, held)
+		}
+		return true
+	})
+}
+
+func (eng *loEngine) handleCall(node *CGNode, sites map[*ast.CallExpr]*CallSite, call *ast.CallExpr, held map[lockID]*loHeld) {
+	pkg := node.Pkg
+	if id, kind, recv, ok := eng.lockAt(pkg, call); ok {
+		switch kind {
+		case opLock, opRLock:
+			for hid, h := range held {
+				if hid == id {
+					if kind == opLock && !h.read && h.recv == recv {
+						eng.report(node.Pkg, call.Pos(),
+							"lock %s acquired again at %s while already held (locked at %s): self-deadlock",
+							eng.display[id], relPos(eng.m, call.Pos()), relPos(eng.m, h.pos))
+					}
+					continue
+				}
+				eng.addEdge(hid, id, node, call.Pos(), []token.Pos{call.Pos()}, h)
+			}
+			held[id] = &loHeld{pos: call.Pos(), read: kind == opRLock, recv: recv}
+		case opUnlock, opRUnlock:
+			delete(held, id)
+		}
+		return
+	}
+	if len(held) == 0 {
+		return
+	}
+	if what, ok := eng.blockingCall(pkg, call); ok {
+		eng.blockWhileHeld(node, held, call.Pos(), what, nil)
+		return
+	}
+	site := sites[call]
+	if site == nil {
+		return
+	}
+	recv := ""
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		recv = types.ExprString(sel.X)
+	}
+	for _, tgt := range site.Targets {
+		tsum := eng.summaries[tgt.Fn]
+		if tsum == nil {
+			continue
+		}
+		if tsum.block != nil {
+			chain := append([]token.Pos{call.Pos()}, tsum.block.steps...)
+			eng.blockWhileHeld(node, held, call.Pos(), tsum.block.what, chain)
+		}
+		for id, acq := range tsum.acquires {
+			if h, ok := held[id]; ok {
+				if !h.read && !acq.read && len(acq.steps) == 1 && recv != "" && h.recv == recv {
+					eng.report(node.Pkg, call.Pos(),
+						"call at %s re-acquires %s already held (locked at %s): self-deadlock; path: %s",
+						relPos(eng.m, call.Pos()), eng.display[id], relPos(eng.m, h.pos),
+						fmtChain(eng.m, append([]token.Pos{call.Pos()}, acq.steps...)))
+				}
+				continue
+			}
+			for hid, h := range held {
+				if hid == id {
+					continue
+				}
+				chain := append([]token.Pos{call.Pos()}, acq.steps...)
+				eng.addEdge(hid, id, node, call.Pos(), chain, h)
+			}
+		}
+	}
+}
+
+// blockWhileHeld reports every held lock spanning a blocking operation.
+func (eng *loEngine) blockWhileHeld(node *CGNode, held map[lockID]*loHeld, pos token.Pos, what string, chain []token.Pos) {
+	if len(held) == 0 {
+		return
+	}
+	ids := make([]lockID, 0, len(held))
+	for id := range held {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return eng.display[ids[i]] < eng.display[ids[j]] })
+	for _, id := range ids {
+		h := held[id]
+		msg := "lock " + eng.display[id] + " (locked at " + relPos(eng.m, h.pos) + ") held across " + what
+		if len(chain) > 1 {
+			msg += "; path: " + fmtChain(eng.m, chain)
+		}
+		eng.report(node.Pkg, pos, "%s", msg)
+	}
+}
+
+func (eng *loEngine) addEdge(from, to lockID, node *CGNode, pos token.Pos, chain []token.Pos, h *loHeld) {
+	key := [2]lockID{from, to}
+	if eng.edges[key] == nil {
+		eng.edges[key] = &loEdge{from: from, to: to, pos: pos, heldAt: h.pos, chain: chain, pkg: node.Pkg}
+	}
+}
+
+func (eng *loEngine) report(pkg *Package, pos token.Pos, format string, args ...any) {
+	f := engFinding{pos: pos, msg: fmt.Sprintf(format, args...)}
+	key := relPos(eng.m, pos) + "|" + f.msg
+	if eng.seen[key] {
+		return
+	}
+	eng.seen[key] = true
+	eng.findings[pkg] = append(eng.findings[pkg], f)
+}
+
+// --- phase 3: cycle detection -----------------------------------------
+
+// reportCycles finds strongly connected components of the acquisition-
+// order graph and reports every edge inside one.
+func (eng *loEngine) reportCycles() {
+	adj := make(map[lockID][]lockID)
+	for key := range eng.edges {
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	comp := lockSCCs(adj)
+	edges := make([]*loEdge, 0, len(eng.edges))
+	for _, e := range eng.edges {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].pos < edges[j].pos })
+	for _, e := range edges {
+		cf, okF := comp[e.from]
+		ct, okT := comp[e.to]
+		if !okF || !okT || cf.id != ct.id || len(cf.members) < 2 {
+			continue
+		}
+		members := make([]string, len(cf.members))
+		for i, m := range cf.members {
+			members[i] = eng.display[m]
+		}
+		sort.Strings(members)
+		eng.report(e.pkg, e.pos,
+			"lock acquisition order cycle: %s acquired at %s while holding %s (locked at %s); cycle members: %s; path: %s",
+			eng.display[e.to], relPos(eng.m, e.pos), eng.display[e.from], relPos(eng.m, e.heldAt),
+			strings.Join(members, ", "), fmtChain(eng.m, e.chain))
+	}
+}
+
+type lockComp struct {
+	id      int
+	members []lockID
+}
+
+// lockSCCs is Tarjan's algorithm over the lock graph.
+func lockSCCs(adj map[lockID][]lockID) map[lockID]*lockComp {
+	nodes := make([]lockID, 0, len(adj))
+	seen := make(map[lockID]bool)
+	for from, tos := range adj {
+		if !seen[from] {
+			seen[from] = true
+			nodes = append(nodes, from)
+		}
+		for _, to := range tos {
+			if !seen[to] {
+				seen[to] = true
+				nodes = append(nodes, to)
+			}
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].owner != nodes[j].owner {
+			return nodes[i].owner < nodes[j].owner
+		}
+		return nodes[i].name < nodes[j].name
+	})
+	index := make(map[lockID]int)
+	low := make(map[lockID]int)
+	onStack := make(map[lockID]bool)
+	var stack []lockID
+	out := make(map[lockID]*lockComp)
+	next, compID := 0, 0
+	var connect func(n lockID)
+	connect = func(n lockID) {
+		index[n] = next
+		low[n] = next
+		next++
+		stack = append(stack, n)
+		onStack[n] = true
+		for _, c := range adj[n] {
+			if _, ok := index[c]; !ok {
+				connect(c)
+				if low[c] < low[n] {
+					low[n] = low[c]
+				}
+			} else if onStack[c] && index[c] < low[n] {
+				low[n] = index[c]
+			}
+		}
+		if low[n] == index[n] {
+			comp := &lockComp{id: compID}
+			compID++
+			for {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[top] = false
+				comp.members = append(comp.members, top)
+				out[top] = comp
+				if top == n {
+					break
+				}
+			}
+		}
+	}
+	for _, n := range nodes {
+		if _, ok := index[n]; !ok {
+			connect(n)
+		}
+	}
+	return out
+}

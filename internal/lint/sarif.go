@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SARIF 2.1.0 output and baseline suppression for CI integration: the
+// GitHub code-scanning UI ingests the SARIF directly, and a baseline
+// file (the JSON array emitted by -json) lets a repo adopt a new
+// analyzer without first fixing every historical finding.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF prints findings as a SARIF 2.1.0 log. The analyzer suite
+// provides the rule metadata; every diagnostic becomes one result at
+// warning level.
+func WriteSARIF(w io.Writer, diags []Diagnostic, analyzers []*Analyzer) error {
+	rules := make([]sarifRule, len(analyzers))
+	for i, a := range analyzers {
+		rules[i] = sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}}
+	}
+	results := make([]sarifResult, len(diags))
+	for i, d := range diags {
+		line := d.Pos.Line
+		if line < 1 {
+			line = 1 // SARIF regions are 1-based
+		}
+		results[i] = sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "warning",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: d.Pos.Filename},
+				Region:           sarifRegion{StartLine: line, StartColumn: d.Pos.Column},
+			}}},
+		}
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: sarifDriver{Name: "sslint", Rules: rules}}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// Baseline is a set of accepted findings, keyed independently of line
+// numbers so unrelated edits above a finding do not un-suppress it.
+type Baseline struct {
+	keys map[string]int // key → accepted occurrence count per key
+}
+
+func baselineKey(file, analyzer, message string) string {
+	return file + "\x00" + analyzer + "\x00" + message
+}
+
+// LoadBaseline reads a baseline file: the JSON diagnostics array that
+// `sslint -json` emits. Refreshing the baseline is re-running that
+// command.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading baseline: %w", err)
+	}
+	var entries []jsonDiagnostic
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s is not a JSON findings array: %w", path, err)
+	}
+	b := &Baseline{keys: make(map[string]int)}
+	for _, e := range entries {
+		b.keys[baselineKey(e.File, e.Analyzer, e.Message)]++
+	}
+	return b, nil
+}
+
+// Filter drops diagnostics present in the baseline. Each baseline entry
+// absorbs one occurrence, so a file that gains a second identical
+// violation still fails.
+func (b *Baseline) Filter(diags []Diagnostic) []Diagnostic {
+	if b == nil || len(b.keys) == 0 {
+		return diags
+	}
+	remaining := make(map[string]int, len(b.keys))
+	for k, n := range b.keys {
+		remaining[k] = n
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		k := baselineKey(d.Pos.Filename, d.Analyzer, d.Message)
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

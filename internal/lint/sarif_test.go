@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	diags := []Diagnostic{
+		{Analyzer: "privacyflow", Message: "raw segment from storage.Scan flows into consumer response"},
+		{Analyzer: "lockorder", Message: "lock a.mu held across channel send"},
+	}
+	diags[0].Pos.Filename = "internal/httpapi/store_server.go"
+	diags[0].Pos.Line = 12
+	diags[0].Pos.Column = 9
+	diags[1].Pos.Filename = "internal/broker/broker.go"
+	diags[1].Pos.Line = 40
+	diags[1].Pos.Column = 2
+	return diags
+}
+
+func TestWriteSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, sampleDiags(), Analyzers()); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	var log map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if log["version"] != "2.1.0" {
+		t.Errorf("version = %v, want 2.1.0", log["version"])
+	}
+	runs := log["runs"].([]any)
+	if len(runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(runs))
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "sslint" {
+		t.Errorf("driver name = %v", driver["name"])
+	}
+	if rules := driver["rules"].([]any); len(rules) != len(Analyzers()) {
+		t.Errorf("got %d rules, want %d", len(rules), len(Analyzers()))
+	}
+	results := run["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	first := results[0].(map[string]any)
+	if first["ruleId"] != "privacyflow" {
+		t.Errorf("ruleId = %v", first["ruleId"])
+	}
+	loc := first["locations"].([]any)[0].(map[string]any)["physicalLocation"].(map[string]any)
+	if uri := loc["artifactLocation"].(map[string]any)["uri"]; uri != "internal/httpapi/store_server.go" {
+		t.Errorf("uri = %v", uri)
+	}
+	if line := loc["region"].(map[string]any)["startLine"]; line != float64(12) {
+		t.Errorf("startLine = %v", line)
+	}
+
+	// Empty findings must still be a well-formed log with a results array.
+	buf.Reset()
+	if err := WriteSARIF(&buf, nil, Analyzers()); err != nil {
+		t.Fatalf("WriteSARIF(nil): %v", err)
+	}
+	var empty struct {
+		Runs []struct {
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &empty); err != nil {
+		t.Fatalf("empty log invalid: %v", err)
+	}
+	if empty.Runs[0].Results == nil {
+		t.Error("empty results serialized as null, want []")
+	}
+}
+
+// TestBaselineRoundTrip proves the adoption workflow: capture findings
+// with WriteJSON, reload them as a baseline, and the same findings are
+// suppressed — but a new finding (or a second identical occurrence)
+// still surfaces.
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := sampleDiags()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+
+	if got := b.Filter(append([]Diagnostic{}, diags...)); len(got) != 0 {
+		t.Errorf("baselined findings not suppressed: %v", got)
+	}
+
+	// The same finding moved to another line is still suppressed (the key
+	// ignores positions below the file level)...
+	moved := sampleDiags()
+	moved[0].Pos.Line = 99
+	if got := b.Filter(moved); len(got) != 0 {
+		t.Errorf("moved finding not suppressed: %v", got)
+	}
+
+	// ...but a novel finding and a duplicated occurrence both surface.
+	extra := sampleDiags()
+	novel := Diagnostic{Analyzer: "privacyflow", Message: "a brand new leak"}
+	novel.Pos.Filename = "internal/stream/stream.go"
+	extra = append(extra, novel, extra[1]) // second copy of the lockorder finding
+	got := b.Filter(extra)
+	if len(got) != 2 {
+		t.Fatalf("got %d findings after filter, want 2 (novel + duplicate): %v", len(got), got)
+	}
+}
+
+func TestLoadBaselineErrors(t *testing.T) {
+	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing baseline file: expected error")
+	}
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Error("malformed baseline: expected error")
+	}
+}
+
+// A nil baseline (no -baseline flag) must pass findings through.
+func TestNilBaselineFilter(t *testing.T) {
+	var b *Baseline
+	diags := sampleDiags()
+	if got := b.Filter(diags); len(got) != len(diags) {
+		t.Errorf("nil baseline dropped findings: %v", got)
+	}
+}

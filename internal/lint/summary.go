@@ -1,0 +1,475 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Per-function dataflow summaries for the privacyflow analyzer. Each
+// function in the call graph gets a summary describing how raw-segment
+// taint moves through it:
+//
+//   - result taint: the sources whose values can reach a return value
+//     (param→return propagation: the summary also records which of the
+//     function's own parameters flow to its results, so callers can
+//     substitute argument taint), and
+//   - param sinks: which parameters flow into an egress sink inside the
+//     function or below it (param→sink propagation).
+//
+// Summaries are computed bottom-up over the call graph's strongly
+// connected components (CallGraph.Fixpoint), iterating each cycle until
+// stable. Taint is monotone — flows and param sets only grow — so the
+// fixpoint terminates.
+//
+// The model is deliberately optimistic: a value is tainted only when a
+// path from a known raw-segment producer can be demonstrated. Unknown
+// calls (stdlib, function values, unresolved interfaces) yield clean
+// values. That keeps the module-wide run quiet on sanctioned code while
+// still proving real leaks end-to-end with a call chain.
+
+// pfFlow is one demonstrated taint flow: where the raw value was born and
+// the call-site hops it took to reach the current function. steps[0] is
+// the source position; each later entry is the call site through which the
+// taint surfaced one frame up. Appending the sink position yields the
+// full source→sink chain.
+type pfFlow struct {
+	src   token.Pos
+	desc  string
+	steps []token.Pos
+}
+
+// extend returns a copy of the flow routed through one more call site.
+func (f *pfFlow) extend(hop token.Pos) *pfFlow {
+	steps := make([]token.Pos, len(f.steps)+1)
+	copy(steps, f.steps)
+	steps[len(f.steps)] = hop
+	return &pfFlow{src: f.src, desc: f.desc, steps: steps}
+}
+
+// pfTaint is the abstract value of one expression: the set of raw flows
+// that can reach it, plus the enclosing function's parameters it depends
+// on (substituted with argument taint at each call site).
+type pfTaint struct {
+	flows  map[token.Pos]*pfFlow // keyed by source position
+	params map[int]bool          // receiver = 0 when present
+}
+
+func newPFTaint() pfTaint {
+	return pfTaint{flows: make(map[token.Pos]*pfFlow), params: make(map[int]bool)}
+}
+
+func (t pfTaint) add(f *pfFlow) {
+	if _, ok := t.flows[f.src]; !ok {
+		t.flows[f.src] = f
+	}
+}
+
+func (t pfTaint) union(o pfTaint) {
+	for _, f := range o.flows {
+		t.add(f)
+	}
+	for p := range o.params {
+		t.params[p] = true
+	}
+}
+
+// pfSinkPath records that a parameter reaches an egress sink: the call
+// hops from the function's entry down to the sink position (last entry).
+// pkg is the package holding the sink itself, so the finding is reported
+// at the sink line (where an //sslint:ignore directive can address it)
+// rather than at some upstream call site.
+type pfSinkPath struct {
+	steps []token.Pos
+	desc  string
+	pkg   *Package
+}
+
+// pfSummary is one function's dataflow summary.
+type pfSummary struct {
+	result     pfTaint
+	paramSinks map[int]*pfSinkPath
+}
+
+func newPFSummary() *pfSummary {
+	return &pfSummary{result: newPFTaint(), paramSinks: make(map[int]*pfSinkPath)}
+}
+
+// pfEnv is the per-function evaluation environment: resolved call sites,
+// local assignment origins, and parameter indices.
+type pfEnv struct {
+	eng     *pfEngine
+	node    *CGNode
+	origins map[*types.Var][]ast.Expr
+	params  map[*types.Var]int
+	named   []*types.Var // named result variables, for bare returns
+	sites   map[*ast.CallExpr]*CallSite
+}
+
+func (eng *pfEngine) envFor(node *CGNode) *pfEnv {
+	if env, ok := eng.envs[node]; ok {
+		return env
+	}
+	env := &pfEnv{
+		eng:     eng,
+		node:    node,
+		origins: collectFuncOrigins(node.Pkg, node.Decl),
+		params:  make(map[*types.Var]int),
+		sites:   make(map[*ast.CallExpr]*CallSite),
+	}
+	sig := node.Fn.Type().(*types.Signature)
+	i := 0
+	if recv := sig.Recv(); recv != nil {
+		env.params[recv] = 0
+		i = 1
+	}
+	for j := 0; j < sig.Params().Len(); j++ {
+		env.params[sig.Params().At(j)] = i
+		i++
+	}
+	for j := 0; j < sig.Results().Len(); j++ {
+		if v := sig.Results().At(j); v.Name() != "" {
+			env.named = append(env.named, v)
+		}
+	}
+	for k := range node.Sites {
+		env.sites[node.Sites[k].Call] = &node.Sites[k]
+	}
+	eng.envs[node] = env
+	return env
+}
+
+// collectFuncOrigins maps each variable to every expression assigned to it
+// anywhere in the function body (:=, =, var decls, tuple assignments,
+// range sources). Function literals are included: closures share the
+// enclosing function's variables.
+func collectFuncOrigins(pkg *Package, fd *ast.FuncDecl) map[*types.Var][]ast.Expr {
+	origins := make(map[*types.Var][]ast.Expr)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj, _ := pkg.Info.Defs[id].(*types.Var)
+		if obj == nil {
+			obj, _ = pkg.Info.Uses[id].(*types.Var)
+		}
+		if obj != nil {
+			origins[obj] = append(origins[obj], rhs)
+		}
+	}
+	if fd.Body == nil {
+		return origins
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			switch {
+			case len(node.Lhs) == len(node.Rhs):
+				for i := range node.Lhs {
+					record(node.Lhs[i], node.Rhs[i])
+				}
+			case len(node.Rhs) == 1:
+				// a, b := f(): both sides inherit the call's merged taint.
+				for i := range node.Lhs {
+					record(node.Lhs[i], node.Rhs[0])
+				}
+			}
+		case *ast.ValueSpec:
+			switch {
+			case len(node.Names) == len(node.Values):
+				for i := range node.Names {
+					record(node.Names[i], node.Values[i])
+				}
+			case len(node.Values) == 1:
+				for i := range node.Names {
+					record(node.Names[i], node.Values[0])
+				}
+			}
+		case *ast.RangeStmt:
+			if node.Value != nil {
+				record(node.Value, node.X)
+			}
+		}
+		return true
+	})
+	return origins
+}
+
+// eval computes the abstract value of expr, then filters it by the
+// expression's static type: taint only travels through values whose type
+// can actually transport segment data (see pfEngine.carries). Without
+// the filter, the storage/segstore source axiom would taint engine
+// handles and service objects — every error and *Store returned by the
+// substrate — and sweep phantom flows from cmd/ wiring into the sinks.
+func (e *pfEnv) eval(expr ast.Expr, visited map[*types.Var]bool) pfTaint {
+	out := e.evalExpr(expr, visited)
+	if len(out.flows) == 0 && len(out.params) == 0 {
+		return out
+	}
+	if tv, ok := e.node.Pkg.Info.Types[expr]; ok && tv.Type != nil && !e.eng.carries(tv.Type) {
+		return newPFTaint()
+	}
+	return out
+}
+
+// evalExpr computes the abstract value of expr. visited breaks cycles
+// through self-referential assignment chains (x = append(x, y)).
+func (e *pfEnv) evalExpr(expr ast.Expr, visited map[*types.Var]bool) pfTaint {
+	out := newPFTaint()
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if v := pkgVar(e.node.Pkg, x); v != nil {
+			return e.evalVar(v, visited)
+		}
+	case *ast.SelectorExpr:
+		// Field reads carry the base value's taint: res.Segment on a
+		// tainted storage.Result stays raw; rel.Segment on a clean
+		// abstraction.Release stays clean. Method values and
+		// package-qualified names are clean.
+		if sel, ok := e.node.Pkg.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			return e.eval(x.X, visited)
+		}
+	case *ast.CallExpr:
+		return e.evalCall(x, visited)
+	case *ast.IndexExpr:
+		return e.eval(x.X, visited)
+	case *ast.SliceExpr:
+		return e.eval(x.X, visited)
+	case *ast.StarExpr:
+		return e.eval(x.X, visited)
+	case *ast.UnaryExpr:
+		return e.eval(x.X, visited)
+	case *ast.TypeAssertExpr:
+		return e.eval(x.X, visited)
+	case *ast.CompositeLit:
+		// Building a wavesegment.Segment struct from parts outside the
+		// codec package mints a raw value. Container literals (a
+		// []*Segment wrapping already-clean values) are not sources —
+		// they just union their elements below.
+		if t := e.node.Pkg.Info.Types[x].Type; isSegmentStruct(e.eng.m, t) &&
+			!inPackage(e.node.Pkg.Path, e.eng.m.Path+"/internal/wavesegment") {
+			out.add(&pfFlow{src: x.Pos(), desc: "wavesegment.Segment literal", steps: []token.Pos{x.Pos()}})
+			return out
+		}
+		for _, elt := range x.Elts {
+			val := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				val = kv.Value
+			}
+			out.union(e.eval(val, visited))
+		}
+	}
+	return out
+}
+
+func (e *pfEnv) evalVar(v *types.Var, visited map[*types.Var]bool) pfTaint {
+	out := newPFTaint()
+	if !e.eng.carries(v.Type()) {
+		return out
+	}
+	if idx, ok := e.params[v]; ok {
+		out.params[idx] = true
+		return out
+	}
+	if visited[v] {
+		return out
+	}
+	visited[v] = true
+	defer delete(visited, v)
+	for _, src := range e.origins[v] {
+		out.union(e.eval(src, visited))
+	}
+	return out
+}
+
+// evalCall classifies a call against the axiom packages and the call
+// graph's summaries.
+func (e *pfEnv) evalCall(call *ast.CallExpr, visited map[*types.Var]bool) pfTaint {
+	out := newPFTaint()
+	pkg := e.node.Pkg
+	// Conversions pass their operand through.
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return e.eval(call.Args[0], visited)
+	}
+	// Builtins: append merges, everything else is clean.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			if id.Name == "append" {
+				for _, arg := range call.Args {
+					out.union(e.eval(arg, visited))
+				}
+			}
+			return out
+		}
+	}
+	fn, _ := calleeObj(pkg, call).(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return out // function values, builtins without uses: clean
+	}
+	m := e.eng.m
+	path := fn.Pkg().Path()
+	switch {
+	case inPackage(path, m.Path+"/internal/storage") || inPackage(path, m.Path+"/internal/segstore"):
+		// Raw-segment producers: every result is born tainted.
+		out.add(&pfFlow{
+			src:   call.Pos(),
+			desc:  fn.Pkg().Name() + "." + fn.Name(),
+			steps: []token.Pos{call.Pos()},
+		})
+		return out
+	case inPackage(path, m.Path+"/internal/abstraction") || inPackage(path, m.Path+"/internal/rules"):
+		// Sanitizers: the release pipeline's outputs are clean by
+		// definition — that is the invariant the rest of the analysis
+		// enforces.
+		return out
+	case inPackage(path, m.Path+"/internal/wavesegment"):
+		return e.evalWavesegmentCall(fn, call, visited)
+	}
+	// Module / fixture functions: substitute through the callee summary.
+	if site := e.sites[call]; site != nil {
+		for _, tgt := range site.Targets {
+			out.union(e.applySummary(tgt, call, visited))
+		}
+	}
+	return out
+}
+
+// evalWavesegmentCall applies the codec-package axiom: functions that
+// consume segments pass their argument taint through (Clone, Marshal*);
+// functions that produce segments from bytes are decoders and mint fresh
+// raw values (Unmarshal*).
+func (e *pfEnv) evalWavesegmentCall(fn *types.Func, call *ast.CallExpr, visited map[*types.Var]bool) pfTaint {
+	out := newPFTaint()
+	sig := fn.Type().(*types.Signature)
+	flowThrough := false
+	if recv := sig.Recv(); recv != nil && isSegmentTypeM(e.eng.m, recv.Type()) {
+		flowThrough = true
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			out.union(e.eval(sel.X, visited))
+		}
+	}
+	for j := 0; j < sig.Params().Len(); j++ {
+		if isSegmentTypeM(e.eng.m, sig.Params().At(j).Type()) {
+			flowThrough = true
+			if j < len(call.Args) {
+				out.union(e.eval(call.Args[j], visited))
+			}
+		}
+	}
+	if flowThrough {
+		return out
+	}
+	for j := 0; j < sig.Results().Len(); j++ {
+		if isSegmentTypeM(e.eng.m, sig.Results().At(j).Type()) {
+			out.add(&pfFlow{
+				src:   call.Pos(),
+				desc:  "wavesegment." + fn.Name(),
+				steps: []token.Pos{call.Pos()},
+			})
+			return out
+		}
+	}
+	return out
+}
+
+// applySummary maps a callee's summary back into the caller: result flows
+// route through this call site; result params substitute the matching
+// argument's taint.
+func (e *pfEnv) applySummary(tgt *CGNode, call *ast.CallExpr, visited map[*types.Var]bool) pfTaint {
+	out := newPFTaint()
+	sum := e.eng.summaries[tgt.Fn]
+	if sum == nil {
+		return out // same-SCC callee, first iteration: bottom
+	}
+	for _, f := range sum.result.flows {
+		out.add(f.extend(call.Pos()))
+	}
+	for idx := range sum.result.params {
+		for _, arg := range argExprs(call, tgt.Fn, idx) {
+			at := e.eval(arg, visited)
+			for _, f := range at.flows {
+				out.add(f.extend(call.Pos()))
+			}
+			for p := range at.params {
+				out.params[p] = true
+			}
+		}
+	}
+	return out
+}
+
+// argExprs returns the caller expressions bound to the callee's parameter
+// index (receiver = 0 when the callee is a method).
+func argExprs(call *ast.CallExpr, callee *types.Func, idx int) []ast.Expr {
+	sig := callee.Type().(*types.Signature)
+	if sig.Recv() != nil {
+		if idx == 0 {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				return []ast.Expr{sel.X}
+			}
+			return nil
+		}
+		idx--
+	}
+	n := sig.Params().Len()
+	if sig.Variadic() && idx == n-1 && idx < len(call.Args) {
+		return call.Args[idx:]
+	}
+	if idx < len(call.Args) {
+		return []ast.Expr{call.Args[idx]}
+	}
+	return nil
+}
+
+// collectReturns visits the function's own return statements, skipping
+// nested function literals (their returns belong to the literal).
+func collectReturns(body *ast.BlockStmt, fn func(*ast.ReturnStmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			fn(n)
+		}
+		return true
+	})
+}
+
+func pkgVar(pkg *Package, id *ast.Ident) *types.Var {
+	if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := pkg.Info.Defs[id].(*types.Var)
+	return v
+}
+
+// inPackage reports whether path is exactly pkg (fixture packages never
+// match module-internal axiom paths, which is intentional: fixtures model
+// the axiom packages by importing the real ones).
+func inPackage(path, pkg string) bool {
+	return path == pkg
+}
+
+// relPos renders a position as a module-root-relative file:line for call
+// chains in diagnostics.
+func relPos(m *Module, pos token.Pos) string {
+	p := m.Fset.Position(pos)
+	name := p.Filename
+	if rel, err := filepath.Rel(m.Root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		name = filepath.ToSlash(rel)
+	}
+	return name + ":" + strconv.Itoa(p.Line)
+}
+
+// fmtChain renders a call chain "a.go:12 → b.go:40 → c.go:77".
+func fmtChain(m *Module, steps []token.Pos) string {
+	parts := make([]string, len(steps))
+	for i, s := range steps {
+		parts[i] = relPos(m, s)
+	}
+	return strings.Join(parts, " → ")
+}

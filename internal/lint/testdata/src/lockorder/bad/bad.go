@@ -1,0 +1,63 @@
+// Package bad exercises the lockorder analyzer: an AB/BA acquisition
+// inversion across two functions, a lock held across a channel send
+// (directly and through two callee frames), and a same-receiver
+// re-acquisition.
+package bad
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+func abOrder() {
+	muA.Lock()
+	muB.Lock() // want "acquisition order cycle"
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func baOrder() {
+	muB.Lock()
+	muA.Lock() // want "acquisition order cycle"
+	muA.Unlock()
+	muB.Unlock()
+}
+
+type queue struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// push blocks on the channel with the mutex held: every other operation
+// on the queue stalls until a receiver shows up.
+func (q *queue) push(v int) {
+	q.mu.Lock()
+	q.ch <- v // want "held across channel send"
+	q.mu.Unlock()
+}
+
+// pushVia blocks the same way two frames down: the interprocedural
+// summary must surface the send through forward and send.
+func (q *queue) pushVia(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.forward(v) // want "held across channel send"
+}
+
+func (q *queue) forward(v int) {
+	q.send(v)
+}
+
+func (q *queue) send(v int) {
+	q.ch <- v
+}
+
+// double re-acquires the mutex the same receiver already holds.
+func (q *queue) double() {
+	q.mu.Lock()
+	q.mu.Lock() // want "self-deadlock"
+	q.mu.Unlock()
+	q.mu.Unlock()
+}

@@ -1,0 +1,65 @@
+// Package clean shows the disciplined counterparts the lockorder
+// analyzer must accept: a consistent acquisition order, unlock before a
+// blocking send, and the non-blocking select-with-default idiom under a
+// lock.
+package clean
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// Both call paths take the locks in the same order: edges exist but no
+// cycle forms.
+func first() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func second() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+type queue struct {
+	mu  sync.Mutex
+	buf []int
+	ch  chan int
+}
+
+// push releases the lock before the potentially-blocking send.
+func (q *queue) push(v int) {
+	q.mu.Lock()
+	q.buf = append(q.buf, v)
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+// tryPush sends under the lock but can never block: select with a
+// default case is the sanctioned non-blocking notify idiom.
+func (q *queue) tryPush(v int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// spawned sends from a goroutine: the spawner's lock is not held there.
+func (q *queue) spawned(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	go func() {
+		q.ch <- v
+	}()
+	q.buf = append(q.buf, v)
+}

@@ -117,16 +117,28 @@ func (o *Outbox) Pending() int {
 // evidently still unreachable) and reports how many batches and store
 // records made it. Uploads are idempotent store-side (segment merge), so
 // a crash between upload and delete means a harmless re-upload next time.
+//
+// The mutex is held only around directory state — never across the
+// uploads themselves — so a slow or retrying store connection cannot
+// block Spill (the recorder's failure path) behind a network wait.
+// Batches spilled while a drain is running wait for the next pass, and
+// two overlapping drains at worst re-upload a batch the other already
+// delivered (idempotent) and find its file already gone.
 func (o *Outbox) Drain(store Store, key auth.APIKey) (batches, records int, err error) {
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	if err := o.scanLocked(); err != nil {
+		o.mu.Unlock()
 		return 0, 0, err
 	}
-	for _, name := range o.filesLocked() {
+	names := o.filesLocked()
+	o.mu.Unlock()
+	for _, name := range names {
 		path := filepath.Join(o.Dir, name)
 		data, err := os.ReadFile(path)
 		if err != nil {
+			if os.IsNotExist(err) {
+				continue // a concurrent drain already delivered this batch
+			}
 			return batches, records, fmt.Errorf("phone: read outbox batch: %w", err)
 		}
 		var batch []*wavesegment.Segment
@@ -135,16 +147,24 @@ func (o *Outbox) Drain(store Store, key auth.APIKey) (batches, records int, err 
 		}
 		n, err := store.Upload(key, batch)
 		if err != nil {
-			metricOutboxPending.Set(float64(len(o.filesLocked())))
+			o.refreshPending()
 			return batches, records, fmt.Errorf("phone: drain outbox: %w", err)
 		}
-		if err := os.Remove(path); err != nil {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
 			return batches, records, fmt.Errorf("phone: remove drained batch: %w", err)
 		}
 		batches++
 		records += n
 		metricOutboxDrains.Inc()
 	}
-	metricOutboxPending.Set(float64(len(o.filesLocked())))
+	o.refreshPending()
 	return batches, records, nil
+}
+
+// refreshPending re-reads the spill directory and updates the pending
+// gauge.
+func (o *Outbox) refreshPending() {
+	o.mu.Lock()
+	metricOutboxPending.Set(float64(len(o.filesLocked())))
+	o.mu.Unlock()
 }

@@ -33,6 +33,7 @@ func (s *Store) compactOnce(force bool) error {
 	defer s.maintenanceMu.Unlock()
 	//sslint:ignore ctxpropagate background maintenance is a call-tree root with no request context
 	_, span, stop := obs.Span(context.Background(), "segstore.compact")
+	//sslint:ignore lockorder maintenanceMu is a single-op latch, not a data guard: it serializes whole maintenance rounds by design, and the receive is from the iterator's own prefetch goroutine
 	merged, reclaimed, err := s.compactRound(force)
 	span.SetAttr(trace.Int("merged", merged), trace.Int("reclaimed", reclaimed))
 	stop(err)
